@@ -1,0 +1,394 @@
+// Package repro's root benchmarks regenerate the experiment measurements of
+// EXPERIMENTS.md, one benchmark family per experiment of DESIGN.md's index
+// (E13 and E14 live in cmd/s2s-bench only, as they compare mapping
+// configurations rather than time a single path). The cmd/s2s-bench binary
+// prints the same experiments as verified tables; these testing.B forms
+// integrate with `go test -bench` and -benchmem.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/reason"
+	"repro/internal/s2sql"
+	"repro/internal/sparql"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+const paperQuery = "SELECT product WHERE brand='Seiko' AND case='stainless-steel'"
+
+func buildMW(b *testing.B, spec workload.Spec, opts extract.Options) (*core.Middleware, *workload.World) {
+	b.Helper()
+	world := workload.MustGenerate(spec)
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		b.Fatal(err)
+	}
+	return mw, world
+}
+
+// BenchmarkE1EndToEnd — Figure 1: one S2SQL query across the four source
+// kinds, records per source swept.
+func BenchmarkE1EndToEnd(b *testing.B) {
+	for _, records := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			mw, _ := buildMW(b, workload.Spec{
+				DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+				RecordsPerSource: records, Seed: 1,
+			}, extract.Options{})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, paperQuery)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatalf("errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2OntologyScale — Figure 2: planning cost against growing
+// ontologies.
+func BenchmarkE2OntologyScale(b *testing.B) {
+	for _, classes := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("classes=%d", classes), func(b *testing.B) {
+			ont := workload.GrowOntology(classes, 3, 7)
+			var deepest, deepestPath string
+			depth := -1
+			for _, c := range ont.Classes() {
+				if d := strings.Count(c.Path(), "."); d > depth {
+					depth, deepest, deepestPath = d, c.Name, c.Path()
+				}
+			}
+			q := fmt.Sprintf("SELECT %s WHERE %s.attr0 = 'x'", deepest, deepestPath)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s2sql.ParseAndPlan(q, ont); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Registration — Figures 3-4: attribute registration and
+// extraction-schema lookup.
+func BenchmarkE3Registration(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		ont := workload.GrowOntology(n, 1, 3)
+		attrs := ont.Attributes()
+		b.Run(fmt.Sprintf("register/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reg := datasource.NewRegistry()
+				if err := reg.Register(datasource.Definition{ID: "txt", Kind: datasource.KindText, Path: "d"}); err != nil {
+					b.Fatal(err)
+				}
+				repo := mapping.NewRepository(ont, reg)
+				for _, a := range attrs {
+					if err := repo.Register(mapping.Entry{
+						AttributeID: a.ID(), SourceID: "txt",
+						Rule: mapping.Rule{Language: mapping.LangRegex, Code: `v=([0-9]+)`},
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("schema/n=%d", n), func(b *testing.B) {
+			reg := datasource.NewRegistry()
+			if err := reg.Register(datasource.Definition{ID: "txt", Kind: datasource.KindText, Path: "d"}); err != nil {
+				b.Fatal(err)
+			}
+			repo := mapping.NewRepository(ont, reg)
+			for _, a := range attrs {
+				repo.MustRegister(mapping.Entry{
+					AttributeID: a.ID(), SourceID: "txt",
+					Rule: mapping.Rule{Language: mapping.LangRegex, Code: `v=([0-9]+)`},
+				})
+			}
+			ids := repo.MappedAttributeIDs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repo.Schema(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ExtractionSteps — Figure 5: step 4 under sequential and
+// concurrent delegation.
+func BenchmarkE4ExtractionSteps(b *testing.B) {
+	for _, sources := range []int{4, 16} {
+		per := sources / 4
+		world := workload.MustGenerate(workload.Spec{
+			DBSources: per, XMLSources: per, WebSources: per, TextSources: per,
+			RecordsPerSource: 50, Seed: 2,
+		})
+		plan, err := s2sql.ParseAndPlan("SELECT product", world.Ontology)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, par := range []int{1, 8} {
+			b.Run(fmt.Sprintf("sources=%d/par=%d", sources, par), func(b *testing.B) {
+				reg := datasource.NewRegistry()
+				repo := mapping.NewRepository(world.Ontology, reg)
+				for _, d := range world.Definitions {
+					if err := reg.Register(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, e := range world.Entries {
+					repo.MustRegister(e)
+				}
+				mgr := extract.NewManager(repo, extract.FromCatalog(world.Catalog), extract.Options{Parallelism: par})
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rs, err := mgr.Extract(ctx, plan.AttributeIDs())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rs.Errors) > 0 {
+						b.Fatalf("errors: %v", rs.Errors)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE5RecordScaling — §2.3: n-record sources.
+func BenchmarkE5RecordScaling(b *testing.B) {
+	for _, records := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			mw, _ := buildMW(b, workload.Spec{DBSources: 1, XMLSources: 1, RecordsPerSource: records, Seed: 3}, extract.Options{})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, "SELECT product")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Matched) != 2*records {
+					b.Fatalf("matched = %d", len(res.Matched))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6QueryHandler — §2.5: S2SQL parse + plan.
+func BenchmarkE6QueryHandler(b *testing.B) {
+	ont := workload.MustGenerate(workload.Spec{Seed: 1}).Ontology
+	for _, preds := range []int{1, 4, 16} {
+		var conds []string
+		for i := 0; i < preds; i++ {
+			conds = append(conds, fmt.Sprintf("brand != 'none%d'", i))
+		}
+		q := "SELECT product WHERE " + strings.Join(conds, " AND ")
+		b.Run(fmt.Sprintf("predicates=%d", preds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s2sql.ParseAndPlan(q, ont); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Serialization — §2.6: output formats.
+func BenchmarkE7Serialization(b *testing.B) {
+	mw, _ := buildMW(b, workload.Spec{DBSources: 1, XMLSources: 1, RecordsPerSource: 1000, Seed: 4}, extract.Options{})
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := mw.Generator()
+	for _, f := range []instance.Format{
+		instance.FormatOWL, instance.FormatTurtle, instance.FormatNTriples,
+		instance.FormatXML, instance.FormatJSON, instance.FormatText,
+	} {
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.SerializeString(res, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8VsBaseline — §1/§5: semantic middleware vs hand-coded
+// syntactic ETL on the same world and question.
+func BenchmarkE8VsBaseline(b *testing.B) {
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 250, Seed: 5,
+	}
+	b.Run("s2s", func(b *testing.B) {
+		mw, _ := buildMW(b, spec, extract.Options{})
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mw.Query(ctx, paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		world := workload.MustGenerate(spec)
+		it := baseline.New(world.Catalog, world.Definitions)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := it.Query(func(p baseline.Product) bool {
+				return p.Brand == "Seiko" && p.Case == "stainless-steel"
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9ExtractorTypes — §2.4: per-source-kind extractor cost for the
+// same logical data.
+func BenchmarkE9ExtractorTypes(b *testing.B) {
+	kinds := []struct {
+		name string
+		spec workload.Spec
+	}{
+		{"sql", workload.Spec{DBSources: 1, RecordsPerSource: 500, Seed: 6}},
+		{"xpath", workload.Spec{XMLSources: 1, RecordsPerSource: 500, Seed: 6}},
+		{"webl", workload.Spec{WebSources: 1, RecordsPerSource: 500, Seed: 6}},
+		{"regex", workload.Spec{TextSources: 1, RecordsPerSource: 500, Seed: 6}},
+	}
+	for _, k := range kinds {
+		b.Run(k.name, func(b *testing.B) {
+			mw, _ := buildMW(b, k.spec, extract.Options{})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, "SELECT product")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatalf("errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11Cache — rule-result caching ablation.
+func BenchmarkE11Cache(b *testing.B) {
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 250, Seed: 8,
+	}
+	for _, ttl := range []time.Duration{0, time.Minute} {
+		name := "off"
+		if ttl > 0 {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			mw, _ := buildMW(b, spec, extract.Options{CacheTTL: ttl})
+			ctx := context.Background()
+			if _, err := mw.Query(ctx, paperQuery); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mw.Query(ctx, paperQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12Reasoning — RDFS materialization and SPARQL over the output.
+func BenchmarkE12Reasoning(b *testing.B) {
+	mw, _ := buildMW(b, workload.Spec{DBSources: 1, RecordsPerSource: 1000, Seed: 9}, extract.Options{})
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		b.Fatal(err)
+	}
+	graph, err := mw.Generator().ToGraph(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := mw.Ontology().ToGraph()
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reason.Materialize(schema, graph); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	materialized, err := reason.Materialize(schema, graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `PREFIX ont: <http://s2s.uma.pt/watch#> SELECT ?x WHERE { ?x a ont:product . }`
+	b.Run("sparql", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := sparql.Select(materialized, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out.Bindings) != 1000 {
+				b.Fatalf("bindings = %d", len(out.Bindings))
+			}
+		}
+	})
+}
+
+// BenchmarkE10Transport — the middleware behind HTTP.
+func BenchmarkE10Transport(b *testing.B) {
+	mw, _ := buildMW(b, workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 100, Seed: 7,
+	}, extract.Options{})
+	srv := httptest.NewServer(transport.NewServer(mw))
+	defer srv.Close()
+	client := transport.NewClient(srv.URL, nil)
+	ctx := context.Background()
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Query(ctx, paperQuery, "json"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			cl := transport.NewClient(srv.URL, nil)
+			for pb.Next() {
+				if _, err := cl.Query(ctx, paperQuery, "json"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,116 @@
+// Command s2s-bench runs the reproduction experiments E1-E10 catalogued in
+// DESIGN.md and prints the tables recorded in EXPERIMENTS.md. The paper has
+// no quantitative evaluation (workshop paper); these experiments realize
+// every architectural figure and qualitative claim as a measured run.
+//
+// Usage:
+//
+//	s2s-bench              # run everything
+//	s2s-bench -run E5,E8   # run a subset
+//	s2s-bench -quick       # smaller parameter sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// experiment is one runnable experiment.
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config) error
+}
+
+// config carries global knobs into experiments.
+type config struct {
+	quick bool
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs to run (default all)")
+		quick   = flag.Bool("quick", false, "smaller sweeps for fast runs")
+	)
+	flag.Parse()
+
+	experiments := []experiment{
+		{"E1", "end-to-end architecture (Figure 1)", runE1},
+		{"E2", "ontology schema scaling (Figure 2)", runE2},
+		{"E3", "attribute registration (Figures 3-4)", runE3},
+		{"E4", "extraction process decomposition (Figure 5)", runE4},
+		{"E5", "single- vs n-record scaling (§2.3)", runE5},
+		{"E6", "query handler (§2.5)", runE6},
+		{"E7", "instance serialization (§2.6)", runE7},
+		{"E8", "semantic vs syntactic integration (§1, §5)", runE8},
+		{"E9", "extractor type cost (§2.4)", runE9},
+		{"E10", "middleware as a network endpoint", runE10},
+		{"E11", "rule-result caching ablation", runE11},
+		{"E12", "semantic processing: reasoning + SPARQL", runE12},
+		{"E13", "web wrapper languages: WebL vs CSS selectors", runE13},
+		{"E14", "mapping granularity: per-attribute vs shared class rule", runE14},
+	}
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	cfg := config{quick: *quick}
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// table prints aligned rows.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) print() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}

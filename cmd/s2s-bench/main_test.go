@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &table{header: []string{"name", "value"}}
+	tbl.add("short", "1")
+	tbl.add("a-much-longer-name", "22222")
+
+	// Capture stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	tbl.print()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	// Header, separator, and rows align on the widest cell.
+	if !strings.Contains(lines[1], strings.Repeat("-", len("a-much-longer-name"))) {
+		t.Errorf("separator not sized to widest cell: %q", lines[1])
+	}
+	valueCol := strings.Index(lines[0], "value")
+	for i, line := range lines[2:] {
+		cell := strings.TrimSpace(line[valueCol:])
+		if cell != []string{"1", "22222"}[i] {
+			t.Errorf("row %d value column = %q", i, cell)
+		}
+	}
+}
+
+// TestQuickExperimentsSmoke runs the fastest experiments end to end; they
+// internally verify results against ground truth and return errors on any
+// mismatch.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := config{quick: true}
+	for _, exp := range []struct {
+		name string
+		run  func(config) error
+	}{
+		{"E1", runE1}, {"E6", runE6}, {"E13", runE13},
+	} {
+		if err := exp.run(cfg); err != nil {
+			t.Errorf("%s: %v", exp.name, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command s2s-gen generates a synthetic B2B workload world and writes its
+// artifacts to a directory: one file per data source (SQL dump, XML
+// catalog, HTML page, price list), the ontology as OWL, and the mapping
+// entries as JSON — the complete inputs a real S2S deployment would be
+// configured with.
+//
+// Usage:
+//
+//	s2s-gen -out ./world [-db 1] [-xml 1] [-web 1] [-text 1] [-records 20] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datasource"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "world", "output directory")
+		db      = flag.Int("db", 1, "database sources")
+		xml     = flag.Int("xml", 1, "XML sources")
+		web     = flag.Int("web", 1, "web page sources")
+		text    = flag.Int("text", 1, "plain-text sources")
+		records = flag.Int("records", 20, "records per source")
+		seed    = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	if err := run(*out, workload.Spec{
+		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
+		RecordsPerSource: *records, Seed: *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, spec workload.Spec) error {
+	world, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Ontology.
+	ontFile, err := os.Create(filepath.Join(dir, "ontology.owl"))
+	if err != nil {
+		return err
+	}
+	if err := world.Ontology.WriteOWL(ontFile); err != nil {
+		ontFile.Close()
+		return err
+	}
+	if err := ontFile.Close(); err != nil {
+		return err
+	}
+
+	// Source contents.
+	for _, def := range world.Definitions {
+		var content string
+		switch def.Kind {
+		case datasource.KindXML, datasource.KindWeb, datasource.KindText:
+			content = world.RawDocuments[def.ID]
+		case datasource.KindDatabase:
+			db, err := world.Catalog.DB(def.DSN)
+			if err != nil {
+				return err
+			}
+			res, err := db.Query("SELECT brand, model, watch_case, price FROM watches ORDER BY id")
+			if err != nil {
+				return err
+			}
+			content = "-- dump of " + def.DSN + "\n"
+			for _, row := range res.Rows {
+				content += fmt.Sprintf("INSERT INTO watches (brand, model, watch_case, price) VALUES ('%s', '%s', '%s', %s);\n",
+					row[0], row[1], row[2], row[3])
+			}
+		}
+		ext := map[datasource.Kind]string{
+			datasource.KindXML: "xml", datasource.KindWeb: "html",
+			datasource.KindText: "txt", datasource.KindDatabase: "sql",
+		}[def.Kind]
+		name := fmt.Sprintf("source-%s.%s", def.ID, ext)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Definitions and mappings as JSON.
+	defs := make([]transport.WireSource, len(world.Definitions))
+	for i, d := range world.Definitions {
+		defs[i] = transport.FromDefinition(d)
+	}
+	if err := writeJSON(filepath.Join(dir, "sources.json"), defs); err != nil {
+		return err
+	}
+	entries := make([]transport.WireMapping, len(world.Entries))
+	for i, e := range world.Entries {
+		entries[i] = transport.FromEntry(e)
+	}
+	if err := writeJSON(filepath.Join(dir, "mappings.json"), entries); err != nil {
+		return err
+	}
+
+	fmt.Printf("s2s-gen: wrote %d sources, %d mappings, %d records to %s\n",
+		len(world.Definitions), len(world.Entries), len(world.Records), dir)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,141 @@
+// Command s2s-query runs one S2SQL query, either against a remote S2S
+// endpoint (-endpoint) or against a locally generated workload world.
+//
+// Usage:
+//
+//	s2s-query -q "SELECT product WHERE brand='Seiko'" [-format owl|turtle|ntriples|xml|json|text]
+//	s2s-query -endpoint http://localhost:8080 -q "SELECT provider" -format json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/reason"
+	"repro/internal/sparql"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		endpoint = flag.String("endpoint", "", "remote S2S endpoint; empty runs against a local generated world")
+		query    = flag.String("q", "SELECT product WHERE brand='Seiko' AND case='stainless-steel'", "S2SQL query")
+		sparqlQ  = flag.String("sparql", "", "SPARQL query to run over the S2SQL answer graph")
+		doReason = flag.Bool("reason", false, "materialize RDFS entailments before the SPARQL query")
+		format   = flag.String("format", "text", "output format: owl, turtle, ntriples, xml, json, text")
+		records  = flag.Int("records", 50, "records per source for the local world")
+		seed     = flag.Int64("seed", 1, "seed for the local world")
+		timeout  = flag.Duration("timeout", 30*time.Second, "query timeout")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *doReason); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, doReason bool) error {
+	if endpoint != "" {
+		client := transport.NewClient(endpoint, nil)
+		if sparqlQuery != "" {
+			resp, err := client.SPARQL(ctx, transport.SPARQLRequest{
+				S2SQL: query, SPARQL: sparqlQuery, Reason: doReason,
+			})
+			if err != nil {
+				return err
+			}
+			printBindings(resp.Vars, resp.Bindings)
+			return nil
+		}
+		resp, err := client.Query(ctx, query, format)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# matched=%d related=%d errors=%d format=%s\n",
+			resp.Matched, resp.Related, len(resp.Errors), resp.Format)
+		for _, e := range resp.Errors {
+			fmt.Printf("# error: %s\n", e)
+		}
+		fmt.Print(resp.Body)
+		return nil
+	}
+
+	f, err := instance.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	world, err := workload.Generate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: records, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		return err
+	}
+	if err := world.Apply(mw); err != nil {
+		return err
+	}
+	if sparqlQuery != "" {
+		res, err := mw.Query(ctx, query)
+		if err != nil {
+			return err
+		}
+		graph, err := mw.Generator().ToGraph(res)
+		if err != nil {
+			return err
+		}
+		if doReason {
+			graph, err = reason.Materialize(mw.Ontology().ToGraph(), graph)
+			if err != nil {
+				return err
+			}
+		}
+		out, err := sparql.Select(graph, sparqlQuery)
+		if err != nil {
+			return err
+		}
+		rows := make([]map[string]string, 0, len(out.Bindings))
+		for _, b := range out.Bindings {
+			row := map[string]string{}
+			for v, term := range b {
+				row[v] = term.String()
+			}
+			rows = append(rows, row)
+		}
+		printBindings(out.Vars, rows)
+		return nil
+	}
+
+	res, err := mw.QueryTo(ctx, os.Stdout, query, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# matched=%d related=%d errors=%d\n",
+		len(res.Matched), len(res.Related), len(res.Errors))
+	return nil
+}
+
+func printBindings(vars []string, rows []map[string]string) {
+	fmt.Printf("# %d solution(s); vars: %s\n", len(rows), strings.Join(vars, ", "))
+	for _, row := range rows {
+		parts := make([]string, 0, len(vars))
+		for _, v := range vars {
+			parts = append(parts, fmt.Sprintf("%s=%s", v, row[v]))
+		}
+		fmt.Println(strings.Join(parts, "  "))
+	}
+}

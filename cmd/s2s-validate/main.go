@@ -1,0 +1,177 @@
+// Command s2s-validate lints a persisted S2S middleware configuration: it
+// rebuilds the middleware from the file (which re-validates the ontology,
+// every source definition, and every extraction rule) and then reports
+// mapping coverage — which ontology attributes can actually be answered,
+// class by class. The paper's manual mapping procedure (§2.3) makes this
+// the operator's pre-flight check.
+//
+// Usage:
+//
+//	s2s-validate -config s2s.json
+//
+// Exit status 1 on validation errors; 0 otherwise (coverage gaps are
+// warnings, not errors — unmapped attributes simply never produce values).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/ontology"
+)
+
+func main() {
+	cfgPath := flag.String("config", "s2s.json", "middleware configuration file")
+	nextPath := flag.String("next", "", "proposed new configuration; prints the ontology diff and mapping impact")
+	flag.Parse()
+
+	if err := run(*cfgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-validate:", err)
+		os.Exit(1)
+	}
+	if *nextPath != "" {
+		if err := runDiff(*cfgPath, *nextPath); err != nil {
+			fmt.Fprintln(os.Stderr, "s2s-validate:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runDiff reports what a proposed ontology evolution does to the current
+// mappings (paper §2.3: mapping maintenance is manual; this is the
+// operator's change-impact preview).
+func runDiff(currentPath, nextPath string) error {
+	currentCfg, err := config.LoadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	current, err := currentCfg.BuildMiddleware(core.Config{})
+	if err != nil {
+		return err
+	}
+	nextCfg, err := config.LoadFile(nextPath)
+	if err != nil {
+		return err
+	}
+	nextOnt, err := ontology.ReadOWL(strings.NewReader(nextCfg.OntologyOWL))
+	if err != nil {
+		return fmt.Errorf("parsing next ontology: %w", err)
+	}
+
+	fmt.Printf("\n=== evolution: %s -> %s ===\n", currentPath, nextPath)
+	diff := ontology.Compare(current.Ontology(), nextOnt)
+	fmt.Println(diff)
+
+	impact := current.Mappings().ImpactOf(nextOnt)
+	fmt.Printf("\nmapping impact: %d unaffected, %d broken, %d retyped\n",
+		impact.Unaffected, len(impact.Broken), len(impact.Retyped))
+	for _, e := range impact.Broken {
+		fmt.Printf("  BROKEN  %s (source %s)\n", e.AttributeID, e.SourceID)
+	}
+	for _, e := range impact.Retyped {
+		fmt.Printf("  RETYPED %s (source %s): re-check value conversion\n", e.AttributeID, e.SourceID)
+	}
+	return nil
+}
+
+func run(path string) error {
+	cfg, err := config.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	// Building validates everything: ontology structure, source connection
+	// info, rule language compatibility, and rule syntax.
+	mw, err := cfg.BuildMiddleware(core.Config{})
+	if err != nil {
+		return fmt.Errorf("configuration invalid: %w", err)
+	}
+
+	ont := mw.Ontology()
+	repo := mw.Mappings()
+	fmt.Printf("ontology %q: %d classes, %d attributes\n", ont.Name, len(ont.Classes()), len(ont.Attributes()))
+	fmt.Printf("sources: %d, mappings: %d\n\n", mw.Sources().Len(), len(repo.AllEntries()))
+
+	// Per-class coverage.
+	fmt.Println("attribute coverage by class:")
+	for _, class := range ont.Classes() {
+		attrs := class.Attributes
+		if len(attrs) == 0 {
+			continue
+		}
+		var covered, uncovered []string
+		for _, a := range attrs {
+			if len(repo.Entries(a.ID())) > 0 {
+				covered = append(covered, a.Name)
+			} else {
+				uncovered = append(uncovered, a.Name)
+			}
+		}
+		fmt.Printf("  %-30s %d/%d mapped", class.Path(), len(covered), len(attrs))
+		if len(uncovered) > 0 {
+			fmt.Printf("   (unmapped: %s)", strings.Join(uncovered, ", "))
+		}
+		fmt.Println()
+	}
+
+	// Per-source statistics.
+	bySource := map[string][]mapping.Entry{}
+	for _, e := range repo.AllEntries() {
+		bySource[e.SourceID] = append(bySource[e.SourceID], e)
+	}
+	var sourceIDs []string
+	for id := range bySource {
+		sourceIDs = append(sourceIDs, id)
+	}
+	sort.Strings(sourceIDs)
+	fmt.Println("\nmappings by source:")
+	for _, id := range sourceIDs {
+		entries := bySource[id]
+		langs := map[string]int{}
+		for _, e := range entries {
+			langs[e.Rule.Language.String()]++
+		}
+		var langParts []string
+		for lang, n := range langs {
+			langParts = append(langParts, fmt.Sprintf("%s×%d", lang, n))
+		}
+		sort.Strings(langParts)
+		def, err := mw.Sources().Lookup(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s %-9s %2d rules (%s)\n", id, def.Kind, len(entries), strings.Join(langParts, ", "))
+	}
+
+	// Sources registered but never used by a mapping.
+	var unused []string
+	for _, def := range mw.Sources().All() {
+		if len(bySource[def.ID]) == 0 {
+			unused = append(unused, def.ID)
+		}
+	}
+	if len(unused) > 0 {
+		fmt.Printf("\nwarning: sources with no mappings: %s\n", strings.Join(unused, ", "))
+	}
+
+	// Class keys.
+	if keys := repo.ClassKeys(); len(keys) > 0 {
+		fmt.Println("\nclass keys (cross-source identity):")
+		var classes []string
+		for c := range keys {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("  %s -> %s\n", c, keys[c])
+		}
+	}
+
+	fmt.Println("\nconfiguration is valid")
+	return nil
+}

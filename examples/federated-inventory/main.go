@@ -1,0 +1,139 @@
+// Federated inventory example: the middleware runs as a network service
+// (the B2B deployment of the paper) and partner organizations interact with
+// it purely over HTTP — registering sources and mappings through the API
+// and querying with S2SQL, receiving OWL they can feed into their own
+// semantic toolchains.
+//
+// Run with: go run ./examples/federated-inventory
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/ontology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federated-inventory:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The marketplace operator hosts the S2S endpoint over a generated
+	// multi-source world (two warehouses already integrated).
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, RecordsPerSource: 15, Seed: 99,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		return err
+	}
+	if err := world.Apply(mw); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: transport.NewServer(mw)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	endpoint := "http://" + ln.Addr().String()
+	fmt.Printf("S2S middleware serving at %s\n\n", endpoint)
+
+	ctx := context.Background()
+	client := transport.NewClient(endpoint, nil)
+
+	// A partner first downloads the shared ontology — the common
+	// understanding of the domain.
+	owlDoc, err := client.Ontology(ctx)
+	if err != nil {
+		return err
+	}
+	ont, err := ontology.ReadOWL(strings.NewReader(owlDoc))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partner fetched shared ontology %q: %d classes, %d attributes\n",
+		ont.Name, len(ont.Classes()), len(ont.Attributes()))
+
+	// The partner publishes its own price list into the marketplace's text
+	// store (in a real deployment this is the partner's own server; the
+	// catalog stands in for it) and registers it over the API.
+	world.Catalog.Text.MustAdd("partner-prices.txt",
+		"supplier: PartnerCo\nitem brand=Seiko case=stainless-steel price=99.00\nitem brand=Orient case=gold price=149.00\n")
+	if err := client.RegisterSource(ctx, transport.WireSource{
+		ID: "partner", Kind: "text", Path: "partner-prices.txt",
+	}); err != nil {
+		return err
+	}
+	for attr, pattern := range map[string]string{
+		"thing.product.brand":      `brand=([A-Za-z]+)`,
+		"thing.product.watch.case": `case=([a-z-]+)`,
+		"thing.product.price":      `price=([0-9.]+)`,
+	} {
+		if err := client.RegisterMapping(ctx, transport.WireMapping{
+			Attribute: attr, Source: "partner", Language: "regex", Code: pattern,
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Println("partner registered its price list through the API")
+
+	// Everyone queries the single endpoint.
+	for _, q := range []string{
+		"SELECT product WHERE brand='Seiko' AND case='stainless-steel'",
+		"SELECT product WHERE price < 100",
+	} {
+		resp, err := client.Query(ctx, q, "json")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nS2SQL> %s\n  matched=%d related=%d errors=%d\n", q, resp.Matched, resp.Related, len(resp.Errors))
+	}
+
+	// The default answer format is OWL — semantic data another organization
+	// can process with its own tools.
+	resp, err := client.Query(ctx, "SELECT product WHERE brand='Seiko' AND case='stainless-steel'", "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n--- OWL answer (first lines) ---")
+	printed := 0
+	for _, line := range splitLines(resp.Body) {
+		fmt.Println(line)
+		printed++
+		if printed >= 14 {
+			fmt.Println("...")
+			break
+		}
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

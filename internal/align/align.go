@@ -1,0 +1,214 @@
+// Package align translates instance graphs between ontologies. Two B2B
+// partners rarely share one schema; the paper's premise ("a common shared
+// structured format represented with an ontology") extends naturally to
+// declared correspondences between each partner's ontology — the approach
+// of the ontology-mediation systems in the paper's related work. An
+// Alignment maps classes, attributes, and relations of a source ontology
+// onto a target ontology, and Translate rewrites an answer graph emitted
+// under the source ontology into the target's vocabulary, reporting
+// anything it had to drop.
+package align
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// Alignment is a set of validated correspondences from a source ontology to
+// a target ontology.
+type Alignment struct {
+	src, dst *ontology.Ontology
+
+	classes   map[rdf.IRI]rdf.IRI // src class IRI → dst class IRI
+	attrs     map[rdf.IRI]mapped  // src attribute IRI → dst
+	relations map[rdf.IRI]rdf.IRI // src relation IRI → dst relation IRI
+}
+
+type mapped struct {
+	iri      rdf.IRI
+	datatype rdf.IRI
+}
+
+// New creates an empty alignment between two ontologies.
+func New(src, dst *ontology.Ontology) *Alignment {
+	return &Alignment{
+		src: src, dst: dst,
+		classes:   map[rdf.IRI]rdf.IRI{},
+		attrs:     map[rdf.IRI]mapped{},
+		relations: map[rdf.IRI]rdf.IRI{},
+	}
+}
+
+// MapClass declares that the source class corresponds to the target class.
+func (a *Alignment) MapClass(srcClass, dstClass string) error {
+	sc, ok := a.src.Class(srcClass)
+	if !ok {
+		return fmt.Errorf("align: source class %q not defined", srcClass)
+	}
+	dc, ok := a.dst.Class(dstClass)
+	if !ok {
+		return fmt.Errorf("align: target class %q not defined", dstClass)
+	}
+	a.classes[a.src.ClassIRI(sc)] = a.dst.ClassIRI(dc)
+	return nil
+}
+
+// MapAttribute declares that the source attribute (dotted ID) corresponds
+// to the target attribute. Datatypes must be compatible: equal, or both
+// numeric.
+func (a *Alignment) MapAttribute(srcID, dstID string) error {
+	sa, ok := a.src.Attribute(srcID)
+	if !ok {
+		return fmt.Errorf("align: source attribute %q not defined", srcID)
+	}
+	da, ok := a.dst.Attribute(dstID)
+	if !ok {
+		return fmt.Errorf("align: target attribute %q not defined", dstID)
+	}
+	if !compatibleDatatypes(sa.Datatype, da.Datatype) {
+		return fmt.Errorf("align: attribute %q (%s) is not compatible with %q (%s)",
+			srcID, sa.Datatype.Local(), dstID, da.Datatype.Local())
+	}
+	a.attrs[a.src.AttributeIRI(sa)] = mapped{iri: a.dst.AttributeIRI(da), datatype: da.Datatype}
+	return nil
+}
+
+// MapRelation declares that the source relation (declared on srcFrom)
+// corresponds to the target relation (declared on dstFrom).
+func (a *Alignment) MapRelation(srcFrom, srcName, dstFrom, dstName string) error {
+	sr, err := findRelation(a.src, srcFrom, srcName)
+	if err != nil {
+		return err
+	}
+	dr, err := findRelation(a.dst, dstFrom, dstName)
+	if err != nil {
+		return err
+	}
+	a.relations[a.src.RelationIRI(sr)] = a.dst.RelationIRI(dr)
+	return nil
+}
+
+func findRelation(ont *ontology.Ontology, class, name string) (*ontology.Relation, error) {
+	c, ok := ont.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("align: class %q not defined in ontology %q", class, ont.Name)
+	}
+	for _, r := range c.Relations {
+		if strings.EqualFold(r.Name, name) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("align: relation %q not declared on class %q", name, class)
+}
+
+func compatibleDatatypes(a, b rdf.IRI) bool {
+	if a == b {
+		return true
+	}
+	numeric := func(dt rdf.IRI) bool {
+		return dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble
+	}
+	return numeric(a) && numeric(b)
+}
+
+// Report records what a translation did and dropped.
+type Report struct {
+	// TranslatedTriples counts rewritten statements.
+	TranslatedTriples int
+	// DroppedTriples counts statements with no correspondence.
+	DroppedTriples int
+	// UnmappedClasses, UnmappedAttributes, UnmappedRelations list the
+	// source terms encountered without a correspondence, sorted.
+	UnmappedClasses    []string
+	UnmappedAttributes []string
+	UnmappedRelations  []string
+}
+
+// Translate rewrites an instance graph from the source ontology's
+// vocabulary into the target's. Instance IRIs are preserved (they identify
+// individuals, not schema); rdf:type objects, attribute predicates, and
+// relation predicates are rewritten; statements using unmapped source terms
+// are dropped and reported. Non-ontology triples (e.g. owl:NamedIndividual
+// typing) pass through unchanged.
+func (a *Alignment) Translate(g *rdf.Graph) (*rdf.Graph, *Report, error) {
+	out := rdf.NewGraph()
+	rep := &Report{}
+	unmappedC := map[string]bool{}
+	unmappedA := map[string]bool{}
+	unmappedR := map[string]bool{}
+
+	srcNS := string(a.src.Base)
+	for _, t := range g.All() {
+		pred, ok := t.Predicate.(rdf.IRI)
+		if !ok {
+			rep.DroppedTriples++
+			continue
+		}
+		switch {
+		case pred == rdf.RDFType:
+			obj, ok := t.Object.(rdf.IRI)
+			if !ok {
+				rep.DroppedTriples++
+				continue
+			}
+			if !strings.HasPrefix(string(obj), srcNS) {
+				// Foreign typing (owl:NamedIndividual etc.) passes through.
+				out.MustAdd(t)
+				rep.TranslatedTriples++
+				continue
+			}
+			if dst, mappedOK := a.classes[obj]; mappedOK {
+				out.MustAdd(rdf.T(t.Subject, rdf.RDFType, dst))
+				rep.TranslatedTriples++
+			} else {
+				unmappedC[obj.Local()] = true
+				rep.DroppedTriples++
+			}
+		case !strings.HasPrefix(string(pred), srcNS):
+			out.MustAdd(t)
+			rep.TranslatedTriples++
+		default:
+			if dst, mappedOK := a.attrs[pred]; mappedOK {
+				obj := t.Object
+				if lit, isLit := obj.(rdf.Literal); isLit {
+					// Re-type the literal to the target datatype.
+					nl := rdf.Literal{Value: lit.Value, Lang: lit.Lang}
+					if nl.Lang == "" && dst.datatype != "" && dst.datatype != rdf.XSDString {
+						nl.Datatype = dst.datatype
+					}
+					obj = nl
+				}
+				out.MustAdd(rdf.T(t.Subject, dst.iri, obj))
+				rep.TranslatedTriples++
+				continue
+			}
+			if dst, mappedOK := a.relations[pred]; mappedOK {
+				out.MustAdd(rdf.T(t.Subject, dst, t.Object))
+				rep.TranslatedTriples++
+				continue
+			}
+			unmappedA[pred.Local()] = true
+			rep.DroppedTriples++
+		}
+	}
+	rep.UnmappedClasses = sortedKeys(unmappedC)
+	rep.UnmappedAttributes = sortedKeys(unmappedA)
+	rep.UnmappedRelations = sortedKeys(unmappedR)
+	return out, rep, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package align
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// germanOntology is a partner's equivalent schema with different names.
+func germanOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	ont := ontology.MustNew("http://partner.de/katalog#", "katalog", "ding")
+	for _, c := range []struct{ name, parent string }{
+		{"produkt", "ding"}, {"uhr", "produkt"}, {"lieferant", "ding"},
+	} {
+		if _, err := ont.AddClass(c.name, c.parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range []struct {
+		class, name string
+		dt          rdf.IRI
+	}{
+		{"produkt", "marke", rdf.XSDString},
+		{"produkt", "preis", rdf.XSDDouble}, // decimal ↔ double: compatible
+		{"uhr", "gehaeuse", rdf.XSDString},
+		{"lieferant", "name", rdf.XSDString},
+	} {
+		if _, err := ont.AddAttribute(a.class, a.name, a.dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ont.AddRelation("produkt", "hatLieferant", "lieferant"); err != nil {
+		t.Fatal(err)
+	}
+	return ont
+}
+
+func paperToGerman(t *testing.T, dst *ontology.Ontology) *Alignment {
+	t.Helper()
+	src := ontology.Paper()
+	a := New(src, dst)
+	steps := []error{
+		a.MapClass("product", "produkt"),
+		a.MapClass("watch", "uhr"),
+		a.MapClass("provider", "lieferant"),
+		a.MapAttribute("thing.product.brand", "ding.produkt.marke"),
+		a.MapAttribute("thing.product.price", "ding.produkt.preis"),
+		a.MapAttribute("thing.product.watch.case", "ding.produkt.uhr.gehaeuse"),
+		a.MapAttribute("thing.provider.name", "ding.lieferant.name"),
+		a.MapRelation("product", "hasProvider", "produkt", "hatLieferant"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestTranslateMiddlewareOutput(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{DBSources: 1, RecordsPerSource: 10, Seed: 71})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := mw.Generator().ToGraph(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	german := germanOntology(t)
+	alignment := paperToGerman(t, german)
+	translated, rep, err := alignment.Translate(graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// model and water_resistance have no correspondence: dropped, reported.
+	if len(rep.UnmappedAttributes) == 0 {
+		t.Error("expected unmapped attributes in report")
+	}
+	joined := strings.Join(rep.UnmappedAttributes, " ")
+	if !strings.Contains(joined, "model") {
+		t.Errorf("unmapped attributes = %v", rep.UnmappedAttributes)
+	}
+	if rep.DroppedTriples == 0 || rep.TranslatedTriples == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// The partner queries the translated graph in its own vocabulary.
+	out, err := sparql.Select(translated, `PREFIX k: <http://partner.de/katalog#>
+		SELECT ?x ?m WHERE { ?x a k:uhr . ?x k:ding_produkt_marke ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Bindings) != 10 {
+		t.Fatalf("partner query bindings = %d, want 10", len(out.Bindings))
+	}
+	// Relations were rewritten too.
+	rel, err := sparql.Select(translated, `PREFIX k: <http://partner.de/katalog#>
+		SELECT ?x ?p WHERE { ?x k:produkt_hatLieferant ?p . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Bindings) != 10 {
+		t.Fatalf("relation bindings = %d", len(rel.Bindings))
+	}
+	// Price datatype re-typed to the target's xsd:double.
+	prices, err := sparql.Select(translated, `PREFIX k: <http://partner.de/katalog#>
+		SELECT ?v WHERE { ?x k:ding_produkt_preis ?v . } LIMIT 1`)
+	if err != nil || len(prices.Bindings) != 1 {
+		t.Fatalf("prices = %v, %v", prices, err)
+	}
+	if lit, ok := prices.Bindings[0]["v"].(rdf.Literal); !ok || lit.Datatype != rdf.XSDDouble {
+		t.Errorf("price literal = %v", prices.Bindings[0]["v"])
+	}
+	// Foreign typing passes through.
+	individuals, _ := sparql.Select(translated, `SELECT ?x WHERE { ?x a <http://www.w3.org/2002/07/owl#NamedIndividual> . }`)
+	if len(individuals.Bindings) == 0 {
+		t.Error("owl:NamedIndividual typing lost")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	german := germanOntology(t)
+	a := New(ontology.Paper(), german)
+	if err := a.MapClass("nosuch", "produkt"); err == nil {
+		t.Error("unknown source class accepted")
+	}
+	if err := a.MapClass("product", "nosuch"); err == nil {
+		t.Error("unknown target class accepted")
+	}
+	if err := a.MapAttribute("thing.nosuch", "ding.produkt.marke"); err == nil {
+		t.Error("unknown source attribute accepted")
+	}
+	if err := a.MapAttribute("thing.product.brand", "ding.nosuch"); err == nil {
+		t.Error("unknown target attribute accepted")
+	}
+	// Incompatible datatypes: string brand vs double preis.
+	if err := a.MapAttribute("thing.product.brand", "ding.produkt.preis"); err == nil {
+		t.Error("incompatible datatypes accepted")
+	}
+	// Numeric-to-numeric is fine.
+	if err := a.MapAttribute("thing.product.watch.water_resistance", "ding.produkt.preis"); err != nil {
+		t.Errorf("integer->double rejected: %v", err)
+	}
+	if err := a.MapRelation("product", "nosuch", "produkt", "hatLieferant"); err == nil {
+		t.Error("unknown source relation accepted")
+	}
+	if err := a.MapRelation("product", "hasProvider", "produkt", "nosuch"); err == nil {
+		t.Error("unknown target relation accepted")
+	}
+}
+
+func TestTranslateEmptyAlignmentDropsEverything(t *testing.T) {
+	src := ontology.Paper()
+	g := rdf.NewGraph()
+	w := rdf.IRI(string(ontology.PaperBase) + "watch_1")
+	g.MustAdd(rdf.T(w, rdf.RDFType, rdf.IRI(string(ontology.PaperBase)+"watch")))
+	g.MustAdd(rdf.T(w, rdf.IRI(string(ontology.PaperBase)+"thing_product_brand"), rdf.String("Seiko")))
+
+	a := New(src, germanOntology(t))
+	out, rep, err := a.Translate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 || rep.DroppedTriples != 2 {
+		t.Fatalf("out = %d triples, report %+v", out.Len(), rep)
+	}
+	if len(rep.UnmappedClasses) != 1 || len(rep.UnmappedAttributes) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}

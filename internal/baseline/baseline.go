@@ -1,0 +1,198 @@
+// Package baseline implements the syntactic integration the paper argues
+// against (§1, §5: "most current middleware only covers syntactical
+// integration"): a hand-coded ETL pipeline with one bespoke code path per
+// data source format. It answers the same questions as the S2S middleware
+// over the same workload worlds, and exists as the comparison point for
+// experiment E8.
+//
+// The contrast the benchmark quantifies: the baseline is faster per query
+// (no ontology, no rule interpretation) but every new source format is a
+// new Go function here, whereas S2S integrates a new source with mapping
+// registrations only, and the baseline's output carries no semantics — a
+// record is a struct, not an ontology instance another organization can
+// interpret.
+package baseline
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/datasource"
+	"repro/internal/htmldoc"
+	"repro/internal/xmlpath"
+)
+
+// Product is the baseline's flat record — note the absence of any schema or
+// semantics beyond Go field names.
+type Product struct {
+	Brand    string
+	Model    string
+	Case     string
+	Price    float64
+	Water    int
+	SourceID string
+}
+
+// Integrator is the hand-coded multi-source ETL.
+type Integrator struct {
+	catalog *datasource.Catalog
+	defs    []datasource.Definition
+}
+
+// New builds an integrator over a source catalog and the definitions to
+// read.
+func New(catalog *datasource.Catalog, defs []datasource.Definition) *Integrator {
+	return &Integrator{catalog: catalog, defs: defs}
+}
+
+// Products extracts every product record from every source, dispatching to
+// the per-format code path.
+func (it *Integrator) Products() ([]Product, error) {
+	var out []Product
+	for _, def := range it.defs {
+		var (
+			records []Product
+			err     error
+		)
+		switch def.Kind {
+		case datasource.KindDatabase:
+			records, err = it.fromDB(def)
+		case datasource.KindXML:
+			records, err = it.fromXML(def)
+		case datasource.KindWeb:
+			records, err = it.fromWeb(def)
+		case datasource.KindText:
+			records, err = it.fromText(def)
+		default:
+			err = fmt.Errorf("baseline: no ETL code for source kind %d", int(def.Kind))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("baseline: source %s: %w", def.ID, err)
+		}
+		out = append(out, records...)
+	}
+	return out, nil
+}
+
+// Query filters extracted products with a hard-coded Go predicate — the
+// baseline has no query language.
+func (it *Integrator) Query(pred func(Product) bool) ([]Product, error) {
+	all, err := it.Products()
+	if err != nil {
+		return nil, err
+	}
+	var out []Product
+	for _, p := range all {
+		if pred(p) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// fromDB hard-codes the watches table layout of the workload generator.
+func (it *Integrator) fromDB(def datasource.Definition) ([]Product, error) {
+	db, err := it.catalog.DB(def.DSN)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.Query("SELECT brand, model, watch_case, price, water_m FROM watches ORDER BY id")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Product, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		p := Product{SourceID: def.ID}
+		p.Brand, _ = row[0].TextValue()
+		p.Model, _ = row[1].TextValue()
+		p.Case, _ = row[2].TextValue()
+		p.Price, _ = row[3].RealValue()
+		w, _ := row[4].IntValue()
+		p.Water = int(w)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fromXML hard-codes the catalog document structure.
+func (it *Integrator) fromXML(def datasource.Definition) ([]Product, error) {
+	root, err := it.catalog.XML.Get(def.Path)
+	if err != nil {
+		return nil, err
+	}
+	watches := xmlpath.MustCompile("/catalog/watch").SelectNodes(root)
+	out := make([]Product, 0, len(watches))
+	for _, w := range watches {
+		p := Product{SourceID: def.ID}
+		if n := w.Child("brand"); n != nil {
+			p.Brand = n.Text()
+		}
+		if n := w.Child("model"); n != nil {
+			p.Model = n.Text()
+		}
+		if n := w.Child("case"); n != nil {
+			p.Case = n.Text()
+		}
+		if n := w.Child("price"); n != nil {
+			p.Price, _ = strconv.ParseFloat(n.Text(), 64)
+		}
+		if n := w.Child("water"); n != nil {
+			p.Water, _ = strconv.Atoi(n.Text())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fromWeb hard-codes the shop page markup.
+func (it *Integrator) fromWeb(def datasource.Definition) ([]Product, error) {
+	html, err := it.catalog.Fetch(def.URL)
+	if err != nil {
+		return nil, err
+	}
+	doc := htmldoc.Parse(html)
+	var out []Product
+	for _, div := range doc.FindByAttr("class", "product") {
+		p := Product{SourceID: def.ID}
+		for _, b := range div.FindByAttr("class", "brand") {
+			p.Brand = b.VisibleText()
+		}
+		for _, s := range div.FindByAttr("class", "model") {
+			p.Model = s.VisibleText()
+		}
+		for _, s := range div.FindByAttr("class", "case") {
+			p.Case = s.VisibleText()
+		}
+		for _, s := range div.FindByAttr("class", "price") {
+			p.Price, _ = strconv.ParseFloat(s.VisibleText(), 64)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+var textLine = regexp.MustCompile(`SKU W-[0-9]+ brand=([A-Za-z]+) model=\[([^\]]+)\] case=([a-z-]+) price=([0-9.]+) water=([0-9]+)m`)
+
+// fromText hard-codes the price list line format.
+func (it *Integrator) fromText(def datasource.Definition) ([]Product, error) {
+	content, err := it.catalog.Text.Get(def.Path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Product
+	for _, line := range strings.Split(content, "\n") {
+		m := textLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		price, _ := strconv.ParseFloat(m[4], 64)
+		water, _ := strconv.Atoi(m[5])
+		out = append(out, Product{
+			Brand: m[1], Model: m[2], Case: m[3], Price: price, Water: water,
+			SourceID: def.ID,
+		})
+	}
+	return out, nil
+}

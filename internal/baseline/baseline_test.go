@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/workload"
+)
+
+func TestBaselineMatchesGroundTruth(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 20, Seed: 13,
+	})
+	it := New(world.Catalog, world.Definitions)
+	products, err := it.Products()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(products) != len(world.Records) {
+		t.Fatalf("products = %d, want %d", len(products), len(world.Records))
+	}
+	// Web sources don't publish water resistance; compare the remaining
+	// fields as multisets (generated model names may repeat).
+	counts := map[string]int{}
+	for _, r := range world.Records {
+		counts[r.SourceID+"|"+r.Brand+"|"+r.Model+"|"+r.Case]++
+	}
+	for _, p := range products {
+		key := p.SourceID + "|" + p.Brand + "|" + p.Model + "|" + p.Case
+		if counts[key] == 0 {
+			t.Errorf("unexpected product %+v", p)
+			continue
+		}
+		counts[key]--
+	}
+	for key, n := range counts {
+		if n != 0 {
+			t.Errorf("record %s extracted %d fewer times than generated", key, n)
+		}
+	}
+}
+
+// TestBaselineAgreesWithS2S is the E8 equivalence check: both integration
+// styles answer the paper's query with the same result set.
+func TestBaselineAgreesWithS2S(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 40, Seed: 17,
+	})
+
+	it := New(world.Catalog, world.Definitions)
+	baseProducts, err := it.Query(func(p Product) bool {
+		return p.Brand == "Seiko" && p.Case == "stainless-steel"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Query(context.Background(), "SELECT product WHERE brand='Seiko' AND case='stainless-steel'")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(baseProducts) != len(res.Matched) {
+		t.Fatalf("baseline %d vs s2s %d matched", len(baseProducts), len(res.Matched))
+	}
+	want := world.CountMatching(func(r workload.Record) bool {
+		return r.Brand == "Seiko" && r.Case == "stainless-steel"
+	})
+	if len(baseProducts) != want {
+		t.Fatalf("both = %d but ground truth = %d", len(baseProducts), want)
+	}
+}
+
+func TestBaselineUnknownKind(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{XMLSources: 1, RecordsPerSource: 1, Seed: 1})
+	defs := world.Definitions
+	defs[0].Kind = 99
+	it := New(world.Catalog, defs)
+	if _, err := it.Products(); err == nil {
+		t.Error("unknown kind integrated")
+	}
+}
+
+func TestBaselineMissingBackend(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{XMLSources: 1, RecordsPerSource: 1, Seed: 1})
+	defs := world.Definitions
+	defs[0].Path = "nonexistent.xml"
+	it := New(world.Catalog, defs)
+	if _, err := it.Products(); err == nil {
+		t.Error("missing document integrated")
+	}
+}

@@ -1,0 +1,140 @@
+// Package config persists a complete S2S middleware configuration — the
+// shared ontology, the registered data sources, the attribute mappings, and
+// the class keys — as one JSON document. The paper observes that mappings
+// "should not need substantial maintenance after being created"; this
+// package is where they live between runs.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/transport"
+)
+
+// Config is the serializable middleware configuration.
+type Config struct {
+	// OntologyOWL is the shared ontology as an inline OWL (RDF/XML)
+	// document.
+	OntologyOWL string `json:"ontology"`
+	// Sources are the registered data source definitions.
+	Sources []transport.WireSource `json:"sources"`
+	// Mappings are the attribute mapping entries.
+	Mappings []transport.WireMapping `json:"mappings"`
+	// ClassKeys maps class names to their cross-source identity attribute.
+	ClassKeys map[string]string `json:"classKeys,omitempty"`
+}
+
+// FromMiddleware captures a middleware's configuration.
+func FromMiddleware(mw *core.Middleware) (*Config, error) {
+	var owlDoc strings.Builder
+	if err := mw.Ontology().WriteOWL(&owlDoc); err != nil {
+		return nil, fmt.Errorf("config: serializing ontology: %w", err)
+	}
+	cfg := &Config{OntologyOWL: owlDoc.String()}
+	for _, def := range mw.Sources().All() {
+		cfg.Sources = append(cfg.Sources, transport.FromDefinition(def))
+	}
+	for _, e := range mw.Mappings().AllEntries() {
+		cfg.Mappings = append(cfg.Mappings, transport.FromEntry(e))
+	}
+	if keys := mw.Mappings().ClassKeys(); len(keys) > 0 {
+		cfg.ClassKeys = keys
+	}
+	return cfg, nil
+}
+
+// BuildMiddleware constructs a middleware from a configuration. The caller
+// supplies the content backends (the configuration records where sources
+// live, not their data).
+func (cfg *Config) BuildMiddleware(backends core.Config) (*core.Middleware, error) {
+	ont, err := ontology.ReadOWL(strings.NewReader(cfg.OntologyOWL))
+	if err != nil {
+		return nil, fmt.Errorf("config: parsing ontology: %w", err)
+	}
+	backends.Ontology = ont
+	mw, err := core.New(backends)
+	if err != nil {
+		return nil, err
+	}
+	for _, ws := range cfg.Sources {
+		def, err := ws.ToDefinition()
+		if err != nil {
+			return nil, err
+		}
+		if err := mw.RegisterSource(def); err != nil {
+			return nil, err
+		}
+	}
+	for _, wm := range cfg.Mappings {
+		entry, err := wm.ToEntry()
+		if err != nil {
+			return nil, err
+		}
+		if err := mw.RegisterMapping(entry); err != nil {
+			return nil, err
+		}
+	}
+	// Apply class keys in stable order for deterministic error reporting.
+	classes := make([]string, 0, len(cfg.ClassKeys))
+	for c := range cfg.ClassKeys {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		if err := mw.SetClassKey(c, cfg.ClassKeys[c]); err != nil {
+			return nil, err
+		}
+	}
+	return mw, nil
+}
+
+// Write serializes the configuration as indented JSON.
+func (cfg *Config) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// Read parses a configuration document.
+func Read(r io.Reader) (*Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("config: decoding: %w", err)
+	}
+	if strings.TrimSpace(cfg.OntologyOWL) == "" {
+		return nil, fmt.Errorf("config: missing ontology document")
+	}
+	return &cfg, nil
+}
+
+// SaveFile writes the configuration to a file.
+func SaveFile(path string, cfg *Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: creating %s: %w", path, err)
+	}
+	if err := cfg.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a configuration from a file.
+func LoadFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

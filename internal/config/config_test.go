@@ -1,0 +1,127 @@
+package config
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/workload"
+)
+
+func builtWorld(t *testing.T) (*core.Middleware, *workload.World) {
+	t.Helper()
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 8, Seed: 51,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.SetClassKey("product", "thing.product.model"); err != nil {
+		t.Fatal(err)
+	}
+	return mw, world
+}
+
+func TestRoundTripThroughFile(t *testing.T) {
+	mw, world := builtWorld(t)
+	cfg, err := FromMiddleware(mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s2s.json")
+	if err := SaveFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild against the same backends and compare query behaviour.
+	rebuilt, err := loaded.BuildMiddleware(core.Config{Backends: extract.FromCatalog(world.Catalog)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT product WHERE brand='Seiko'"
+	a, err := mw.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rebuilt.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Matched) != len(b.Matched) {
+		t.Fatalf("original %d matched, rebuilt %d", len(a.Matched), len(b.Matched))
+	}
+	if got := rebuilt.Mappings().ClassKey("product"); got != "thing.product.model" {
+		t.Errorf("class key lost: %q", got)
+	}
+	if rebuilt.Sources().Len() != mw.Sources().Len() {
+		t.Errorf("sources: %d vs %d", rebuilt.Sources().Len(), mw.Sources().Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          `not json`,
+		"missing ontology": `{"sources": []}`,
+		"unknown field":    `{"ontology": "x", "bogus": 1}`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildMiddlewareErrors(t *testing.T) {
+	mw, _ := builtWorld(t)
+	good, err := FromMiddleware(mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("bad ontology", func(t *testing.T) {
+		bad := *good
+		bad.OntologyOWL = "<not-owl/>"
+		if _, err := bad.BuildMiddleware(core.Config{}); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("bad source kind", func(t *testing.T) {
+		cfg := *good
+		cfg.Sources = append(cfg.Sources[:0:0], cfg.Sources...)
+		cfg.Sources[0].Kind = "tape-drive"
+		if _, err := cfg.BuildMiddleware(core.Config{}); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("bad mapping", func(t *testing.T) {
+		cfg := *good
+		cfg.Mappings = append(cfg.Mappings[:0:0], cfg.Mappings...)
+		cfg.Mappings[0].Attribute = "thing.nosuch"
+		if _, err := cfg.BuildMiddleware(core.Config{}); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("bad class key", func(t *testing.T) {
+		cfg := *good
+		cfg.ClassKeys = map[string]string{"nosuch": "thing.product.brand"}
+		if _, err := cfg.BuildMiddleware(core.Config{}); err == nil {
+			t.Error("accepted")
+		}
+	})
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

@@ -1,0 +1,181 @@
+// Package core assembles the S2S middleware (paper Figure 1): the ontology
+// schema, the mapping module, the extractor manager, the query handler, and
+// the instance generator behind one facade. A Middleware answers S2SQL
+// queries — the single point of entry — by planning the query against the
+// ontology, extracting raw data from every mapped source, compiling the
+// fragments into ontology instances, and serializing them (OWL by default).
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/ontology"
+	"repro/internal/s2sql"
+)
+
+// Config configures a Middleware.
+type Config struct {
+	// Ontology is the shared domain schema. Required.
+	Ontology *ontology.Ontology
+	// Backends resolve registered sources to content. Required for queries
+	// to extract anything.
+	Backends extract.Backends
+	// Extract tunes the extractor manager.
+	Extract extract.Options
+}
+
+// Middleware is the S2S middleware instance.
+type Middleware struct {
+	ont     *ontology.Ontology
+	sources *datasource.Registry
+	repo    *mapping.Repository
+	manager *extract.Manager
+	gen     *instance.Generator
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats aggregates middleware activity.
+type Stats struct {
+	// Queries is the number of Query calls served.
+	Queries int
+	// Instances is the total matched instances returned.
+	Instances int
+	// SourceErrors is the total per-source errors observed.
+	SourceErrors int
+	// ExtractTime accumulates extractor time across queries.
+	ExtractTime time.Duration
+	// PlanTime accumulates query-handling time across queries.
+	PlanTime time.Duration
+	// GenerateTime accumulates instance-generation time across queries.
+	GenerateTime time.Duration
+}
+
+// New builds a middleware from a configuration.
+func New(cfg Config) (*Middleware, error) {
+	if cfg.Ontology == nil {
+		return nil, fmt.Errorf("core: Config.Ontology is required")
+	}
+	if err := cfg.Ontology.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sources := datasource.NewRegistry()
+	repo := mapping.NewRepository(cfg.Ontology, sources)
+	return &Middleware{
+		ont:     cfg.Ontology,
+		sources: sources,
+		repo:    repo,
+		manager: extract.NewManager(repo, cfg.Backends, cfg.Extract),
+		gen:     instance.NewGenerator(cfg.Ontology, repo),
+	}, nil
+}
+
+// NewWithCatalog builds a middleware whose backends read from an in-process
+// source catalog — the common construction for examples and tests.
+func NewWithCatalog(ont *ontology.Ontology, catalog *datasource.Catalog, opts extract.Options) (*Middleware, error) {
+	return New(Config{Ontology: ont, Backends: extract.FromCatalog(catalog), Extract: opts})
+}
+
+// Ontology returns the middleware's ontology.
+func (m *Middleware) Ontology() *ontology.Ontology { return m.ont }
+
+// Sources returns the data source registry.
+func (m *Middleware) Sources() *datasource.Registry { return m.sources }
+
+// Mappings returns the attribute repository.
+func (m *Middleware) Mappings() *mapping.Repository { return m.repo }
+
+// RegisterSource adds a data source definition (paper §2.3.2).
+func (m *Middleware) RegisterSource(def datasource.Definition) error {
+	return m.sources.Register(def)
+}
+
+// RegisterMapping adds an attribute mapping (paper §2.3.1).
+func (m *Middleware) RegisterMapping(e mapping.Entry) error {
+	return m.repo.Register(e)
+}
+
+// SetClassKey declares the cross-source identity attribute of a class.
+func (m *Middleware) SetClassKey(class, attributeID string) error {
+	return m.repo.SetClassKey(class, attributeID)
+}
+
+// Query answers one S2SQL query: parse and plan (query handler), extract
+// (extractor manager), generate (instance generator).
+func (m *Middleware) Query(ctx context.Context, query string) (*instance.Result, error) {
+	planStart := time.Now()
+	plan, err := s2sql.ParseAndPlan(query, m.ont)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(planStart)
+
+	rs, err := m.manager.Extract(ctx, plan.AttributeIDs())
+	if err != nil {
+		return nil, err
+	}
+
+	genStart := time.Now()
+	res, err := m.gen.Generate(plan, rs)
+	if err != nil {
+		return nil, err
+	}
+	genTime := time.Since(genStart)
+
+	m.mu.Lock()
+	m.stats.Queries++
+	m.stats.Instances += len(res.Matched)
+	m.stats.SourceErrors += len(res.Errors)
+	m.stats.PlanTime += planTime
+	m.stats.ExtractTime += rs.Stats.SchemaDuration + rs.Stats.ExtractDuration
+	m.stats.GenerateTime += genTime
+	m.mu.Unlock()
+	return res, nil
+}
+
+// QueryTo answers a query and serializes the result to w in the given
+// format.
+func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, format instance.Format) (*instance.Result, error) {
+	res, err := m.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.gen.Serialize(w, res, format); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryString answers a query and returns the serialized result.
+func (m *Middleware) QueryString(ctx context.Context, query string, format instance.Format) (string, error) {
+	res, err := m.Query(ctx, query)
+	if err != nil {
+		return "", err
+	}
+	return m.gen.SerializeString(res, format)
+}
+
+// Generator exposes the instance generator (for custom serialization).
+func (m *Middleware) Generator() *instance.Generator { return m.gen }
+
+// SourceHealth returns per-source circuit breaker state (nil when the
+// breaker is disabled in the extract options).
+func (m *Middleware) SourceHealth() []extract.SourceHealth {
+	return m.manager.Health()
+}
+
+// Stats returns a snapshot of cumulative statistics.
+func (m *Middleware) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,210 @@
+// Package datasource implements the S2S middleware's data source layer:
+// source kinds, per-kind connection information, the centralized source
+// registry of paper §2.3.2 ("Registering data sources separately from the
+// extraction rules is useful to create a centralized connection information
+// store, allowing reuse and preventing information redundancy"), and the
+// in-memory catalog that simulates the distributed sources themselves.
+package datasource
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/reldb"
+	"repro/internal/textsrc"
+	"repro/internal/webl"
+	"repro/internal/xmlstore"
+)
+
+// Kind is a data source type. The paper's taxonomy (§2.1): structured
+// (relational databases), semi-structured (XML), and unstructured (web
+// pages and plain text files).
+type Kind int
+
+// Source kinds.
+const (
+	KindWeb Kind = iota + 1
+	KindXML
+	KindDatabase
+	KindText
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWeb:
+		return "web"
+	case KindXML:
+		return "xml"
+	case KindDatabase:
+		return "database"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Definition is one registered data source: its identifier (the "wpage_81" /
+// "DB_ID_45" of the paper's mapping entries) and kind-specific connection
+// information. Web pages require URLs, files require paths, and databases
+// require location plus credentials (paper §2.3.2).
+type Definition struct {
+	// ID is the registry-unique source identifier.
+	ID string
+	// Kind selects the extractor used for this source.
+	Kind Kind
+	// URL is the page address for KindWeb sources.
+	URL string
+	// Path is the document path for KindXML and KindText sources.
+	Path string
+	// DSN locates the database for KindDatabase sources.
+	DSN string
+	// Props carries additional connection details (login, password, driver
+	// type) that the paper's source repository records.
+	Props map[string]string
+}
+
+// Validate checks that the definition carries the connection information
+// its kind requires.
+func (d Definition) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("datasource: definition has empty ID")
+	}
+	switch d.Kind {
+	case KindWeb:
+		if d.URL == "" {
+			return fmt.Errorf("datasource: web source %q requires a URL", d.ID)
+		}
+	case KindXML, KindText:
+		if d.Path == "" {
+			return fmt.Errorf("datasource: %s source %q requires a path", d.Kind, d.ID)
+		}
+	case KindDatabase:
+		if d.DSN == "" {
+			return fmt.Errorf("datasource: database source %q requires a DSN", d.ID)
+		}
+	default:
+		return fmt.Errorf("datasource: source %q has unknown kind %d", d.ID, int(d.Kind))
+	}
+	return nil
+}
+
+// Registry is the centralized data source repository. It is safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	defs map[string]Definition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{defs: make(map[string]Definition)}
+}
+
+// Register adds a source definition. IDs must be unique.
+func (r *Registry) Register(def Definition) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.defs[def.ID]; exists {
+		return fmt.Errorf("datasource: source %q already registered", def.ID)
+	}
+	r.defs[def.ID] = def
+	return nil
+}
+
+// Lookup resolves a source ID.
+func (r *Registry) Lookup(id string) (Definition, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	def, ok := r.defs[id]
+	if !ok {
+		return Definition{}, fmt.Errorf("datasource: source %q not registered", id)
+	}
+	return def, nil
+}
+
+// All returns every definition in ID order.
+func (r *Registry) All() []Definition {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Definition, 0, len(r.defs))
+	for _, d := range r.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered sources.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.defs)
+}
+
+// Catalog holds the content backends the extractors read from. In the
+// paper's deployment these are remote, autonomous systems; the catalog
+// simulates them in-process, and the transport package substitutes
+// HTTP-backed equivalents for genuinely remote sources.
+type Catalog struct {
+	mu    sync.RWMutex
+	pages map[string]string
+	dbs   map[string]*reldb.DB
+
+	// XML and Text are the document stores backing KindXML and KindText
+	// sources, keyed by Definition.Path.
+	XML  *xmlstore.Store
+	Text *textsrc.Store
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		pages: make(map[string]string),
+		dbs:   make(map[string]*reldb.DB),
+		XML:   xmlstore.New(),
+		Text:  textsrc.New(),
+	}
+}
+
+// AddPage publishes HTML content at a URL.
+func (c *Catalog) AddPage(url, html string) {
+	c.mu.Lock()
+	c.pages[url] = html
+	c.mu.Unlock()
+}
+
+// AddDB attaches a database under a DSN.
+func (c *Catalog) AddDB(dsn string, db *reldb.DB) {
+	c.mu.Lock()
+	c.dbs[dsn] = db
+	c.mu.Unlock()
+}
+
+// Fetch implements webl.Fetcher over the published pages.
+func (c *Catalog) Fetch(url string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	html, ok := c.pages[url]
+	if !ok {
+		return "", fmt.Errorf("datasource: no page published at %q", url)
+	}
+	return html, nil
+}
+
+// DB resolves a DSN to its database.
+func (c *Catalog) DB(dsn string) (*reldb.DB, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	db, ok := c.dbs[dsn]
+	if !ok {
+		return nil, fmt.Errorf("datasource: no database at %q", dsn)
+	}
+	return db, nil
+}
+
+var _ webl.Fetcher = (*Catalog)(nil)

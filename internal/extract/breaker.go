@@ -1,0 +1,168 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerOptions configure the per-source circuit breaker. The paper's
+// sources are autonomous: one partner's outage must not slow every query
+// (each failed source otherwise costs its full timeout). After Threshold
+// consecutive failures a source's circuit opens and extraction skips it
+// (reporting a SourceError) until Cooldown passes; the next attempt
+// half-opens the circuit, and a success closes it.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that opens the circuit;
+	// 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long an open circuit rejects attempts.
+	Cooldown time.Duration
+}
+
+// breakerState is one source's health record.
+type breakerState struct {
+	failures  int
+	openUntil time.Time
+}
+
+// breaker tracks per-source failure state.
+type breaker struct {
+	opts BreakerOptions
+	now  func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+func newBreaker(opts BreakerOptions) *breaker {
+	if opts.Threshold <= 0 {
+		return nil
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 30 * time.Second
+	}
+	return &breaker{opts: opts, now: time.Now, states: map[string]*breakerState{}}
+}
+
+// allow reports whether the source may be contacted now.
+func (b *breaker) allow(sourceID string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[sourceID]
+	if !ok {
+		return true
+	}
+	return !b.now().Before(st.openUntil)
+}
+
+// retryAt returns when the source's open circuit half-opens (zero when the
+// circuit is closed or the breaker disabled).
+func (b *breaker) retryAt(sourceID string) time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.states[sourceID]; ok {
+		return st.openUntil
+	}
+	return time.Time{}
+}
+
+// report records one extraction outcome for the source.
+func (b *breaker) report(sourceID string, failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[sourceID]
+	if !ok {
+		st = &breakerState{}
+		b.states[sourceID] = st
+	}
+	if !failed {
+		st.failures = 0
+		st.openUntil = time.Time{}
+		return
+	}
+	st.failures++
+	if st.failures >= b.opts.Threshold {
+		st.openUntil = b.now().Add(b.opts.Cooldown)
+	}
+}
+
+// SourceHealth describes one source's breaker state.
+type SourceHealth struct {
+	SourceID string
+	// ConsecutiveFailures since the last success.
+	ConsecutiveFailures int
+	// Open reports whether the circuit currently rejects attempts.
+	Open bool
+	// RetryAt is when an open circuit half-opens (zero when closed).
+	RetryAt time.Time
+}
+
+// Health returns the breaker state of every source that has failed at
+// least once, sorted by source ID. With the breaker disabled it returns
+// nil.
+func (m *Manager) Health() []SourceHealth {
+	b := m.breaker
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	out := make([]SourceHealth, 0, len(b.states))
+	for id, st := range b.states {
+		if st.failures == 0 {
+			continue
+		}
+		h := SourceHealth{SourceID: id, ConsecutiveFailures: st.failures}
+		if now.Before(st.openUntil) {
+			h.Open = true
+			h.RetryAt = st.openUntil
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SourceID < out[j].SourceID })
+	return out
+}
+
+// errCircuitOpen marks skips caused by an open circuit.
+type errCircuitOpen struct {
+	sourceID string
+	retryAt  time.Time
+}
+
+func (e errCircuitOpen) Error() string {
+	return fmt.Sprintf("extract: source %s circuit open until %s (recent consecutive failures)",
+		e.sourceID, e.retryAt.Format(time.RFC3339))
+}
+
+// IsCircuitOpen reports whether an error records a breaker skip.
+func IsCircuitOpen(err error) bool {
+	_, ok := err.(errCircuitOpen)
+	if ok {
+		return true
+	}
+	var se SourceError
+	if asSourceError(err, &se) {
+		_, ok = se.Err.(errCircuitOpen)
+	}
+	return ok
+}
+
+func asSourceError(err error, out *SourceError) bool {
+	se, ok := err.(SourceError)
+	if ok {
+		*out = se
+	}
+	return ok
+}

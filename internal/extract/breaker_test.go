@@ -1,0 +1,163 @@
+package extract
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+)
+
+// brokenWorld maps one attribute to a web source whose page never resolves.
+func brokenWorld(t *testing.T) (*testWorld, *Manager, []string) {
+	t.Helper()
+	w := newWorld(t)
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: `var brand = Text(GetURL("http://dead.example/x"))`},
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.model", SourceID: "xml_7",
+		Rule: mapping.Rule{Code: "/catalog/watch/model"},
+	})
+	m := NewManager(w.repo, FromCatalog(w.catalog), Options{
+		Breaker: BreakerOptions{Threshold: 2, Cooldown: time.Hour},
+	})
+	return w, m, []string{"thing.product.brand", "thing.product.model"}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	_, m, attrs := brokenWorld(t)
+	ctx := context.Background()
+
+	// First two extractions hit the dead source and fail normally.
+	for i := 0; i < 2; i++ {
+		rs, err := m.Extract(ctx, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Errors) != 1 || IsCircuitOpen(rs.Errors[0].Err) {
+			t.Fatalf("run %d errors = %v", i, rs.Errors)
+		}
+	}
+	// Third: the circuit is open; the source is skipped instantly.
+	rs, err := m.Extract(ctx, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Errors) != 1 {
+		t.Fatalf("errors = %v", rs.Errors)
+	}
+	if !IsCircuitOpen(rs.Errors[0].Err) {
+		t.Fatalf("expected circuit-open error, got %v", rs.Errors[0])
+	}
+	if !strings.Contains(rs.Errors[0].Error(), "circuit open") {
+		t.Errorf("error text = %v", rs.Errors[0])
+	}
+	// The healthy source keeps answering throughout.
+	if len(rs.Fragments) != 1 || rs.Fragments[0].SourceID != "xml_7" {
+		t.Fatalf("fragments = %+v", rs.Fragments)
+	}
+
+	// Health reflects the state.
+	health := m.Health()
+	if len(health) != 1 || health[0].SourceID != "wpage_81" || !health[0].Open {
+		t.Fatalf("health = %+v", health)
+	}
+	if health[0].ConsecutiveFailures < 2 || health[0].RetryAt.IsZero() {
+		t.Errorf("health detail = %+v", health[0])
+	}
+}
+
+func TestBreakerHalfOpensAfterCooldown(t *testing.T) {
+	w, m, attrs := brokenWorld(t)
+	ctx := context.Background()
+	// Drive the circuit open with a fake clock.
+	now := time.Now()
+	m.breaker.now = func() time.Time { return now }
+	for i := 0; i < 2; i++ {
+		if _, err := m.Extract(ctx, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.breaker.allow("wpage_81") {
+		t.Fatal("circuit not open")
+	}
+	// Cooldown passes; the page comes back.
+	now = now.Add(2 * time.Hour)
+	w.catalog.AddPage("http://dead.example/x", "<html><body>Seiko</body></html>")
+	rs, err := m.Extract(ctx, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Errors) != 0 {
+		t.Fatalf("errors after recovery: %v", rs.Errors)
+	}
+	// Success closed the circuit.
+	if len(m.Health()) != 0 {
+		t.Fatalf("health after recovery = %+v", m.Health())
+	}
+}
+
+func TestBreakerDisabledByDefault(t *testing.T) {
+	w := newWorld(t)
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: `var brand = Text(GetURL("http://dead.example/x"))`},
+	})
+	m := w.manager(Options{})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		rs, err := m.Extract(ctx, []string{"thing.product.brand"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Errors) != 1 || IsCircuitOpen(rs.Errors[0].Err) {
+			t.Fatalf("run %d: breaker engaged while disabled: %v", i, rs.Errors)
+		}
+	}
+	if m.Health() != nil {
+		t.Error("Health non-nil with breaker disabled")
+	}
+}
+
+func TestBreakerIsolatesPerSource(t *testing.T) {
+	w := newWorld(t)
+	// Two dead web sources; breaking one must not break the other.
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("dead_%d", i)
+		must(t, w.repo.Sources().Register(dummyWebDef(id)))
+	}
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "dead_0",
+		Rule: mapping.Rule{Code: `var brand = Text(GetURL("http://dead0.example/"))`},
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.model", SourceID: "dead_1",
+		Rule: mapping.Rule{Code: `var model = Text(GetURL("http://dead1.example/"))`},
+	})
+	m := NewManager(w.repo, FromCatalog(w.catalog), Options{
+		Breaker: BreakerOptions{Threshold: 1, Cooldown: time.Hour},
+	})
+	// One failing round opens both circuits independently.
+	if _, err := m.Extract(context.Background(), []string{"thing.product.brand", "thing.product.model"}); err != nil {
+		t.Fatal(err)
+	}
+	health := m.Health()
+	if len(health) != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+	// Recover one source only.
+	w.catalog.AddPage("http://dead0.example/", "<b>x</b>")
+	m.breaker.report("dead_0", false)
+	if !m.breaker.allow("dead_0") || m.breaker.allow("dead_1") {
+		t.Fatal("per-source isolation broken")
+	}
+}
+
+func dummyWebDef(id string) datasource.Definition {
+	return datasource.Definition{ID: id, Kind: datasource.KindWeb, URL: "http://" + id + ".example/"}
+}

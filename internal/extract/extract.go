@@ -1,0 +1,536 @@
+// Package extract implements the S2S Extractor Manager (paper §2.4), "the
+// main section of the S2S middleware". Given the attribute list the query
+// handler produced, it executes the four-step extraction process of Figure 5:
+//
+//  1. Know what data to extract — the attribute list (input).
+//  2. Obtain extraction schema — the attribute repository returns each
+//     attribute's extraction rules.
+//  3. Obtain data source information — each rule's source definition is
+//     fetched from the data source repository.
+//  4. Extract data — a specific extractor is delegated per data source type
+//     (web wrapper, database extractor, XPath extractor, text extractor),
+//     rules are executed, and the raw data fragments are handed to the
+//     instance generator.
+//
+// The paper is silent about concurrency; this implementation fans out
+// across data sources with bounded parallelism, per-source timeouts, and
+// bounded retries, and reports per-source failures without aborting the
+// whole extraction (autonomous sources fail independently).
+package extract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/reldb"
+	"repro/internal/selector"
+	"repro/internal/textsrc"
+	"repro/internal/webl"
+	"repro/internal/xmlstore"
+)
+
+// Fragment is one chunk of extracted raw data: the values one rule produced
+// for one attribute from one source, in record order.
+type Fragment struct {
+	AttributeID string
+	SourceID    string
+	Scenario    mapping.Scenario
+	Values      []string
+}
+
+// SourceError records one extraction failure. Failures are data, not
+// aborts: the instance generator reports them alongside the instances it
+// could build (paper §2.6).
+type SourceError struct {
+	SourceID    string
+	AttributeID string
+	Err         error
+}
+
+func (e SourceError) Error() string {
+	if e.AttributeID != "" {
+		return fmt.Sprintf("source %s, attribute %s: %v", e.SourceID, e.AttributeID, e.Err)
+	}
+	return fmt.Sprintf("source %s: %v", e.SourceID, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e SourceError) Unwrap() error { return e.Err }
+
+// Stats describes one extraction run.
+type Stats struct {
+	// SourcesContacted is the number of data sources extraction ran
+	// against.
+	SourcesContacted int
+	// ValuesExtracted counts raw values across all fragments.
+	ValuesExtracted int
+	// SchemaDuration covers steps 2-3 (extraction schema + source
+	// definitions).
+	SchemaDuration time.Duration
+	// ExtractDuration covers step 4 (rule execution).
+	ExtractDuration time.Duration
+	// Retries counts rule re-executions after transient failures.
+	Retries int
+}
+
+// ResultSet is the raw output of one extraction run.
+type ResultSet struct {
+	// Fragments hold the extracted values, ordered by attribute then source.
+	Fragments []Fragment
+	// Errors lists per-source failures.
+	Errors []SourceError
+	// Missing lists requested attributes that have no mapping.
+	Missing []string
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// Backends resolves source definitions to live content. In the paper's
+// deployment these reach remote autonomous systems; the datasource.Catalog
+// provides in-process equivalents and the transport package HTTP-backed
+// ones.
+type Backends struct {
+	// Pages fetches web page content by URL.
+	Pages webl.Fetcher
+	// XML resolves Definition.Path for XML sources.
+	XML *xmlstore.Store
+	// Text resolves Definition.Path for plain-text sources.
+	Text *textsrc.Store
+	// DB resolves Definition.DSN for database sources.
+	DB func(dsn string) (*reldb.DB, error)
+}
+
+// FromCatalog builds backends over an in-process source catalog.
+func FromCatalog(c *datasource.Catalog) Backends {
+	return Backends{Pages: c, XML: c.XML, Text: c.Text, DB: c.DB}
+}
+
+// Options tune the manager.
+type Options struct {
+	// Parallelism bounds concurrent source extractions; 0 means
+	// DefaultParallelism, 1 forces sequential extraction.
+	Parallelism int
+	// Timeout bounds each source's total extraction time; 0 means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Retries is how many times a failed rule execution is retried.
+	Retries int
+	// WebLMaxSteps caps WebL program execution; 0 uses the webl default.
+	WebLMaxSteps int
+	// SimulatedLatency, when positive, sleeps once per source before its
+	// rules run. The paper's data sources are remote autonomous systems; the
+	// in-process catalog answers in microseconds, so benchmarks use this
+	// knob to model the network round trip a real deployment pays per
+	// source (see DESIGN.md substitutions).
+	SimulatedLatency time.Duration
+	// CacheTTL, when positive, caches rule results per (source, rule) for
+	// that duration. The paper notes sources "do not normally change their
+	// structures"; values change more often, so caching trades freshness
+	// for latency and is off by default. InvalidateCache drops it.
+	CacheTTL time.Duration
+	// Breaker configures the per-source circuit breaker; the zero value
+	// disables it.
+	Breaker BreakerOptions
+}
+
+// Defaults for Options.
+const (
+	DefaultParallelism = 8
+	DefaultTimeout     = 10 * time.Second
+)
+
+// Manager coordinates extraction across the registered data sources.
+type Manager struct {
+	repo     *mapping.Repository
+	backends Backends
+	opts     Options
+
+	cacheMu sync.Mutex
+	cache   map[string]cacheEntry
+
+	breaker *breaker
+}
+
+type cacheEntry struct {
+	values []string
+	at     time.Time
+}
+
+// NewManager builds an extractor manager over an attribute repository and
+// content backends.
+func NewManager(repo *mapping.Repository, backends Backends, opts Options) *Manager {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = DefaultParallelism
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	m := &Manager{repo: repo, backends: backends, opts: opts, breaker: newBreaker(opts.Breaker)}
+	if opts.CacheTTL > 0 {
+		m.cache = make(map[string]cacheEntry)
+	}
+	return m
+}
+
+// InvalidateCache drops every cached rule result.
+func (m *Manager) InvalidateCache() {
+	if m.cache == nil {
+		return
+	}
+	m.cacheMu.Lock()
+	m.cache = make(map[string]cacheEntry)
+	m.cacheMu.Unlock()
+}
+
+func cacheKey(def datasource.Definition, entry mapping.Entry) string {
+	return def.ID + "\x00" + entry.Rule.Language.String() + "\x00" + entry.Rule.Code + "\x00" + entry.Rule.Column
+}
+
+func (m *Manager) cacheGet(key string) ([]string, bool) {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	e, ok := m.cache[key]
+	if !ok || time.Since(e.at) > m.opts.CacheTTL {
+		return nil, false
+	}
+	return e.values, true
+}
+
+func (m *Manager) cachePut(key string, values []string) {
+	m.cacheMu.Lock()
+	m.cache[key] = cacheEntry{values: values, at: time.Now()}
+	m.cacheMu.Unlock()
+}
+
+// Extract runs the four-step process for the given attribute list.
+func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSet, error) {
+	rs := &ResultSet{}
+
+	// Steps 2-3: extraction schema + data source definitions.
+	start := time.Now()
+	plans, missing, err := m.repo.Schema(attributeIDs)
+	if err != nil {
+		return nil, fmt.Errorf("extract: obtaining extraction schema: %w", err)
+	}
+	rs.Missing = missing
+	rs.Stats.SchemaDuration = time.Since(start)
+
+	// Step 4: delegate a specific extractor per source, concurrently.
+	extractStart := time.Now()
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, m.opts.Parallelism)
+	)
+	for _, plan := range plans {
+		wg.Add(1)
+		go func(plan mapping.SourcePlan) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				mu.Lock()
+				rs.Errors = append(rs.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+				mu.Unlock()
+				return
+			}
+			frags, errs, retries := m.extractSource(ctx, plan)
+			mu.Lock()
+			rs.Fragments = append(rs.Fragments, frags...)
+			rs.Errors = append(rs.Errors, errs...)
+			rs.Stats.Retries += retries
+			mu.Unlock()
+		}(plan)
+	}
+	wg.Wait()
+
+	rs.Stats.ExtractDuration = time.Since(extractStart)
+	rs.Stats.SourcesContacted = len(plans)
+	for _, f := range rs.Fragments {
+		rs.Stats.ValuesExtracted += len(f.Values)
+	}
+	sort.Slice(rs.Fragments, func(i, j int) bool {
+		if rs.Fragments[i].AttributeID != rs.Fragments[j].AttributeID {
+			return rs.Fragments[i].AttributeID < rs.Fragments[j].AttributeID
+		}
+		return rs.Fragments[i].SourceID < rs.Fragments[j].SourceID
+	})
+	sort.Slice(rs.Errors, func(i, j int) bool {
+		if rs.Errors[i].SourceID != rs.Errors[j].SourceID {
+			return rs.Errors[i].SourceID < rs.Errors[j].SourceID
+		}
+		return rs.Errors[i].AttributeID < rs.Errors[j].AttributeID
+	})
+	return rs, nil
+}
+
+// extractSource runs every rule of one source plan under the per-source
+// timeout, honoring the circuit breaker.
+func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (frags []Fragment, errs []SourceError, retries int) {
+	if !m.breaker.allow(plan.Source.ID) {
+		return nil, []SourceError{{
+			SourceID: plan.Source.ID,
+			Err:      errCircuitOpen{sourceID: plan.Source.ID, retryAt: m.breaker.retryAt(plan.Source.ID)},
+		}}, 0
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, m.opts.Timeout)
+	defer cancel()
+
+	if m.opts.SimulatedLatency > 0 {
+		select {
+		case <-time.After(m.opts.SimulatedLatency):
+		case <-ctx.Done():
+			return nil, []SourceError{{SourceID: plan.Source.ID, Err: ctx.Err()}}, 0
+		}
+	}
+
+	anyFailed := false
+	for _, entry := range plan.Entries {
+		values, tries, err := m.runRuleWithRetry(ctx, plan.Source, entry)
+		retries += tries
+		if err != nil {
+			anyFailed = true
+			errs = append(errs, SourceError{SourceID: plan.Source.ID, AttributeID: entry.AttributeID, Err: err})
+			continue
+		}
+		if entry.Scenario == mapping.SingleRecord && len(values) > 1 {
+			errs = append(errs, SourceError{
+				SourceID:    plan.Source.ID,
+				AttributeID: entry.AttributeID,
+				Err: fmt.Errorf("extract: single-record source produced %d values for %s",
+					len(values), entry.AttributeID),
+			})
+			continue
+		}
+		frags = append(frags, Fragment{
+			AttributeID: entry.AttributeID,
+			SourceID:    plan.Source.ID,
+			Scenario:    entry.Scenario,
+			Values:      values,
+		})
+	}
+	m.breaker.report(plan.Source.ID, anyFailed)
+	return frags, errs, retries
+}
+
+func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) (values []string, retries int, err error) {
+	var key string
+	if m.cache != nil {
+		key = cacheKey(def, entry)
+		if cached, ok := m.cacheGet(key); ok {
+			return cached, 0, nil
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		values, err = m.runRule(ctx, def, entry)
+		if err == nil {
+			if m.cache != nil {
+				m.cachePut(key, values)
+			}
+			return values, attempt, nil
+		}
+		if attempt >= m.opts.Retries || ctx.Err() != nil {
+			return values, attempt, err
+		}
+	}
+}
+
+// runRule delegates to the extractor for the source's kind, then applies
+// the rule's value transform, if any.
+func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry mapping.Entry) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		values []string
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		switch def.Kind {
+		case datasource.KindDatabase:
+			o.values, o.err = m.extractDB(def, entry)
+		case datasource.KindXML:
+			o.values, o.err = m.extractXML(def, entry)
+		case datasource.KindWeb:
+			o.values, o.err = m.extractWeb(def, entry)
+		case datasource.KindText:
+			o.values, o.err = m.extractText(def, entry)
+		default:
+			o.err = fmt.Errorf("extract: no extractor for source kind %d", int(def.Kind))
+		}
+		if o.err == nil {
+			o.values, o.err = applyTransform(entry.Rule, o.values)
+		}
+		ch <- o
+	}()
+	select {
+	case o := <-ch:
+		return o.values, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("extract: source %s: %w", def.ID, ctx.Err())
+	}
+}
+
+// applyTransform normalizes each extracted value through the rule's WebL
+// transform expression (with the raw value bound to v).
+func applyTransform(rule mapping.Rule, values []string) ([]string, error) {
+	prog, err := rule.TransformProgram()
+	if err != nil || prog == nil {
+		return values, err
+	}
+	out := make([]string, len(values))
+	for i, raw := range values {
+		globals, err := prog.Run(&webl.Env{Globals: map[string]webl.Value{"v": raw}})
+		if err != nil {
+			return nil, fmt.Errorf("extract: transform of %q: %w", raw, err)
+		}
+		transformed, err := weblValueToStrings(globals["result"])
+		if err != nil {
+			return nil, err
+		}
+		if len(transformed) != 1 {
+			return nil, fmt.Errorf("extract: transform of %q produced %d values, want 1", raw, len(transformed))
+		}
+		out[i] = transformed[0]
+	}
+	return out, nil
+}
+
+// extractDB runs a SQL rule and projects the configured column as strings.
+func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+	if m.backends.DB == nil {
+		return nil, errors.New("extract: no database backend configured")
+	}
+	db, err := m.backends.DB(def.DSN)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.Query(entry.Rule.Code)
+	if err != nil {
+		return nil, err
+	}
+	col := 0
+	if entry.Rule.Column != "" {
+		col = -1
+		for i, name := range res.Columns {
+			if strings.EqualFold(name, entry.Rule.Column) {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("extract: result of %q has no column %q", entry.Rule.Code, entry.Rule.Column)
+		}
+	}
+	if len(res.Columns) == 0 {
+		return nil, fmt.Errorf("extract: rule %q projected no columns", entry.Rule.Code)
+	}
+	values := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if row[col].Null {
+			values = append(values, "")
+			continue
+		}
+		values = append(values, row[col].String())
+	}
+	return values, nil
+}
+
+func (m *Manager) extractXML(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+	if m.backends.XML == nil {
+		return nil, errors.New("extract: no XML backend configured")
+	}
+	return m.backends.XML.Extract(def.Path, entry.Rule.Code)
+}
+
+func (m *Manager) extractText(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+	if m.backends.Text == nil {
+		return nil, errors.New("extract: no text backend configured")
+	}
+	return m.backends.Text.Extract(def.Path, entry.Rule.Code)
+}
+
+// extractWeb delegates by rule language: WebL programs run in the
+// interpreter; CSS selector rules fetch the page and extract directly.
+func (m *Manager) extractWeb(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+	if m.backends.Pages == nil {
+		return nil, errors.New("extract: no web backend configured")
+	}
+	if entry.Rule.Language == mapping.LangSelector {
+		sel, err := selector.Compile(entry.Rule.Code)
+		if err != nil {
+			return nil, err
+		}
+		html, err := m.backends.Pages.Fetch(def.URL)
+		if err != nil {
+			return nil, err
+		}
+		return sel.ExtractHTML(html), nil
+	}
+	prog, err := webl.Compile(entry.Rule.Code)
+	if err != nil {
+		return nil, err
+	}
+	globals, err := prog.Run(&webl.Env{Fetcher: m.backends.Pages, MaxSteps: m.opts.WebLMaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	var candidates []string
+	if entry.Rule.Column != "" {
+		candidates = []string{entry.Rule.Column}
+	} else {
+		simple := entry.AttributeID
+		if idx := strings.LastIndexByte(simple, '.'); idx >= 0 {
+			simple = simple[idx+1:]
+		}
+		candidates = []string{simple, "result"}
+	}
+	for _, name := range candidates {
+		v, ok := globals[name]
+		if !ok {
+			continue
+		}
+		return weblValueToStrings(v)
+	}
+	return nil, fmt.Errorf("extract: webl rule defines none of %v", candidates)
+}
+
+func weblValueToStrings(v webl.Value) ([]string, error) {
+	switch t := v.(type) {
+	case nil:
+		return nil, nil
+	case string:
+		return []string{t}, nil
+	case []webl.Value:
+		out := make([]string, 0, len(t))
+		for _, e := range t {
+			sub, err := weblValueToStrings(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case float64, bool:
+		sub, err := weblValueToStrings(fmt.Sprintf("%v", t))
+		if err != nil {
+			return nil, err
+		}
+		return sub, nil
+	case *webl.Page:
+		return nil, fmt.Errorf("extract: webl rule produced a page, not a value")
+	default:
+		return nil, fmt.Errorf("extract: webl rule produced unsupported value %T", v)
+	}
+}

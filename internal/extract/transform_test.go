@@ -1,0 +1,143 @@
+package extract
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/reldb"
+)
+
+// TestTransformNormalizesUnits is the paper's semantic-heterogeneity case
+// (§1: sources use "different ... units for concepts"): one source prices
+// in euro cents, another in euros, and transforms normalize both to the
+// ontology's euros at extraction time.
+func TestTransformNormalizesUnits(t *testing.T) {
+	w := newWorld(t)
+
+	// A second database that stores prices in cents.
+	centsDB := reldb.New()
+	centsDB.MustExec("CREATE TABLE items (id INTEGER PRIMARY KEY, cents INTEGER)")
+	centsDB.MustExec("INSERT INTO items (id, cents) VALUES (1, 12999), (2, 1500)")
+	w.catalog.AddDB("cents-erp", centsDB)
+	must(t, w.repo.Sources().Register(datasource.Definition{
+		ID: "cents_db", Kind: datasource.KindDatabase, DSN: "cents-erp",
+	}))
+
+	// Euros source (the default world DB already stores euros).
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.price", SourceID: "DB_ID_45",
+		Rule: mapping.Rule{Code: "SELECT price FROM watches ORDER BY id"},
+	})
+	// Cents source: normalized by the transform.
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.price", SourceID: "cents_db",
+		Rule: mapping.Rule{
+			Code:      "SELECT cents FROM items ORDER BY id",
+			Transform: "ToString(ToNumber(v) / 100)",
+		},
+	})
+
+	rs, err := w.manager(Options{}).Extract(context.Background(), []string{"thing.product.price"})
+	if err != nil || len(rs.Errors) > 0 {
+		t.Fatalf("%v %v", err, rs.Errors)
+	}
+	bySource := map[string][]string{}
+	for _, f := range rs.Fragments {
+		bySource[f.SourceID] = append([]string{}, f.Values...)
+	}
+	if got := bySource["cents_db"]; len(got) != 2 || got[0] != "129.99" || got[1] != "15" {
+		t.Fatalf("normalized cents = %v", got)
+	}
+	if got := bySource["DB_ID_45"]; len(got) != 2 {
+		t.Fatalf("euro values = %v", got)
+	}
+}
+
+func TestTransformStringNormalization(t *testing.T) {
+	w := newWorld(t)
+	// Vocabulary normalization: the XML feed uses upper-case brand codes.
+	w.catalog.XML.MustAdd("codes.xml", "<c><w><b>SEIKO</b></w><w><b>CASIO</b></w></c>")
+	must(t, w.repo.Sources().Register(datasource.Definition{
+		ID: "codes", Kind: datasource.KindXML, Path: "codes.xml",
+	}))
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "codes",
+		Rule: mapping.Rule{
+			Code:      "//b",
+			Transform: `Str_Upper(Select(v, 0, 1)) + Str_Lower(Select(v, 1, Len(v)))`,
+		},
+	})
+	rs, err := w.manager(Options{}).Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil || len(rs.Errors) > 0 {
+		t.Fatalf("%v %v", err, rs.Errors)
+	}
+	got := rs.Fragments[0].Values
+	if len(got) != 2 || got[0] != "Seiko" || got[1] != "Casio" {
+		t.Fatalf("normalized brands = %v", got)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	w := newWorld(t)
+	// Bad transform syntax is rejected at registration.
+	err := w.repo.Register(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "xml_7",
+		Rule: mapping.Rule{Code: "//brand", Transform: "ToNumber(v"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "transform") {
+		t.Fatalf("bad transform accepted: %v", err)
+	}
+	// A transform that fails at runtime surfaces as a source error.
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "xml_7",
+		Rule: mapping.Rule{Code: "//brand", Transform: "ToNumber(v)"},
+	})
+	rs, err := w.manager(Options{}).Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// xml_7 holds "Citizen" — not a number.
+	if len(rs.Errors) != 1 || !strings.Contains(rs.Errors[0].Error(), "transform") {
+		t.Fatalf("errors = %v", rs.Errors)
+	}
+}
+
+func TestTransformThroughQueryConditions(t *testing.T) {
+	// Normalized values must satisfy numeric query conditions end to end.
+	w := newWorld(t)
+	centsDB := reldb.New()
+	centsDB.MustExec("CREATE TABLE items (id INTEGER PRIMARY KEY, b TEXT, cents INTEGER)")
+	centsDB.MustExec("INSERT INTO items (id, b, cents) VALUES (1, 'Seiko', 9900), (2, 'Casio', 25000)")
+	w.catalog.AddDB("cents2", centsDB)
+	must(t, w.repo.Sources().Register(datasource.Definition{
+		ID: "cents2", Kind: datasource.KindDatabase, DSN: "cents2",
+	}))
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "cents2",
+		Rule: mapping.Rule{Code: "SELECT b FROM items ORDER BY id"},
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.price", SourceID: "cents2",
+		Rule: mapping.Rule{
+			Code:      "SELECT cents FROM items ORDER BY id",
+			Transform: "ToString(ToNumber(v) / 100)",
+		},
+	})
+	rs, err := w.manager(Options{}).Extract(context.Background(), []string{
+		"thing.product.brand", "thing.product.price",
+	})
+	if err != nil || len(rs.Errors) > 0 {
+		t.Fatalf("%v %v", err, rs.Errors)
+	}
+	// 9900 cents → 99 euros; 25000 → 250.
+	for _, f := range rs.Fragments {
+		if f.AttributeID == "thing.product.price" {
+			if f.Values[0] != "99" || f.Values[1] != "250" {
+				t.Fatalf("prices = %v", f.Values)
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package htmldoc
+
+import "testing"
+
+// FuzzParse checks the lenient HTML parser never panics on arbitrary
+// markup and that VisibleText always succeeds.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<p> <b>Seiko Men's Automatic Dive Watch</b> </p>`,
+		`<div class="p"><img src=x><br/>text</div>`,
+		`<script>if (a<b) {}</script><p>after`,
+		`</b>stray<a href='x>broken`,
+		`<!DOCTYPE html><!-- c --><ul><li>1<li>2</ul>`,
+		`text & <entities &amp; &#65; &bogus;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		_ = doc.VisibleText()
+		_ = doc.FindAll("b")
+		_ = doc.FindByAttr("class", "p")
+	})
+}

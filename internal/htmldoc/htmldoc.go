@@ -1,0 +1,367 @@
+// Package htmldoc provides a lenient HTML tokenizer, a small DOM, and
+// visible-text extraction. It backs the middleware's unstructured web-page
+// data sources: the simulated B2B shop fronts serve HTML built and inspected
+// with this package, and the WebL interpreter uses it to render page text.
+//
+// The parser is deliberately forgiving, as real-world product pages are
+// rarely well-formed: unknown or mismatched end tags are skipped, void
+// elements (br, img, ...) never open a scope, and attribute values may be
+// single-quoted, double-quoted, or bare.
+package htmldoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies HTML tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokText TokenKind = iota + 1
+	TokStartTag
+	TokEndTag
+	TokSelfClosing
+	TokComment
+	TokDoctype
+)
+
+// Token is one lexical HTML token.
+type Token struct {
+	Kind TokenKind
+	// Data is the tag name (lower-cased) for tags, or the text content for
+	// text and comments.
+	Data string
+	// Attrs holds tag attributes by lower-cased name.
+	Attrs map[string]string
+}
+
+// voidElements never contain content and never get end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow everything up to their literal end tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Tokenize splits HTML source into tokens. It never fails: malformed markup
+// degrades to text.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i := 0
+	emitText := func(s string) {
+		if s != "" {
+			toks = append(toks, Token{Kind: TokText, Data: decodeEntities(s)})
+		}
+	}
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			emitText(src[i:])
+			break
+		}
+		emitText(src[i : i+lt])
+		i += lt
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				toks = append(toks, Token{Kind: TokComment, Data: src[i+4:]})
+				i = len(src)
+			} else {
+				toks = append(toks, Token{Kind: TokComment, Data: src[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = len(src)
+			} else {
+				toks = append(toks, Token{Kind: TokDoctype, Data: strings.TrimSpace(src[i+2 : i+end])})
+				i += end + 1
+			}
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				emitText(src[i:])
+				i = len(src)
+			} else {
+				name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+				toks = append(toks, Token{Kind: TokEndTag, Data: name})
+				i += end + 1
+			}
+		default:
+			tok, consumed, ok := lexTag(src[i:])
+			if !ok {
+				// A bare '<' that does not open a tag is text.
+				emitText("<")
+				i++
+				continue
+			}
+			i += consumed
+			toks = append(toks, tok)
+			if tok.Kind == TokStartTag && rawTextElements[tok.Data] {
+				// Swallow raw text until the matching end tag.
+				closer := "</" + tok.Data
+				idx := strings.Index(strings.ToLower(src[i:]), closer)
+				if idx < 0 {
+					toks = append(toks, Token{Kind: TokText, Data: src[i:]})
+					i = len(src)
+				} else {
+					if idx > 0 {
+						toks = append(toks, Token{Kind: TokText, Data: src[i : i+idx]})
+					}
+					gt := strings.IndexByte(src[i+idx:], '>')
+					toks = append(toks, Token{Kind: TokEndTag, Data: tok.Data})
+					if gt < 0 {
+						i = len(src)
+					} else {
+						i += idx + gt + 1
+					}
+				}
+			}
+		}
+	}
+	return toks
+}
+
+// lexTag parses "<name attr=val ...>" starting at src[0] == '<'.
+func lexTag(src string) (Token, int, bool) {
+	i := 1
+	start := i
+	for i < len(src) && isTagNameChar(src[i]) {
+		i++
+	}
+	if i == start {
+		return Token{}, 0, false
+	}
+	tok := Token{Kind: TokStartTag, Data: strings.ToLower(src[start:i]), Attrs: map[string]string{}}
+	for {
+		for i < len(src) && isHTMLSpace(src[i]) {
+			i++
+		}
+		if i >= len(src) {
+			return tok, i, true // unterminated tag: treat as closed at EOF
+		}
+		if src[i] == '>' {
+			i++
+			break
+		}
+		if strings.HasPrefix(src[i:], "/>") {
+			tok.Kind = TokSelfClosing
+			i += 2
+			break
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(src) && src[i] != '=' && src[i] != '>' && !isHTMLSpace(src[i]) && src[i] != '/' {
+			i++
+		}
+		name := strings.ToLower(src[nameStart:i])
+		if name == "" {
+			i++ // skip stray character
+			continue
+		}
+		for i < len(src) && isHTMLSpace(src[i]) {
+			i++
+		}
+		if i < len(src) && src[i] == '=' {
+			i++
+			for i < len(src) && isHTMLSpace(src[i]) {
+				i++
+			}
+			var val string
+			if i < len(src) && (src[i] == '"' || src[i] == '\'') {
+				quote := src[i]
+				i++
+				end := strings.IndexByte(src[i:], quote)
+				if end < 0 {
+					val = src[i:]
+					i = len(src)
+				} else {
+					val = src[i : i+end]
+					i += end + 1
+				}
+			} else {
+				valStart := i
+				for i < len(src) && !isHTMLSpace(src[i]) && src[i] != '>' {
+					i++
+				}
+				val = src[valStart:i]
+			}
+			tok.Attrs[name] = decodeEntities(val)
+		} else {
+			tok.Attrs[name] = ""
+		}
+	}
+	if voidElements[tok.Data] && tok.Kind == TokStartTag {
+		tok.Kind = TokSelfClosing
+	}
+	return tok, i, true
+}
+
+func isTagNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func isHTMLSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": " ",
+}
+
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 8 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if rep, ok := entities[name]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		if strings.HasPrefix(name, "#") {
+			var r rune
+			if _, err := fmt.Sscanf(name, "#%d", &r); err == nil && r > 0 {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+			if _, err := fmt.Sscanf(name, "#x%x", &r); err == nil && r > 0 {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte('&')
+		i++
+	}
+	return b.String()
+}
+
+// Node is an element or text node in the lenient DOM.
+type Node struct {
+	// Tag is the element name, or "" for text nodes and the document root.
+	Tag string
+	// Text is the content of text nodes.
+	Text string
+	// Attrs holds element attributes.
+	Attrs map[string]string
+	// Children holds child nodes in document order.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+}
+
+// Parse builds a DOM from HTML source. Mismatched end tags are skipped and
+// unclosed elements are closed at end of input.
+func Parse(src string) *Node {
+	root := &Node{}
+	cur := root
+	for _, tok := range Tokenize(src) {
+		switch tok.Kind {
+		case TokText:
+			if strings.TrimSpace(tok.Data) != "" {
+				cur.Children = append(cur.Children, &Node{Text: tok.Data, Parent: cur})
+			}
+		case TokStartTag:
+			n := &Node{Tag: tok.Data, Attrs: tok.Attrs, Parent: cur}
+			cur.Children = append(cur.Children, n)
+			cur = n
+		case TokSelfClosing:
+			cur.Children = append(cur.Children, &Node{Tag: tok.Data, Attrs: tok.Attrs, Parent: cur})
+		case TokEndTag:
+			if tok.Data == "" {
+				// A nameless end tag ("</>") closes nothing; treating it as
+				// matching the root's empty tag would escape the document.
+				continue
+			}
+			// Close the nearest open element with this name, if any.
+			for n := cur; n != nil && n.Parent != nil; n = n.Parent {
+				if n.Tag == tok.Data {
+					cur = n.Parent
+					break
+				}
+			}
+		}
+	}
+	return root
+}
+
+// VisibleText renders the text a browser would display: script and style
+// content is dropped and whitespace collapses to single spaces.
+func (n *Node) VisibleText() string {
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		if rawTextElements[cur.Tag] {
+			return
+		}
+		if cur.Text != "" {
+			b.WriteString(cur.Text)
+			b.WriteByte(' ')
+		}
+		for _, c := range cur.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// FindAll returns every descendant element with the given tag name, in
+// document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		for _, c := range cur.Children {
+			if c.Tag == tag {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// FindByAttr returns every descendant element carrying attr=value.
+func (n *Node) FindByAttr(attr, value string) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		for _, c := range cur.Children {
+			if v, ok := c.Attrs[attr]; ok && v == value {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Attr returns the attribute value and presence.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.Attrs[name]
+	return v, ok
+}

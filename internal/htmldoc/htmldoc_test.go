@@ -1,0 +1,216 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperPage is the HTML fragment from the paper's attribute-registration
+// example (§2.3.1 step 2).
+const paperPage = `<p> <b>Seiko Men's Automatic Dive Watch</b> </p>`
+
+const shopPage = `<!DOCTYPE html>
+<html>
+<head><title>TimeHouse &amp; Co</title>
+<style>body { color: red }</style>
+<script>var x = "<p>not text</p>";</script>
+</head>
+<body>
+  <div class="product" data-id="1">
+    <p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+    <span class="case">stainless-steel</span>
+    <span class='price'>129.99</span>
+    <img src="w1.jpg">
+    <br/>
+  </div>
+  <div class="product" data-id="2">
+    <p> <b>Casio F91W Digital Watch</b> </p>
+    <span class="case">resin</span>
+    <span class=price>15.00</span>
+  </div>
+</body>
+</html>`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize(paperPage)
+	kinds := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	// <p> text <b> text </b> text </p>
+	want := []TokenKind{TokStartTag, TokText, TokStartTag, TokText, TokEndTag, TokText, TokEndTag}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d kind = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].Data != "Seiko Men's Automatic Dive Watch" {
+		t.Errorf("bold text = %q", toks[3].Data)
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := Tokenize(`<a href="x.html" class='big' disabled data-n=3>link</a>`)
+	if toks[0].Kind != TokStartTag || toks[0].Data != "a" {
+		t.Fatalf("first token = %+v", toks[0])
+	}
+	attrs := toks[0].Attrs
+	if attrs["href"] != "x.html" || attrs["class"] != "big" || attrs["data-n"] != "3" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if _, ok := attrs["disabled"]; !ok {
+		t.Error("bare attribute missing")
+	}
+}
+
+func TestTokenizeVoidAndSelfClosing(t *testing.T) {
+	toks := Tokenize(`<img src="a.png"><br/><hr>`)
+	for i, tok := range toks {
+		if tok.Kind != TokSelfClosing {
+			t.Errorf("token %d = %+v, want self-closing", i, tok)
+		}
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := Tokenize(`<script>if (a < b) { x = "<p>"; }</script><p>after</p>`)
+	if toks[0].Data != "script" {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[1].Kind != TokText || !strings.Contains(toks[1].Data, `a < b`) {
+		t.Errorf("script body = %+v", toks[1])
+	}
+	if toks[2].Kind != TokEndTag || toks[2].Data != "script" {
+		t.Errorf("script close = %+v", toks[2])
+	}
+}
+
+func TestTokenizeCommentDoctypeEntities(t *testing.T) {
+	toks := Tokenize(`<!DOCTYPE html><!-- note --><p>a &amp; b &#233; &lt;ok&gt;</p>`)
+	if toks[0].Kind != TokDoctype {
+		t.Errorf("doctype = %+v", toks[0])
+	}
+	if toks[1].Kind != TokComment || strings.TrimSpace(toks[1].Data) != "note" {
+		t.Errorf("comment = %+v", toks[1])
+	}
+	if toks[3].Data != "a & b é <ok>" {
+		t.Errorf("entity text = %q", toks[3].Data)
+	}
+}
+
+func TestTokenizeMalformed(t *testing.T) {
+	// A bare '<' and an unterminated tag both degrade, never panic.
+	toks := Tokenize(`1 < 2 and <b>bold`)
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Kind == TokText {
+			text.WriteString(tok.Data)
+		}
+	}
+	if !strings.Contains(text.String(), "1 < 2 and") {
+		t.Errorf("text = %q", text.String())
+	}
+}
+
+func TestParseAndFind(t *testing.T) {
+	doc := Parse(shopPage)
+	products := doc.FindByAttr("class", "product")
+	if len(products) != 2 {
+		t.Fatalf("products = %d", len(products))
+	}
+	if id, _ := products[1].Attr("data-id"); id != "2" {
+		t.Errorf("second product id = %q", id)
+	}
+	bolds := doc.FindAll("b")
+	if len(bolds) != 2 {
+		t.Fatalf("bolds = %d", len(bolds))
+	}
+	if got := bolds[0].VisibleText(); got != "Seiko Men's Automatic Dive Watch" {
+		t.Errorf("first bold = %q", got)
+	}
+	// Unquoted attribute value.
+	spans := doc.FindByAttr("class", "price")
+	if len(spans) != 2 {
+		t.Fatalf("price spans = %d", len(spans))
+	}
+	if got := spans[1].VisibleText(); got != "15.00" {
+		t.Errorf("second price = %q", got)
+	}
+}
+
+func TestVisibleTextSkipsScriptAndStyle(t *testing.T) {
+	doc := Parse(shopPage)
+	text := doc.VisibleText()
+	if strings.Contains(text, "not text") || strings.Contains(text, "color: red") {
+		t.Errorf("script/style leaked into text: %q", text)
+	}
+	if !strings.Contains(text, "TimeHouse & Co") {
+		t.Errorf("title missing from text: %q", text)
+	}
+	if !strings.Contains(text, "Seiko Men's Automatic Dive Watch") {
+		t.Errorf("product name missing: %q", text)
+	}
+}
+
+func TestParseMismatchedEndTags(t *testing.T) {
+	doc := Parse(`<div><p>one</div><p>two`)
+	// </div> closes the open div even though p was never closed.
+	divs := doc.FindAll("div")
+	if len(divs) != 1 {
+		t.Fatalf("divs = %d", len(divs))
+	}
+	text := doc.VisibleText()
+	if !strings.Contains(text, "one") || !strings.Contains(text, "two") {
+		t.Errorf("text = %q", text)
+	}
+	// A stray end tag with no open element is ignored.
+	doc2 := Parse(`</b>hello`)
+	if got := doc2.VisibleText(); got != "hello" {
+		t.Errorf("stray close text = %q", got)
+	}
+}
+
+func TestParseNamelessEndTag(t *testing.T) {
+	// Regression: "</>" must not close the document root (fuzz finding).
+	doc := Parse(`</>after<b>x</b></>more`)
+	text := doc.VisibleText()
+	for _, want := range []string{"after", "x", "more"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text %q missing %q", text, want)
+		}
+	}
+	// End tag matching nothing open deep in a tree is also safe.
+	doc2 := Parse(`<div><p>one</span></p></div>`)
+	if got := doc2.VisibleText(); got != "one" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+// Property: tokenizing never panics and the visible text of a generated page
+// contains every product name exactly once.
+func TestParseGeneratedPagesProperty(t *testing.T) {
+	f := func(names []uint8) bool {
+		if len(names) > 30 {
+			names = names[:30]
+		}
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		for i, v := range names {
+			b.WriteString("<div class=\"product\"><p> <b>item")
+			b.WriteString(strings.Repeat("x", int(v)%5))
+			b.WriteString("</b> </p><span>")
+			b.WriteString(strings.Repeat("y", i%3))
+			b.WriteString("</span></div>")
+		}
+		b.WriteString("</body></html>")
+		doc := Parse(b.String())
+		return len(doc.FindByAttr("class", "product")) == len(names)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package instance
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/s2sql"
+	"repro/internal/sqllang"
+)
+
+// satisfiesAll reports whether an instance meets every planned condition.
+// An instance with no value for a constrained attribute does not match
+// (paper §2.5: the result is the products that have brand Seiko AND case
+// stainless-steel).
+func satisfiesAll(in *Instance, conds []s2sql.PlannedCondition) (bool, error) {
+	for _, c := range conds {
+		ok, err := satisfies(in, c)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func satisfies(in *Instance, c s2sql.PlannedCondition) (bool, error) {
+	values := in.Values[strings.ToLower(c.Attribute.ID())]
+	if len(values) == 0 {
+		return false, nil
+	}
+	// Multi-valued attributes match existentially.
+	for _, v := range values {
+		ok, err := compareValue(v, c)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func compareValue(raw string, c s2sql.PlannedCondition) (bool, error) {
+	dt := c.Attribute.Datatype
+	numeric := dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble
+
+	if c.Op == s2sql.OpLike {
+		return likePatternMatch(raw, c.Value.Text), nil
+	}
+
+	if numeric {
+		have, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return false, fmt.Errorf("instance: extracted value %q for %s is not numeric", raw, c.Attribute.ID())
+		}
+		want, err := strconv.ParseFloat(c.Value.Text, 64)
+		if err != nil {
+			return false, fmt.Errorf("instance: constraint %q is not numeric", c.Value.Text)
+		}
+		switch c.Op {
+		case s2sql.OpEq:
+			return have == want, nil
+		case s2sql.OpNe:
+			return have != want, nil
+		case s2sql.OpLt:
+			return have < want, nil
+		case s2sql.OpGt:
+			return have > want, nil
+		case s2sql.OpLe:
+			return have <= want, nil
+		case s2sql.OpGe:
+			return have >= want, nil
+		}
+	}
+
+	if dt == rdf.XSDBoolean {
+		have := parseBoolish(raw)
+		want := parseBoolish(c.Value.Text)
+		if c.Value.Kind == sqllang.LitBool {
+			want = strings.EqualFold(c.Value.Text, "TRUE")
+		}
+		switch c.Op {
+		case s2sql.OpEq:
+			return have == want, nil
+		case s2sql.OpNe:
+			return have != want, nil
+		default:
+			return false, fmt.Errorf("instance: operator %s is not defined for boolean attribute %s", c.Op, c.Attribute.ID())
+		}
+	}
+
+	// String comparison; equality trims surrounding whitespace, which web
+	// extraction frequently leaves behind.
+	have := strings.TrimSpace(raw)
+	want := c.Value.Text
+	switch c.Op {
+	case s2sql.OpEq:
+		return have == want, nil
+	case s2sql.OpNe:
+		return have != want, nil
+	default:
+		return false, fmt.Errorf("instance: operator %s is not defined for string attribute %s", c.Op, c.Attribute.ID())
+	}
+}
+
+func parseBoolish(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "1", "yes", "y":
+		return true
+	default:
+		return false
+	}
+}
+
+// likePatternMatch implements SQL LIKE (% and _) case-insensitively.
+func likePatternMatch(s, pattern string) bool {
+	rs, rp := []rune(strings.ToLower(strings.TrimSpace(s))), []rune(strings.ToLower(pattern))
+	memo := map[[2]int]bool{}
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if j == len(rp) {
+			return i == len(rs)
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var out bool
+		switch rp[j] {
+		case '%':
+			out = match(i, j+1) || (i < len(rs) && match(i+1, j))
+		case '_':
+			out = i < len(rs) && match(i+1, j+1)
+		default:
+			out = i < len(rs) && rs[i] == rp[j] && match(i+1, j+1)
+		}
+		memo[key] = out
+		return out
+	}
+	return match(0, 0)
+}

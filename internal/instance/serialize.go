@@ -1,0 +1,335 @@
+package instance
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+)
+
+// Format is an output serialization format. OWL (RDF/XML) is the paper's
+// primary output; the rest are the adaptable alternatives of §2.6.
+type Format int
+
+// Output formats.
+const (
+	FormatOWL Format = iota + 1
+	FormatTurtle
+	FormatNTriples
+	FormatXML
+	FormatJSON
+	FormatText
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatOWL:
+		return "owl"
+	case FormatTurtle:
+		return "turtle"
+	case FormatNTriples:
+		return "ntriples"
+	case FormatXML:
+		return "xml"
+	case FormatJSON:
+		return "json"
+	case FormatText:
+		return "text"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat resolves a format name.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "owl", "rdfxml", "rdf/xml", "rdf-xml":
+		return FormatOWL, nil
+	case "turtle", "ttl":
+		return FormatTurtle, nil
+	case "ntriples", "nt", "n-triples":
+		return FormatNTriples, nil
+	case "xml":
+		return FormatXML, nil
+	case "json":
+		return FormatJSON, nil
+	case "text", "txt", "plain":
+		return FormatText, nil
+	default:
+		return 0, fmt.Errorf("instance: unknown output format %q", s)
+	}
+}
+
+// ToGraph converts a result into RDF: each instance becomes a named
+// individual typed by its class, attribute values become datatype property
+// assertions with XSD-typed literals, and links become object property
+// assertions. The whole process is driven by the ontology schema, which is
+// how the paper's §2.6 keeps the generator ontology-independent.
+func (g *Generator) ToGraph(res *Result) (*rdf.Graph, error) {
+	graph := rdf.NewGraph()
+	iriOf := func(in *Instance) rdf.IRI {
+		return g.ont.Base + rdf.IRI(in.ID)
+	}
+	emit := func(in *Instance) error {
+		iri := iriOf(in)
+		graph.MustAdd(rdf.T(iri, rdf.RDFType, g.ont.ClassIRI(in.Class)))
+		graph.MustAdd(rdf.T(iri, rdf.RDFType, owl.NamedIndividual))
+		if g.Provenance {
+			for _, src := range in.Sources {
+				graph.MustAdd(rdf.T(iri, SourcedFrom, rdf.String(src)))
+			}
+		}
+		ids := make([]string, 0, len(in.Values))
+		for id := range in.Values {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			attr, ok := g.ont.Attribute(id)
+			if !ok {
+				return fmt.Errorf("instance: %s has value for unknown attribute %q", in.ID, id)
+			}
+			for _, v := range in.Values[id] {
+				lit := rdf.Literal{Value: strings.TrimSpace(v)}
+				if attr.Datatype != "" && attr.Datatype != rdf.XSDString {
+					lit.Datatype = attr.Datatype
+				}
+				graph.MustAdd(rdf.T(iri, g.ont.AttributeIRI(attr), lit))
+			}
+		}
+		relNames := make([]string, 0, len(in.Links))
+		for name := range in.Links {
+			relNames = append(relNames, name)
+		}
+		sort.Strings(relNames)
+		for _, name := range relNames {
+			rel := findRelation(in.Class, name)
+			if rel == nil {
+				return fmt.Errorf("instance: %s links through unknown relation %q", in.ID, name)
+			}
+			for _, target := range in.Links[name] {
+				graph.MustAdd(rdf.T(iri, g.ont.RelationIRI(rel), iriOf(target)))
+			}
+		}
+		return nil
+	}
+	for _, in := range res.Instances() {
+		if err := emit(in); err != nil {
+			return nil, err
+		}
+	}
+	return graph, nil
+}
+
+func findRelation(c *ontology.Class, name string) *ontology.Relation {
+	for cur := c; cur != nil; cur = cur.Parent {
+		for _, r := range cur.Relations {
+			if strings.EqualFold(r.Name, name) {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Serialize writes the result in the requested format.
+func (g *Generator) Serialize(w io.Writer, res *Result, format Format) error {
+	switch format {
+	case FormatOWL:
+		graph, err := g.ToGraph(res)
+		if err != nil {
+			return err
+		}
+		return owl.WriteRDFXML(w, graph, g.prefixes())
+	case FormatTurtle:
+		graph, err := g.ToGraph(res)
+		if err != nil {
+			return err
+		}
+		return rdf.WriteTurtle(w, graph, g.prefixes())
+	case FormatNTriples:
+		graph, err := g.ToGraph(res)
+		if err != nil {
+			return err
+		}
+		return rdf.WriteNTriples(w, graph)
+	case FormatXML:
+		return g.writeXML(w, res)
+	case FormatJSON:
+		return g.writeJSON(w, res)
+	case FormatText:
+		return g.writeText(w, res)
+	default:
+		return fmt.Errorf("instance: unknown format %d", int(format))
+	}
+}
+
+// SerializeString is Serialize into a string.
+func (g *Generator) SerializeString(res *Result, format Format) (string, error) {
+	var b strings.Builder
+	if err := g.Serialize(&b, res, format); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// SourcedFrom is the provenance annotation property: it links an instance
+// to the IDs of the data sources that contributed its values.
+const SourcedFrom rdf.IRI = ontology.S2SNS + "sourcedFrom"
+
+func (g *Generator) prefixes() rdf.PrefixMap {
+	p := rdf.DefaultPrefixes()
+	p["ont"] = string(g.ont.Base)
+	if g.Provenance {
+		p["s2s"] = ontology.S2SNS
+	}
+	return p
+}
+
+// writeXML emits the plain XML view of §2.6: attribute IDs transform
+// directly into an element hierarchy ("transforming the unique identifiers
+// of the ontology attributes in a XML format is done naturally").
+func (g *Generator) writeXML(w io.Writer, res *Result) error {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString("<s2s-result>\n")
+	writeInstanceXML := func(in *Instance) error {
+		fmt.Fprintf(&b, "  <instance id=%q class=%q>\n", in.ID, in.Class.Path())
+		ids := make([]string, 0, len(in.Values))
+		for id := range in.Values {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			attr, ok := g.ont.Attribute(id)
+			if !ok {
+				return fmt.Errorf("instance: unknown attribute %q", id)
+			}
+			for _, v := range in.Values[id] {
+				fmt.Fprintf(&b, "    <attribute id=%q name=%q>", attr.ID(), attr.Name)
+				if err := xml.EscapeText(&b, []byte(strings.TrimSpace(v))); err != nil {
+					return err
+				}
+				b.WriteString("</attribute>\n")
+			}
+		}
+		relNames := make([]string, 0, len(in.Links))
+		for name := range in.Links {
+			relNames = append(relNames, name)
+		}
+		sort.Strings(relNames)
+		for _, name := range relNames {
+			for _, t := range in.Links[name] {
+				fmt.Fprintf(&b, "    <relation name=%q target=%q/>\n", name, t.ID)
+			}
+		}
+		b.WriteString("  </instance>\n")
+		return nil
+	}
+	for _, in := range res.Instances() {
+		if err := writeInstanceXML(in); err != nil {
+			return err
+		}
+	}
+	b.WriteString("</s2s-result>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonInstance is the JSON projection of an instance.
+type jsonInstance struct {
+	ID      string              `json:"id"`
+	Class   string              `json:"class"`
+	Values  map[string][]string `json:"values"`
+	Links   map[string][]string `json:"links,omitempty"`
+	Sources []string            `json:"sources,omitempty"`
+}
+
+func (g *Generator) writeJSON(w io.Writer, res *Result) error {
+	type payload struct {
+		Query   string         `json:"query"`
+		Matched []jsonInstance `json:"matched"`
+		Related []jsonInstance `json:"related,omitempty"`
+		Errors  []string       `json:"errors,omitempty"`
+		Missing []string       `json:"missing,omitempty"`
+	}
+	conv := func(ins []*Instance) []jsonInstance {
+		out := make([]jsonInstance, 0, len(ins))
+		for _, in := range ins {
+			ji := jsonInstance{
+				ID:      in.ID,
+				Class:   in.Class.Path(),
+				Values:  in.Values,
+				Sources: in.Sources,
+			}
+			if len(in.Links) > 0 {
+				ji.Links = map[string][]string{}
+				for name, targets := range in.Links {
+					for _, t := range targets {
+						ji.Links[name] = append(ji.Links[name], t.ID)
+					}
+				}
+			}
+			out = append(out, ji)
+		}
+		return out
+	}
+	p := payload{
+		Query:   res.Plan.Query.String(),
+		Matched: conv(res.Matched),
+		Related: conv(res.Related),
+		Missing: res.Missing,
+	}
+	for _, e := range res.Errors {
+		p.Errors = append(p.Errors, e.Error())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+func (g *Generator) writeText(w io.Writer, res *Result) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", res.Plan.Query.String())
+	fmt.Fprintf(&b, "matched: %d, related: %d, errors: %d\n", len(res.Matched), len(res.Related), len(res.Errors))
+	dump := func(in *Instance) {
+		fmt.Fprintf(&b, "- %s (%s) from %s\n", in.ID, in.Class.Path(), strings.Join(in.Sources, ", "))
+		ids := make([]string, 0, len(in.Values))
+		for id := range in.Values {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "    %s = %s\n", id, strings.Join(in.Values[id], " | "))
+		}
+		relNames := make([]string, 0, len(in.Links))
+		for name := range in.Links {
+			relNames = append(relNames, name)
+		}
+		sort.Strings(relNames)
+		for _, name := range relNames {
+			var ids []string
+			for _, t := range in.Links[name] {
+				ids = append(ids, t.ID)
+			}
+			fmt.Fprintf(&b, "    %s -> %s\n", name, strings.Join(ids, ", "))
+		}
+	}
+	for _, in := range res.Instances() {
+		dump(in)
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintf(&b, "! %s\n", e.Error())
+	}
+	for _, m := range res.Missing {
+		fmt.Fprintf(&b, "? unmapped attribute %s\n", m)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,152 @@
+package ontology
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Class is a node in the ontology hierarchy. Fields other than Name are
+// managed by the owning Ontology.
+type Class struct {
+	// Name is the class name, unique within the ontology.
+	Name string
+	// Label is an optional human-readable label.
+	Label string
+	// Parent is the superclass; nil only for the root.
+	Parent *Class
+	// Children are the direct subclasses.
+	Children []*Class
+	// Attributes are the datatype attributes declared directly on this
+	// class (not inherited).
+	Attributes []*Attribute
+	// Relations are the object relations declared directly on this class.
+	Relations []*Relation
+
+	ontology *Ontology
+}
+
+// Path returns the dotted path from the root to this class, e.g.
+// "thing.product.watch" (paper Figure 4).
+func (c *Class) Path() string {
+	if c.Parent == nil {
+		return c.Name
+	}
+	return c.Parent.Path() + "." + c.Name
+}
+
+// Ancestors returns the chain from this class's parent up to the root.
+func (c *Class) Ancestors() []*Class {
+	var out []*Class
+	for p := c.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Descendants returns every class below this one, depth-first.
+func (c *Class) Descendants() []*Class {
+	var out []*Class
+	for _, child := range c.Children {
+		out = append(out, child)
+		out = append(out, child.Descendants()...)
+	}
+	return out
+}
+
+// IsA reports whether c is other or a descendant of other.
+func (c *Class) IsA(other *Class) bool {
+	for cur := c; cur != nil; cur = cur.Parent {
+		if cur == other {
+			return true
+		}
+	}
+	return false
+}
+
+// Scope returns the classes whose attributes are visible from a query on
+// this class: the class itself, its ancestors (inherited attributes), its
+// descendants (a query on "product" may constrain "case", which only
+// watches carry — paper §2.5), and classes directly related from any of
+// those.
+func (c *Class) Scope() []*Class {
+	var out []*Class
+	seen := make(map[*Class]bool)
+	add := func(cls *Class) {
+		if !seen[cls] {
+			seen[cls] = true
+			out = append(out, cls)
+		}
+	}
+	add(c)
+	for _, a := range c.Ancestors() {
+		add(a)
+	}
+	for _, d := range c.Descendants() {
+		add(d)
+	}
+	// One hop across relations from everything gathered so far.
+	base := make([]*Class, len(out))
+	copy(base, out)
+	for _, cls := range base {
+		for _, r := range cls.Relations {
+			add(r.To)
+		}
+	}
+	return out
+}
+
+// AllAttributes returns the attributes declared on this class and all of
+// its ancestors, in declaration order from root downward.
+func (c *Class) AllAttributes() []*Attribute {
+	chain := c.Ancestors()
+	var out []*Attribute
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].Attributes...)
+	}
+	return append(out, c.Attributes...)
+}
+
+// Attribute is a datatype property of a class, e.g. the brand of a product.
+type Attribute struct {
+	// Name is the simple attribute name; it may repeat across classes.
+	Name string
+	// Class is the class the attribute is declared on.
+	Class *Class
+	// Datatype is the XSD datatype of the attribute's values.
+	Datatype rdf.IRI
+	// Required marks attributes the instance generator treats as mandatory
+	// when validating assembled instances.
+	Required bool
+}
+
+// ID returns the attribute's unique dotted identifier, e.g.
+// "thing.product.brand" — the class path plus the attribute name (paper
+// §2.3.1 step 1, Figure 4). The ID both disambiguates repeated names and
+// records the hierarchy used to instantiate the ontology.
+func (a *Attribute) ID() string { return a.Class.Path() + "." + a.Name }
+
+// String returns the attribute ID.
+func (a *Attribute) String() string { return a.ID() }
+
+// Relation is an object property linking two classes, e.g. every product
+// has a provider (paper Figure 2).
+type Relation struct {
+	// Name is the relation name, unique among the relations of From.
+	Name string
+	// From is the source class.
+	From *Class
+	// To is the target class.
+	To *Class
+}
+
+// String returns a compact from—name→to description.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.From.Name)
+	b.WriteByte('.')
+	b.WriteString(r.Name)
+	b.WriteString("->")
+	b.WriteString(r.To.Name)
+	return b.String()
+}

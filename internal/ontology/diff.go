@@ -1,0 +1,150 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff describes the schema changes between two ontology versions. The
+// paper argues mappings "should not need substantial maintenance after
+// being created"; when the shared ontology itself evolves, Diff is the
+// basis for deciding which mappings survive (see mapping.Repository's
+// impact analysis).
+type Diff struct {
+	// AddedClasses and RemovedClasses list class paths present in only one
+	// version.
+	AddedClasses   []string
+	RemovedClasses []string
+	// MovedClasses lists classes whose path changed (same name, different
+	// parent chain) as "old -> new".
+	MovedClasses []string
+	// AddedAttributes and RemovedAttributes list attribute IDs present in
+	// only one version. A moved class's attributes appear as removed+added
+	// because their IDs (paths) changed.
+	AddedAttributes   []string
+	RemovedAttributes []string
+	// RetypedAttributes lists attributes whose datatype changed, as
+	// "id: old -> new".
+	RetypedAttributes []string
+	// AddedRelations and RemovedRelations list relation signatures.
+	AddedRelations   []string
+	RemovedRelations []string
+}
+
+// Empty reports whether the two versions are schema-identical.
+func (d *Diff) Empty() bool {
+	return len(d.AddedClasses) == 0 && len(d.RemovedClasses) == 0 &&
+		len(d.MovedClasses) == 0 &&
+		len(d.AddedAttributes) == 0 && len(d.RemovedAttributes) == 0 &&
+		len(d.RetypedAttributes) == 0 &&
+		len(d.AddedRelations) == 0 && len(d.RemovedRelations) == 0
+}
+
+// String renders a compact change report.
+func (d *Diff) String() string {
+	if d.Empty() {
+		return "no schema changes"
+	}
+	var b strings.Builder
+	section := func(label string, items []string) {
+		for _, it := range items {
+			fmt.Fprintf(&b, "%s %s\n", label, it)
+		}
+	}
+	section("+class", d.AddedClasses)
+	section("-class", d.RemovedClasses)
+	section("~class", d.MovedClasses)
+	section("+attr ", d.AddedAttributes)
+	section("-attr ", d.RemovedAttributes)
+	section("~attr ", d.RetypedAttributes)
+	section("+rel  ", d.AddedRelations)
+	section("-rel  ", d.RemovedRelations)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Compare computes the schema diff from an old ontology version to a new
+// one. Classes are matched by name (case-insensitive), attributes by dotted
+// ID, relations by "from.name->to" signature.
+func Compare(old, new *Ontology) *Diff {
+	d := &Diff{}
+
+	oldClasses := map[string]*Class{}
+	for _, c := range old.Classes() {
+		oldClasses[strings.ToLower(c.Name)] = c
+	}
+	newClasses := map[string]*Class{}
+	for _, c := range new.Classes() {
+		newClasses[strings.ToLower(c.Name)] = c
+	}
+	for name, oc := range oldClasses {
+		nc, ok := newClasses[name]
+		if !ok {
+			d.RemovedClasses = append(d.RemovedClasses, oc.Path())
+			continue
+		}
+		if oc.Path() != nc.Path() {
+			d.MovedClasses = append(d.MovedClasses, oc.Path()+" -> "+nc.Path())
+		}
+	}
+	for name, nc := range newClasses {
+		if _, ok := oldClasses[name]; !ok {
+			d.AddedClasses = append(d.AddedClasses, nc.Path())
+		}
+	}
+
+	oldAttrs := map[string]*Attribute{}
+	for _, a := range old.Attributes() {
+		oldAttrs[strings.ToLower(a.ID())] = a
+	}
+	newAttrs := map[string]*Attribute{}
+	for _, a := range new.Attributes() {
+		newAttrs[strings.ToLower(a.ID())] = a
+	}
+	for id, oa := range oldAttrs {
+		na, ok := newAttrs[id]
+		if !ok {
+			d.RemovedAttributes = append(d.RemovedAttributes, oa.ID())
+			continue
+		}
+		if oa.Datatype != na.Datatype {
+			d.RetypedAttributes = append(d.RetypedAttributes,
+				fmt.Sprintf("%s: %s -> %s", oa.ID(), oa.Datatype.Local(), na.Datatype.Local()))
+		}
+	}
+	for id, na := range newAttrs {
+		if _, ok := oldAttrs[id]; !ok {
+			d.AddedAttributes = append(d.AddedAttributes, na.ID())
+		}
+	}
+
+	relSigs := func(o *Ontology) map[string]bool {
+		out := map[string]bool{}
+		for _, c := range o.Classes() {
+			for _, r := range c.Relations {
+				out[strings.ToLower(r.String())] = true
+			}
+		}
+		return out
+	}
+	oldRels, newRels := relSigs(old), relSigs(new)
+	for sig := range oldRels {
+		if !newRels[sig] {
+			d.RemovedRelations = append(d.RemovedRelations, sig)
+		}
+	}
+	for sig := range newRels {
+		if !oldRels[sig] {
+			d.AddedRelations = append(d.AddedRelations, sig)
+		}
+	}
+
+	for _, s := range [][]string{
+		d.AddedClasses, d.RemovedClasses, d.MovedClasses,
+		d.AddedAttributes, d.RemovedAttributes, d.RetypedAttributes,
+		d.AddedRelations, d.RemovedRelations,
+	} {
+		sort.Strings(s)
+	}
+	return d
+}

@@ -1,0 +1,90 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestCompareIdentical(t *testing.T) {
+	d := Compare(Paper(), Paper())
+	if !d.Empty() {
+		t.Fatalf("diff of identical ontologies: %s", d)
+	}
+	if d.String() != "no schema changes" {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestCompareAdditionsAndRemovals(t *testing.T) {
+	old := Paper()
+	next := Paper()
+	mustClass(next, "strap", "thing")
+	mustAttr(next, "strap", "material", rdf.XSDString)
+	mustAttr(next, "provider", "vat_id", rdf.XSDString)
+	mustRel(next, "watch", "hasStrap", "strap")
+
+	d := Compare(old, next)
+	if len(d.AddedClasses) != 1 || d.AddedClasses[0] != "thing.strap" {
+		t.Errorf("added classes = %v", d.AddedClasses)
+	}
+	joined := strings.Join(d.AddedAttributes, " ")
+	if !strings.Contains(joined, "thing.strap.material") || !strings.Contains(joined, "thing.provider.vat_id") {
+		t.Errorf("added attributes = %v", d.AddedAttributes)
+	}
+	if len(d.AddedRelations) != 1 || !strings.Contains(d.AddedRelations[0], "hasstrap") {
+		t.Errorf("added relations = %v", d.AddedRelations)
+	}
+	// Reverse direction: the same changes appear as removals.
+	rd := Compare(next, old)
+	if len(rd.RemovedClasses) != 1 || len(rd.RemovedAttributes) != 2 || len(rd.RemovedRelations) != 1 {
+		t.Errorf("reverse diff = %+v", rd)
+	}
+}
+
+func TestCompareMovedClassChangesAttributeIDs(t *testing.T) {
+	old := Paper()
+	// In the new version, watch hangs directly under thing.
+	next := MustNew(PaperBase, "watch-catalog", "thing")
+	mustClass(next, "product", "thing")
+	mustClass(next, "watch", "thing") // moved
+	mustAttr(next, "product", "brand", rdf.XSDString)
+	mustAttr(next, "watch", "case", rdf.XSDString)
+
+	d := Compare(old, next)
+	if len(d.MovedClasses) != 1 || !strings.Contains(d.MovedClasses[0], "thing.product.watch -> thing.watch") {
+		t.Errorf("moved = %v", d.MovedClasses)
+	}
+	// The watch attributes' IDs changed: old ID removed, new ID added.
+	if !contains(d.RemovedAttributes, "thing.product.watch.case") {
+		t.Errorf("removed attrs = %v", d.RemovedAttributes)
+	}
+	if !contains(d.AddedAttributes, "thing.watch.case") {
+		t.Errorf("added attrs = %v", d.AddedAttributes)
+	}
+}
+
+func TestCompareRetypedAttribute(t *testing.T) {
+	old := Paper()
+	next := Paper()
+	a, _ := next.Attribute("thing.product.price")
+	a.Datatype = rdf.XSDInteger
+
+	d := Compare(old, next)
+	if len(d.RetypedAttributes) != 1 || !strings.Contains(d.RetypedAttributes[0], "decimal -> integer") {
+		t.Errorf("retyped = %v", d.RetypedAttributes)
+	}
+	if !strings.Contains(d.String(), "~attr") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package ontology
+
+import "repro/internal/rdf"
+
+// PaperBase is the namespace of the paper's example domain.
+const PaperBase rdf.IRI = "http://s2s.uma.pt/watch#"
+
+// Paper builds the ontology of the paper's running example (Figure 2): a
+// product hierarchy rooted at thing, with watch as a product subclass and a
+// provider class every product relates to. The attribute set covers every
+// attribute the paper's examples reference — thing.product.brand (Figures 3
+// and 4, §2.3.1 step 3) and thing.product.watch.case (§2.3.1 step 3, §2.5) —
+// plus the usual catalog fields.
+func Paper() *Ontology {
+	o := MustNew(PaperBase, "watch-catalog", "thing")
+	mustClass(o, "product", "thing")
+	mustClass(o, "watch", "product")
+	mustClass(o, "provider", "thing")
+
+	mustAttr(o, "product", "brand", rdf.XSDString)
+	mustAttr(o, "product", "model", rdf.XSDString)
+	mustAttr(o, "product", "price", rdf.XSDDecimal)
+
+	mustAttr(o, "watch", "case", rdf.XSDString)
+	mustAttr(o, "watch", "movement", rdf.XSDString)
+	mustAttr(o, "watch", "water_resistance", rdf.XSDInteger)
+
+	mustAttr(o, "provider", "name", rdf.XSDString)
+	mustAttr(o, "provider", "country", rdf.XSDString)
+	mustAttr(o, "provider", "rating", rdf.XSDDecimal)
+
+	mustRel(o, "product", "hasProvider", "provider")
+	return o
+}
+
+func mustClass(o *Ontology, name, parent string) *Class {
+	c, err := o.AddClass(name, parent)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustAttr(o *Ontology, class, name string, dt rdf.IRI) *Attribute {
+	a, err := o.AddAttribute(class, name, dt)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func mustRel(o *Ontology, from, name, to string) *Relation {
+	r, err := o.AddRelation(from, name, to)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,294 @@
+// Package ontology implements the S2S middleware's ontology schema layer
+// (paper §2.2, Figure 2).
+//
+// An Ontology conceptualizes a B2B domain as a tree of classes with
+// datatype attributes and inter-class relations. It plays three roles in
+// the middleware: it defines the structure and semantics of the data, it is
+// the frame the Mapping Module intersects with data sources, and it defines
+// the query specification process (S2SQL queries name ontology classes and
+// attributes, never data sources).
+//
+// Every attribute carries a unique dotted identifier derived from the class
+// hierarchy, e.g. "thing.product.brand" (paper Figure 4): attribute names
+// may repeat across classes, the path never does, and the path preserves
+// the hierarchy needed to instantiate the ontology with extracted data.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Ontology is a domain schema: a class hierarchy rooted at a single class,
+// datatype attributes, and object relations. Construct with New; the zero
+// value is not usable. Ontology is not safe for concurrent mutation; the
+// middleware builds it once at registration time and reads it concurrently
+// afterwards.
+type Ontology struct {
+	// Base is the namespace IRI under which classes, attributes, and
+	// instances are minted, e.g. "http://example.org/watch#".
+	Base rdf.IRI
+	// Name is a human-readable ontology name.
+	Name string
+
+	root    *Class
+	classes map[string]*Class // lower-cased class name → class
+	attrs   map[string]*Attribute
+}
+
+// New creates an ontology whose hierarchy is rooted at a class named root
+// (conventionally "thing", mirroring owl:Thing).
+func New(base rdf.IRI, name, root string) (*Ontology, error) {
+	if err := validName(root); err != nil {
+		return nil, fmt.Errorf("ontology: root class: %w", err)
+	}
+	o := &Ontology{
+		Base:    base,
+		Name:    name,
+		classes: make(map[string]*Class),
+		attrs:   make(map[string]*Attribute),
+	}
+	o.root = &Class{Name: root, ontology: o}
+	o.classes[strings.ToLower(root)] = o.root
+	return o, nil
+}
+
+// MustNew is New but panics on error; for statically-known schemas.
+func MustNew(base rdf.IRI, name, root string) *Ontology {
+	o, err := New(base, name, root)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Root returns the root class.
+func (o *Ontology) Root() *Class { return o.root }
+
+// Class looks up a class by name, case-insensitively (S2SQL is
+// case-insensitive about class names, like SQL).
+func (o *Ontology) Class(name string) (*Class, bool) {
+	c, ok := o.classes[strings.ToLower(name)]
+	return c, ok
+}
+
+// Classes returns every class in path order.
+func (o *Ontology) Classes() []*Class {
+	out := make([]*Class, 0, len(o.classes))
+	for _, c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
+	return out
+}
+
+// AddClass adds a class under the named parent and returns it.
+func (o *Ontology) AddClass(name, parent string) (*Class, error) {
+	if err := validName(name); err != nil {
+		return nil, fmt.Errorf("ontology: class %q: %w", name, err)
+	}
+	if _, exists := o.classes[strings.ToLower(name)]; exists {
+		return nil, fmt.Errorf("ontology: class %q already defined", name)
+	}
+	p, ok := o.Class(parent)
+	if !ok {
+		return nil, fmt.Errorf("ontology: parent class %q of %q not defined", parent, name)
+	}
+	c := &Class{Name: name, Parent: p, ontology: o}
+	p.Children = append(p.Children, c)
+	o.classes[strings.ToLower(name)] = c
+	return c, nil
+}
+
+// AddAttribute declares a datatype attribute on the named class and returns
+// it. The attribute's unique ID is its class path plus the attribute name
+// (paper §2.3.1 step 1).
+func (o *Ontology) AddAttribute(class, name string, datatype rdf.IRI) (*Attribute, error) {
+	if err := validName(name); err != nil {
+		return nil, fmt.Errorf("ontology: attribute %q: %w", name, err)
+	}
+	c, ok := o.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("ontology: class %q of attribute %q not defined", class, name)
+	}
+	for _, a := range c.Attributes {
+		if strings.EqualFold(a.Name, name) {
+			return nil, fmt.Errorf("ontology: attribute %q already defined on class %q", name, class)
+		}
+	}
+	if datatype == "" {
+		datatype = rdf.XSDString
+	}
+	a := &Attribute{Name: name, Class: c, Datatype: datatype}
+	c.Attributes = append(c.Attributes, a)
+	o.attrs[strings.ToLower(a.ID())] = a
+	return a, nil
+}
+
+// AddRelation declares an object relation from one class to another, e.g.
+// product —hasProvider→ provider (paper Figure 2: "all products have a
+// Provider").
+func (o *Ontology) AddRelation(from, name, to string) (*Relation, error) {
+	if err := validName(name); err != nil {
+		return nil, fmt.Errorf("ontology: relation %q: %w", name, err)
+	}
+	f, ok := o.Class(from)
+	if !ok {
+		return nil, fmt.Errorf("ontology: source class %q of relation %q not defined", from, name)
+	}
+	t, ok := o.Class(to)
+	if !ok {
+		return nil, fmt.Errorf("ontology: target class %q of relation %q not defined", to, name)
+	}
+	for _, r := range f.Relations {
+		if strings.EqualFold(r.Name, name) {
+			return nil, fmt.Errorf("ontology: relation %q already defined on class %q", name, from)
+		}
+	}
+	r := &Relation{Name: name, From: f, To: t}
+	f.Relations = append(f.Relations, r)
+	return r, nil
+}
+
+// Attribute resolves an attribute by its unique dotted ID, e.g.
+// "thing.product.brand", case-insensitively.
+func (o *Ontology) Attribute(id string) (*Attribute, bool) {
+	a, ok := o.attrs[strings.ToLower(id)]
+	return a, ok
+}
+
+// Attributes returns every attribute in ID order.
+func (o *Ontology) Attributes() []*Attribute {
+	out := make([]*Attribute, 0, len(o.attrs))
+	for _, a := range o.attrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// ResolveAttributeName finds the attribute with the given simple name that
+// is visible from the named class: declared on the class itself, inherited
+// from an ancestor, declared on a descendant (a query for "product" may
+// constrain the watch-only attribute "case", paper §2.5), or reachable on a
+// directly related class. It returns an error if the name is undefined or
+// ambiguous in that scope.
+func (o *Ontology) ResolveAttributeName(class, name string) (*Attribute, error) {
+	c, ok := o.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("ontology: class %q not defined", class)
+	}
+	var matches []*Attribute
+	seen := make(map[*Class]bool)
+	consider := func(cls *Class) {
+		if seen[cls] {
+			return
+		}
+		seen[cls] = true
+		for _, a := range cls.Attributes {
+			if strings.EqualFold(a.Name, name) {
+				matches = append(matches, a)
+			}
+		}
+	}
+	for _, cls := range c.Scope() {
+		consider(cls)
+	}
+	switch len(matches) {
+	case 0:
+		return nil, fmt.Errorf("ontology: attribute %q is not visible from class %q", name, class)
+	case 1:
+		return matches[0], nil
+	default:
+		ids := make([]string, len(matches))
+		for i, a := range matches {
+			ids[i] = a.ID()
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("ontology: attribute name %q is ambiguous from class %q: %s",
+			name, class, strings.Join(ids, ", "))
+	}
+}
+
+// ClassIRI returns the IRI minted for a class in this ontology.
+func (o *Ontology) ClassIRI(c *Class) rdf.IRI { return o.Base + rdf.IRI(c.Name) }
+
+// AttributeIRI returns the IRI minted for an attribute. The full dotted path
+// keeps IRIs unique when attribute names repeat across classes.
+func (o *Ontology) AttributeIRI(a *Attribute) rdf.IRI {
+	return o.Base + rdf.IRI(strings.ReplaceAll(a.ID(), ".", "_"))
+}
+
+// RelationIRI returns the IRI minted for a relation.
+func (o *Ontology) RelationIRI(r *Relation) rdf.IRI {
+	return o.Base + rdf.IRI(r.From.Name+"_"+r.Name)
+}
+
+// Validate checks structural invariants: a single root, acyclic hierarchy,
+// unique attribute IDs, and relations pointing at defined classes. A freshly
+// built ontology always validates; Validate exists for ontologies
+// reconstructed from OWL documents.
+func (o *Ontology) Validate() error {
+	if o.root == nil {
+		return fmt.Errorf("ontology: no root class")
+	}
+	reachable := make(map[*Class]bool)
+	var walk func(c *Class) error
+	walk = func(c *Class) error {
+		if reachable[c] {
+			return fmt.Errorf("ontology: class %q reached twice; hierarchy is not a tree", c.Name)
+		}
+		reachable[c] = true
+		for _, child := range c.Children {
+			if child.Parent != c {
+				return fmt.Errorf("ontology: class %q has inconsistent parent link", child.Name)
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(o.root); err != nil {
+		return err
+	}
+	for name, c := range o.classes {
+		if !reachable[c] {
+			return fmt.Errorf("ontology: class %q not reachable from root", name)
+		}
+		for _, r := range c.Relations {
+			if _, ok := o.Class(r.To.Name); !ok {
+				return fmt.Errorf("ontology: relation %q of %q targets undefined class %q", r.Name, c.Name, r.To.Name)
+			}
+		}
+	}
+	ids := make(map[string]bool, len(o.attrs))
+	for _, a := range o.Attributes() {
+		id := strings.ToLower(a.ID())
+		if ids[id] {
+			return fmt.Errorf("ontology: duplicate attribute ID %q", a.ID())
+		}
+		ids[id] = true
+	}
+	return nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("name is empty")
+	}
+	for i, r := range name {
+		letter := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !letter {
+			return fmt.Errorf("name %q must start with a letter or underscore", name)
+		}
+		if !letter && !digit && r != '-' {
+			return fmt.Errorf("name %q contains invalid character %q", name, r)
+		}
+	}
+	return nil
+}

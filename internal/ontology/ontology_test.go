@@ -1,0 +1,374 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestPaperOntologyShape(t *testing.T) {
+	o := Paper()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("paper ontology invalid: %v", err)
+	}
+	if o.Root().Name != "thing" {
+		t.Errorf("root = %q, want thing", o.Root().Name)
+	}
+	watch, ok := o.Class("watch")
+	if !ok {
+		t.Fatal("watch class missing")
+	}
+	if got := watch.Path(); got != "thing.product.watch" {
+		t.Errorf("watch path = %q, want thing.product.watch", got)
+	}
+	// Paper Figure 4 / §2.3.1: the mapping examples use these exact IDs.
+	for _, id := range []string{"thing.product.brand", "thing.product.watch.case", "thing.provider.name"} {
+		if _, ok := o.Attribute(id); !ok {
+			t.Errorf("attribute %q missing", id)
+		}
+	}
+}
+
+func TestClassHierarchyNavigation(t *testing.T) {
+	o := Paper()
+	product, _ := o.Class("product")
+	watch, _ := o.Class("watch")
+	thing, _ := o.Class("thing")
+	provider, _ := o.Class("provider")
+
+	if !watch.IsA(product) || !watch.IsA(thing) || !watch.IsA(watch) {
+		t.Error("IsA chain broken for watch")
+	}
+	if product.IsA(watch) {
+		t.Error("product reported as a watch")
+	}
+	anc := watch.Ancestors()
+	if len(anc) != 2 || anc[0] != product || anc[1] != thing {
+		t.Errorf("watch ancestors = %v", anc)
+	}
+	desc := thing.Descendants()
+	if len(desc) != 3 {
+		t.Errorf("thing descendants = %d, want 3", len(desc))
+	}
+	if got := len(provider.Descendants()); got != 0 {
+		t.Errorf("provider descendants = %d, want 0", got)
+	}
+}
+
+func TestAllAttributesIncludesInherited(t *testing.T) {
+	o := Paper()
+	watch, _ := o.Class("watch")
+	all := watch.AllAttributes()
+	var ids []string
+	for _, a := range all {
+		ids = append(ids, a.ID())
+	}
+	joined := strings.Join(ids, " ")
+	for _, want := range []string{"thing.product.brand", "thing.product.watch.case"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("AllAttributes missing %s: %v", want, ids)
+		}
+	}
+	// Inherited attributes come before declared ones.
+	if !strings.Contains(joined, "brand") || strings.Index(joined, "brand") > strings.Index(joined, "case") {
+		t.Errorf("inherited attribute order wrong: %v", ids)
+	}
+}
+
+func TestScopeCoversQueryVisibleClasses(t *testing.T) {
+	o := Paper()
+	product, _ := o.Class("product")
+	scope := product.Scope()
+	names := make(map[string]bool)
+	for _, c := range scope {
+		names[c.Name] = true
+	}
+	// Paper §2.5: a query on product sees product, its subclass watch, its
+	// superclass thing, and the related provider.
+	for _, want := range []string{"product", "watch", "thing", "provider"} {
+		if !names[want] {
+			t.Errorf("scope of product missing %s: %v", want, names)
+		}
+	}
+}
+
+func TestResolveAttributeName(t *testing.T) {
+	o := Paper()
+	tests := []struct {
+		class, attr string
+		wantID      string
+		wantErr     bool
+	}{
+		{"product", "brand", "thing.product.brand", false},
+		{"product", "case", "thing.product.watch.case", false}, // subclass attribute, paper §2.5
+		{"watch", "brand", "thing.product.brand", false},       // inherited
+		{"product", "name", "thing.provider.name", false},      // via relation
+		{"product", "serial", "", true},                        // undefined
+		{"nosuch", "brand", "", true},                          // unknown class
+	}
+	for _, tt := range tests {
+		a, err := o.ResolveAttributeName(tt.class, tt.attr)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ResolveAttributeName(%s, %s) succeeded, want error", tt.class, tt.attr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ResolveAttributeName(%s, %s): %v", tt.class, tt.attr, err)
+			continue
+		}
+		if a.ID() != tt.wantID {
+			t.Errorf("ResolveAttributeName(%s, %s) = %s, want %s", tt.class, tt.attr, a.ID(), tt.wantID)
+		}
+	}
+}
+
+func TestResolveAttributeNameAmbiguous(t *testing.T) {
+	o := MustNew("http://e/#", "amb", "thing")
+	if _, err := o.AddClass("a", "thing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddClass("b", "thing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddAttribute("a", "name", rdf.XSDString); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddAttribute("b", "name", rdf.XSDString); err != nil {
+		t.Fatal(err)
+	}
+	_, err := o.ResolveAttributeName("thing", "name")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+	// From within one branch the name resolves.
+	if a, err := o.ResolveAttributeName("a", "name"); err != nil || a.ID() != "thing.a.name" {
+		t.Fatalf("ResolveAttributeName(a, name) = %v, %v", a, err)
+	}
+}
+
+func TestAddClassErrors(t *testing.T) {
+	o := Paper()
+	if _, err := o.AddClass("watch", "thing"); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if _, err := o.AddClass("Watch", "thing"); err == nil {
+		t.Error("case-colliding class accepted")
+	}
+	if _, err := o.AddClass("gadget", "nosuch"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := o.AddClass("bad name", "thing"); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if _, err := o.AddClass("", "thing"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := o.AddClass("9lives", "thing"); err == nil {
+		t.Error("name starting with digit accepted")
+	}
+}
+
+func TestAddAttributeErrors(t *testing.T) {
+	o := Paper()
+	if _, err := o.AddAttribute("product", "brand", rdf.XSDString); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := o.AddAttribute("nosuch", "x", rdf.XSDString); err == nil {
+		t.Error("attribute on unknown class accepted")
+	}
+	// Same name on a different class is fine (paper: names may repeat).
+	if _, err := o.AddAttribute("provider", "brand", rdf.XSDString); err != nil {
+		t.Errorf("repeated name across classes rejected: %v", err)
+	}
+	// Default datatype is xsd:string.
+	a, err := o.AddAttribute("provider", "motto", "")
+	if err != nil || a.Datatype != rdf.XSDString {
+		t.Errorf("default datatype = %v, %v", a, err)
+	}
+}
+
+func TestAddRelationErrors(t *testing.T) {
+	o := Paper()
+	if _, err := o.AddRelation("product", "hasProvider", "provider"); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := o.AddRelation("nosuch", "r", "provider"); err == nil {
+		t.Error("relation from unknown class accepted")
+	}
+	if _, err := o.AddRelation("product", "r", "nosuch"); err == nil {
+		t.Error("relation to unknown class accepted")
+	}
+}
+
+func TestClassLookupCaseInsensitive(t *testing.T) {
+	o := Paper()
+	for _, name := range []string{"Product", "PRODUCT", "product"} {
+		if _, ok := o.Class(name); !ok {
+			t.Errorf("Class(%q) not found", name)
+		}
+	}
+	if _, ok := o.Attribute("Thing.Product.BRAND"); !ok {
+		t.Error("attribute lookup not case-insensitive")
+	}
+}
+
+func TestOWLRoundTrip(t *testing.T) {
+	o := Paper()
+	var buf strings.Builder
+	if err := o.WriteOWL(&buf); err != nil {
+		t.Fatalf("WriteOWL: %v", err)
+	}
+	back, err := ReadOWL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadOWL: %v\ndocument:\n%s", err, buf.String())
+	}
+	if !back.ToGraph().Equal(o.ToGraph()) {
+		t.Fatalf("OWL round trip altered the ontology.\noriginal:\n%s\nreparsed:\n%s",
+			rdf.NTriplesString(o.ToGraph()), rdf.NTriplesString(back.ToGraph()))
+	}
+	// Attribute IDs survive.
+	for _, a := range o.Attributes() {
+		if _, ok := back.Attribute(a.ID()); !ok {
+			t.Errorf("attribute %s lost in round trip", a.ID())
+		}
+	}
+}
+
+func TestFromGraphErrors(t *testing.T) {
+	t.Run("no classes", func(t *testing.T) {
+		if _, err := FromGraph(rdf.NewGraph()); err == nil {
+			t.Error("empty graph accepted")
+		}
+	})
+	t.Run("two roots", func(t *testing.T) {
+		g := rdf.NewGraph()
+		g.MustAdd(rdf.T(rdf.IRI("http://e#a"), rdf.RDFType, rdf.IRI(rdf.OWLNS+"Class")))
+		g.MustAdd(rdf.T(rdf.IRI("http://e#b"), rdf.RDFType, rdf.IRI(rdf.OWLNS+"Class")))
+		if _, err := FromGraph(g); err == nil {
+			t.Error("forest accepted")
+		}
+	})
+	t.Run("subclass cycle", func(t *testing.T) {
+		g := rdf.NewGraph()
+		a, b, c := rdf.IRI("http://e#a"), rdf.IRI("http://e#b"), rdf.IRI("http://e#c")
+		owlClass := rdf.IRI(rdf.OWLNS + "Class")
+		for _, iri := range []rdf.IRI{a, b, c} {
+			g.MustAdd(rdf.T(iri, rdf.RDFType, owlClass))
+		}
+		g.MustAdd(rdf.T(b, rdf.RDFSSubClassOf, c))
+		g.MustAdd(rdf.T(c, rdf.RDFSSubClassOf, b))
+		if _, err := FromGraph(g); err == nil {
+			t.Error("cyclic hierarchy accepted")
+		}
+	})
+	t.Run("attribute without domain", func(t *testing.T) {
+		g := rdf.NewGraph()
+		g.MustAdd(rdf.T(rdf.IRI("http://e#a"), rdf.RDFType, rdf.IRI(rdf.OWLNS+"Class")))
+		g.MustAdd(rdf.T(rdf.IRI("http://e#p"), rdf.RDFType, rdf.IRI(rdf.OWLNS+"DatatypeProperty")))
+		if _, err := FromGraph(g); err == nil {
+			t.Error("attribute without domain accepted")
+		}
+	})
+}
+
+// Property: attribute IDs are unique and parseable back to their class for
+// arbitrarily shaped ontologies.
+func TestAttributeIDUniqueness(t *testing.T) {
+	f := func(shape []uint8) bool {
+		o := MustNew("http://e/#", "gen", "thing")
+		classNames := []string{"thing"}
+		for i, b := range shape {
+			if len(classNames) > 12 {
+				break
+			}
+			parent := classNames[int(b)%len(classNames)]
+			name := fmt.Sprintf("c%d", i)
+			if _, err := o.AddClass(name, parent); err != nil {
+				return false
+			}
+			classNames = append(classNames, name)
+			// Reuse the same attribute name on every class: IDs must still
+			// be unique because paths differ.
+			if _, err := o.AddAttribute(name, "name", rdf.XSDString); err != nil {
+				return false
+			}
+		}
+		seen := make(map[string]bool)
+		for _, a := range o.Attributes() {
+			if seen[a.ID()] {
+				return false
+			}
+			seen[a.ID()] = true
+			if !strings.HasSuffix(a.ID(), "."+a.Name) {
+				return false
+			}
+			if !strings.HasPrefix(a.ID(), a.Class.Path()) {
+				return false
+			}
+		}
+		return o.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OWL export/import is lossless for generated ontologies.
+func TestOWLRoundTripProperty(t *testing.T) {
+	f := func(shape []uint8) bool {
+		o := MustNew("http://e/gen#", "gen", "thing")
+		classNames := []string{"thing"}
+		for i, b := range shape {
+			if len(classNames) > 10 {
+				break
+			}
+			parent := classNames[int(b)%len(classNames)]
+			name := fmt.Sprintf("c%d", i)
+			if _, err := o.AddClass(name, parent); err != nil {
+				return false
+			}
+			classNames = append(classNames, name)
+			if _, err := o.AddAttribute(name, fmt.Sprintf("a%d", int(b)%3), rdf.XSDInteger); err != nil {
+				return false
+			}
+		}
+		var buf strings.Builder
+		if err := o.WriteOWL(&buf); err != nil {
+			return false
+		}
+		back, err := ReadOWL(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		return back.ToGraph().Equal(o.ToGraph())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	o := Paper()
+	product, _ := o.Class("product")
+	if got := product.Relations[0].String(); got != "product.hasProvider->provider" {
+		t.Errorf("Relation.String() = %q", got)
+	}
+}
+
+func TestAttributeIRIDistinct(t *testing.T) {
+	o := Paper()
+	// brand exists on product; add brand on provider and check IRIs differ.
+	if _, err := o.AddAttribute("provider", "brand", rdf.XSDString); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := o.Attribute("thing.product.brand")
+	a2, _ := o.Attribute("thing.provider.brand")
+	if o.AttributeIRI(a1) == o.AttributeIRI(a2) {
+		t.Errorf("attribute IRIs collide: %s", o.AttributeIRI(a1))
+	}
+}

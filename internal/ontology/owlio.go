@@ -1,0 +1,240 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/owl"
+	"repro/internal/rdf"
+)
+
+// S2SNS is the namespace for the middleware's own annotation properties.
+const S2SNS = "http://s2s.uma.pt/ns#"
+
+// Annotation properties recorded alongside the standard OWL axioms so an
+// exported ontology round-trips exactly.
+const (
+	annPath     rdf.IRI = S2SNS + "path"
+	annName     rdf.IRI = S2SNS + "name"
+	annRequired rdf.IRI = S2SNS + "required"
+)
+
+// ToGraph exports the ontology as OWL axioms in an RDF graph: classes as
+// owl:Class with rdfs:subClassOf, attributes as owl:DatatypeProperty with
+// rdfs:domain and rdfs:range, and relations as owl:ObjectProperty.
+func (o *Ontology) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	ont := rdf.IRI(strings.TrimRight(string(o.Base), "#/"))
+	g.MustAdd(rdf.T(ont, rdf.RDFType, owl.Ontology))
+	if o.Name != "" {
+		g.MustAdd(rdf.T(ont, rdf.RDFSLabel, rdf.String(o.Name)))
+	}
+	for _, c := range o.Classes() {
+		iri := o.ClassIRI(c)
+		g.MustAdd(rdf.T(iri, rdf.RDFType, owl.Class))
+		g.MustAdd(rdf.T(iri, annName, rdf.String(c.Name)))
+		if c.Label != "" {
+			g.MustAdd(rdf.T(iri, rdf.RDFSLabel, rdf.String(c.Label)))
+		}
+		if c.Parent != nil {
+			g.MustAdd(rdf.T(iri, rdf.RDFSSubClassOf, o.ClassIRI(c.Parent)))
+		}
+		for _, a := range c.Attributes {
+			ai := o.AttributeIRI(a)
+			g.MustAdd(rdf.T(ai, rdf.RDFType, owl.DatatypeProperty))
+			g.MustAdd(rdf.T(ai, rdf.RDFSDomain, iri))
+			g.MustAdd(rdf.T(ai, rdf.RDFSRange, a.Datatype))
+			g.MustAdd(rdf.T(ai, annName, rdf.String(a.Name)))
+			g.MustAdd(rdf.T(ai, annPath, rdf.String(a.ID())))
+			if a.Required {
+				g.MustAdd(rdf.T(ai, annRequired, rdf.Bool(true)))
+			}
+		}
+		for _, r := range c.Relations {
+			ri := o.RelationIRI(r)
+			g.MustAdd(rdf.T(ri, rdf.RDFType, owl.ObjectProperty))
+			g.MustAdd(rdf.T(ri, rdf.RDFSDomain, iri))
+			g.MustAdd(rdf.T(ri, rdf.RDFSRange, o.ClassIRI(r.To)))
+			g.MustAdd(rdf.T(ri, annName, rdf.String(r.Name)))
+		}
+	}
+	return g
+}
+
+// WriteOWL serializes the ontology as an OWL document in RDF/XML.
+func (o *Ontology) WriteOWL(w io.Writer) error {
+	prefixes := rdf.DefaultPrefixes()
+	prefixes["s2s"] = S2SNS
+	prefixes["ont"] = string(o.Base)
+	return owl.WriteRDFXML(w, o.ToGraph(), prefixes)
+}
+
+// FromGraph reconstructs an ontology from the OWL axioms produced by
+// ToGraph (or equivalent hand-written OWL using rdfs:subClassOf,
+// rdfs:domain, and rdfs:range).
+func FromGraph(g *rdf.Graph) (*Ontology, error) {
+	// Locate the ontology header, if present, for base and name.
+	var base rdf.IRI
+	var name string
+	if onts := g.Subjects(rdf.RDFType, owl.Ontology); len(onts) == 1 {
+		if iri, ok := onts[0].(rdf.IRI); ok {
+			base = iri + "#"
+			if strings.ContainsAny(string(iri), "#") {
+				base = iri
+			}
+			if l, ok := g.FirstObject(onts[0], rdf.RDFSLabel).(rdf.Literal); ok {
+				name = l.Value
+			}
+		}
+	}
+
+	classTerms := g.Subjects(rdf.RDFType, owl.Class)
+	if len(classTerms) == 0 {
+		return nil, fmt.Errorf("ontology: graph declares no owl:Class")
+	}
+	classIRIs := make([]rdf.IRI, 0, len(classTerms))
+	for _, t := range classTerms {
+		iri, ok := t.(rdf.IRI)
+		if !ok {
+			return nil, fmt.Errorf("ontology: class %s is not an IRI", t)
+		}
+		classIRIs = append(classIRIs, iri)
+	}
+
+	classNames := make(map[rdf.IRI]string, len(classIRIs))
+	for _, iri := range classIRIs {
+		if n, ok := g.FirstObject(iri, annName).(rdf.Literal); ok {
+			classNames[iri] = n.Value
+		} else {
+			classNames[iri] = iri.Local()
+		}
+	}
+
+	parents := make(map[rdf.IRI]rdf.IRI)
+	var roots []rdf.IRI
+	for _, iri := range classIRIs {
+		if p, ok := g.FirstObject(iri, rdf.RDFSSubClassOf).(rdf.IRI); ok {
+			parents[iri] = p
+		} else {
+			roots = append(roots, iri)
+		}
+	}
+	if len(roots) != 1 {
+		return nil, fmt.Errorf("ontology: expected exactly one root class, found %d", len(roots))
+	}
+	root := roots[0]
+	if base == "" {
+		base = rdf.IRI(root.Namespace())
+	}
+
+	o, err := New(base, name, classNames[root])
+	if err != nil {
+		return nil, err
+	}
+	if l, ok := g.FirstObject(root, rdf.RDFSLabel).(rdf.Literal); ok {
+		o.root.Label = l.Value
+	}
+
+	// Add classes in dependency order (parents first).
+	byIRI := map[rdf.IRI]*Class{root: o.root}
+	remaining := make([]rdf.IRI, 0, len(classIRIs))
+	for _, iri := range classIRIs {
+		if iri != root {
+			remaining = append(remaining, iri)
+		}
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	for len(remaining) > 0 {
+		progress := false
+		var next []rdf.IRI
+		for _, iri := range remaining {
+			parent, ok := byIRI[parents[iri]]
+			if !ok {
+				next = append(next, iri)
+				continue
+			}
+			c, err := o.AddClass(classNames[iri], parent.Name)
+			if err != nil {
+				return nil, err
+			}
+			if l, ok := g.FirstObject(iri, rdf.RDFSLabel).(rdf.Literal); ok {
+				c.Label = l.Value
+			}
+			byIRI[iri] = c
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("ontology: class hierarchy contains a cycle or dangling rdfs:subClassOf")
+		}
+		remaining = next
+	}
+
+	// Datatype attributes.
+	for _, t := range g.Subjects(rdf.RDFType, owl.DatatypeProperty) {
+		iri, ok := t.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		domain, ok := g.FirstObject(iri, rdf.RDFSDomain).(rdf.IRI)
+		if !ok {
+			return nil, fmt.Errorf("ontology: attribute %s has no rdfs:domain", iri)
+		}
+		cls, ok := byIRI[domain]
+		if !ok {
+			return nil, fmt.Errorf("ontology: attribute %s has domain %s, which is not a declared class", iri, domain)
+		}
+		attrName := iri.Local()
+		if n, ok := g.FirstObject(iri, annName).(rdf.Literal); ok {
+			attrName = n.Value
+		}
+		datatype, _ := g.FirstObject(iri, rdf.RDFSRange).(rdf.IRI)
+		a, err := o.AddAttribute(cls.Name, attrName, datatype)
+		if err != nil {
+			return nil, err
+		}
+		if req, ok := g.FirstObject(iri, annRequired).(rdf.Literal); ok && req.Value == "true" {
+			a.Required = true
+		}
+	}
+
+	// Object relations.
+	for _, t := range g.Subjects(rdf.RDFType, owl.ObjectProperty) {
+		iri, ok := t.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		domain, okD := g.FirstObject(iri, rdf.RDFSDomain).(rdf.IRI)
+		rng, okR := g.FirstObject(iri, rdf.RDFSRange).(rdf.IRI)
+		if !okD || !okR {
+			return nil, fmt.Errorf("ontology: relation %s lacks rdfs:domain or rdfs:range", iri)
+		}
+		from, okF := byIRI[domain]
+		to, okT := byIRI[rng]
+		if !okF || !okT {
+			return nil, fmt.Errorf("ontology: relation %s links undeclared classes", iri)
+		}
+		relName := iri.Local()
+		if n, ok := g.FirstObject(iri, annName).(rdf.Literal); ok {
+			relName = n.Value
+		}
+		if _, err := o.AddRelation(from.Name, relName, to.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ReadOWL parses an RDF/XML OWL document into an Ontology.
+func ReadOWL(r io.Reader) (*Ontology, error) {
+	g, err := owl.ParseRDFXML(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g)
+}

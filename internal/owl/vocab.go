@@ -1,0 +1,22 @@
+// Package owl layers the Web Ontology Language vocabulary and an RDF/XML
+// reader/writer on top of the rdf package.
+//
+// The S2S middleware adopts OWL as its ontology language because it is the
+// W3C recommendation (paper §2); ontology schemas are published and the
+// instance generator's primary output format is OWL serialized as RDF/XML.
+package owl
+
+import "repro/internal/rdf"
+
+// OWL vocabulary terms used by the middleware.
+const (
+	Class              rdf.IRI = rdf.OWLNS + "Class"
+	ObjectProperty     rdf.IRI = rdf.OWLNS + "ObjectProperty"
+	DatatypeProperty   rdf.IRI = rdf.OWLNS + "DatatypeProperty"
+	FunctionalProperty rdf.IRI = rdf.OWLNS + "FunctionalProperty"
+	NamedIndividual    rdf.IRI = rdf.OWLNS + "NamedIndividual"
+	Ontology           rdf.IRI = rdf.OWLNS + "Ontology"
+	Imports            rdf.IRI = rdf.OWLNS + "imports"
+	VersionInfo        rdf.IRI = rdf.OWLNS + "versionInfo"
+	Thing              rdf.IRI = rdf.OWLNS + "Thing"
+)

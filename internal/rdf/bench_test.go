@@ -1,0 +1,67 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchGraph(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		s := ex(fmt.Sprintf("s%d", i%100))
+		g.MustAdd(T(s, ex(fmt.Sprintf("p%d", i%8)), Integer(int64(i))))
+	}
+	return g
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		for j := 0; j < 1000; j++ {
+			g.MustAdd(T(ex(fmt.Sprintf("s%d", j%100)), ex("p"), Integer(int64(j))))
+		}
+	}
+}
+
+func BenchmarkGraphMatchBySubject(b *testing.B) {
+	g := benchGraph(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Match(ex("s42"), nil, nil); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkTurtleWrite(b *testing.B) {
+	g := benchGraph(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := TurtleString(g, PrefixMap{"ex": "http://example.org/"}); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTurtleParse(b *testing.B) {
+	doc := TurtleString(benchGraph(2000), PrefixMap{"ex": "http://example.org/"})
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTurtle(strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNTriplesParse(b *testing.B) {
+	doc := NTriplesString(benchGraph(2000))
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNTriples(strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory set of triples with subject, predicate, and object
+// indexes. The zero value is not usable; construct with NewGraph. Graph is
+// safe for concurrent use.
+type Graph struct {
+	mu      sync.RWMutex
+	triples map[string]Triple // key → triple
+	bySubj  map[string]map[string]struct{}
+	byPred  map[string]map[string]struct{}
+	byObj   map[string]map[string]struct{}
+	blankN  int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		triples: make(map[string]Triple),
+		bySubj:  make(map[string]map[string]struct{}),
+		byPred:  make(map[string]map[string]struct{}),
+		byObj:   make(map[string]map[string]struct{}),
+	}
+}
+
+// Add inserts a triple. Adding a triple that is already present is a no-op.
+// It returns an error if the triple is not valid RDF.
+func (g *Graph) Add(t Triple) error {
+	if err := t.Valid(); err != nil {
+		return err
+	}
+	key := t.Key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[key]; ok {
+		return nil
+	}
+	g.triples[key] = t
+	addIndex(g.bySubj, t.Subject.Key(), key)
+	addIndex(g.byPred, t.Predicate.Key(), key)
+	addIndex(g.byObj, t.Object.Key(), key)
+	return nil
+}
+
+// MustAdd is Add but panics on invalid triples. It is intended for
+// statically-known statements such as vocabulary definitions.
+func (g *Graph) MustAdd(t Triple) {
+	if err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts every triple, stopping at the first invalid one.
+func (g *Graph) AddAll(ts []Triple) error {
+	for _, t := range ts {
+		if err := g.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a triple; it reports whether the triple was present.
+func (g *Graph) Remove(t Triple) bool {
+	key := t.Key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[key]; !ok {
+		return false
+	}
+	delete(g.triples, key)
+	dropIndex(g.bySubj, t.Subject.Key(), key)
+	dropIndex(g.byPred, t.Predicate.Key(), key)
+	dropIndex(g.byObj, t.Object.Key(), key)
+	return true
+}
+
+// Has reports whether the triple is in the graph.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.triples[t.Key()]
+	return ok
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.triples)
+}
+
+// NewBlank allocates a blank node with a graph-unique label.
+func (g *Graph) NewBlank() BlankNode {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := BlankNode(fmt.Sprintf("b%d", g.blankN))
+	g.blankN++
+	return b
+}
+
+// Match returns all triples matching the pattern; nil pattern terms act as
+// wildcards. The result is sorted into canonical (N-Triples key) order so
+// that iteration is deterministic.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	// Choose the most selective available index.
+	var candidate map[string]struct{}
+	switch {
+	case s != nil:
+		candidate = g.bySubj[s.Key()]
+	case o != nil:
+		candidate = g.byObj[o.Key()]
+	case p != nil:
+		candidate = g.byPred[p.Key()]
+	}
+
+	var out []Triple
+	match := func(t Triple) bool {
+		if s != nil && t.Subject.Key() != s.Key() {
+			return false
+		}
+		if p != nil && t.Predicate.Key() != p.Key() {
+			return false
+		}
+		if o != nil && t.Object.Key() != o.Key() {
+			return false
+		}
+		return true
+	}
+	if s == nil && p == nil && o == nil {
+		out = make([]Triple, 0, len(g.triples))
+		for _, t := range g.triples {
+			out = append(out, t)
+		}
+	} else if candidate != nil {
+		for key := range candidate {
+			if t := g.triples[key]; match(t) {
+				out = append(out, t)
+			}
+		}
+	}
+	keys := make([]string, len(out))
+	for i, t := range out {
+		keys[i] = t.Key()
+	}
+	sort.Sort(&tripleSort{triples: out, keys: keys})
+	return out
+}
+
+// Objects returns the objects of all (s, p, *) triples in canonical order.
+func (g *Graph) Objects(s, p Term) []Term {
+	ts := g.Match(s, p, nil)
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = t.Object
+	}
+	return out
+}
+
+// Subjects returns the subjects of all (*, p, o) triples in canonical order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	ts := g.Match(nil, p, o)
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = t.Subject
+	}
+	return out
+}
+
+// FirstObject returns the object of one (s, p, *) triple, or nil if none
+// exists. When several match, the canonically smallest is returned.
+func (g *Graph) FirstObject(s, p Term) Term {
+	ts := g.Match(s, p, nil)
+	if len(ts) == 0 {
+		return nil
+	}
+	return ts[0].Object
+}
+
+// All returns every triple in canonical order.
+func (g *Graph) All() []Triple { return g.Match(nil, nil, nil) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	for _, t := range g.All() {
+		out.MustAdd(t)
+	}
+	g.mu.RLock()
+	out.blankN = g.blankN
+	g.mu.RUnlock()
+	return out
+}
+
+// Merge adds every triple of other into g.
+func (g *Graph) Merge(other *Graph) {
+	for _, t := range other.All() {
+		g.MustAdd(t)
+	}
+}
+
+// Equal reports whether the two graphs contain exactly the same triples.
+// Blank nodes are compared by label, not by isomorphism.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	for _, t := range g.All() {
+		if !other.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+type tripleSort struct {
+	triples []Triple
+	keys    []string
+}
+
+func (s *tripleSort) Len() int           { return len(s.triples) }
+func (s *tripleSort) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tripleSort) Swap(i, j int) {
+	s.triples[i], s.triples[j] = s.triples[j], s.triples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func addIndex(idx map[string]map[string]struct{}, term, key string) {
+	set, ok := idx[term]
+	if !ok {
+		set = make(map[string]struct{})
+		idx[term] = set
+	}
+	set[key] = struct{}{}
+}
+
+func dropIndex(idx map[string]map[string]struct{}, term, key string) {
+	set, ok := idx[term]
+	if !ok {
+		return
+	}
+	delete(set, key)
+	if len(set) == 0 {
+		delete(idx, term)
+	}
+}

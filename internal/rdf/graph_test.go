@@ -1,0 +1,232 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func ex(local string) IRI { return IRI("http://example.org/" + local) }
+
+func TestGraphAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	tr := T(ex("s"), ex("p"), String("v"))
+	if g.Has(tr) {
+		t.Fatal("empty graph reports Has")
+	}
+	if err := g.Add(tr); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !g.Has(tr) {
+		t.Fatal("added triple not found")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	// Duplicate add is a no-op.
+	if err := g.Add(tr); err != nil {
+		t.Fatalf("duplicate Add: %v", err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after duplicate = %d, want 1", g.Len())
+	}
+	if !g.Remove(tr) {
+		t.Fatal("Remove returned false for present triple")
+	}
+	if g.Remove(tr) {
+		t.Fatal("Remove returned true for absent triple")
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len after remove = %d, want 0", g.Len())
+	}
+}
+
+func TestGraphAddInvalid(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(T(String("lit"), ex("p"), ex("o"))); err == nil {
+		t.Fatal("invalid triple accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd did not panic on invalid triple")
+		}
+	}()
+	g.MustAdd(T(String("lit"), ex("p"), ex("o")))
+}
+
+func TestGraphMatch(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(T(ex("w1"), ex("brand"), String("Seiko")))
+	g.MustAdd(T(ex("w1"), ex("case"), String("stainless-steel")))
+	g.MustAdd(T(ex("w2"), ex("brand"), String("Casio")))
+	g.MustAdd(T(ex("w2"), RDFType, ex("Watch")))
+	g.MustAdd(T(ex("w1"), RDFType, ex("Watch")))
+
+	tests := []struct {
+		name    string
+		s, p, o Term
+		want    int
+	}{
+		{"all", nil, nil, nil, 5},
+		{"by subject", ex("w1"), nil, nil, 3},
+		{"by predicate", nil, ex("brand"), nil, 2},
+		{"by object", nil, nil, ex("Watch"), 2},
+		{"subject+predicate", ex("w1"), ex("brand"), nil, 1},
+		{"no match", ex("w3"), nil, nil, 0},
+		{"mismatched combo", ex("w1"), ex("brand"), String("Casio"), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(g.Match(tt.s, tt.p, tt.o)); got != tt.want {
+				t.Errorf("Match(%v,%v,%v) returned %d triples, want %d", tt.s, tt.p, tt.o, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGraphMatchDeterministic(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 50; i++ {
+		g.MustAdd(T(ex(fmt.Sprintf("s%02d", i)), ex("p"), Integer(int64(i))))
+	}
+	first := g.All()
+	for trial := 0; trial < 5; trial++ {
+		again := g.All()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("iteration order unstable at %d: %v vs %v", i, first[i], again[i])
+			}
+		}
+	}
+}
+
+func TestGraphObjectsSubjectsFirstObject(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(T(ex("w1"), ex("brand"), String("Seiko")))
+	g.MustAdd(T(ex("w1"), ex("brand"), String("Casio")))
+	g.MustAdd(T(ex("w2"), ex("brand"), String("Seiko")))
+
+	if got := g.Objects(ex("w1"), ex("brand")); len(got) != 2 {
+		t.Errorf("Objects = %v, want 2 entries", got)
+	}
+	if got := g.Subjects(ex("brand"), String("Seiko")); len(got) != 2 {
+		t.Errorf("Subjects = %v, want 2 entries", got)
+	}
+	if got := g.FirstObject(ex("w2"), ex("brand")); got == nil || got.Key() != String("Seiko").Key() {
+		t.Errorf("FirstObject = %v, want \"Seiko\"", got)
+	}
+	if got := g.FirstObject(ex("nope"), ex("brand")); got != nil {
+		t.Errorf("FirstObject for absent subject = %v, want nil", got)
+	}
+}
+
+func TestGraphCloneAndEqual(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(T(ex("s"), ex("p"), String("v")))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.MustAdd(T(ex("s2"), ex("p"), String("v")))
+	if g.Equal(c) {
+		t.Fatal("graphs with different sizes reported equal")
+	}
+	if g.Len() != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+	// Same size, different content.
+	d := NewGraph()
+	d.MustAdd(T(ex("other"), ex("p"), String("v")))
+	if g.Equal(d) {
+		t.Fatal("different graphs reported equal")
+	}
+}
+
+func TestGraphMerge(t *testing.T) {
+	a := NewGraph()
+	a.MustAdd(T(ex("s"), ex("p"), String("1")))
+	b := NewGraph()
+	b.MustAdd(T(ex("s"), ex("p"), String("1")))
+	b.MustAdd(T(ex("s"), ex("p"), String("2")))
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+}
+
+func TestGraphNewBlankUnique(t *testing.T) {
+	g := NewGraph()
+	seen := make(map[BlankNode]bool)
+	for i := 0; i < 100; i++ {
+		b := g.NewBlank()
+		if seen[b] {
+			t.Fatalf("duplicate blank node %s", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.MustAdd(T(ex(fmt.Sprintf("s%d-%d", w, i)), ex("p"), Integer(int64(i))))
+				if i%20 == 0 {
+					g.Match(nil, ex("p"), nil)
+				}
+				g.NewBlank()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", g.Len(), 8*200)
+	}
+}
+
+// Property: adding then removing any batch of valid triples restores the
+// original size, and index lookups agree with full scans.
+func TestGraphIndexConsistency(t *testing.T) {
+	f := func(subjects, objects []uint8) bool {
+		g := NewGraph()
+		var added []Triple
+		for i, s := range subjects {
+			var o Term
+			if i < len(objects) {
+				o = Integer(int64(objects[i]))
+			} else {
+				o = String("x")
+			}
+			tr := T(ex(fmt.Sprintf("s%d", s%8)), ex(fmt.Sprintf("p%d", i%3)), o)
+			if err := g.Add(tr); err != nil {
+				return false
+			}
+			added = append(added, tr)
+		}
+		// Index lookup must agree with a linear filter over All().
+		for _, tr := range added {
+			byIdx := g.Match(tr.Subject, nil, nil)
+			count := 0
+			for _, u := range g.All() {
+				if u.Subject.Key() == tr.Subject.Key() {
+					count++
+				}
+			}
+			if len(byIdx) != count {
+				return false
+			}
+		}
+		for _, tr := range added {
+			g.Remove(tr)
+		}
+		return g.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

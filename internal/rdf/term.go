@@ -1,0 +1,192 @@
+// Package rdf implements the Resource Description Framework data model used
+// by the S2S middleware: terms (IRIs, literals, blank nodes), triples, an
+// indexed in-memory graph, and serialization to and from N-Triples and
+// Turtle.
+//
+// The middleware's instance generator emits ontology instances as RDF, and
+// the owl package layers the OWL vocabulary on top of this model. Only the
+// features required by those layers are implemented, but within that scope
+// the model follows the RDF 1.1 abstract syntax.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the concrete type of a Term.
+type TermKind int
+
+// Term kinds, in the order IRIs sort before blank nodes before literals.
+const (
+	KindIRI TermKind = iota + 1
+	KindBlank
+	KindLiteral
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// Term is an RDF term: an IRI, a blank node, or a literal. Terms are value
+// types; two terms are equal iff their Key strings are equal.
+type Term interface {
+	// Kind reports which concrete term this is.
+	Kind() TermKind
+	// Key returns a string that uniquely identifies the term across all
+	// kinds. It is used for map keys and equality.
+	Key() string
+	// String returns the N-Triples form of the term.
+	String() string
+}
+
+// IRI is an absolute IRI reference identifying a resource.
+type IRI string
+
+// Kind implements Term.
+func (IRI) Kind() TermKind { return KindIRI }
+
+// Key implements Term.
+func (i IRI) Key() string { return "<" + string(i) + ">" }
+
+// String returns the N-Triples form, e.g. <http://example.org/a>.
+func (i IRI) String() string { return "<" + escapeIRI(string(i)) + ">" }
+
+// Local returns the fragment or final path segment of the IRI, the part
+// conventionally used as a short display name.
+func (i IRI) Local() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 && idx+1 < len(s) {
+		return s[idx+1:]
+	}
+	return s
+}
+
+// Namespace returns the IRI up to and including the last '#' or '/'.
+func (i IRI) Namespace() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 {
+		return s[:idx+1]
+	}
+	return ""
+}
+
+// BlankNode is an existential variable scoped to a single graph.
+type BlankNode string
+
+// Kind implements Term.
+func (BlankNode) Kind() TermKind { return KindBlank }
+
+// Key implements Term.
+func (b BlankNode) Key() string { return "_:" + string(b) }
+
+// String returns the N-Triples form, e.g. _:b0.
+func (b BlankNode) String() string { return "_:" + string(b) }
+
+// Literal is an RDF literal: a lexical form plus a datatype IRI and, for
+// rdf:langString, a language tag.
+type Literal struct {
+	// Value is the lexical form.
+	Value string
+	// Datatype is the datatype IRI. The zero value is interpreted as
+	// xsd:string per RDF 1.1.
+	Datatype IRI
+	// Lang is the language tag; when non-empty the literal's datatype is
+	// rdf:langString.
+	Lang string
+}
+
+// Kind implements Term.
+func (Literal) Kind() TermKind { return KindLiteral }
+
+// Key implements Term.
+func (l Literal) Key() string { return l.String() }
+
+// String returns the N-Triples form of the literal.
+func (l Literal) String() string {
+	q := `"` + escapeLiteral(l.Value) + `"`
+	switch {
+	case l.Lang != "":
+		return q + "@" + l.Lang
+	case l.Datatype != "" && l.Datatype != XSDString:
+		return q + "^^" + l.Datatype.String()
+	default:
+		return q
+	}
+}
+
+// EffectiveDatatype returns the literal's datatype, resolving the zero value
+// to xsd:string and language-tagged literals to rdf:langString.
+func (l Literal) EffectiveDatatype() IRI {
+	if l.Lang != "" {
+		return RDFLangString
+	}
+	if l.Datatype == "" {
+		return XSDString
+	}
+	return l.Datatype
+}
+
+// String constructs an xsd:string literal.
+func String(v string) Literal { return Literal{Value: v} }
+
+// Integer constructs an xsd:integer literal.
+func Integer(v int64) Literal {
+	return Literal{Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+}
+
+// Float constructs an xsd:double literal.
+func Float(v float64) Literal {
+	return Literal{Value: fmt.Sprintf("%g", v), Datatype: XSDDouble}
+}
+
+// Bool constructs an xsd:boolean literal.
+func Bool(v bool) Literal {
+	return Literal{Value: fmt.Sprintf("%t", v), Datatype: XSDBoolean}
+}
+
+// LangString constructs an rdf:langString literal.
+func LangString(v, lang string) Literal { return Literal{Value: v, Lang: lang} }
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeIRI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+			fmt.Fprintf(&b, "\\u%04X", r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

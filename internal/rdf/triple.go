@@ -1,0 +1,48 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triple is an RDF statement. The subject must be an IRI or blank node and
+// the predicate an IRI; Valid reports violations.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// T constructs a triple.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// Valid reports whether the triple conforms to the RDF abstract syntax.
+func (t Triple) Valid() error {
+	switch {
+	case t.Subject == nil || t.Predicate == nil || t.Object == nil:
+		return fmt.Errorf("rdf: triple has nil term")
+	case t.Subject.Kind() == KindLiteral:
+		return fmt.Errorf("rdf: literal %s cannot be a subject", t.Subject)
+	case t.Predicate.Kind() != KindIRI:
+		return fmt.Errorf("rdf: predicate %s must be an IRI", t.Predicate)
+	default:
+		return nil
+	}
+}
+
+// Key returns a canonical string identifying the triple.
+func (t Triple) Key() string {
+	var b strings.Builder
+	b.WriteString(t.Subject.Key())
+	b.WriteByte(' ')
+	b.WriteString(t.Predicate.Key())
+	b.WriteByte(' ')
+	b.WriteString(t.Object.Key())
+	return b.String()
+}
+
+// String returns the N-Triples form of the statement, including the
+// terminating period.
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.Subject, t.Predicate, t.Object)
+}

@@ -1,0 +1,42 @@
+package rdf
+
+// Well-known namespaces.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+)
+
+// RDF vocabulary terms.
+const (
+	RDFType       IRI = RDFNS + "type"
+	RDFProperty   IRI = RDFNS + "Property"
+	RDFLangString IRI = RDFNS + "langString"
+	RDFFirst      IRI = RDFNS + "first"
+	RDFRest       IRI = RDFNS + "rest"
+	RDFNil        IRI = RDFNS + "nil"
+)
+
+// RDFS vocabulary terms.
+const (
+	RDFSClass         IRI = RDFSNS + "Class"
+	RDFSSubClassOf    IRI = RDFSNS + "subClassOf"
+	RDFSLabel         IRI = RDFSNS + "label"
+	RDFSComment       IRI = RDFSNS + "comment"
+	RDFSDomain        IRI = RDFSNS + "domain"
+	RDFSRange         IRI = RDFSNS + "range"
+	RDFSSubPropertyOf IRI = RDFSNS + "subPropertyOf"
+)
+
+// XSD datatype IRIs.
+const (
+	XSDString   IRI = XSDNS + "string"
+	XSDInteger  IRI = XSDNS + "integer"
+	XSDDecimal  IRI = XSDNS + "decimal"
+	XSDDouble   IRI = XSDNS + "double"
+	XSDBoolean  IRI = XSDNS + "boolean"
+	XSDDate     IRI = XSDNS + "date"
+	XSDDateTime IRI = XSDNS + "dateTime"
+	XSDAnyURI   IRI = XSDNS + "anyURI"
+)

@@ -1,0 +1,33 @@
+package reason
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// BenchmarkMaterialize measures RDFS closure over a typed instance graph.
+func BenchmarkMaterialize(b *testing.B) {
+	ont := ontology.Paper()
+	schema := ont.ToGraph()
+	data := rdf.NewGraph()
+	watchClass := rdf.IRI(string(ontology.PaperBase) + "watch")
+	brand := rdf.IRI(string(ontology.PaperBase) + "thing_product_brand")
+	for i := 0; i < 2000; i++ {
+		iri := rdf.IRI(fmt.Sprintf("%swatch_%d", ontology.PaperBase, i))
+		data.MustAdd(rdf.T(iri, rdf.RDFType, watchClass))
+		data.MustAdd(rdf.T(iri, brand, rdf.String("Seiko")))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Materialize(schema, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Len() <= data.Len() {
+			b.Fatal("nothing inferred")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package reason implements RDFS-style forward-chaining inference over the
+// middleware's output graphs. It closes the gap between "semantic data
+// representation" and "intelligent processing" (paper §2.2, §5): with the
+// ontology's axioms materialized, a consumer asking for products also sees
+// every watch, because watch ⊑ product is part of the shared schema.
+//
+// Implemented entailment rules (the RDFS subset relevant to S2S output):
+//
+//	rdfs5  (p subPropertyOf q) ∧ (q subPropertyOf r) → (p subPropertyOf r)
+//	rdfs7  (x p y) ∧ (p subPropertyOf q)             → (x q y)
+//	rdfs9  (x type C) ∧ (C subClassOf D)             → (x type D)
+//	rdfs11 (C subClassOf D) ∧ (D subClassOf E)       → (C subClassOf E)
+//	rdfs2  (x p y) ∧ (p domain C)                    → (x type C)
+//	rdfs3  (x p y) ∧ (p range C), y is a resource    → (y type C)
+package reason
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// MaxIterations scales the derivation budget; the worklist processes each
+// triple once, so exceeding it indicates a pathological schema.
+const MaxIterations = 1000
+
+// Materialize returns a new graph containing every triple of data plus all
+// triples entailed by the schema's RDFS axioms. Neither input is modified.
+func Materialize(schema, data *rdf.Graph) (*rdf.Graph, error) {
+	out := data.Clone()
+
+	// Index the schema once.
+	subClass := index(schema, rdf.RDFSSubClassOf)
+	subProp := index(schema, rdf.RDFSSubPropertyOf)
+	domain := index(schema, rdf.RDFSDomain)
+	rng := index(schema, rdf.RDFSRange)
+
+	// Transitive closures of the schema relations (rdfs5, rdfs11).
+	subClass = transitiveClosure(subClass)
+	subProp = transitiveClosure(subProp)
+
+	// Worklist fixed point: every rule here derives from a single triple,
+	// so each triple (asserted or derived) is processed exactly once.
+	queue := out.All()
+	processed := 0
+	add := func(t rdf.Triple) {
+		if !out.Has(t) {
+			out.MustAdd(t)
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		if processed > MaxIterations*1_000_000 {
+			return nil, fmt.Errorf("reason: closure exceeded %d derivations", processed)
+		}
+		pred, ok := t.Predicate.(rdf.IRI)
+		if !ok {
+			continue
+		}
+
+		// rdfs9: propagate types up the class hierarchy.
+		if pred == rdf.RDFType {
+			if classIRI, ok := t.Object.(rdf.IRI); ok {
+				for _, super := range subClass[classIRI] {
+					add(rdf.T(t.Subject, rdf.RDFType, super))
+				}
+			}
+			continue
+		}
+
+		// rdfs7: propagate statements up the property hierarchy.
+		for _, super := range subProp[pred] {
+			add(rdf.T(t.Subject, super, t.Object))
+		}
+
+		// rdfs2: domain typing.
+		for _, c := range domain[pred] {
+			add(rdf.T(t.Subject, rdf.RDFType, c))
+		}
+
+		// rdfs3: range typing (resources only; literals have no type
+		// triples).
+		if t.Object.Kind() != rdf.KindLiteral {
+			for _, c := range rng[pred] {
+				add(rdf.T(t.Object, rdf.RDFType, c))
+			}
+		}
+	}
+	return out, nil
+}
+
+// index maps subject IRI → object IRIs for one schema predicate.
+func index(schema *rdf.Graph, pred rdf.IRI) map[rdf.IRI][]rdf.IRI {
+	out := map[rdf.IRI][]rdf.IRI{}
+	for _, t := range schema.Match(nil, pred, nil) {
+		s, sok := t.Subject.(rdf.IRI)
+		o, ook := t.Object.(rdf.IRI)
+		if sok && ook {
+			out[s] = append(out[s], o)
+		}
+	}
+	return out
+}
+
+// transitiveClosure expands each entry to all reachable targets.
+func transitiveClosure(m map[rdf.IRI][]rdf.IRI) map[rdf.IRI][]rdf.IRI {
+	out := map[rdf.IRI][]rdf.IRI{}
+	for start := range m {
+		seen := map[rdf.IRI]bool{start: true}
+		stack := append([]rdf.IRI{}, m[start]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			out[start] = append(out[start], cur)
+			stack = append(stack, m[cur]...)
+		}
+	}
+	return out
+}
+
+// Types returns every type asserted or entailed for a subject in a
+// materialized graph.
+func Types(g *rdf.Graph, subject rdf.Term) []rdf.IRI {
+	var out []rdf.IRI
+	for _, t := range g.Objects(subject, rdf.RDFType) {
+		if iri, ok := t.(rdf.IRI); ok {
+			out = append(out, iri)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package reason
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func TestSubclassTypePropagation(t *testing.T) {
+	ont := ontology.Paper()
+	schema := ont.ToGraph()
+	data := rdf.NewGraph()
+	watchIRI := rdf.IRI(string(ontology.PaperBase) + "watch_1")
+	watchClass := rdf.IRI(string(ontology.PaperBase) + "watch")
+	data.MustAdd(rdf.T(watchIRI, rdf.RDFType, watchClass))
+
+	out, err := Materialize(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]bool{}
+	for _, iri := range Types(out, watchIRI) {
+		types[iri.Local()] = true
+	}
+	for _, want := range []string{"watch", "product", "thing"} {
+		if !types[want] {
+			t.Errorf("missing inferred type %s: %v", want, types)
+		}
+	}
+	// Inputs untouched.
+	if data.Len() != 1 {
+		t.Errorf("input graph mutated: %d triples", data.Len())
+	}
+}
+
+func TestDomainRangeTyping(t *testing.T) {
+	ont := ontology.Paper()
+	schema := ont.ToGraph()
+	data := rdf.NewGraph()
+	w := rdf.IRI(string(ontology.PaperBase) + "watch_9")
+	p := rdf.IRI(string(ontology.PaperBase) + "provider_9")
+	hasProvider := rdf.IRI(string(ontology.PaperBase) + "product_hasProvider")
+	// No explicit types at all: both ends get typed from the property.
+	data.MustAdd(rdf.T(w, hasProvider, p))
+
+	out, err := Materialize(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTypes := map[string]bool{}
+	for _, iri := range Types(out, w) {
+		wTypes[iri.Local()] = true
+	}
+	if !wTypes["product"] || !wTypes["thing"] {
+		t.Errorf("domain typing failed: %v", wTypes)
+	}
+	pTypes := map[string]bool{}
+	for _, iri := range Types(out, p) {
+		pTypes[iri.Local()] = true
+	}
+	if !pTypes["provider"] {
+		t.Errorf("range typing failed: %v", pTypes)
+	}
+}
+
+func TestSubPropertyPropagation(t *testing.T) {
+	schema := rdf.NewGraph()
+	narrow := rdf.IRI("http://e/hasDiveBuddy")
+	wide := rdf.IRI("http://e/knows")
+	wider := rdf.IRI("http://e/relatedTo")
+	schema.MustAdd(rdf.T(narrow, rdf.RDFSSubPropertyOf, wide))
+	schema.MustAdd(rdf.T(wide, rdf.RDFSSubPropertyOf, wider))
+
+	data := rdf.NewGraph()
+	a, b := rdf.IRI("http://e/a"), rdf.IRI("http://e/b")
+	data.MustAdd(rdf.T(a, narrow, b))
+
+	out, err := Materialize(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []rdf.IRI{narrow, wide, wider} {
+		if !out.Has(rdf.T(a, p, b)) {
+			t.Errorf("missing entailed statement via %s", p)
+		}
+	}
+}
+
+func TestCyclicSubclassConverges(t *testing.T) {
+	// A ⊑ B ⊑ A: the closure is finite (each typed as both); must converge.
+	schema := rdf.NewGraph()
+	a, b := rdf.IRI("http://e/A"), rdf.IRI("http://e/B")
+	schema.MustAdd(rdf.T(a, rdf.RDFSSubClassOf, b))
+	schema.MustAdd(rdf.T(b, rdf.RDFSSubClassOf, a))
+	data := rdf.NewGraph()
+	x := rdf.IRI("http://e/x")
+	data.MustAdd(rdf.T(x, rdf.RDFType, a))
+	out, err := Materialize(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(rdf.T(x, rdf.RDFType, b)) {
+		t.Error("cycle member type not inferred")
+	}
+}
+
+func TestEmptySchemaIsIdentity(t *testing.T) {
+	data := rdf.NewGraph()
+	data.MustAdd(rdf.T(rdf.IRI("http://e/s"), rdf.IRI("http://e/p"), rdf.String("v")))
+	out, err := Materialize(rdf.NewGraph(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(data) {
+		t.Error("empty schema changed the data")
+	}
+}
+
+// TestSemanticQueryOverMiddlewareOutput is the headline semantic win: a
+// SPARQL query for *products* finds the middleware's *watch* instances once
+// the ontology is materialized — the subclass knowledge travels with the
+// data, which no syntactic integration provides.
+func TestSemanticQueryOverMiddlewareOutput(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{DBSources: 1, RecordsPerSource: 10, Seed: 41})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := mw.Generator().ToGraph(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const productQuery = `PREFIX ont: <http://s2s.uma.pt/watch#> SELECT ?x WHERE { ?x a ont:product . }`
+
+	// Without reasoning: instances are typed ont:watch only.
+	raw, err := sparql.Select(graph, productQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Bindings) != 0 {
+		t.Fatalf("raw graph unexpectedly has product types: %v", raw.Bindings)
+	}
+
+	// With reasoning: every watch is a product.
+	materialized, err := Materialize(world.Ontology.ToGraph(), graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := sparql.Select(materialized, productQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred.Bindings) != 10 {
+		t.Fatalf("inferred products = %d, want 10", len(inferred.Bindings))
+	}
+}
+
+func TestTypesHelper(t *testing.T) {
+	g := rdf.NewGraph()
+	s := rdf.IRI("http://e/s")
+	g.MustAdd(rdf.T(s, rdf.RDFType, rdf.IRI("http://e/C")))
+	g.MustAdd(rdf.T(s, rdf.RDFType, rdf.Literal{Value: "bogus"})) // ignored: not an IRI
+	types := Types(g, s)
+	if len(types) != 1 || !strings.HasSuffix(string(types[0]), "C") {
+		t.Errorf("Types = %v", types)
+	}
+}

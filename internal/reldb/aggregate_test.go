@@ -1,0 +1,223 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func aggDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL, stock INTEGER)")
+	db.MustExec(`INSERT INTO w (id, brand, price, stock) VALUES
+		(1, 'Seiko', 100.0, 5),
+		(2, 'Seiko', 300.0, 2),
+		(3, 'Casio', 20.0, 10),
+		(4, 'Casio', 40.0, NULL),
+		(5, 'Citizen', 200.0, 7)`)
+	return db
+}
+
+func TestCountStar(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT COUNT(*) FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].IntValue(); n != 5 {
+		t.Fatalf("COUNT(*) = %v", res.Rows[0][0])
+	}
+	if res.Columns[0] != "COUNT(*)" {
+		t.Errorf("column name = %q", res.Columns[0])
+	}
+	// With WHERE.
+	res, err = db.Query("SELECT COUNT(*) FROM w WHERE brand = 'Seiko'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].IntValue(); n != 2 {
+		t.Fatalf("filtered COUNT(*) = %v", res.Rows[0][0])
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT COUNT(stock) FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].IntValue(); n != 4 {
+		t.Fatalf("COUNT(stock) = %v, want 4 (one NULL)", res.Rows[0][0])
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT SUM(price), AVG(price), MIN(price), MAX(price), SUM(stock) FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if f, _ := row[0].RealValue(); f != 660 {
+		t.Errorf("SUM = %v", row[0])
+	}
+	if f, _ := row[1].RealValue(); f != 132 {
+		t.Errorf("AVG = %v", row[1])
+	}
+	if f, _ := row[2].RealValue(); f != 20 {
+		t.Errorf("MIN = %v", row[2])
+	}
+	if f, _ := row[3].RealValue(); f != 300 {
+		t.Errorf("MAX = %v", row[3])
+	}
+	// SUM over INTEGER stays integer.
+	if n, ok := row[4].IntValue(); !ok || n != 24 {
+		t.Errorf("SUM(stock) = %v", row[4])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT brand, COUNT(*), AVG(price) FROM w GROUP BY brand ORDER BY brand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	first := res.Rows[0]
+	if b, _ := first[0].TextValue(); b != "Casio" {
+		t.Errorf("first group = %v", first)
+	}
+	if n, _ := first[1].IntValue(); n != 2 {
+		t.Errorf("Casio count = %v", first[1])
+	}
+	if f, _ := first[2].RealValue(); f != 30 {
+		t.Errorf("Casio avg = %v", first[2])
+	}
+}
+
+func TestGroupByOrderByAggregateNameFails(t *testing.T) {
+	db := aggDB(t)
+	// ORDER BY must reference an output column; price is not one here.
+	if _, err := db.Query("SELECT brand, COUNT(*) FROM w GROUP BY brand ORDER BY price"); err == nil {
+		t.Fatal("ORDER BY hidden column accepted")
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT brand, MAX(price) FROM w GROUP BY brand ORDER BY brand LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	db := aggDB(t)
+	bad := []string{
+		"SELECT brand FROM w GROUP BY price",         // brand not grouped
+		"SELECT brand, price FROM w GROUP BY brand",  // price not grouped
+		"SELECT * FROM w GROUP BY brand",             // star with group
+		"SELECT SUM(brand) FROM w",                   // sum over text
+		"SELECT AVG(brand) FROM w",                   // avg over text
+		"SELECT COUNT(nosuch) FROM w",                // unknown column
+		"SELECT brand, COUNT(*) FROM w GROUP BY nos", // unknown group col
+		"SELECT SUM(*) FROM w",                       // star on non-count
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded", q)
+		}
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT COUNT(*), SUM(price), MIN(price) FROM w WHERE price > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][0].IntValue(); n != 0 {
+		t.Errorf("COUNT on empty = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].Null || !res.Rows[0][2].Null {
+		t.Errorf("SUM/MIN on empty should be NULL: %v", res.Rows[0])
+	}
+	// GROUP BY with no rows yields no groups.
+	res, err = db.Query("SELECT brand, COUNT(*) FROM w WHERE price > 10000 GROUP BY brand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("empty group rows = %v", res.Rows)
+	}
+}
+
+func TestMinMaxText(t *testing.T) {
+	db := aggDB(t)
+	res, err := db.Query("SELECT MIN(brand), MAX(brand) FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := res.Rows[0][0].TextValue()
+	hi, _ := res.Rows[0][1].TextValue()
+	if lo != "Casio" || hi != "Seiko" {
+		t.Errorf("MIN/MAX text = %q/%q", lo, hi)
+	}
+}
+
+func TestGroupByWithJoin(t *testing.T) {
+	db := aggDB(t)
+	db.MustExec("CREATE TABLE origin (brand_name TEXT, country TEXT)")
+	db.MustExec("INSERT INTO origin (brand_name, country) VALUES ('Seiko', 'JP'), ('Casio', 'JP'), ('Citizen', 'JP')")
+	res, err := db.Query("SELECT origin.country, COUNT(*) FROM w JOIN origin ON w.brand = origin.brand_name GROUP BY origin.country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][1].IntValue(); n != 5 {
+		t.Errorf("JP count = %v", res.Rows[0][1])
+	}
+}
+
+// Property: COUNT(*) GROUP BY agrees with a manual tally.
+func TestGroupCountProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		db := New()
+		db.MustExec("CREATE TABLE p (id INTEGER PRIMARY KEY, g TEXT)")
+		tally := map[string]int64{}
+		for i, v := range vals {
+			g := fmt.Sprintf("g%d", v%4)
+			db.MustExec(fmt.Sprintf("INSERT INTO p (id, g) VALUES (%d, '%s')", i, g))
+			tally[g]++
+		}
+		res, err := db.Query("SELECT g, COUNT(*) FROM p GROUP BY g")
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(tally) {
+			return false
+		}
+		for _, row := range res.Rows {
+			g, _ := row[0].TextValue()
+			n, _ := row[1].IntValue()
+			if tally[g] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,488 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// watchDB builds the paper's database scenario: a catalog of watches, the
+// "might have n data records" data source of §2.3.
+func watchDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	stmts := []string{
+		"CREATE TABLE providers (id INTEGER PRIMARY KEY, name TEXT, country TEXT)",
+		"CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, model TEXT, watch_case TEXT, price REAL, pid INTEGER, waterproof BOOLEAN)",
+		"INSERT INTO providers (id, name, country) VALUES (1, 'WatchCo', 'PT'), (2, 'TimeHouse', 'JP')",
+		`INSERT INTO watches (id, brand, model, watch_case, price, pid, waterproof) VALUES
+			(1, 'Seiko', 'Dive Auto', 'stainless-steel', 129.99, 2, TRUE),
+			(2, 'Seiko', 'Dress', 'gold', 299.5, 2, FALSE),
+			(3, 'Casio', 'F91W', 'resin', 15.0, 1, TRUE),
+			(4, 'Citizen', 'EcoDrive', 'stainless-steel', 180.0, 1, TRUE)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("Exec(%q): %v", s, err)
+		}
+	}
+	return db
+}
+
+func TestInsertAndCount(t *testing.T) {
+	db := watchDB(t)
+	n, err := db.RowCount("watches")
+	if err != nil || n != 4 {
+		t.Fatalf("RowCount = %d, %v", n, err)
+	}
+	if got := db.Tables(); len(got) != 2 || got[0] != "providers" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestSelectWhereEquality(t *testing.T) {
+	db := watchDB(t)
+	res, err := db.Query("SELECT brand, watch_case FROM watches WHERE brand = 'Seiko' AND watch_case = 'stainless-steel'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if got, _ := res.Rows[0][0].TextValue(); got != "Seiko" {
+		t.Errorf("brand = %q", got)
+	}
+}
+
+func TestSelectComparisonsAndLogic(t *testing.T) {
+	db := watchDB(t)
+	tests := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM watches WHERE price < 100", 1},
+		{"SELECT * FROM watches WHERE price <= 129.99", 2},
+		{"SELECT * FROM watches WHERE price > 100 AND waterproof = TRUE", 2},
+		{"SELECT * FROM watches WHERE brand != 'Seiko'", 2},
+		{"SELECT * FROM watches WHERE brand = 'Seiko' OR brand = 'Casio'", 3},
+		{"SELECT * FROM watches WHERE NOT brand = 'Seiko'", 2},
+		{"SELECT * FROM watches WHERE brand LIKE 'C%'", 2},
+		{"SELECT * FROM watches WHERE brand LIKE '_asio'", 1},
+		{"SELECT * FROM watches WHERE brand LIKE 'seiko'", 2}, // case-insensitive
+		{"SELECT * FROM watches WHERE brand IN ('Seiko', 'Citizen')", 3},
+		{"SELECT * FROM watches WHERE price >= 15 AND price <= 180 AND NOT (brand = 'Casio')", 2},
+		{"SELECT * FROM watches WHERE id = 3", 1}, // integer compare via index
+	}
+	for _, tt := range tests {
+		res, err := db.Query(tt.sql)
+		if err != nil {
+			t.Errorf("Query(%q): %v", tt.sql, err)
+			continue
+		}
+		if len(res.Rows) != tt.want {
+			t.Errorf("Query(%q) = %d rows, want %d", tt.sql, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestSelectProjectionAndStar(t *testing.T) {
+	db := watchDB(t)
+	res, err := db.Query("SELECT model, price FROM watches WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "model" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if f, ok := res.Rows[0][1].RealValue(); !ok || f != 129.99 {
+		t.Errorf("price = %v", res.Rows[0][1])
+	}
+	res, err = db.Query("SELECT * FROM providers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Errorf("star columns = %v", res.Columns)
+	}
+}
+
+func TestSelectOrderLimitDistinct(t *testing.T) {
+	db := watchDB(t)
+	res, err := db.Query("SELECT brand FROM watches ORDER BY price DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if b, _ := res.Rows[0][0].TextValue(); b != "Seiko" {
+		t.Errorf("top price brand = %q, want Seiko (Dress 299.5)", b)
+	}
+	res, err = db.Query("SELECT DISTINCT brand FROM watches ORDER BY brand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct brands = %v", res.Rows)
+	}
+	if b, _ := res.Rows[0][0].TextValue(); b != "Casio" {
+		t.Errorf("first brand = %q", b)
+	}
+}
+
+func TestSelectOffset(t *testing.T) {
+	db := watchDB(t)
+	res, err := db.Query("SELECT brand FROM watches ORDER BY id LIMIT 2 OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if b, _ := res.Rows[0][0].TextValue(); b != "Seiko" {
+		t.Errorf("first = %q (id 2 is Seiko Dress)", b)
+	}
+	if b, _ := res.Rows[1][0].TextValue(); b != "Casio" {
+		t.Errorf("second = %q", b)
+	}
+	// Offset past the end yields nothing.
+	res, err = db.Query("SELECT brand FROM watches OFFSET 10")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("past-end offset = %v, %v", res.Rows, err)
+	}
+	// Offset works with aggregates too.
+	res, err = db.Query("SELECT brand, COUNT(*) FROM watches GROUP BY brand ORDER BY brand LIMIT 1 OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("aggregate offset = %v", res.Rows)
+	}
+	if b, _ := res.Rows[0][0].TextValue(); b != "Citizen" {
+		t.Errorf("aggregate offset row = %q", b)
+	}
+	if _, err := db.Query("SELECT brand FROM watches OFFSET x"); err == nil {
+		t.Error("bad OFFSET accepted")
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	db := watchDB(t)
+	res, err := db.Query("SELECT watches.brand, providers.name FROM watches JOIN providers ON watches.pid = providers.id WHERE providers.country = 'JP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if name, _ := row[1].TextValue(); name != "TimeHouse" {
+			t.Errorf("provider = %q", name)
+		}
+	}
+	// Reversed ON order still works.
+	res2, err := db.Query("SELECT watches.brand FROM watches JOIN providers ON providers.id = watches.pid WHERE providers.country = 'JP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 2 {
+		t.Errorf("reversed join rows = %v", res2.Rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := watchDB(t)
+	n, err := db.Exec("UPDATE watches SET price = 20 WHERE brand = 'Casio'")
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	res, _ := db.Query("SELECT price FROM watches WHERE brand = 'Casio'")
+	if f, _ := res.Rows[0][0].RealValue(); f != 20 {
+		t.Errorf("price after update = %v", res.Rows[0][0])
+	}
+	n, err = db.Exec("DELETE FROM watches WHERE price > 100")
+	if err != nil || n != 3 {
+		t.Fatalf("delete: %d, %v", n, err)
+	}
+	if c, _ := db.RowCount("watches"); c != 1 {
+		t.Errorf("rows after delete = %d", c)
+	}
+	// Index is rebuilt: id lookup still works.
+	res, err = db.Query("SELECT brand FROM watches WHERE id = 3")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("post-delete index query: %v, %v", res, err)
+	}
+	n, err = db.Exec("DELETE FROM watches")
+	if err != nil || n != 1 {
+		t.Fatalf("unconditional delete: %d, %v", n, err)
+	}
+}
+
+func TestPrimaryKeyAndUnique(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, sku TEXT UNIQUE, note TEXT)")
+	db.MustExec("INSERT INTO t (id, sku, note) VALUES (1, 'a', 'x')")
+	if _, err := db.Exec("INSERT INTO t (id, sku, note) VALUES (1, 'b', 'y')"); err == nil {
+		t.Error("duplicate primary key accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t (id, sku, note) VALUES (2, 'a', 'y')"); err == nil {
+		t.Error("duplicate unique value accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t (sku, note) VALUES ('c', 'z')"); err == nil {
+		t.Error("NULL primary key accepted")
+	}
+	// NULLs don't collide on UNIQUE columns.
+	db.MustExec("INSERT INTO t (id, note) VALUES (3, 'n1')")
+	db.MustExec("INSERT INTO t (id, note) VALUES (4, 'n2')")
+}
+
+func TestTypeCoercionErrors(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (n INTEGER, f REAL, b BOOLEAN, s TEXT)")
+	bad := []string{
+		"INSERT INTO t (n) VALUES ('abc')",
+		"INSERT INTO t (n) VALUES (1.5)",
+		"INSERT INTO t (f) VALUES ('xyz')",
+		"INSERT INTO t (b) VALUES ('maybe')",
+		"INSERT INTO t (b) VALUES (2)",
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s); err == nil {
+			t.Errorf("Exec(%q) succeeded", s)
+		}
+	}
+	good := []string{
+		"INSERT INTO t (n) VALUES ('42')",   // numeric string into INTEGER
+		"INSERT INTO t (f) VALUES (3)",      // integer literal into REAL
+		"INSERT INTO t (b) VALUES ('true')", // boolean string
+		"INSERT INTO t (s) VALUES (17)",     // number into TEXT
+	}
+	for _, s := range good {
+		if _, err := db.Exec(s); err != nil {
+			t.Errorf("Exec(%q): %v", s, err)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INTEGER, b TEXT)")
+	db.MustExec("INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, 'y'), (3, NULL)")
+	tests := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM t WHERE a = 1", 1},
+		{"SELECT * FROM t WHERE a != 1", 1}, // NULL row excluded
+		{"SELECT * FROM t WHERE a IS NULL", 1},
+		{"SELECT * FROM t WHERE a IS NOT NULL", 2},
+		{"SELECT * FROM t WHERE b IS NULL", 1},
+	}
+	for _, tt := range tests {
+		res, err := db.Query(tt.sql)
+		if err != nil {
+			t.Errorf("Query(%q): %v", tt.sql, err)
+			continue
+		}
+		if len(res.Rows) != tt.want {
+			t.Errorf("Query(%q) = %d rows, want %d", tt.sql, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := watchDB(t)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"query non-select", func() error { _, err := db.Query("DELETE FROM watches"); return err }},
+		{"exec select", func() error { _, err := db.Exec("SELECT * FROM watches"); return err }},
+		{"unknown table", func() error { _, err := db.Query("SELECT * FROM nope"); return err }},
+		{"unknown column", func() error { _, err := db.Query("SELECT nope FROM watches"); return err }},
+		{"unknown where column", func() error { _, err := db.Query("SELECT * FROM watches WHERE nope = 1"); return err }},
+		{"duplicate table", func() error { _, err := db.Exec("CREATE TABLE watches (a TEXT)"); return err }},
+		{"arity mismatch", func() error { _, err := db.Exec("INSERT INTO providers (id, name) VALUES (9)"); return err }},
+		{"type mismatch compare", func() error { _, err := db.Query("SELECT * FROM watches WHERE brand > 5"); return err }},
+		{"like non-text", func() error { _, err := db.Query("SELECT * FROM watches WHERE price LIKE 'x'"); return err }},
+		{"ambiguous join column", func() error {
+			_, err := db.Query("SELECT id FROM watches JOIN providers ON watches.pid = providers.id")
+			return err
+		}},
+		{"unknown join table ref", func() error {
+			_, err := db.Query("SELECT * FROM watches JOIN providers ON nosuch.pid = providers.id")
+			return err
+		}},
+		{"duplicate column def", func() error { _, err := db.Exec("CREATE TABLE z (a TEXT, a TEXT)"); return err }},
+		{"two primary keys", func() error {
+			_, err := db.Exec("CREATE TABLE z2 (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)")
+			return err
+		}},
+		{"index unknown column", func() error { _, err := db.Exec("CREATE INDEX ON watches (nope)"); return err }},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestSecondaryIndexUseAndCorrectness(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE big (id INTEGER PRIMARY KEY, grp TEXT, val INTEGER)")
+	for i := 0; i < 500; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO big (id, grp, val) VALUES (%d, 'g%d', %d)", i, i%10, i))
+	}
+	db.MustExec("CREATE INDEX ON big (grp)")
+	res, err := db.Query("SELECT val FROM big WHERE grp = 'g3' AND val < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("indexed query rows = %d, want 10", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		v, _ := row[0].IntValue()
+		if v%10 != 3 || v >= 100 {
+			t.Errorf("wrong row %v", row)
+		}
+	}
+}
+
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE c (id INTEGER PRIMARY KEY, v TEXT)")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := w*1000 + i
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO c (id, v) VALUES (%d, 'x')", id)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, err := db.Query("SELECT * FROM c WHERE v = 'x' LIMIT 5"); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, _ := db.RowCount("c"); n != 200 {
+		t.Fatalf("rows = %d, want 200", n)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	tests := []struct {
+		s, p string
+		want bool
+	}{
+		{"Seiko", "Seiko", true},
+		{"Seiko", "sei%", true},
+		{"Seiko", "%ko", true},
+		{"Seiko", "%ei%", true},
+		{"Seiko", "S_iko", true},
+		{"Seiko", "S_ko", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"a%b", "a%b", true}, // % in pattern matches greedily but still works
+	}
+	for _, tt := range tests {
+		if got := likeMatch(tt.s, tt.p); got != tt.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tt.s, tt.p, got, tt.want)
+		}
+	}
+}
+
+// Property: an indexed equality query returns exactly the rows a full scan
+// predicate would.
+func TestIndexMatchesScanProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		db := New()
+		db.MustExec("CREATE TABLE p (id INTEGER PRIMARY KEY, k TEXT, v INTEGER)")
+		for i, b := range vals {
+			db.MustExec(fmt.Sprintf("INSERT INTO p (id, k, v) VALUES (%d, 'k%d', %d)", i, b%5, b))
+		}
+		db.MustExec("CREATE INDEX ON p (k)")
+		for group := 0; group < 5; group++ {
+			indexed, err := db.Query(fmt.Sprintf("SELECT id FROM p WHERE k = 'k%d'", group))
+			if err != nil {
+				return false
+			}
+			want := 0
+			for _, b := range vals {
+				if int(b%5) == group {
+					want++
+				}
+			}
+			if len(indexed.Rows) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY yields a non-decreasing (or non-increasing) sequence.
+func TestOrderByProperty(t *testing.T) {
+	f := func(vals []int16, desc bool) bool {
+		db := New()
+		db.MustExec("CREATE TABLE o (id INTEGER PRIMARY KEY, v INTEGER)")
+		for i, v := range vals {
+			db.MustExec(fmt.Sprintf("INSERT INTO o (id, v) VALUES (%d, %d)", i, v))
+		}
+		dir := ""
+		if desc {
+			dir = " DESC"
+		}
+		res, err := db.Query("SELECT v FROM o ORDER BY v" + dir)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			a, _ := res.Rows[i-1][0].IntValue()
+			b, _ := res.Rows[i][0].IntValue()
+			if desc && a < b || !desc && a > b {
+				return false
+			}
+		}
+		return len(res.Rows) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if s, ok := Text("x").TextValue(); !ok || s != "x" {
+		t.Error("TextValue")
+	}
+	if i, ok := Int(7).IntValue(); !ok || i != 7 {
+		t.Error("IntValue")
+	}
+	if f, ok := Real(2.5).RealValue(); !ok || f != 2.5 {
+		t.Error("RealValue")
+	}
+	if b, ok := Bool(true).BoolValue(); !ok || !b {
+		t.Error("BoolValue")
+	}
+	if _, ok := NullValue().TextValue(); ok {
+		t.Error("null TextValue reported ok")
+	}
+	if NullValue().String() != "NULL" {
+		t.Error("null String")
+	}
+	if !strings.Contains(Int(5).String(), "5") {
+		t.Error("int String")
+	}
+}

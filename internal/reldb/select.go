@@ -1,0 +1,486 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqllang"
+)
+
+// env is the row environment a WHERE expression evaluates against: one
+// current row per table in FROM/JOIN order.
+type env struct {
+	tables []*table
+	rows   [][]Value
+}
+
+// lookup resolves a column reference against the environment. Unqualified
+// names must be unambiguous across the joined tables.
+func (e *env) lookup(ref sqllang.ColumnRef) (Value, error) {
+	if ref.Table != "" {
+		for ti, t := range e.tables {
+			if strings.EqualFold(t.name, ref.Table) {
+				ci, err := t.column(ref.Column)
+				if err != nil {
+					return Value{}, err
+				}
+				return e.rows[ti][ci], nil
+			}
+		}
+		return Value{}, fmt.Errorf("reldb: unknown table %q in column reference", ref.Table)
+	}
+	found := -1
+	var out Value
+	for ti, t := range e.tables {
+		if ci, ok := t.colIdx[strings.ToLower(ref.Column)]; ok {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("reldb: column %q is ambiguous across joined tables", ref.Column)
+			}
+			found = ti
+			out = e.rows[ti][ci]
+		}
+	}
+	if found < 0 {
+		return Value{}, fmt.Errorf("reldb: unknown column %q", ref.Column)
+	}
+	return out, nil
+}
+
+// evalBool evaluates a WHERE expression. SQL three-valued logic is
+// simplified to two values: any comparison involving NULL is false.
+func evalBool(expr sqllang.Expr, e *env) (bool, error) {
+	switch x := expr.(type) {
+	case *sqllang.BinaryExpr:
+		switch x.Op {
+		case sqllang.OpAnd:
+			l, err := evalBool(x.Left, e)
+			if err != nil {
+				return false, err
+			}
+			if !l {
+				return false, nil
+			}
+			return evalBool(x.Right, e)
+		case sqllang.OpOr:
+			l, err := evalBool(x.Left, e)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return evalBool(x.Right, e)
+		default:
+			return evalComparison(x, e)
+		}
+	case *sqllang.NotExpr:
+		inner, err := evalBool(x.Inner, e)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	case *sqllang.IsNullExpr:
+		v, err := evalOperand(x.Operand, e)
+		if err != nil {
+			return false, err
+		}
+		return v.Null != x.Negate, nil
+	case *sqllang.InExpr:
+		v, err := evalOperand(x.Operand, e)
+		if err != nil {
+			return false, err
+		}
+		if v.Null {
+			return false, nil
+		}
+		for _, lit := range x.Values {
+			c, err := compare(v, literalValue(lit))
+			if err == nil && c == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("reldb: expression %s is not a condition", expr)
+	}
+}
+
+func evalComparison(x *sqllang.BinaryExpr, e *env) (bool, error) {
+	left, err := evalOperand(x.Left, e)
+	if err != nil {
+		return false, err
+	}
+	right, err := evalOperand(x.Right, e)
+	if err != nil {
+		return false, err
+	}
+	if left.Null || right.Null {
+		return false, nil
+	}
+	if x.Op == sqllang.OpLike {
+		ls, lok := left.TextValue()
+		rs, rok := right.TextValue()
+		if !lok || !rok {
+			return false, fmt.Errorf("reldb: LIKE requires text operands")
+		}
+		return likeMatch(ls, rs), nil
+	}
+	c, err := compare(left, right)
+	if err != nil {
+		return false, err
+	}
+	switch x.Op {
+	case sqllang.OpEq:
+		return c == 0, nil
+	case sqllang.OpNe:
+		return c != 0, nil
+	case sqllang.OpLt:
+		return c < 0, nil
+	case sqllang.OpGt:
+		return c > 0, nil
+	case sqllang.OpLe:
+		return c <= 0, nil
+	case sqllang.OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("reldb: unsupported operator %s", x.Op)
+	}
+}
+
+func evalOperand(expr sqllang.Expr, e *env) (Value, error) {
+	switch x := expr.(type) {
+	case sqllang.ColumnRef:
+		return e.lookup(x)
+	case sqllang.LiteralExpr:
+		return literalValue(x), nil
+	default:
+		return Value{}, fmt.Errorf("reldb: unsupported operand %s", expr)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one rune).
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match over runes.
+	rs, rp := []rune(s), []rune(pattern)
+	memo := make(map[[2]int]bool)
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if j == len(rp) {
+			return i == len(rs)
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var out bool
+		switch rp[j] {
+		case '%':
+			out = match(i, j+1) || (i < len(rs) && match(i+1, j))
+		case '_':
+			out = i < len(rs) && match(i+1, j+1)
+		default:
+			out = i < len(rs) && equalFoldRune(rs[i], rp[j]) && match(i+1, j+1)
+		}
+		memo[key] = out
+		return out
+	}
+	return match(0, 0)
+}
+
+func equalFoldRune(a, b rune) bool {
+	return a == b || strings.EqualFold(string(a), string(b))
+}
+
+// executeSelect runs a parsed SELECT. Callers hold the read lock.
+func (db *DB) executeSelect(sel *sqllang.Select) (*Result, error) {
+	base, err := db.table(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	tables := []*table{base}
+	for _, j := range sel.Joins {
+		jt, err := db.table(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, jt)
+	}
+
+	// Assemble joined row tuples with nested hash joins.
+	tuples, err := db.joinTuples(sel, tables)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter.
+	var filtered [][][]Value
+	for _, tuple := range tuples {
+		if sel.Where != nil {
+			e := &env{tables: tables, rows: tuple}
+			ok, err := evalBool(sel.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		filtered = append(filtered, tuple)
+	}
+
+	// Aggregation takes over projection, ordering, and limiting.
+	if sqllang.HasAggregate(sel.Columns) || len(sel.GroupBy) > 0 {
+		return db.aggregate(sel, tables, filtered)
+	}
+
+	// Order.
+	if sel.Order != nil {
+		ref := sel.Order.Column
+		var sortErr error
+		sort.SliceStable(filtered, func(i, j int) bool {
+			ei := &env{tables: tables, rows: filtered[i]}
+			ej := &env{tables: tables, rows: filtered[j]}
+			vi, err := ei.lookup(ref)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vj, err := ej.lookup(ref)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if vi.Null != vj.Null {
+				return vi.Null // NULLs first
+			}
+			if vi.Null {
+				return false
+			}
+			c, err := compare(vi, vj)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if sel.Order.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	// Project.
+	result, err := project(sel, tables, filtered)
+	if err != nil {
+		return nil, err
+	}
+
+	// Distinct.
+	if sel.Distinct {
+		seen := make(map[string]bool, len(result.Rows))
+		kept := result.Rows[:0]
+		for _, row := range result.Rows {
+			var b strings.Builder
+			for _, v := range row {
+				b.WriteString(v.key())
+				b.WriteByte('\x00')
+			}
+			k := b.String()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, row)
+			}
+		}
+		result.Rows = kept
+	}
+
+	// Offset and limit.
+	result.Rows = applyOffsetLimit(result.Rows, sel.Offset, sel.Limit)
+	return result, nil
+}
+
+func applyOffsetLimit(rows [][]Value, offset, limit int) [][]Value {
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// joinTuples enumerates row tuples across the FROM table and all joins,
+// using a hash map on the join key to avoid quadratic nested loops.
+func (db *DB) joinTuples(sel *sqllang.Select, tables []*table) ([][][]Value, error) {
+	baseRows := db.scanBase(sel, tables[0])
+	tuples := make([][][]Value, 0, len(baseRows))
+	for _, r := range baseRows {
+		tuples = append(tuples, [][]Value{r})
+	}
+	for ji, j := range sel.Joins {
+		right := tables[ji+1]
+		// Determine which side of the ON condition refers to the new table.
+		rightRef, leftRef := j.Right, j.Left
+		if strings.EqualFold(leftRef.Table, right.name) && !strings.EqualFold(rightRef.Table, right.name) {
+			rightRef, leftRef = j.Left, j.Right
+		}
+		rightCol, err := right.column(rightRef.Column)
+		if err != nil {
+			return nil, err
+		}
+		// Hash the right table by join key.
+		hash := make(map[string][][]Value, len(right.rows))
+		for _, row := range right.rows {
+			k := row[rightCol].key()
+			hash[k] = append(hash[k], row)
+		}
+		joined := tuples[:0:0]
+		prior := tables[:ji+1]
+		for _, tuple := range tuples {
+			e := &env{tables: prior, rows: tuple}
+			lv, err := e.lookup(leftRef)
+			if err != nil {
+				return nil, err
+			}
+			for _, rrow := range hash[lv.key()] {
+				next := make([][]Value, len(tuple)+1)
+				copy(next, tuple)
+				next[len(tuple)] = rrow
+				joined = append(joined, next)
+			}
+		}
+		tuples = joined
+	}
+	return tuples, nil
+}
+
+// scanBase returns the base table rows, using an index when the WHERE
+// clause's top-level conjunction contains an equality on an indexed column.
+func (db *DB) scanBase(sel *sqllang.Select, t *table) [][]Value {
+	if sel.Where != nil && len(sel.Joins) == 0 {
+		if col, val, ok := indexableEquality(sel.Where, t); ok {
+			if rowNos, indexed := t.candidateRows(col, val); indexed {
+				rows := make([][]Value, 0, len(rowNos))
+				for _, n := range rowNos {
+					rows = append(rows, t.rows[n])
+				}
+				return rows
+			}
+		}
+	}
+	return t.rows
+}
+
+// indexableEquality finds one `col = literal` conjunct whose column has an
+// index on t. The full WHERE still runs on the narrowed candidates, so this
+// is purely an access-path optimization.
+func indexableEquality(expr sqllang.Expr, t *table) (int, Value, bool) {
+	switch x := expr.(type) {
+	case *sqllang.BinaryExpr:
+		switch x.Op {
+		case sqllang.OpAnd:
+			if col, v, ok := indexableEquality(x.Left, t); ok {
+				return col, v, true
+			}
+			return indexableEquality(x.Right, t)
+		case sqllang.OpEq:
+			ref, refOK := x.Left.(sqllang.ColumnRef)
+			lit, litOK := x.Right.(sqllang.LiteralExpr)
+			if !refOK || !litOK {
+				// Try the symmetric form literal = col.
+				ref, refOK = x.Right.(sqllang.ColumnRef)
+				lit, litOK = x.Left.(sqllang.LiteralExpr)
+			}
+			if !refOK || !litOK {
+				return 0, Value{}, false
+			}
+			if ref.Table != "" && !strings.EqualFold(ref.Table, t.name) {
+				return 0, Value{}, false
+			}
+			col, err := t.column(ref.Column)
+			if err != nil {
+				return 0, Value{}, false
+			}
+			if _, hasIdx := t.indexes[col]; !hasIdx {
+				return 0, Value{}, false
+			}
+			// Index keys are typed: coerce the literal to the column type so
+			// e.g. WHERE id = 3 hits an INTEGER index.
+			v, err := coerce(lit, t.columns[col].Type)
+			if err != nil {
+				return 0, Value{}, false
+			}
+			return col, v, true
+		}
+	}
+	return 0, Value{}, false
+}
+
+// colPos locates a column in the joined-tuple coordinate space.
+type colPos struct{ ti, ci int }
+
+// resolveRef finds a column reference across the joined tables.
+func resolveRef(tables []*table, ref sqllang.ColumnRef) (colPos, error) {
+	found := false
+	var pos colPos
+	for ti, t := range tables {
+		if ref.Table != "" && !strings.EqualFold(t.name, ref.Table) {
+			continue
+		}
+		if ci, ok := t.colIdx[strings.ToLower(ref.Column)]; ok {
+			if found {
+				return colPos{}, fmt.Errorf("reldb: column %q is ambiguous", ref.Column)
+			}
+			pos = colPos{ti, ci}
+			found = true
+		}
+	}
+	if !found {
+		return colPos{}, fmt.Errorf("reldb: unknown column %q", ref.String())
+	}
+	return pos, nil
+}
+
+// project builds the result columns from the select list.
+func project(sel *sqllang.Select, tables []*table, tuples [][][]Value) (*Result, error) {
+	res := &Result{}
+	var positions []colPos
+
+	if len(sel.Columns) == 0 {
+		for ti, t := range tables {
+			for ci, c := range t.columns {
+				positions = append(positions, colPos{ti, ci})
+				name := c.Name
+				if len(tables) > 1 {
+					name = t.name + "." + c.Name
+				}
+				res.Columns = append(res.Columns, name)
+			}
+		}
+	} else {
+		for _, item := range sel.Columns {
+			pos, err := resolveRef(tables, item.Col)
+			if err != nil {
+				return nil, err
+			}
+			positions = append(positions, pos)
+			res.Columns = append(res.Columns, item.Col.String())
+		}
+	}
+
+	res.Rows = make([][]Value, 0, len(tuples))
+	for _, tuple := range tuples {
+		row := make([]Value, len(positions))
+		for i, p := range positions {
+			row[i] = tuple[p.ti][p.ci]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,24 @@
+package s2sql
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// BenchmarkParsePlanPaperQuery measures the query handler on the paper's
+// worked example.
+func BenchmarkParsePlanPaperQuery(b *testing.B) {
+	ont := ontology.Paper()
+	const q = "SELECT product WHERE brand='Seiko' AND case='stainless-steel'"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := ParseAndPlan(q, ont)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Attributes) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package s2sql
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// FuzzParse checks the S2SQL parser never panics, accepted queries print
+// to a stable fixed point, and planning against the paper ontology never
+// panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT product WHERE brand='Seiko' AND case = 'stainless-steel'",
+		"SELECT watch WHERE price <= 200 AND water_resistance >= 100",
+		"SELECT provider",
+		"SELECT product WHERE thing.product.brand != 'x'",
+		"SELECT product WHERE model LIKE 'Dive%'",
+		"SELECT product WHERE waterproof = TRUE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	ont := ontology.Paper()
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form unparseable: %q -> %q: %v", input, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("print not a fixed point: %q -> %q", printed, q2.String())
+		}
+		// Planning must never panic, only error.
+		_, _ = PlanQuery(q, ont)
+	})
+}

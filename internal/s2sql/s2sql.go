@@ -1,0 +1,386 @@
+// Package s2sql implements the Syntactic-to-Semantic Query Language (paper
+// §2.5), the middleware's single point of entry. S2SQL is a simplified SQL:
+// data location is transparent, so FROM and related operators do not exist.
+// A query names only an ontology class and attribute constraints:
+//
+//	SELECT <ontology class>
+//	WHERE <attribute><operator><constraint>
+//	AND   <attribute><operator><constraint>
+//
+// The paper's example — SELECT product WHERE brand='Seiko' AND
+// case='stainless-steel' — parses, validates against the ontology, and
+// plans into the attribute list the Extractor Manager consumes (§2.4 step
+// 1: "the extraction data must be a set of attributes... determined by the
+// query handler").
+package s2sql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/sqllang"
+)
+
+// Op is a comparison operator usable in a WHERE condition.
+type Op string
+
+// Supported operators.
+const (
+	OpEq   Op = "="
+	OpNe   Op = "!="
+	OpLt   Op = "<"
+	OpGt   Op = ">"
+	OpLe   Op = "<="
+	OpGe   Op = ">="
+	OpLike Op = "LIKE"
+)
+
+// Condition is one attribute constraint. Attribute may be a simple name
+// ("brand") resolved in the queried class's scope, or a full dotted ID
+// ("thing.product.brand").
+type Condition struct {
+	Attribute string
+	Op        Op
+	Value     Literal
+}
+
+// Literal is a constraint constant.
+type Literal struct {
+	// Kind is the literal kind (string, number, or boolean).
+	Kind sqllang.LiteralKind
+	// Text is the literal text (unquoted for strings).
+	Text string
+}
+
+// String renders the literal in S2SQL syntax.
+func (l Literal) String() string {
+	if l.Kind == sqllang.LitString {
+		return "'" + strings.ReplaceAll(l.Text, "'", "''") + "'"
+	}
+	return l.Text
+}
+
+// Query is a parsed S2SQL query.
+type Query struct {
+	// Class is the ontology class named in SELECT.
+	Class string
+	// Conditions are the AND-joined WHERE constraints, possibly empty.
+	Conditions []Condition
+}
+
+// String renders the query in canonical S2SQL syntax.
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(q.Class)
+	for i, c := range q.Conditions {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(c.Attribute)
+		b.WriteByte(' ')
+		b.WriteString(string(c.Op))
+		b.WriteByte(' ')
+		b.WriteString(c.Value.String())
+	}
+	return b.String()
+}
+
+// Parse parses an S2SQL query. The grammar deliberately rejects FROM: data
+// location is not part of the language.
+func Parse(input string) (Query, error) {
+	toks, err := sqllang.Lex(input)
+	if err != nil {
+		return Query{}, fmt.Errorf("s2sql: %w", err)
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []sqllang.Token
+	pos  int
+}
+
+func (p *parser) peek() sqllang.Token { return p.toks[p.pos] }
+
+func (p *parser) next() sqllang.Token {
+	t := p.toks[p.pos]
+	if t.Kind != sqllang.TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind sqllang.TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind sqllang.TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("s2sql: at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (Query, error) {
+	var q Query
+	if !p.accept(sqllang.TokKeyword, "SELECT") {
+		return q, p.errf("query must start with SELECT, got %s", p.peek())
+	}
+	class, err := p.name()
+	if err != nil {
+		return q, err
+	}
+	q.Class = class
+	if p.accept(sqllang.TokKeyword, "FROM") {
+		return q, p.errf("S2SQL has no FROM clause: data location is transparent (paper §2.5)")
+	}
+	if p.accept(sqllang.TokKeyword, "WHERE") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return q, err
+			}
+			q.Conditions = append(q.Conditions, cond)
+			if !p.accept(sqllang.TokKeyword, "AND") {
+				break
+			}
+		}
+	}
+	if !p.at(sqllang.TokEOF, "") {
+		return q, p.errf("unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+// name parses an attribute or class name, allowing dotted paths.
+func (p *parser) name() (string, error) {
+	// "case" collides with no keyword in our lexer, but ontology attribute
+	// names may collide with SQL keywords generally; accept keywords as
+	// names when they appear where a name is required.
+	t := p.peek()
+	if t.Kind != sqllang.TokIdent && t.Kind != sqllang.TokKeyword {
+		return "", p.errf("expected a name, got %s", t)
+	}
+	p.next()
+	parts := []string{t.Text}
+	for p.accept(sqllang.TokPunct, ".") {
+		nt := p.peek()
+		if nt.Kind != sqllang.TokIdent && nt.Kind != sqllang.TokKeyword {
+			return "", p.errf("expected a name after '.', got %s", nt)
+		}
+		p.next()
+		parts = append(parts, nt.Text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+func (p *parser) condition() (Condition, error) {
+	attr, err := p.name()
+	if err != nil {
+		return Condition{}, err
+	}
+	var op Op
+	switch {
+	case p.accept(sqllang.TokPunct, "="):
+		op = OpEq
+	case p.accept(sqllang.TokPunct, "!="):
+		op = OpNe
+	case p.accept(sqllang.TokPunct, "<="):
+		op = OpLe
+	case p.accept(sqllang.TokPunct, ">="):
+		op = OpGe
+	case p.accept(sqllang.TokPunct, "<"):
+		op = OpLt
+	case p.accept(sqllang.TokPunct, ">"):
+		op = OpGt
+	case p.accept(sqllang.TokKeyword, "LIKE"):
+		op = OpLike
+	default:
+		return Condition{}, p.errf("expected an operator after %q, got %s", attr, p.peek())
+	}
+	t := p.peek()
+	var lit Literal
+	switch {
+	case t.Kind == sqllang.TokString:
+		lit = Literal{Kind: sqllang.LitString, Text: t.Text}
+		p.next()
+	case t.Kind == sqllang.TokNumber:
+		lit = Literal{Kind: sqllang.LitNumber, Text: t.Text}
+		p.next()
+	case p.accept(sqllang.TokKeyword, "TRUE"):
+		lit = Literal{Kind: sqllang.LitBool, Text: "TRUE"}
+	case p.accept(sqllang.TokKeyword, "FALSE"):
+		lit = Literal{Kind: sqllang.LitBool, Text: "FALSE"}
+	default:
+		return Condition{}, p.errf("expected a constraint value, got %s", t)
+	}
+	return Condition{Attribute: attr, Op: op, Value: lit}, nil
+}
+
+// PlannedCondition is a condition with its attribute resolved against the
+// ontology.
+type PlannedCondition struct {
+	Attribute *ontology.Attribute
+	Op        Op
+	Value     Literal
+}
+
+// Plan is the query handler's output (paper Figure 5 step 1): the resolved
+// class, the closure of output classes, the full attribute list to extract,
+// and the typed conditions to apply to assembled instances.
+type Plan struct {
+	Query Query
+	// Class is the resolved queried class.
+	Class *ontology.Class
+	// OutputClasses is the class closure the answer is built from: the
+	// queried class, its subclasses, and directly related classes (paper
+	// §2.5: "all products have a Provider, and therefore the output classes
+	// will be Product, watch, and Provider").
+	OutputClasses []*ontology.Class
+	// Attributes is the set of attributes to extract: every attribute
+	// declared on or inherited by the output classes, deduplicated, in ID
+	// order.
+	Attributes []*ontology.Attribute
+	// Conditions are the resolved constraints.
+	Conditions []PlannedCondition
+}
+
+// AttributeIDs returns the plan's attribute list as dotted IDs.
+func (p *Plan) AttributeIDs() []string {
+	out := make([]string, len(p.Attributes))
+	for i, a := range p.Attributes {
+		out[i] = a.ID()
+	}
+	return out
+}
+
+// PlanQuery resolves a parsed query against an ontology.
+func PlanQuery(q Query, ont *ontology.Ontology) (*Plan, error) {
+	class, ok := ont.Class(q.Class)
+	if !ok {
+		return nil, fmt.Errorf("s2sql: class %q is not defined in ontology %q", q.Class, ont.Name)
+	}
+	plan := &Plan{Query: q, Class: class}
+
+	// Output closure: class, descendants, then relation targets from the
+	// closure and the class's ancestors (a relation declared on a
+	// superclass applies to the subclass).
+	seen := map[*ontology.Class]bool{}
+	add := func(c *ontology.Class) {
+		if !seen[c] {
+			seen[c] = true
+			plan.OutputClasses = append(plan.OutputClasses, c)
+		}
+	}
+	add(class)
+	for _, d := range class.Descendants() {
+		add(d)
+	}
+	withAncestors := append([]*ontology.Class{}, plan.OutputClasses...)
+	withAncestors = append(withAncestors, class.Ancestors()...)
+	for _, c := range withAncestors {
+		for _, r := range c.Relations {
+			add(r.To)
+		}
+	}
+
+	// Attribute list: all attributes (declared + inherited) of every output
+	// class, deduplicated.
+	attrSeen := map[string]bool{}
+	for _, c := range plan.OutputClasses {
+		for _, a := range c.AllAttributes() {
+			if !attrSeen[a.ID()] {
+				attrSeen[a.ID()] = true
+				plan.Attributes = append(plan.Attributes, a)
+			}
+		}
+	}
+	sortAttributes(plan.Attributes)
+
+	// Resolve and type-check conditions.
+	for _, cond := range q.Conditions {
+		var attr *ontology.Attribute
+		var err error
+		if strings.Contains(cond.Attribute, ".") {
+			a, ok := ont.Attribute(cond.Attribute)
+			if !ok {
+				return nil, fmt.Errorf("s2sql: attribute %q is not defined", cond.Attribute)
+			}
+			attr = a
+		} else {
+			attr, err = ont.ResolveAttributeName(class.Name, cond.Attribute)
+			if err != nil {
+				return nil, fmt.Errorf("s2sql: %w", err)
+			}
+		}
+		if err := checkOperandTypes(attr, cond); err != nil {
+			return nil, err
+		}
+		plan.Conditions = append(plan.Conditions, PlannedCondition{
+			Attribute: attr, Op: cond.Op, Value: cond.Value,
+		})
+	}
+	return plan, nil
+}
+
+// ParseAndPlan parses then plans in one step.
+func ParseAndPlan(input string, ont *ontology.Ontology) (*Plan, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return PlanQuery(q, ont)
+}
+
+func checkOperandTypes(attr *ontology.Attribute, cond Condition) error {
+	numeric := attr.Datatype == rdf.XSDInteger || attr.Datatype == rdf.XSDDecimal || attr.Datatype == rdf.XSDDouble
+	switch cond.Op {
+	case OpLt, OpGt, OpLe, OpGe:
+		if !numeric {
+			return fmt.Errorf("s2sql: operator %s needs a numeric attribute, but %s is %s",
+				cond.Op, attr.ID(), attr.Datatype.Local())
+		}
+		if cond.Value.Kind != sqllang.LitNumber {
+			return fmt.Errorf("s2sql: operator %s on %s needs a numeric constraint, got %s",
+				cond.Op, attr.ID(), cond.Value.String())
+		}
+	case OpLike:
+		if numeric {
+			return fmt.Errorf("s2sql: LIKE needs a string attribute, but %s is %s",
+				attr.ID(), attr.Datatype.Local())
+		}
+		if cond.Value.Kind != sqllang.LitString {
+			return fmt.Errorf("s2sql: LIKE needs a string pattern, got %s", cond.Value.String())
+		}
+	case OpEq, OpNe:
+		if numeric && cond.Value.Kind == sqllang.LitString {
+			if _, err := strconv.ParseFloat(cond.Value.Text, 64); err != nil {
+				return fmt.Errorf("s2sql: attribute %s is numeric but constraint %s is not",
+					attr.ID(), cond.Value.String())
+			}
+		}
+	}
+	return nil
+}
+
+func sortAttributes(attrs []*ontology.Attribute) {
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].ID() < attrs[j].ID() })
+}

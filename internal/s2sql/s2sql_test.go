@@ -1,0 +1,247 @@
+package s2sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ontology"
+	"repro/internal/sqllang"
+)
+
+// TestParsePaperQuery parses the exact query of paper §2.5.
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse("SELECT product WHERE brand='Seiko' AND case = 'stainless-steel'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class != "product" {
+		t.Errorf("class = %q", q.Class)
+	}
+	if len(q.Conditions) != 2 {
+		t.Fatalf("conditions = %+v", q.Conditions)
+	}
+	if q.Conditions[0].Attribute != "brand" || q.Conditions[0].Op != OpEq || q.Conditions[0].Value.Text != "Seiko" {
+		t.Errorf("condition 0 = %+v", q.Conditions[0])
+	}
+	if q.Conditions[1].Attribute != "case" || q.Conditions[1].Value.Text != "stainless-steel" {
+		t.Errorf("condition 1 = %+v", q.Conditions[1])
+	}
+}
+
+func TestParseOperatorsAndLiterals(t *testing.T) {
+	q, err := Parse("SELECT watch WHERE price <= 200 AND price > 10 AND brand != 'Casio' AND model LIKE 'Dive%' AND water_resistance >= 100 AND movement = 'auto' AND case < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Op{OpLe, OpGt, OpNe, OpLike, OpGe, OpEq, OpLt}
+	for i, want := range ops {
+		if q.Conditions[i].Op != want {
+			t.Errorf("condition %d op = %s, want %s", i, q.Conditions[i].Op, want)
+		}
+	}
+	q2, err := Parse("SELECT watch WHERE waterproof = TRUE")
+	if err != nil || q2.Conditions[0].Value.Kind != sqllang.LitBool {
+		t.Errorf("bool literal: %+v, %v", q2, err)
+	}
+}
+
+func TestParseDottedAttributeIDs(t *testing.T) {
+	q, err := Parse("SELECT product WHERE thing.product.brand = 'Seiko'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Conditions[0].Attribute != "thing.product.brand" {
+		t.Errorf("attribute = %q", q.Conditions[0].Attribute)
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse("SELECT provider")
+	if err != nil || q.Class != "provider" || len(q.Conditions) != 0 {
+		t.Fatalf("q = %+v, %v", q, err)
+	}
+}
+
+func TestParseRejectsFrom(t *testing.T) {
+	_, err := Parse("SELECT product FROM sources WHERE brand = 'Seiko'")
+	if err == nil || !strings.Contains(err.Error(), "FROM") {
+		t.Fatalf("err = %v, want FROM rejection", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"product WHERE brand='x'",
+		"SELECT",
+		"SELECT product WHERE",
+		"SELECT product WHERE brand",
+		"SELECT product WHERE brand =",
+		"SELECT product WHERE brand = 'x' AND",
+		"SELECT product WHERE brand = 'x' OR case = 'y'", // AND-only grammar
+		"SELECT product extra",
+		"SELECT product WHERE brand = 'x' trailing",
+		"SELECT product WHERE brand == 'x'",
+		"SELECT 42",
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) succeeded", input)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	in := "SELECT product WHERE brand = 'Sei''ko' AND price <= 200"
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := q.String()
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	if q2.String() != printed {
+		t.Errorf("print not stable: %q vs %q", printed, q2.String())
+	}
+}
+
+// TestPlanPaperQuery verifies the paper's worked example: the output classes
+// of SELECT product ... are Product, watch, and Provider.
+func TestPlanPaperQuery(t *testing.T) {
+	ont := ontology.Paper()
+	plan, err := ParseAndPlan("SELECT product WHERE brand='Seiko' AND case='stainless-steel'", ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classNames []string
+	for _, c := range plan.OutputClasses {
+		classNames = append(classNames, c.Name)
+	}
+	joined := strings.Join(classNames, " ")
+	for _, want := range []string{"product", "watch", "provider"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("output classes %v missing %s", classNames, want)
+		}
+	}
+	if strings.Contains(joined, "thing") {
+		t.Errorf("bare root class in output: %v", classNames)
+	}
+
+	// The attribute list covers the watch and provider attributes.
+	ids := strings.Join(plan.AttributeIDs(), " ")
+	for _, want := range []string{"thing.product.brand", "thing.product.watch.case", "thing.provider.name"} {
+		if !strings.Contains(ids, want) {
+			t.Errorf("attribute list missing %s: %v", want, plan.AttributeIDs())
+		}
+	}
+
+	// Conditions resolve to unique attributes: case → thing.product.watch.case.
+	if len(plan.Conditions) != 2 {
+		t.Fatalf("conditions = %+v", plan.Conditions)
+	}
+	if got := plan.Conditions[1].Attribute.ID(); got != "thing.product.watch.case" {
+		t.Errorf("resolved case = %s", got)
+	}
+}
+
+func TestPlanQueryOnSubclassAndRelated(t *testing.T) {
+	ont := ontology.Paper()
+	plan, err := ParseAndPlan("SELECT watch WHERE brand = 'Seiko'", ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The watch closure still includes provider via the relation inherited
+	// from product.
+	found := false
+	for _, c := range plan.OutputClasses {
+		if c.Name == "provider" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("provider missing from watch closure: %v", plan.OutputClasses)
+	}
+	// Inherited attribute brand resolves from the product superclass.
+	if plan.Conditions[0].Attribute.ID() != "thing.product.brand" {
+		t.Errorf("brand resolved to %s", plan.Conditions[0].Attribute.ID())
+	}
+}
+
+func TestPlanProviderQueryHasNoProductAttributes(t *testing.T) {
+	ont := ontology.Paper()
+	plan, err := ParseAndPlan("SELECT provider", ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range plan.AttributeIDs() {
+		if strings.Contains(id, "product") {
+			t.Errorf("provider query extracts product attribute %s", id)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	ont := ontology.Paper()
+	cases := []string{
+		"SELECT gadget",                                // unknown class
+		"SELECT product WHERE serial = 'x'",            // unknown attribute
+		"SELECT product WHERE thing.product.sku = 'x'", // unknown dotted ID
+		"SELECT product WHERE brand < 10",              // ordering on string attribute
+		"SELECT product WHERE price < 'cheap'",         // non-numeric constraint... parses as string
+		"SELECT product WHERE price LIKE 'x'",          // LIKE on numeric is a plan error? price is decimal
+		"SELECT product WHERE brand LIKE 5",            // LIKE with number
+		"SELECT product WHERE price = 'abc'",           // numeric attribute, non-numeric text
+	}
+	for _, input := range cases {
+		if _, err := ParseAndPlan(input, ont); err == nil {
+			t.Errorf("ParseAndPlan(%q) succeeded", input)
+		}
+	}
+}
+
+func TestPlanNumericStringEquality(t *testing.T) {
+	ont := ontology.Paper()
+	// '100' is numeric text, allowed against a numeric attribute.
+	if _, err := ParseAndPlan("SELECT watch WHERE water_resistance = '100'", ont); err != nil {
+		t.Fatalf("numeric string equality rejected: %v", err)
+	}
+}
+
+// Property: parse ∘ print is a fixed point for generated condition lists.
+func TestParsePrintFixedPointProperty(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpGt, OpLe, OpGe, OpLike}
+	f := func(n uint8, vals []uint16) bool {
+		q := Query{Class: "product"}
+		for i, v := range vals {
+			if i > 6 {
+				break
+			}
+			q.Conditions = append(q.Conditions, Condition{
+				Attribute: "attr" + string(rune('a'+i)),
+				Op:        ops[int(n)%len(ops)],
+				Value:     Literal{Kind: sqllang.LitNumber, Text: itoa(int(v))},
+			})
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		return err == nil && q2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

@@ -1,0 +1,333 @@
+// Package selector implements a CSS-selector wrapper language over the
+// htmldoc DOM — the style of web extraction rule that succeeded the WebL
+// generation of wrappers the paper cites (W4F, Caméléon). The middleware
+// accepts it as an alternative rule language for web data sources, which
+// makes the WebL-vs-selector comparison an ablation (experiment E13).
+//
+// Grammar:
+//
+//	selector   = compound { combinator compound } [ "::" extractor ]
+//	combinator = " " (descendant) | ">" (child)
+//	compound   = [ tag ] { "." class | "#" id | "[" attr [ "=" value ] "]" }
+//	extractor  = "text" | "attr(" name ")"
+//
+// Examples: "div.product > b.brand::text", "span[data-id='3']",
+// "a::attr(href)". The default extractor is ::text (visible text).
+package selector
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/htmldoc"
+)
+
+// Selector is a compiled selector expression.
+type Selector struct {
+	expr  string
+	parts []compound
+	// attrName is the ::attr(name) extractor; empty means ::text.
+	attrName string
+}
+
+// compound is one compound selector plus the combinator linking it to the
+// previous one.
+type compound struct {
+	child bool // true for '>', false for descendant
+	tag   string
+	conds []condition
+}
+
+type condKind int
+
+const (
+	condClass condKind = iota + 1
+	condID
+	condAttrExists
+	condAttrEquals
+)
+
+type condition struct {
+	kind  condKind
+	name  string
+	value string
+}
+
+// MustCompile is Compile but panics on error.
+func MustCompile(expr string) *Selector {
+	s, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Compile parses a selector expression.
+func Compile(expr string) (*Selector, error) {
+	trimmed := strings.TrimSpace(expr)
+	if trimmed == "" {
+		return nil, fmt.Errorf("selector: empty expression")
+	}
+	sel := &Selector{expr: trimmed}
+
+	// Split off the ::extractor suffix.
+	body := trimmed
+	if idx := strings.LastIndex(body, "::"); idx >= 0 {
+		ext := strings.TrimSpace(body[idx+2:])
+		body = strings.TrimSpace(body[:idx])
+		switch {
+		case ext == "text":
+			// default
+		case strings.HasPrefix(ext, "attr(") && strings.HasSuffix(ext, ")"):
+			name := strings.TrimSpace(ext[5 : len(ext)-1])
+			if name == "" {
+				return nil, fmt.Errorf("selector: %q: empty attribute in ::attr()", expr)
+			}
+			sel.attrName = name
+		default:
+			return nil, fmt.Errorf("selector: %q: unknown extractor %q", expr, ext)
+		}
+		if body == "" {
+			return nil, fmt.Errorf("selector: %q: extractor without a selector", expr)
+		}
+	}
+
+	// Tokenize into compounds and combinators.
+	p := &selParser{input: body}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.input) {
+			break
+		}
+		child := false
+		if len(sel.parts) > 0 && p.input[p.pos] == '>' {
+			child = true
+			p.pos++
+			p.skipSpace()
+		}
+		c, err := p.compound()
+		if err != nil {
+			return nil, fmt.Errorf("selector: %q: %w", expr, err)
+		}
+		c.child = child
+		sel.parts = append(sel.parts, c)
+	}
+	if len(sel.parts) == 0 {
+		return nil, fmt.Errorf("selector: %q selects nothing", expr)
+	}
+	return sel, nil
+}
+
+type selParser struct {
+	input string
+	pos   int
+}
+
+func (p *selParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isSelNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '-' || c == '_'
+}
+
+func (p *selParser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.input) && isSelNameChar(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected a name at offset %d", p.pos)
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *selParser) compound() (compound, error) {
+	var c compound
+	// Optional tag (or * wildcard).
+	if p.pos < len(p.input) && p.input[p.pos] == '*' {
+		p.pos++
+	} else if p.pos < len(p.input) && isSelNameChar(p.input[p.pos]) {
+		tag, err := p.name()
+		if err != nil {
+			return c, err
+		}
+		c.tag = strings.ToLower(tag)
+	}
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case '.':
+			p.pos++
+			name, err := p.name()
+			if err != nil {
+				return c, err
+			}
+			c.conds = append(c.conds, condition{kind: condClass, name: name})
+		case '#':
+			p.pos++
+			name, err := p.name()
+			if err != nil {
+				return c, err
+			}
+			c.conds = append(c.conds, condition{kind: condID, name: name})
+		case '[':
+			p.pos++
+			name, err := p.name()
+			if err != nil {
+				return c, err
+			}
+			cond := condition{kind: condAttrExists, name: strings.ToLower(name)}
+			if p.pos < len(p.input) && p.input[p.pos] == '=' {
+				p.pos++
+				val, err := p.attrValue()
+				if err != nil {
+					return c, err
+				}
+				cond.kind = condAttrEquals
+				cond.value = val
+			}
+			if p.pos >= len(p.input) || p.input[p.pos] != ']' {
+				return c, fmt.Errorf("unterminated attribute condition")
+			}
+			p.pos++
+			c.conds = append(c.conds, cond)
+		default:
+			if c.tag == "" && len(c.conds) == 0 {
+				return c, fmt.Errorf("unexpected character %q at offset %d", p.input[p.pos], p.pos)
+			}
+			return c, nil
+		}
+	}
+	if c.tag == "" && len(c.conds) == 0 {
+		return c, fmt.Errorf("empty compound selector")
+	}
+	return c, nil
+}
+
+func (p *selParser) attrValue() (string, error) {
+	if p.pos < len(p.input) && (p.input[p.pos] == '\'' || p.input[p.pos] == '"') {
+		quote := p.input[p.pos]
+		p.pos++
+		end := strings.IndexByte(p.input[p.pos:], quote)
+		if end < 0 {
+			return "", fmt.Errorf("unterminated quoted value")
+		}
+		val := p.input[p.pos : p.pos+end]
+		p.pos += end + 1
+		return val, nil
+	}
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != ']' {
+		p.pos++
+	}
+	return p.input[start:p.pos], nil
+}
+
+// matches reports whether a node satisfies one compound selector.
+func (c compound) matches(n *htmldoc.Node) bool {
+	if n.Tag == "" {
+		return false
+	}
+	if c.tag != "" && n.Tag != c.tag {
+		return false
+	}
+	for _, cond := range c.conds {
+		switch cond.kind {
+		case condClass:
+			if !hasClass(n, cond.name) {
+				return false
+			}
+		case condID:
+			if v, ok := n.Attr("id"); !ok || v != cond.name {
+				return false
+			}
+		case condAttrExists:
+			if _, ok := n.Attr(cond.name); !ok {
+				return false
+			}
+		case condAttrEquals:
+			if v, ok := n.Attr(cond.name); !ok || v != cond.value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasClass(n *htmldoc.Node, class string) bool {
+	v, ok := n.Attr("class")
+	if !ok {
+		return false
+	}
+	for _, f := range strings.Fields(v) {
+		if f == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Select returns the nodes matched by the selector, in document order.
+func (s *Selector) Select(root *htmldoc.Node) []*htmldoc.Node {
+	cur := []*htmldoc.Node{root}
+	for _, part := range s.parts {
+		var next []*htmldoc.Node
+		seen := map[*htmldoc.Node]bool{}
+		for _, base := range cur {
+			if part.child {
+				for _, child := range base.Children {
+					if part.matches(child) && !seen[child] {
+						seen[child] = true
+						next = append(next, child)
+					}
+				}
+				continue
+			}
+			var walk func(*htmldoc.Node)
+			walk = func(n *htmldoc.Node) {
+				for _, child := range n.Children {
+					if part.matches(child) && !seen[child] {
+						seen[child] = true
+						next = append(next, child)
+					}
+					walk(child)
+				}
+			}
+			walk(base)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Extract returns the selected values: visible text by default, or the
+// named attribute with ::attr(name). Nodes without the attribute are
+// skipped.
+func (s *Selector) Extract(root *htmldoc.Node) []string {
+	nodes := s.Select(root)
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if s.attrName != "" {
+			if v, ok := n.Attr(s.attrName); ok {
+				out = append(out, v)
+			}
+			continue
+		}
+		out = append(out, n.VisibleText())
+	}
+	return out
+}
+
+// ExtractHTML parses src and extracts in one step.
+func (s *Selector) ExtractHTML(src string) []string {
+	return s.Extract(htmldoc.Parse(src))
+}
+
+// String returns the source expression.
+func (s *Selector) String() string { return s.expr }

@@ -1,0 +1,188 @@
+package selector
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/htmldoc"
+)
+
+const shop = `<html><body>
+<div class="product featured" data-id="1">
+  <b class="brand">Seiko</b>
+  <span class="model">Dive Auto</span>
+  <a href="/w/1" id="link1">details</a>
+</div>
+<div class="product" data-id="2">
+  <b class="brand">Casio</b>
+  <span class="model">F91W</span>
+  <a href="/w/2">details</a>
+</div>
+<div class="ad"><b class="brand">FakeBrand</b></div>
+<footer><b>not a brand</b></footer>
+</body></html>`
+
+func doc(t *testing.T) *htmldoc.Node {
+	t.Helper()
+	return htmldoc.Parse(shop)
+}
+
+func TestSelectByTagClassID(t *testing.T) {
+	d := doc(t)
+	tests := []struct {
+		expr string
+		want []string
+	}{
+		{"div.product b.brand", []string{"Seiko", "Casio"}},
+		{"div.product > b.brand", []string{"Seiko", "Casio"}},
+		{".brand", []string{"Seiko", "Casio", "FakeBrand"}},
+		{"b", []string{"Seiko", "Casio", "FakeBrand", "not a brand"}},
+		{"div.featured .brand", []string{"Seiko"}},
+		{"#link1", []string{"details"}},
+		{"div[data-id='2'] span.model", []string{"F91W"}},
+		{"div[data-id] > span", []string{"Dive Auto", "F91W"}},
+		{"span.model::text", []string{"Dive Auto", "F91W"}},
+		{"div.product a::attr(href)", []string{"/w/1", "/w/2"}},
+		{"div.nosuch b", nil},
+		{"*[data-id='1'] b", []string{"Seiko"}},
+		{"div[data-id=1] b", []string{"Seiko"}}, // unquoted value
+	}
+	for _, tt := range tests {
+		s, err := Compile(tt.expr)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tt.expr, err)
+			continue
+		}
+		got := s.Extract(d)
+		if len(got) != len(tt.want) {
+			t.Errorf("Extract(%q) = %v, want %v", tt.expr, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Extract(%q)[%d] = %q, want %q", tt.expr, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestChildVsDescendant(t *testing.T) {
+	d := htmldoc.Parse(`<div class="a"><p><b>deep</b></p><b>shallow</b></div>`)
+	if got := MustCompile("div.a > b").Extract(d); len(got) != 1 || got[0] != "shallow" {
+		t.Errorf("child = %v", got)
+	}
+	if got := MustCompile("div.a b").Extract(d); len(got) != 2 {
+		t.Errorf("descendant = %v", got)
+	}
+}
+
+func TestNoDuplicateMatches(t *testing.T) {
+	// Nested matching containers must not yield a node twice.
+	d := htmldoc.Parse(`<div class="x"><div class="x"><b>once</b></div></div>`)
+	if got := MustCompile("div.x b").Extract(d); len(got) != 1 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAttrExtractorSkipsMissing(t *testing.T) {
+	d := htmldoc.Parse(`<a href="/x">a</a><a>b</a>`)
+	if got := MustCompile("a::attr(href)").Extract(d); len(got) != 1 || got[0] != "/x" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"::text",
+		"div::paint",
+		"div::attr()",
+		"div[",
+		"div[attr='x",
+		"div..double",
+		"#",
+		".",
+		"div $ b",
+		"> b",
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("::")
+}
+
+func TestExtractHTML(t *testing.T) {
+	got := MustCompile("b.brand").ExtractHTML(shop)
+	if len(got) != 3 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestClassListMatching(t *testing.T) {
+	d := htmldoc.Parse(`<div class="a b c">x</div><div class="ab">y</div>`)
+	if got := MustCompile("div.b").Extract(d); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("got = %v (class list must match whole tokens)", got)
+	}
+}
+
+// Property: every generated product row is found by the selector, in order.
+func TestSelectorCompleteProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) > 30 {
+			vals = vals[:30]
+		}
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		for i, v := range vals {
+			fmt.Fprintf(&b, `<div class="p"><span class="v" data-n="%d">val%d</span></div>`, i, v)
+		}
+		b.WriteString("</body></html>")
+		got := MustCompile("div.p > span.v::text").ExtractHTML(b.String())
+		if len(got) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got[i] != fmt.Sprintf("val%d", v) {
+				return false
+			}
+		}
+		ids := MustCompile("span.v::attr(data-n)").ExtractHTML(b.String())
+		return len(ids) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzCompile checks the selector compiler never panics.
+func FuzzCompile(f *testing.F) {
+	for _, s := range []string{
+		"div.product > b.brand::text",
+		"a::attr(href)",
+		"*[data-id='1'] span",
+		"#id.class[attr=v]",
+	} {
+		f.Add(s)
+	}
+	d := htmldoc.Parse(shop)
+	f.Fuzz(func(t *testing.T, expr string) {
+		s, err := Compile(expr)
+		if err != nil {
+			return
+		}
+		_ = s.Extract(d)
+	})
+}

@@ -1,0 +1,37 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func benchGraph(b *testing.B, n int) *rdf.Graph {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://e/> .\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "ex:w%d a ex:Watch ; ex:brand \"b%d\" ; ex:price %d .\n", i, i%10, i)
+	}
+	g, err := rdf.ParseTurtle(strings.NewReader(sb.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBGPJoin measures a two-pattern join with a filter.
+func BenchmarkBGPJoin(b *testing.B) {
+	g := benchGraph(b, 2000)
+	q := MustParse(`PREFIX ex: <http://e/> SELECT ?w ?p WHERE {
+		?w a ex:Watch . ?w ex:price ?p . FILTER (?p < 100) }`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Eval(g)
+		if err != nil || len(res.Bindings) != 100 {
+			b.Fatalf("%v %d", err, len(res.Bindings))
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// FuzzParse checks the SPARQL parser never panics and accepted queries
+// evaluate safely against a fixed graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o . }`,
+		`PREFIX ex: <http://e/> SELECT DISTINCT ?a ?b WHERE { ?a ex:p ?b . FILTER (?b > 3) } ORDER BY DESC(?b) LIMIT 2`,
+		`SELECT * WHERE { ?x a <http://e/C> . FILTER regex(?x, "a+") }`,
+		`SELECT ?v WHERE { <http://e/s> <http://e/p> ?v . } OFFSET 1 LIMIT 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g, err := rdf.ParseTurtle(strings.NewReader(
+		"@prefix ex: <http://e/> .\nex:s ex:p 4 .\nex:s a ex:C .\n"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if _, err := q.Eval(g); err != nil {
+			// Evaluation errors are fine; panics are not.
+			return
+		}
+	})
+}

@@ -1,0 +1,528 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SPARQL query in the supported subset.
+func Parse(input string) (*Query, error) {
+	p := &sparqlParser{input: input, prefixes: rdf.DefaultPrefixes()}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for static queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sparqlParser struct {
+	input    string
+	pos      int
+	prefixes rdf.PrefixMap
+}
+
+func (p *sparqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sparqlParser) skipWS() {
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '#' {
+			for p.pos < len(p.input) && p.input[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive).
+func (p *sparqlParser) peekKeyword(kw string) bool {
+	p.skipWS()
+	if len(p.input)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.input[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.input) && isNameByte(p.input[end]) {
+		return false
+	}
+	return true
+}
+
+func (p *sparqlParser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.skipWS()
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *sparqlParser) consume(c byte) bool {
+	p.skipWS()
+	if p.pos < len(p.input) && p.input[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (p *sparqlParser) query() (*Query, error) {
+	q := &Query{Limit: -1, prefixes: p.prefixes}
+
+	for p.acceptKeyword("PREFIX") {
+		p.skipWS()
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != ':' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return nil, p.errf("malformed PREFIX")
+		}
+		label := strings.TrimSpace(p.input[start:p.pos])
+		p.pos++ // ':'
+		iri, err := p.iriRef()
+		if err != nil {
+			return nil, err
+		}
+		p.prefixes[label] = string(iri)
+	}
+
+	if !p.acceptKeyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	q.Distinct = p.acceptKeyword("DISTINCT")
+
+	p.skipWS()
+	if p.consume('*') {
+		// all variables
+	} else {
+		for {
+			p.skipWS()
+			if p.pos >= len(p.input) || p.input[p.pos] != '?' {
+				break
+			}
+			v, err := p.variable()
+			if err != nil {
+				return nil, err
+			}
+			q.Vars = append(q.Vars, v)
+		}
+		if len(q.Vars) == 0 {
+			return nil, p.errf("SELECT needs variables or *")
+		}
+	}
+
+	if !p.acceptKeyword("WHERE") {
+		return nil, p.errf("expected WHERE")
+	}
+	if !p.consume('{') {
+		return nil, p.errf("expected '{'")
+	}
+	for {
+		p.skipWS()
+		if p.pos >= len(p.input) {
+			return nil, p.errf("unterminated WHERE block")
+		}
+		if p.consume('}') {
+			break
+		}
+		if p.acceptKeyword("FILTER") {
+			f, err := p.filter()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+			continue
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if !p.acceptKeyword("BY") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		desc := p.acceptKeyword("DESC")
+		asc := !desc && p.acceptKeyword("ASC")
+		if desc || asc {
+			if !p.consume('(') {
+				return nil, p.errf("expected '(' after DESC/ASC")
+			}
+		}
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		if desc || asc {
+			if !p.consume(')') {
+				return nil, p.errf("expected ')'")
+			}
+		}
+		q.OrderBy = v
+		q.OrderDesc = desc
+	}
+	// LIMIT and OFFSET may appear in either order.
+	for {
+		switch {
+		case p.acceptKeyword("LIMIT"):
+			n, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			q.Limit = n
+			continue
+		case p.acceptKeyword("OFFSET"):
+			n, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = n
+			continue
+		}
+		break
+	}
+	p.skipWS()
+	if p.pos != len(p.input) {
+		return nil, p.errf("unexpected trailing content %q", p.input[p.pos:min(p.pos+16, len(p.input))])
+	}
+	if len(q.Patterns) == 0 {
+		return nil, p.errf("WHERE block has no triple patterns")
+	}
+	return q, nil
+}
+
+func (p *sparqlParser) pattern() (Pattern, error) {
+	s, err := p.patternTerm(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pt, err := p.predicateTerm()
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.patternTerm(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	if !p.consume('.') {
+		return Pattern{}, p.errf("triple pattern must end with '.'")
+	}
+	return Pattern{S: s, P: pt, O: o}, nil
+}
+
+func (p *sparqlParser) predicateTerm() (PatternTerm, error) {
+	p.skipWS()
+	// 'a' keyword.
+	if p.pos < len(p.input) && p.input[p.pos] == 'a' {
+		if p.pos+1 >= len(p.input) || !isNameByte(p.input[p.pos+1]) {
+			p.pos++
+			return PatternTerm{Term: rdf.RDFType}, nil
+		}
+	}
+	return p.patternTerm(false)
+}
+
+func (p *sparqlParser) patternTerm(allowLiteral bool) (PatternTerm, error) {
+	p.skipWS()
+	if p.pos >= len(p.input) {
+		return PatternTerm{}, p.errf("unexpected end of query")
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '?':
+		v, err := p.variable()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Var: v}, nil
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: iri}, nil
+	case c == '"':
+		if !allowLiteral {
+			return PatternTerm{}, p.errf("literal not allowed here")
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: lit}, nil
+	case c == '_' && p.pos+1 < len(p.input) && p.input[p.pos+1] == ':':
+		p.pos += 2
+		start := p.pos
+		for p.pos < len(p.input) && isNameByte(p.input[p.pos]) {
+			p.pos++
+		}
+		return PatternTerm{Term: rdf.BlankNode(p.input[start:p.pos])}, nil
+	case allowLiteral && (c >= '0' && c <= '9' || c == '-' || c == '+'):
+		return p.numberTerm()
+	case allowLiteral && (p.peekKeyword("true") || p.peekKeyword("false")):
+		word := "false"
+		if p.peekKeyword("true") {
+			word = "true"
+		}
+		p.pos += len(word)
+		return PatternTerm{Term: rdf.Literal{Value: word, Datatype: rdf.XSDBoolean}}, nil
+	default:
+		iri, err := p.prefixedName()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: iri}, nil
+	}
+}
+
+func (p *sparqlParser) variable() (string, error) {
+	p.skipWS()
+	if p.pos >= len(p.input) || p.input[p.pos] != '?' {
+		return "", p.errf("expected a variable")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.input) && isNameByte(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty variable name")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *sparqlParser) iriRef() (rdf.IRI, error) {
+	p.skipWS()
+	if p.pos >= len(p.input) || p.input[p.pos] != '<' {
+		return "", p.errf("expected '<'")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != '>' {
+		p.pos++
+	}
+	if p.pos >= len(p.input) {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := rdf.IRI(p.input[start:p.pos])
+	p.pos++
+	return iri, nil
+}
+
+func (p *sparqlParser) prefixedName() (rdf.IRI, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != ':' && isNameByte(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos >= len(p.input) || p.input[p.pos] != ':' {
+		p.pos = start
+		return "", p.errf("expected an IRI, variable, or prefixed name")
+	}
+	label := p.input[start:p.pos]
+	p.pos++
+	localStart := p.pos
+	for p.pos < len(p.input) && (isNameByte(p.input[p.pos]) || p.input[p.pos] == '-' || p.input[p.pos] == '.') {
+		p.pos++
+	}
+	local := p.input[localStart:p.pos]
+	for strings.HasSuffix(local, ".") {
+		local = local[:len(local)-1]
+		p.pos--
+	}
+	ns, ok := p.prefixes[label]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", label)
+	}
+	return rdf.IRI(ns + local), nil
+}
+
+func (p *sparqlParser) literal() (rdf.Literal, error) {
+	// p.input[p.pos] == '"'
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.input) {
+			return rdf.Literal{}, p.errf("unterminated literal")
+		}
+		c := p.input[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' && p.pos+1 < len(p.input) {
+			switch p.input[p.pos+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return rdf.Literal{}, p.errf("unknown escape")
+			}
+			p.pos += 2
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lit := rdf.Literal{Value: b.String()}
+	if p.pos < len(p.input) && p.input[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && (isNameByte(p.input[p.pos]) || p.input[p.pos] == '-') {
+			p.pos++
+		}
+		lit.Lang = p.input[start:p.pos]
+	} else if strings.HasPrefix(p.input[p.pos:], "^^") {
+		p.pos += 2
+		var dt rdf.IRI
+		var err error
+		if p.pos < len(p.input) && p.input[p.pos] == '<' {
+			dt, err = p.iriRef()
+		} else {
+			dt, err = p.prefixedName()
+		}
+		if err != nil {
+			return rdf.Literal{}, err
+		}
+		lit.Datatype = dt
+	}
+	return lit, nil
+}
+
+func (p *sparqlParser) numberTerm() (PatternTerm, error) {
+	start := p.pos
+	if p.input[p.pos] == '+' || p.input[p.pos] == '-' {
+		p.pos++
+	}
+	sawDot := false
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c >= '0' && c <= '9' {
+			p.pos++
+		} else if c == '.' && !sawDot && p.pos+1 < len(p.input) && p.input[p.pos+1] >= '0' && p.input[p.pos+1] <= '9' {
+			sawDot = true
+			p.pos++
+		} else {
+			break
+		}
+	}
+	text := p.input[start:p.pos]
+	dt := rdf.XSDInteger
+	if sawDot {
+		dt = rdf.XSDDecimal
+	}
+	return PatternTerm{Term: rdf.Literal{Value: text, Datatype: dt}}, nil
+}
+
+func (p *sparqlParser) integer() (int, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected a number")
+	}
+	return strconv.Atoi(p.input[start:p.pos])
+}
+
+func (p *sparqlParser) filter() (Filter, error) {
+	p.skipWS()
+	// FILTER regex(?v, "pattern")
+	if p.acceptKeyword("regex") {
+		if !p.consume('(') {
+			return Filter{}, p.errf("expected '(' after regex")
+		}
+		v, err := p.variable()
+		if err != nil {
+			return Filter{}, err
+		}
+		if !p.consume(',') {
+			return Filter{}, p.errf("expected ','")
+		}
+		p.skipWS()
+		if p.pos >= len(p.input) || p.input[p.pos] != '"' {
+			return Filter{}, p.errf("expected a quoted pattern")
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return Filter{}, err
+		}
+		if !p.consume(')') {
+			return Filter{}, p.errf("expected ')'")
+		}
+		re, err := regexp.Compile(lit.Value)
+		if err != nil {
+			return Filter{}, fmt.Errorf("sparql: invalid regex %q: %w", lit.Value, err)
+		}
+		return Filter{Kind: FilterRegex, Var: v, Pattern: re}, nil
+	}
+
+	// FILTER (?v op constant)
+	if !p.consume('(') {
+		return Filter{}, p.errf("expected '(' after FILTER")
+	}
+	v, err := p.variable()
+	if err != nil {
+		return Filter{}, err
+	}
+	p.skipWS()
+	var op string
+	for _, candidate := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.input[p.pos:], candidate) {
+			op = candidate
+			p.pos += len(candidate)
+			break
+		}
+	}
+	if op == "" {
+		return Filter{}, p.errf("expected a comparison operator")
+	}
+	term, err := p.patternTerm(true)
+	if err != nil {
+		return Filter{}, err
+	}
+	if term.Var != "" {
+		return Filter{}, p.errf("FILTER comparisons must be against constants")
+	}
+	if !p.consume(')') {
+		return Filter{}, p.errf("expected ')'")
+	}
+	return Filter{Kind: FilterCompare, Var: v, Op: op, Value: term.Term}, nil
+}

@@ -1,0 +1,333 @@
+// Package sparql implements a SPARQL subset over rdf.Graph. The paper's
+// conclusion argues that emitting OWL "allows data to be shared and
+// processed by automated tools"; this engine is that downstream processing
+// path — a consumer queries the ontology instances the middleware produced
+// without any knowledge of the original sources.
+//
+// Supported grammar:
+//
+//	PREFIX label: <iri>            (repeatable)
+//	SELECT [DISTINCT] ?v ... | *
+//	WHERE {
+//	    subject predicate object . (basic graph patterns; 'a' = rdf:type)
+//	    FILTER (?v op constant)    (op: = != < > <= >=)
+//	    FILTER regex(?v, "re")
+//	}
+//	[ORDER BY ?v [DESC]] [LIMIT n] [OFFSET n]
+//
+// Terms may be IRIs (<...> or prefixed), literals ("..." with optional
+// @lang / ^^datatype, numbers, booleans), or variables (?name).
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	// Vars are the projected variable names (without '?'); empty means *.
+	Vars []string
+	// Distinct deduplicates solutions.
+	Distinct bool
+	// Patterns are the basic graph patterns in order.
+	Patterns []Pattern
+	// Filters apply to complete bindings.
+	Filters []Filter
+	// OrderBy is the ordering variable; empty for none.
+	OrderBy   string
+	OrderDesc bool
+	// Limit caps solutions; -1 means unlimited.
+	Limit int
+	// Offset skips leading solutions.
+	Offset int
+
+	prefixes rdf.PrefixMap
+}
+
+// Pattern is one triple pattern; each position holds either a concrete
+// rdf.Term or a variable name.
+type Pattern struct {
+	S, P, O PatternTerm
+}
+
+// PatternTerm is a term or variable in a pattern.
+type PatternTerm struct {
+	// Var is the variable name when non-empty; otherwise Term is concrete.
+	Var  string
+	Term rdf.Term
+}
+
+func (pt PatternTerm) String() string {
+	if pt.Var != "" {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// FilterKind discriminates filter forms.
+type FilterKind int
+
+// Filter kinds.
+const (
+	FilterCompare FilterKind = iota + 1
+	FilterRegex
+)
+
+// Filter is one FILTER clause.
+type Filter struct {
+	Kind FilterKind
+	Var  string
+	// Op is the comparison operator for FilterCompare.
+	Op string
+	// Value is the comparison constant for FilterCompare.
+	Value rdf.Term
+	// Pattern is the compiled expression for FilterRegex.
+	Pattern *regexp.Regexp
+}
+
+// Binding is one solution: variable name → bound term.
+type Binding map[string]rdf.Term
+
+// Result is the outcome of a query.
+type Result struct {
+	// Vars are the projected variables in order.
+	Vars []string
+	// Bindings are the solutions.
+	Bindings []Binding
+}
+
+// Select parses and evaluates a query against a graph.
+func Select(g *rdf.Graph, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(g)
+}
+
+// Eval evaluates the query against a graph.
+func (q *Query) Eval(g *rdf.Graph) (*Result, error) {
+	bindings := []Binding{{}}
+	for _, pat := range q.Patterns {
+		var next []Binding
+		for _, b := range bindings {
+			next = append(next, matchPattern(g, pat, b)...)
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	// Filters.
+	var kept []Binding
+	for _, b := range bindings {
+		ok, err := q.passesFilters(b)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+
+	// Projection variables.
+	vars := q.Vars
+	if len(vars) == 0 {
+		seen := map[string]bool{}
+		for _, pat := range q.Patterns {
+			for _, pt := range []PatternTerm{pat.S, pat.P, pat.O} {
+				if pt.Var != "" && !seen[pt.Var] {
+					seen[pt.Var] = true
+					vars = append(vars, pt.Var)
+				}
+			}
+		}
+	}
+
+	// Project.
+	res := &Result{Vars: vars}
+	for _, b := range kept {
+		proj := Binding{}
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				proj[v] = t
+			}
+		}
+		res.Bindings = append(res.Bindings, proj)
+	}
+
+	// Order (deterministic even without ORDER BY).
+	sortKey := func(b Binding) string {
+		var sb strings.Builder
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				sb.WriteString(t.Key())
+			}
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}
+	if q.OrderBy != "" {
+		sort.SliceStable(res.Bindings, func(i, j int) bool {
+			a, b := res.Bindings[i][q.OrderBy], res.Bindings[j][q.OrderBy]
+			c := compareTerms(a, b)
+			if q.OrderDesc {
+				return c > 0
+			}
+			return c < 0
+		})
+	} else {
+		sort.SliceStable(res.Bindings, func(i, j int) bool {
+			return sortKey(res.Bindings[i]) < sortKey(res.Bindings[j])
+		})
+	}
+
+	// Distinct.
+	if q.Distinct {
+		seen := map[string]bool{}
+		deduped := res.Bindings[:0]
+		for _, b := range res.Bindings {
+			k := sortKey(b)
+			if !seen[k] {
+				seen[k] = true
+				deduped = append(deduped, b)
+			}
+		}
+		res.Bindings = deduped
+	}
+
+	// Offset / limit.
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Bindings) {
+			res.Bindings = nil
+		} else {
+			res.Bindings = res.Bindings[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(res.Bindings) > q.Limit {
+		res.Bindings = res.Bindings[:q.Limit]
+	}
+	return res, nil
+}
+
+// matchPattern extends one binding with all graph matches of a pattern.
+func matchPattern(g *rdf.Graph, pat Pattern, b Binding) []Binding {
+	resolve := func(pt PatternTerm) rdf.Term {
+		if pt.Var == "" {
+			return pt.Term
+		}
+		if t, ok := b[pt.Var]; ok {
+			return t
+		}
+		return nil
+	}
+	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
+	var out []Binding
+	for _, t := range g.Match(s, p, o) {
+		nb := make(Binding, len(b)+3)
+		for k, v := range b {
+			nb[k] = v
+		}
+		ok := true
+		bind := func(pt PatternTerm, term rdf.Term) {
+			if pt.Var == "" {
+				return
+			}
+			if existing, bound := nb[pt.Var]; bound {
+				if existing.Key() != term.Key() {
+					ok = false
+				}
+				return
+			}
+			nb[pt.Var] = term
+		}
+		bind(pat.S, t.Subject)
+		bind(pat.P, t.Predicate)
+		bind(pat.O, t.Object)
+		if ok {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func (q *Query) passesFilters(b Binding) (bool, error) {
+	for _, f := range q.Filters {
+		t, bound := b[f.Var]
+		if !bound {
+			return false, nil
+		}
+		switch f.Kind {
+		case FilterRegex:
+			lit, ok := t.(rdf.Literal)
+			if !ok {
+				return false, nil
+			}
+			if !f.Pattern.MatchString(lit.Value) {
+				return false, nil
+			}
+		case FilterCompare:
+			c := compareTerms(t, f.Value)
+			var pass bool
+			switch f.Op {
+			case "=":
+				pass = c == 0
+			case "!=":
+				pass = c != 0
+			case "<":
+				pass = c < 0
+			case ">":
+				pass = c > 0
+			case "<=":
+				pass = c <= 0
+			case ">=":
+				pass = c >= 0
+			default:
+				return false, fmt.Errorf("sparql: unknown operator %q", f.Op)
+			}
+			if !pass {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// compareTerms orders terms: numeric literals numerically, other literals
+// lexically, everything else by key. Unbound (nil) sorts first.
+func compareTerms(a, b rdf.Term) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	la, aok := a.(rdf.Literal)
+	lb, bok := b.(rdf.Literal)
+	if aok && bok {
+		if na, err1 := strconv.ParseFloat(strings.TrimSpace(la.Value), 64); err1 == nil {
+			if nb, err2 := strconv.ParseFloat(strings.TrimSpace(lb.Value), 64); err2 == nil {
+				switch {
+				case na < nb:
+					return -1
+				case na > nb:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+		return strings.Compare(la.Value, lb.Value)
+	}
+	return strings.Compare(a.Key(), b.Key())
+}

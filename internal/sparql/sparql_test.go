@@ -1,0 +1,277 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+func sampleGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	doc := `
+@prefix ont: <http://s2s.uma.pt/watch#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ont:watch_1 a ont:watch ;
+    ont:thing_product_brand "Seiko" ;
+    ont:thing_product_price "129.99"^^xsd:decimal ;
+    ont:product_hasProvider ont:provider_1 .
+ont:watch_2 a ont:watch ;
+    ont:thing_product_brand "Casio" ;
+    ont:thing_product_price "15.00"^^xsd:decimal ;
+    ont:product_hasProvider ont:provider_1 .
+ont:watch_3 a ont:watch ;
+    ont:thing_product_brand "Seiko" ;
+    ont:thing_product_price "299.50"^^xsd:decimal ;
+    ont:product_hasProvider ont:provider_2 .
+ont:provider_1 a ont:provider ;
+    ont:thing_provider_name "WatchCo" .
+ont:provider_2 a ont:provider ;
+    ont:thing_provider_name "TimeHouse" .
+`
+	g, err := rdf.ParseTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const prefix = `PREFIX ont: <http://s2s.uma.pt/watch#> `
+
+func TestBasicPattern(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?w WHERE { ?w a ont:watch . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 3 {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+	if res.Vars[0] != "w" {
+		t.Errorf("vars = %v", res.Vars)
+	}
+}
+
+func TestJoinAcrossPatterns(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?brand ?name WHERE {
+		?w ont:thing_product_brand ?brand .
+		?w ont:product_hasProvider ?p .
+		?p ont:thing_provider_name ?name .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 3 {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+	pairs := map[string]string{}
+	for _, b := range res.Bindings {
+		brand := b["brand"].(rdf.Literal).Value
+		name := b["name"].(rdf.Literal).Value
+		pairs[brand+"@"+name] = name
+	}
+	for _, want := range []string{"Seiko@WatchCo", "Casio@WatchCo", "Seiko@TimeHouse"} {
+		if _, ok := pairs[want]; !ok {
+			t.Errorf("missing pair %s: %v", want, pairs)
+		}
+	}
+}
+
+func TestFilterCompareNumeric(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?w ?price WHERE {
+		?w ont:thing_product_price ?price .
+		FILTER (?price < 200)
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 2 {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}
+
+func TestFilterCompareString(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?w WHERE {
+		?w ont:thing_product_brand ?b .
+		FILTER (?b = "Seiko")
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 2 {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}
+
+func TestFilterRegex(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?b WHERE {
+		?w ont:thing_product_brand ?b .
+		FILTER regex(?b, "^C")
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0]["b"].(rdf.Literal).Value != "Casio" {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}
+
+func TestDistinctOrderLimitOffset(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT DISTINCT ?b WHERE { ?w ont:thing_product_brand ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 2 {
+		t.Fatalf("distinct brands = %v", res.Bindings)
+	}
+	res, err = Select(g, prefix+`SELECT ?w ?p WHERE { ?w ont:thing_product_price ?p . } ORDER BY DESC(?p) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0]["p"].(rdf.Literal).Value != "299.50" {
+		t.Fatalf("top price = %v", res.Bindings)
+	}
+	res, err = Select(g, prefix+`SELECT ?w ?p WHERE { ?w ont:thing_product_price ?p . } ORDER BY ?p OFFSET 1 LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bindings[0]["p"].(rdf.Literal).Value != "129.99" {
+		t.Fatalf("second price = %v", res.Bindings)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT * WHERE { ?w ont:thing_product_brand ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vars) != 2 || len(res.Bindings) != 3 {
+		t.Fatalf("star select = %v / %v", res.Vars, res.Bindings)
+	}
+}
+
+func TestConcreteSubject(t *testing.T) {
+	g := sampleGraph(t)
+	res, err := Select(g, prefix+`SELECT ?b WHERE { ont:watch_1 ont:thing_product_brand ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0]["b"].(rdf.Literal).Value != "Seiko" {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}
+
+func TestSharedVariableJoinConsistency(t *testing.T) {
+	g := rdf.NewGraph()
+	a, b, knows := rdf.IRI("http://e/a"), rdf.IRI("http://e/b"), rdf.IRI("http://e/knows")
+	g.MustAdd(rdf.T(a, knows, b))
+	g.MustAdd(rdf.T(b, knows, a))
+	g.MustAdd(rdf.T(a, knows, a))
+	// Self-loop pattern: only a-knows-a satisfies ?x knows ?x.
+	res, err := Select(g, `SELECT ?x WHERE { ?x <http://e/knows> ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0]["x"].Key() != a.Key() {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?a ?b ?c . }`,
+		`SELECT ?a { ?a ?b ?c . }`,
+		`SELECT ?a WHERE { ?a ?b ?c }`,                         // missing dot
+		`SELECT ?a WHERE { ?a ?b ?c . `,                        // unterminated block
+		`SELECT ?a WHERE { }`,                                  // no patterns
+		`SELECT ?a WHERE { ?a ?b "lit . }`,                     // unterminated literal
+		`SELECT ?a WHERE { "lit" ?b ?c . }`,                    // literal subject
+		`SELECT ?a WHERE { ?a unknown:x ?c . }`,                // undeclared prefix
+		`SELECT ?a WHERE { ?a ?b ?c . } LIMIT x`,               // bad limit
+		`SELECT ?a WHERE { ?a ?b ?c . } trailing`,              // trailing junk
+		`SELECT ?a WHERE { ?a ?b ?c . FILTER (?a ~ 3) }`,       // bad op
+		`SELECT ?a WHERE { ?a ?b ?c . FILTER regex(?a, "[") }`, // bad regex
+		`SELECT ?a WHERE { ?a ?b ?c . FILTER (?a = ?b) }`,      // var-var compare
+		`SELECT ?a WHERE { ?a ?b ?c . } ORDER BY DESC ?a`,      // missing parens
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not sparql")
+}
+
+// TestOverMiddlewareOutput is the paper's "semantic knowledge processing"
+// claim: the middleware's OWL answer is queryable with SPARQL.
+func TestOverMiddlewareOutput(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, RecordsPerSource: 25, Seed: 31,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := mw.Generator().ToGraph(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Select(graph, prefix+`SELECT ?w ?brand WHERE {
+		?w ont:thing_product_brand ?brand .
+		FILTER (?brand = "Seiko")
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := world.CountMatching(func(r workload.Record) bool { return r.Brand == "Seiko" })
+	if len(out.Bindings) != want {
+		t.Fatalf("sparql found %d Seiko watches, ground truth %d", len(out.Bindings), want)
+	}
+}
+
+// Property: pattern matching agrees with a naive scan for generated graphs.
+func TestPatternMatchesScanProperty(t *testing.T) {
+	f := func(edges []struct{ S, O uint8 }) bool {
+		g := rdf.NewGraph()
+		p := rdf.IRI("http://e/p")
+		for _, e := range edges {
+			g.MustAdd(rdf.T(rdf.IRI(fmt.Sprintf("http://e/n%d", e.S%8)), p, rdf.IRI(fmt.Sprintf("http://e/n%d", e.O%8))))
+		}
+		res, err := Select(g, `SELECT ?s ?o WHERE { ?s <http://e/p> ?o . }`)
+		if err != nil {
+			return false
+		}
+		return len(res.Bindings) == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

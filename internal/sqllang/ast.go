@@ -1,0 +1,409 @@
+package sqllang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back to SQL text.
+	String() string
+}
+
+// ColumnType is a reldb column type.
+type ColumnType int
+
+// Column types supported by the engine.
+const (
+	TypeText ColumnType = iota + 1
+	TypeInteger
+	TypeReal
+	TypeBoolean
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeText:
+		return "TEXT"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	case TypeBoolean:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// ColumnDef is one column of a CREATE TABLE statement.
+type ColumnDef struct {
+	Name       string
+	Type       ColumnType
+	PrimaryKey bool
+	Unique     bool
+}
+
+// CreateTable is CREATE TABLE name (col TYPE [PRIMARY KEY|UNIQUE], ...).
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+func (s *CreateTable) String() string {
+	cols := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = c.Name + " " + c.Type.String()
+		if c.PrimaryKey {
+			cols[i] += " PRIMARY KEY"
+		} else if c.Unique {
+			cols[i] += " UNIQUE"
+		}
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Table, strings.Join(cols, ", "))
+}
+
+// CreateIndex is CREATE INDEX ON table (column).
+type CreateIndex struct {
+	Table  string
+	Column string
+}
+
+func (*CreateIndex) stmt() {}
+
+func (s *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX ON %s (%s)", s.Table, s.Column)
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // empty means all columns in table order
+	Rows    [][]Expr // each row has one literal expression per column
+}
+
+func (*Insert) stmt() {}
+
+func (s *Insert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s", s.Table)
+	if len(s.Columns) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(s.Columns, ", "))
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		vals := make([]string, len(row))
+		for j, e := range row {
+			vals[j] = e.String()
+		}
+		fmt.Fprintf(&b, "(%s)", strings.Join(vals, ", "))
+	}
+	return b.String()
+}
+
+// JoinClause is JOIN table ON left = right.
+type JoinClause struct {
+	Table string
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// OrderBy is ORDER BY column [DESC].
+type OrderBy struct {
+	Column ColumnRef
+	Desc   bool
+}
+
+// AggFunc is an aggregate function in a select list.
+type AggFunc int
+
+// Aggregate functions; AggNone marks a plain column item.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(a))
+	}
+}
+
+// SelectItem is one projected item: a plain column or an aggregate.
+type SelectItem struct {
+	// Agg is AggNone for a plain column reference.
+	Agg AggFunc
+	// Star marks COUNT(*).
+	Star bool
+	// Col is the referenced column (unused when Star).
+	Col ColumnRef
+}
+
+func (it SelectItem) String() string {
+	if it.Agg == AggNone {
+		return it.Col.String()
+	}
+	if it.Star {
+		return it.Agg.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", it.Agg, it.Col.String())
+}
+
+// HasAggregate reports whether the item list contains an aggregate.
+func HasAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Select is SELECT [DISTINCT] items FROM table [JOIN ...] [WHERE expr]
+// [GROUP BY cols] [ORDER BY col] [LIMIT n].
+type Select struct {
+	Distinct bool
+	// Columns is the projection; empty means SELECT *.
+	Columns []SelectItem
+	Table   string
+	Joins   []JoinClause
+	Where   Expr // nil when absent
+	GroupBy []ColumnRef
+	Order   *OrderBy
+	Limit   int // -1 when absent
+	Offset  int // 0 when absent
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Columns) == 0 {
+		b.WriteString("*")
+	} else {
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = c.String()
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s", s.Table)
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", j.Table, j.Left.String(), j.Right.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		refs := make([]string, len(s.GroupBy))
+		for i, r := range s.GroupBy {
+			refs[i] = r.String()
+		}
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(refs, ", "))
+	}
+	if s.Order != nil {
+		fmt.Fprintf(&b, " ORDER BY %s", s.Order.Column.String())
+		if s.Order.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+	}
+	return b.String()
+}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+func (s *Delete) String() string {
+	out := fmt.Sprintf("DELETE FROM %s", s.Table)
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// Update is UPDATE table SET col = expr, ... [WHERE expr].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one col = value pair of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+func (*Update) stmt() {}
+
+func (s *Update) String() string {
+	sets := make([]string, len(s.Set))
+	for i, a := range s.Set {
+		sets[i] = a.Column + " = " + a.Value.String()
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", s.Table, strings.Join(sets, ", "))
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// Expr is a SQL expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnRef names a column, optionally qualified by table.
+type ColumnRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+func (ColumnRef) expr() {}
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// LiteralKind discriminates literal expression values.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitString LiteralKind = iota + 1
+	LitNumber
+	LitBool
+	LitNull
+)
+
+// LiteralExpr is a literal constant.
+type LiteralExpr struct {
+	Kind LiteralKind
+	// Text is the literal's source text: the unquoted string, the numeric
+	// text, or "TRUE"/"FALSE".
+	Text string
+}
+
+func (LiteralExpr) expr() {}
+
+func (l LiteralExpr) String() string {
+	switch l.Kind {
+	case LitString:
+		return "'" + strings.ReplaceAll(l.Text, "'", "''") + "'"
+	case LitNull:
+		return "NULL"
+	default:
+		return l.Text
+	}
+}
+
+// BinaryOp is a comparison or logical operator.
+type BinaryOp string
+
+// Binary operators.
+const (
+	OpEq   BinaryOp = "="
+	OpNe   BinaryOp = "!="
+	OpLt   BinaryOp = "<"
+	OpGt   BinaryOp = ">"
+	OpLe   BinaryOp = "<="
+	OpGe   BinaryOp = ">="
+	OpLike BinaryOp = "LIKE"
+	OpAnd  BinaryOp = "AND"
+	OpOr   BinaryOp = "OR"
+)
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left.String(), e.Op, e.Right.String())
+}
+
+// NotExpr negates an expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+func (*NotExpr) expr() {}
+
+func (e *NotExpr) String() string { return "(NOT " + e.Inner.String() + ")" }
+
+// IsNullExpr is col IS [NOT] NULL.
+type IsNullExpr struct {
+	Operand Expr
+	Negate  bool
+}
+
+func (*IsNullExpr) expr() {}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return "(" + e.Operand.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Operand.String() + " IS NULL)"
+}
+
+// InExpr is col IN (literal, ...).
+type InExpr struct {
+	Operand Expr
+	Values  []LiteralExpr
+}
+
+func (*InExpr) expr() {}
+
+func (e *InExpr) String() string {
+	vals := make([]string, len(e.Values))
+	for i, v := range e.Values {
+		vals[i] = v.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", e.Operand.String(), strings.Join(vals, ", "))
+}

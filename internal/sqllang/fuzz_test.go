@@ -1,0 +1,35 @@
+package sqllang
+
+import "testing"
+
+// FuzzParse checks the SQL parser never panics and printing is a fixed
+// point for accepted statements.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t WHERE a = 'x' AND b < 3 ORDER BY c DESC LIMIT 5",
+		"SELECT DISTINCT a, t.b FROM t JOIN u ON t.id = u.tid",
+		"SELECT brand, COUNT(*), AVG(price) FROM w GROUP BY brand",
+		"INSERT INTO t (a, b) VALUES ('x''y', -4), (NULL, 2.5)",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT UNIQUE)",
+		"UPDATE t SET a = 'z' WHERE b IN (1, 2) OR c IS NOT NULL",
+		"DELETE FROM t WHERE NOT (a LIKE 'x%')",
+		"CREATE INDEX ON t (a)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form unparseable: %q -> %q: %v", input, printed, err)
+		}
+		if stmt2.String() != printed {
+			t.Fatalf("print not a fixed point: %q -> %q", printed, stmt2.String())
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package sqllang provides the lexer, AST, and parser for the SQL subset
+// executed by the reldb engine. Database-backed attribute mappings in the
+// S2S middleware carry their extraction rules as SQL text (paper §2.3.1:
+// "For databases, the clear option is to use SQL"); this package turns that
+// text into executable statements. The s2sql package reuses this lexer for
+// the middleware's own query language.
+package sqllang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokString
+	TokNumber
+	TokPunct // ( ) , . * = != <> < > <= >=
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is a lexical token with its position (byte offset) in the input.
+type Token struct {
+	Kind TokenKind
+	// Text is the token text. Keywords are upper-cased; string literals are
+	// unquoted and unescaped.
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords are the reserved words recognized across the SQL and S2SQL
+// dialects. Identifiers matching these (case-insensitively) lex as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "ON": true, "DELETE": true, "UPDATE": true,
+	"SET": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "LIKE": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"JOIN": true, "INNER": true, "AS": true, "DISTINCT": true,
+	"TEXT": true, "INTEGER": true, "REAL": true, "BOOLEAN": true,
+	"PRIMARY": true, "KEY": true, "UNIQUE": true, "IS": true, "IN": true,
+	"GROUP": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"OFFSET": true,
+}
+
+// Lex tokenizes input, returning the token stream ending with a TokEOF
+// token. SQL comments (-- to end of line) are skipped.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					// '' is an escaped quote.
+					if i+1 < len(input) && input[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqllang: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Pos: start})
+		case c >= '0' && c <= '9' ||
+			(c == '.' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9') ||
+			(c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			if c == '-' {
+				i++
+			}
+			sawDot := false
+			for i < len(input) {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+				} else if d == '.' && !sawDot {
+					sawDot = true
+					i++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < len(input) && isIdentPart(input[i]) {
+				i++
+			}
+			text := input[start:i]
+			upper := strings.ToUpper(text)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: text, Pos: start})
+			}
+		default:
+			start := i
+			var text string
+			switch {
+			case strings.HasPrefix(input[i:], "!="), strings.HasPrefix(input[i:], "<>"),
+				strings.HasPrefix(input[i:], "<="), strings.HasPrefix(input[i:], ">="):
+				text = input[i : i+2]
+				if text == "<>" {
+					text = "!="
+				}
+				i += 2
+			case strings.ContainsRune("(),.*=<>", rune(c)):
+				text = string(c)
+				i++
+			default:
+				return nil, fmt.Errorf("sqllang: unexpected character %q at offset %d", c, i)
+			}
+			toks = append(toks, Token{Kind: TokPunct, Text: text, Pos: start})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

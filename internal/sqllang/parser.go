@@ -1,0 +1,578 @@
+package sqllang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and, when text is
+// non-empty, the given text.
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a matching token or fails.
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, p.errf("expected %s, got %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqllang: at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(TokKeyword, "INSERT"):
+		return p.insertStmt()
+	case p.at(TokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(TokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.updateStmt()
+	default:
+		return nil, p.errf("expected a statement, got %s", p.peek())
+	}
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	if p.accept(TokKeyword, "INDEX") {
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndex{Table: table, Column: col}, nil
+	}
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var typ ColumnType
+		switch {
+		case p.accept(TokKeyword, "TEXT"):
+			typ = TypeText
+		case p.accept(TokKeyword, "INTEGER"):
+			typ = TypeInteger
+		case p.accept(TokKeyword, "REAL"):
+			typ = TypeReal
+		case p.accept(TokKeyword, "BOOLEAN"):
+			typ = TypeBoolean
+		default:
+			return nil, p.errf("expected a column type, got %s", p.peek())
+		}
+		def := ColumnDef{Name: name, Type: typ}
+		if p.accept(TokKeyword, "PRIMARY") {
+			if _, err := p.expect(TokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			def.PrimaryKey = true
+		} else if p.accept(TokKeyword, "UNIQUE") {
+			def.Unique = true
+		}
+		cols = append(cols, def)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Table: table, Columns: cols}, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.accept(TokPunct, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(TokKeyword, "DISTINCT")
+	if !p.accept(TokPunct, "*") {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, item)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	for p.at(TokKeyword, "JOIN") || p.at(TokKeyword, "INNER") {
+		p.accept(TokKeyword, "INNER")
+		if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Table: jt, Left: left, Right: right})
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		where, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = where
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, ref)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		ref, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Column: ref}
+		if p.accept(TokKeyword, "DESC") {
+			ob.Desc = true
+		} else {
+			p.accept(TokKeyword, "ASC")
+		}
+		sel.Order = ob
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		tok, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(tok.Text)
+		if err != nil {
+			return nil, p.errf("invalid LIMIT %q", tok.Text)
+		}
+		sel.Limit = n
+	}
+	if p.accept(TokKeyword, "OFFSET") {
+		tok, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(tok.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid OFFSET %q", tok.Text)
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.accept(TokKeyword, "WHERE") {
+		del.Where, err = p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return del, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col, Value: val})
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		upd.Where, err = p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return upd, nil
+}
+
+// orExpr parses OR-separated conjunctions (lowest precedence).
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	if p.accept(TokPunct, "(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Operand: left, Negate: neg}, nil
+	}
+	// IN (v, ...)
+	if p.accept(TokKeyword, "IN") {
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Operand: left}
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			in.Values = append(in.Values, lit)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	var op BinaryOp
+	switch {
+	case p.accept(TokPunct, "="):
+		op = OpEq
+	case p.accept(TokPunct, "!="):
+		op = OpNe
+	case p.accept(TokPunct, "<="):
+		op = OpLe
+	case p.accept(TokPunct, ">="):
+		op = OpGe
+	case p.accept(TokPunct, "<"):
+		op = OpLt
+	case p.accept(TokPunct, ">"):
+		op = OpGt
+	case p.accept(TokKeyword, "LIKE"):
+		op = OpLike
+	default:
+		return nil, p.errf("expected a comparison operator, got %s", p.peek())
+	}
+	right, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+}
+
+// operand parses a column reference or literal.
+func (p *parser) operand() (Expr, error) {
+	switch {
+	case p.at(TokIdent, ""):
+		return p.columnRef()
+	default:
+		return p.literal()
+	}
+}
+
+// selectItem parses a plain column reference or AGG(col) / COUNT(*).
+func (p *parser) selectItem() (SelectItem, error) {
+	aggs := map[string]AggFunc{
+		"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+	}
+	if tok := p.peek(); tok.Kind == TokKeyword {
+		if agg, ok := aggs[tok.Text]; ok {
+			p.next()
+			if _, err := p.expect(TokPunct, "("); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: agg}
+			if p.accept(TokPunct, "*") {
+				if agg != AggCount {
+					return SelectItem{}, p.errf("%s(*) is not valid; only COUNT(*)", agg)
+				}
+				item.Star = true
+			} else {
+				ref, err := p.columnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = ref
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			return item, nil
+		}
+	}
+	ref, err := p.columnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: ref}, nil
+}
+
+func (p *parser) columnRef() (ColumnRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.accept(TokPunct, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: first, Column: second}, nil
+	}
+	return ColumnRef{Column: first}, nil
+}
+
+func (p *parser) literal() (LiteralExpr, error) {
+	switch {
+	case p.at(TokString, ""):
+		return LiteralExpr{Kind: LitString, Text: p.next().Text}, nil
+	case p.at(TokNumber, ""):
+		return LiteralExpr{Kind: LitNumber, Text: p.next().Text}, nil
+	case p.accept(TokKeyword, "TRUE"):
+		return LiteralExpr{Kind: LitBool, Text: "TRUE"}, nil
+	case p.accept(TokKeyword, "FALSE"):
+		return LiteralExpr{Kind: LitBool, Text: "FALSE"}, nil
+	case p.accept(TokKeyword, "NULL"):
+		return LiteralExpr{Kind: LitNull, Text: "NULL"}, nil
+	default:
+		return LiteralExpr{}, p.errf("expected a literal, got %s", p.peek())
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	tok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return tok.Text, nil
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to a remote S2S middleware endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the endpoint base URL, e.g.
+// "http://localhost:8080". A nil httpClient uses a client with
+// DefaultClientTimeout.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: DefaultClientTimeout}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// DefaultClientTimeout bounds client calls.
+const DefaultClientTimeout = 30 * time.Second
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("transport: encoding request: %w", err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("transport: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: calling %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("transport: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("transport: %s %s: status %s", method, path, resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("transport: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Query runs an S2SQL query remotely.
+func (c *Client) Query(ctx context.Context, query, format string) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/query", QueryRequest{Query: query, Format: format}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryGet runs a query via the GET form.
+func (c *Client) QueryGet(ctx context.Context, query, format string) (*QueryResponse, error) {
+	v := url.Values{"q": {query}}
+	if format != "" {
+		v.Set("format", format)
+	}
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodGet, "/query?"+v.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterSource registers a data source remotely.
+func (c *Client) RegisterSource(ctx context.Context, ws WireSource) error {
+	return c.do(ctx, http.MethodPost, "/sources", ws, nil)
+}
+
+// RegisterMapping registers a mapping entry remotely.
+func (c *Client) RegisterMapping(ctx context.Context, wm WireMapping) error {
+	return c.do(ctx, http.MethodPost, "/mappings", wm, nil)
+}
+
+// Sources lists the remote source definitions.
+func (c *Client) Sources(ctx context.Context) ([]WireSource, error) {
+	var out []WireSource
+	if err := c.do(ctx, http.MethodGet, "/sources", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Mappings lists the remote mapping entries.
+func (c *Client) Mappings(ctx context.Context) ([]WireMapping, error) {
+	var out []WireMapping
+	if err := c.do(ctx, http.MethodGet, "/mappings", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ontology fetches the remote ontology as an OWL document.
+func (c *Client) Ontology(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/ontology", nil)
+	if err != nil {
+		return "", fmt.Errorf("transport: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("transport: fetching ontology: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("transport: fetching ontology: status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("transport: reading ontology: %w", err)
+	}
+	return string(body), nil
+}
+
+// SPARQL runs a semantic-processing request against the endpoint.
+func (c *Client) SPARQL(ctx context.Context, req SPARQLRequest) (*SPARQLResponse, error) {
+	var out SPARQLResponse
+	if err := c.do(ctx, http.MethodPost, "/sparql", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes the endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

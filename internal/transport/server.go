@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/reason"
+	"repro/internal/sparql"
+)
+
+// Server exposes a middleware over HTTP.
+//
+// Routes:
+//
+//	GET  /healthz        liveness probe
+//	POST /query          QueryRequest → QueryResponse
+//	GET  /query          ?q=...&format=... → QueryResponse
+//	GET  /ontology       the ontology as an OWL (RDF/XML) document
+//	GET  /sources        registered source definitions (JSON)
+//	POST /sources        register a WireSource
+//	GET  /mappings       registered mapping entries (JSON)
+//	POST /mappings       register a WireMapping
+//	GET  /stats          middleware statistics (JSON)
+//	POST /sparql         SPARQLRequest → SPARQLResponse (optionally reasoned)
+//	GET  /health/sources per-source circuit breaker state (JSON)
+type Server struct {
+	mw  *core.Middleware
+	mux *http.ServeMux
+}
+
+// NewServer wraps a middleware in an HTTP handler.
+func NewServer(mw *core.Middleware) *Server {
+	s := &Server{mw: mw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ontology", s.handleOntology)
+	s.mux.HandleFunc("/sources", s.handleSources)
+	s.mux.HandleFunc("/mappings", s.handleMappings)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/health/sources", s.handleSourceHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: decoding request: %w", err))
+			return
+		}
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+		req.Format = r.URL.Query().Get("format")
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: empty query"))
+		return
+	}
+	format := instance.FormatOWL
+	if req.Format != "" {
+		f, err := instance.ParseFormat(req.Format)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		format = f
+	}
+
+	res, err := s.mw.Query(r.Context(), req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := s.mw.Generator().SerializeString(res, format)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{
+		Query:   res.Plan.Query.String(),
+		Format:  format.String(),
+		Matched: len(res.Matched),
+		Related: len(res.Related),
+		Missing: res.Missing,
+		Body:    body,
+	}
+	for _, e := range res.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "application/rdf+xml")
+	if err := s.mw.Ontology().WriteOWL(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		defs := s.mw.Sources().All()
+		out := make([]WireSource, len(defs))
+		for i, d := range defs {
+			out[i] = FromDefinition(d)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	case http.MethodPost:
+		var ws WireSource
+		if err := json.NewDecoder(r.Body).Decode(&ws); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: decoding source: %w", err))
+			return
+		}
+		def, err := ws.ToDefinition()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.mw.RegisterSource(def); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+	}
+}
+
+func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		entries := s.mw.Mappings().AllEntries()
+		out := make([]WireMapping, len(entries))
+		for i, e := range entries {
+			out[i] = FromEntry(e)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	case http.MethodPost:
+		var wm WireMapping
+		if err := json.NewDecoder(r.Body).Decode(&wm); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: decoding mapping: %w", err))
+			return
+		}
+		entry, err := wm.ToEntry()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.mw.RegisterMapping(entry); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+	}
+}
+
+// handleSPARQL answers a semantic-processing request: it runs an S2SQL
+// query to assemble ontology instances, optionally materializes the
+// ontology's RDFS entailments over the result graph, and evaluates a SPARQL
+// query against it — the downstream knowledge-processing path the paper's
+// conclusion motivates, offered directly by the endpoint.
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	var req SPARQLRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: decoding request: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SPARQL) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: empty sparql query"))
+		return
+	}
+	s2sqlQuery := req.S2SQL
+	if strings.TrimSpace(s2sqlQuery) == "" {
+		s2sqlQuery = "SELECT " + s.mw.Ontology().Root().Name
+	}
+	res, err := s.mw.Query(r.Context(), s2sqlQuery)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	graph, err := s.mw.Generator().ToGraph(res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Reason {
+		graph, err = reason.Materialize(s.mw.Ontology().ToGraph(), graph)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	out, err := sparql.Select(graph, req.SPARQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SPARQLResponse{Vars: out.Vars}
+	for _, b := range out.Bindings {
+		row := map[string]string{}
+		for v, term := range b {
+			row[v] = term.String()
+		}
+		resp.Bindings = append(resp.Bindings, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleSourceHealth reports per-source circuit breaker state, so a B2B
+// operator can see which partners are failing without reading logs.
+func (s *Server) handleSourceHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	health := s.mw.SourceHealth()
+	out := make([]map[string]any, 0, len(health))
+	for _, h := range health {
+		entry := map[string]any{
+			"source":              h.SourceID,
+			"consecutiveFailures": h.ConsecutiveFailures,
+			"open":                h.Open,
+		}
+		if h.Open {
+			entry["retryAt"] = h.RetryAt.UTC().Format("2006-01-02T15:04:05Z07:00")
+		}
+		out = append(out, entry)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	stats := s.mw.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"queries":        stats.Queries,
+		"instances":      stats.Instances,
+		"sourceErrors":   stats.SourceErrors,
+		"planTimeMs":     stats.PlanTime.Milliseconds(),
+		"extractTimeMs":  stats.ExtractTime.Milliseconds(),
+		"generateTimeMs": stats.GenerateTime.Milliseconds(),
+	})
+}

@@ -1,0 +1,118 @@
+package webl
+
+// stmt is a WebL statement.
+type stmt interface{ stmtNode() }
+
+// varDecl is `var name = expr`.
+type varDecl struct {
+	name string
+	init expr
+	line int
+}
+
+// assign is `target = expr`; target is an identifier or index expression.
+type assign struct {
+	target expr
+	value  expr
+	line   int
+}
+
+// ifStmt is `if cond { ... } [else { ... }]` (else may nest another if).
+type ifStmt struct {
+	cond      expr
+	then, alt []stmt
+	line      int
+}
+
+// whileStmt is `while cond { ... }`.
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+// returnStmt ends the program; its value is bound to "result".
+type returnStmt struct {
+	value expr
+	line  int
+}
+
+// exprStmt evaluates an expression for its side effects.
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+// funcDecl is `fun name(params) { body }`; only valid at top level.
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+func (*funcDecl) stmtNode() {}
+
+func (*varDecl) stmtNode()    {}
+func (*assign) stmtNode()     {}
+func (*ifStmt) stmtNode()     {}
+func (*whileStmt) stmtNode()  {}
+func (*returnStmt) stmtNode() {}
+func (*exprStmt) stmtNode()   {}
+
+// expr is a WebL expression.
+type expr interface{ exprNode() }
+
+type stringLit struct{ val string }
+
+type numberLit struct{ val float64 }
+
+type boolLit struct{ val bool }
+
+type nilLit struct{}
+
+type ident struct {
+	name string
+	line int
+}
+
+type listLit struct{ elems []expr }
+
+// indexExpr is base[index].
+type indexExpr struct {
+	base  expr
+	index expr
+	line  int
+}
+
+// callExpr is fn(args...); fn is always an identifier naming a builtin.
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+
+// binaryExpr applies op: + - * / % == != < > <= >= and or.
+type binaryExpr struct {
+	op          string
+	left, right expr
+	line        int
+}
+
+// unaryExpr applies op: - not !
+type unaryExpr struct {
+	op      string
+	operand expr
+	line    int
+}
+
+func (*stringLit) exprNode()  {}
+func (*numberLit) exprNode()  {}
+func (*boolLit) exprNode()    {}
+func (*nilLit) exprNode()     {}
+func (*ident) exprNode()      {}
+func (*listLit) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*binaryExpr) exprNode() {}
+func (*unaryExpr) exprNode()  {}

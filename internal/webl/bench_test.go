@@ -1,0 +1,78 @@
+package webl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// BenchmarkPaperRule measures the paper's verbatim extraction rule.
+func BenchmarkPaperRule(b *testing.B) {
+	prog := MustCompile(paperRule)
+	env := &Env{Fetcher: paperFetcher()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		globals, err := prog.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if strings.TrimSpace(globals["brand"].(string)) != "Seiko" {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// BenchmarkListExtraction measures the n-record Column idiom over a large
+// page.
+func BenchmarkListExtraction(b *testing.B) {
+	var page strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&page, `<b class="brand">Brand%d</b>`, i)
+	}
+	fetcher := MapFetcher{"http://shop/big": page.String()}
+	prog := MustCompile(`
+var P = GetURL("http://shop/big")
+var brands = Column(Str_Search(Text(P), "<b class=\"brand\">([^<]+)</b>"), 1)
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		globals, err := prog.Run(&Env{Fetcher: fetcher})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(globals["brands"].([]Value)) != 1000 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkInterpreterLoop measures raw statement throughput.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	prog := MustCompile(`
+var total = 0
+var i = 0
+while i < 10000 {
+	total = total + i
+	i = i + 1
+}
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		globals, err := prog.Run(&Env{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if globals["total"] != float64(49995000) {
+			b.Fatal("wrong total")
+		}
+	}
+}
+
+// BenchmarkCompile measures rule compilation (done per extraction).
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(paperRule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

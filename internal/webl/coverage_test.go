@@ -1,0 +1,120 @@
+package webl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFetcherFuncAdapter(t *testing.T) {
+	f := FetcherFunc(func(url string) (string, error) { return "body:" + url, nil })
+	got, err := f.Fetch("http://x")
+	if err != nil || got != "body:http://x" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	globals := run(t, `
+var aNil = nil or false
+var aEmptyStr = "" or false
+var aStr = "x" and true
+var aZero = 0 or false
+var aNum = 3 and true
+var aEmptyList = [] or false
+var aList = [1] and true
+`, nil)
+	for name, want := range map[string]bool{
+		"aNil": false, "aEmptyStr": false, "aStr": true,
+		"aZero": false, "aNum": true, "aEmptyList": false, "aList": true,
+	} {
+		if globals[name] != want {
+			t.Errorf("%s = %v, want %v", name, globals[name], want)
+		}
+	}
+	// Pages are truthy.
+	fetcher := MapFetcher{"http://x": "c"}
+	globals = run(t, `var p = GetURL("http://x") and true`, &Env{Fetcher: fetcher})
+	if globals["p"] != true {
+		t.Errorf("page truthiness = %v", globals["p"])
+	}
+}
+
+func TestToStringForms(t *testing.T) {
+	fetcher := MapFetcher{"http://x": "c"}
+	globals := run(t, `
+var fromNil = "" + nil
+var fromBool = "" + true
+var fromList = "" + [1, "a"]
+var fromFloat = "" + 2.5
+var fromBig = "" + 1000000
+var fromPage = "" + GetURL("http://x")
+`, &Env{Fetcher: fetcher})
+	checks := map[string]string{
+		"fromNil":   "",
+		"fromBool":  "true",
+		"fromList":  "[1, a]",
+		"fromFloat": "2.5",
+		"fromBig":   "1000000",
+		"fromPage":  "http://x",
+	}
+	for name, want := range checks {
+		if globals[name] != want {
+			t.Errorf("%s = %q, want %q", name, globals[name], want)
+		}
+	}
+}
+
+func TestBuiltinArgumentTypeErrors(t *testing.T) {
+	// Every builtin rejects wrong argument types with a clean error naming
+	// the function.
+	cases := map[string]string{
+		"Str_Replace":  `var a = Str_Replace(1, "b", "c")`,
+		"Str_Contains": `var a = Str_Contains("x", 2)`,
+		"Str_Index":    `var a = Str_Index(nil, "x")`,
+		"Str_Trim":     `var a = Str_Trim(5)`,
+		"Append":       `var a = Append("not a list", 1)`,
+		"Column":       `var a = Column("not a list", 0)`,
+		"ColumnRow":    `var a = Column(["not a row"], 0)`,
+		"ColumnRange":  `var a = Column([[1]], 5)`,
+		"ToNumber":     `var a = ToNumber([1])`,
+		"GetURL":       `var a = GetURL(42)`,
+		"Text":         `var a = Text(nil)`,
+		"Lines":        `var a = Lines(7)`,
+		"Fields":       `var a = Fields(7)`,
+		"Select":       `var a = Select("x", "zero", 1)`,
+	}
+	for name, src := range cases {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Errorf("%s: compile error %v", name, err)
+			continue
+		}
+		if _, err := prog.Run(&Env{Fetcher: MapFetcher{}}); err == nil {
+			t.Errorf("%s: no runtime error for %q", name, src)
+		}
+	}
+}
+
+func TestTypeNameInErrors(t *testing.T) {
+	prog := MustCompile(`var a = [1] - 2`)
+	_, err := prog.Run(&Env{})
+	if err == nil || !strings.Contains(err.Error(), "list") {
+		t.Fatalf("err = %v, want type name 'list'", err)
+	}
+	prog = MustCompile(`var p = GetURL("http://x") var a = p - 1`)
+	_, err = prog.Run(&Env{Fetcher: MapFetcher{"http://x": "c"}})
+	if err == nil || !strings.Contains(err.Error(), "page") {
+		t.Fatalf("err = %v, want type name 'page'", err)
+	}
+}
+
+func TestSeededGlobals(t *testing.T) {
+	prog := MustCompile(`return v + "!"`)
+	globals, err := prog.Run(&Env{Globals: map[string]Value{"v": "seed"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if globals["result"] != "seed!" {
+		t.Errorf("result = %v", globals["result"])
+	}
+}

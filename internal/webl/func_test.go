@@ -1,0 +1,183 @@
+package webl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUserFunctionBasic(t *testing.T) {
+	globals := run(t, `
+fun double(x) {
+	return x * 2
+}
+var a = double(21)
+var b = double(double(1))
+`, nil)
+	if globals["a"] != float64(42) || globals["b"] != float64(4) {
+		t.Errorf("a=%v b=%v", globals["a"], globals["b"])
+	}
+}
+
+func TestUserFunctionLocalsDoNotLeak(t *testing.T) {
+	globals := run(t, `
+fun helper(x) {
+	var local = x + 1
+	return local
+}
+var out = helper(5)
+`, nil)
+	if globals["out"] != float64(6) {
+		t.Errorf("out = %v", globals["out"])
+	}
+	if _, leaked := globals["local"]; leaked {
+		t.Error("function local leaked into globals")
+	}
+	if _, leaked := globals["x"]; leaked {
+		t.Error("parameter leaked into globals")
+	}
+}
+
+func TestUserFunctionReadsGlobals(t *testing.T) {
+	globals := run(t, `
+var prefix = "id-"
+fun tag(n) {
+	return prefix + n
+}
+var out = tag(7)
+`, nil)
+	if globals["out"] != "id-7" {
+		t.Errorf("out = %v", globals["out"])
+	}
+}
+
+func TestUserFunctionAssignsGlobal(t *testing.T) {
+	globals := run(t, `
+var total = 0
+fun bump(n) {
+	total = total + n
+	return total
+}
+bump(3)
+bump(4)
+`, nil)
+	if globals["total"] != float64(7) {
+		t.Errorf("total = %v", globals["total"])
+	}
+}
+
+func TestUserFunctionParamShadowsGlobal(t *testing.T) {
+	globals := run(t, `
+var x = "global"
+fun f(x) {
+	x = x + "!"
+	return x
+}
+var out = f("param")
+`, nil)
+	if globals["out"] != "param!" {
+		t.Errorf("out = %v", globals["out"])
+	}
+	if globals["x"] != "global" {
+		t.Errorf("global x mutated: %v", globals["x"])
+	}
+}
+
+func TestUserFunctionRecursion(t *testing.T) {
+	globals := run(t, `
+fun fact(n) {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n - 1)
+}
+var out = fact(10)
+`, nil)
+	if globals["out"] != float64(3628800) {
+		t.Errorf("out = %v", globals["out"])
+	}
+}
+
+func TestUserFunctionInExtractionRule(t *testing.T) {
+	fetcher := MapFetcher{"http://shop/x": `<b>Seiko</b><b>Casio</b>`}
+	globals := run(t, `
+fun extractAll(url, pattern) {
+	var page = GetURL(url)
+	return Column(Str_Search(Text(page), pattern), 1)
+}
+var brands = extractAll("http://shop/x", "<b>([^<]+)</b>")
+`, &Env{Fetcher: fetcher})
+	brands := globals["brands"].([]Value)
+	if len(brands) != 2 || brands[0] != "Seiko" {
+		t.Errorf("brands = %v", brands)
+	}
+}
+
+func TestUserFunctionNoReturnIsNil(t *testing.T) {
+	globals := run(t, `
+fun noop(x) {
+	var y = x
+}
+var out = noop(1)
+`, nil)
+	if globals["out"] != nil {
+		t.Errorf("out = %v", globals["out"])
+	}
+}
+
+func TestUserFunctionErrors(t *testing.T) {
+	compileErrors := []string{
+		`fun f(a, a) { return a }`,           // duplicate parameter
+		`fun f(a) { return a } fun f(b) { }`, // redefinition
+		`fun Len(a) { return 1 }`,            // shadows builtin
+		`fun f(a { return a }`,               // malformed params
+		`fun f(a) return a`,                  // missing block
+		`fun (a) { return a }`,               // missing name
+	}
+	for _, src := range compileErrors {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+
+	runtimeErrors := map[string]string{
+		"wrong arity": `
+fun f(a, b) { return a }
+var x = f(1)
+`,
+		"unbounded recursion": `
+fun loop(n) { return loop(n + 1) }
+var x = loop(0)
+`,
+	}
+	for name, src := range runtimeErrors {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Errorf("%s: unexpected compile error %v", name, err)
+			continue
+		}
+		if _, err := prog.Run(&Env{}); err == nil {
+			t.Errorf("%s: no runtime error", name)
+		}
+	}
+}
+
+func TestRecursionDepthMessage(t *testing.T) {
+	prog := MustCompile(`
+fun loop(n) { return loop(n + 1) }
+var x = loop(0)
+`)
+	_, err := prog.Run(&Env{})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTopLevelReturnStillSetsResult(t *testing.T) {
+	globals := run(t, `
+fun f(x) { return x + 1 }
+return f(41)
+`, nil)
+	if globals["result"] != float64(42) {
+		t.Errorf("result = %v", globals["result"])
+	}
+}

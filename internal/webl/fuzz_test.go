@@ -1,0 +1,31 @@
+package webl
+
+import "testing"
+
+// FuzzCompileAndRun checks the WebL pipeline never panics: anything that
+// compiles runs to completion or a clean error under a small step budget.
+func FuzzCompileAndRun(f *testing.F) {
+	seeds := []string{
+		`var a = 1 + 2 * 3`,
+		`var s = Str_Split("a<b>c", "<>")`,
+		"var St = Str_Search(\"<p><b>Seiko\", \"<p><b>\" + `[a-z]+`)",
+		`fun f(x) { return x * 2 } var y = f(21)`,
+		`var i = 0
+while i < 10 { i = i + 1 }`,
+		`if true { var a = 1 } else { var b = 2 }`,
+		`var xs = [1, "two", [3]]
+var x = xs[2][0]`,
+		`return Select("Seiko", 0, 6)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// No fetcher: GetURL errors cleanly; the budget stops loops.
+		_, _ = prog.Run(&Env{MaxSteps: 50_000})
+	})
+}

@@ -1,0 +1,180 @@
+// Package webl implements an interpreter for the web extraction language the
+// paper uses to write unstructured-source extraction rules (§2.3.1 step 2,
+// citing Kistler & Marais' WebL). The paper's own rule runs unmodified:
+//
+//	var P = GetURL("http://www.eshop.com/products/watches.html");
+//	var pText = Text(P);
+//	var regexpr = "<p><b>" + `[0-9a-zA-Z']+`;
+//	var St = Str_Search(pText, regexpr);
+//	var spliter = Str_Split(St[0][0], "<>");
+//	var brand = Select(spliter[2], 0, 6);
+//
+// The language is small and imperative: var declarations, assignment,
+// if/else, while, lists, string/number/boolean values, and a library of
+// page-fetching and string-processing builtins. After a program runs, the
+// extractor reads the variable named after the attribute being extracted
+// (or "result"); list values carry the n-record scenario.
+package webl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies WebL tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of program"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var weblKeywords = map[string]bool{
+	"var": true, "if": true, "else": true, "while": true, "return": true,
+	"true": true, "false": true, "nil": true, "and": true, "or": true, "not": true,
+	"fun": true,
+}
+
+// lex tokenizes WebL source. Comments run from // or # to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/', c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				switch src[i] {
+				case '"':
+					i++
+					closed = true
+				case '\\':
+					if i+1 >= len(src) {
+						return nil, fmt.Errorf("webl: line %d: dangling escape", line)
+					}
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						return nil, fmt.Errorf("webl: line %d: unknown escape \\%c", line, src[i+1])
+					}
+					i += 2
+					continue
+				case '\n':
+					return nil, fmt.Errorf("webl: line %d: newline in string literal", line)
+				default:
+					b.WriteByte(src[i])
+					i++
+					continue
+				}
+				break
+			}
+			if !closed {
+				return nil, fmt.Errorf("webl: line %d: unterminated string starting at offset %d", line, start)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), line: line})
+		case c == '`':
+			// Raw string: no escapes, may span lines. The paper uses these
+			// for regular expressions.
+			i++
+			end := strings.IndexByte(src[i:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("webl: line %d: unterminated raw string", line)
+			}
+			text := src[i : i+end]
+			line += strings.Count(text, "\n")
+			toks = append(toks, token{kind: tokString, text: text, line: line})
+			i += end + 1
+		case c >= '0' && c <= '9':
+			start := i
+			sawDot := false
+			for i < len(src) {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+				} else if d == '.' && !sawDot {
+					sawDot = true
+					i++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: line})
+		case isWeblIdentStart(c):
+			start := i
+			for i < len(src) && isWeblIdentPart(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			kind := tokIdent
+			if weblKeywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: line})
+		default:
+			var text string
+			switch {
+			case strings.HasPrefix(src[i:], "=="), strings.HasPrefix(src[i:], "!="),
+				strings.HasPrefix(src[i:], "<="), strings.HasPrefix(src[i:], ">="),
+				strings.HasPrefix(src[i:], "&&"), strings.HasPrefix(src[i:], "||"):
+				text = src[i : i+2]
+				i += 2
+			case strings.ContainsRune("()[]{},;=<>+-*/%!", rune(c)):
+				text = string(c)
+				i++
+			default:
+				return nil, fmt.Errorf("webl: line %d: unexpected character %q", line, c)
+			}
+			toks = append(toks, token{kind: tokPunct, text: text, line: line})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isWeblIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isWeblIdentPart(c byte) bool {
+	return isWeblIdentStart(c) || c >= '0' && c <= '9'
+}

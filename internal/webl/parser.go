@@ -1,0 +1,475 @@
+package webl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Program is a compiled WebL extraction rule.
+type Program struct {
+	stmts  []stmt
+	funcs  map[string]*funcDecl
+	source string
+}
+
+// Compile parses WebL source into a runnable program.
+func Compile(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &weblParser{toks: toks}
+	prog := &Program{funcs: map[string]*funcDecl{}, source: src}
+	for !p.at(tokEOF, "") {
+		if p.at(tokKeyword, "fun") {
+			fn, err := p.funcDeclaration()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.funcs[fn.name]; dup {
+				return nil, fmt.Errorf("webl: line %d: function %q redefined", fn.line, fn.name)
+			}
+			if _, isBuiltin := builtins[fn.name]; isBuiltin {
+				return nil, fmt.Errorf("webl: line %d: function %q shadows a builtin", fn.line, fn.name)
+			}
+			prog.funcs[fn.name] = fn
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.stmts = append(prog.stmts, s)
+	}
+	return prog, nil
+}
+
+// MustCompile is Compile but panics on error; for static rules.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source returns the program's source text.
+func (p *Program) Source() string { return p.source }
+
+type weblParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *weblParser) peek() token { return p.toks[p.pos] }
+
+func (p *weblParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *weblParser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *weblParser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *weblParser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, got %s", want, p.peek())
+}
+
+func (p *weblParser) errf(format string, args ...any) error {
+	return fmt.Errorf("webl: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *weblParser) statement() (stmt, error) {
+	line := p.peek().line
+	switch {
+	case p.accept(tokKeyword, "var"):
+		nameTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tokPunct, ";")
+		return &varDecl{name: nameTok.text, init: init, line: line}, nil
+
+	case p.accept(tokKeyword, "if"):
+		return p.ifStatement(line)
+
+	case p.accept(tokKeyword, "while"):
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+
+	case p.accept(tokKeyword, "return"):
+		value, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tokPunct, ";")
+		return &returnStmt{value: value, line: line}, nil
+
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "=") {
+			switch e.(type) {
+			case *ident, *indexExpr:
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			value, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(tokPunct, ";")
+			return &assign{target: e, value: value, line: line}, nil
+		}
+		p.accept(tokPunct, ";")
+		return &exprStmt{e: e, line: line}, nil
+	}
+}
+
+func (p *weblParser) funcDeclaration() (*funcDecl, error) {
+	line := p.peek().line
+	p.next() // fun
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &funcDecl{name: nameTok.text, line: line}
+	seen := map[string]bool{}
+	if !p.at(tokPunct, ")") {
+		for {
+			param, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if seen[param.text] {
+				return nil, p.errf("duplicate parameter %q", param.text)
+			}
+			seen[param.text] = true
+			fn.params = append(fn.params, param.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+func (p *weblParser) ifStatement(line int) (stmt, error) {
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &ifStmt{cond: cond, then: then, line: line}
+	if p.accept(tokKeyword, "else") {
+		if p.accept(tokKeyword, "if") {
+			nested, err := p.ifStatement(p.peek().line)
+			if err != nil {
+				return nil, err
+			}
+			node.alt = []stmt{nested}
+		} else {
+			alt, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.alt = alt
+		}
+	}
+	return node, nil
+}
+
+func (p *weblParser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+// Precedence levels: or < and < comparison < additive < multiplicative <
+// unary < postfix.
+func (p *weblParser) expression() (expr, error) { return p.orExpr() }
+
+func (p *weblParser) orExpr() (expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.peek().line
+		if !p.accept(tokKeyword, "or") && !p.accept(tokPunct, "||") {
+			return left, nil
+		}
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "or", left: left, right: right, line: line}
+	}
+}
+
+func (p *weblParser) andExpr() (expr, error) {
+	left, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.peek().line
+		if !p.accept(tokKeyword, "and") && !p.accept(tokPunct, "&&") {
+			return left, nil
+		}
+		right, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "and", left: left, right: right, line: line}
+	}
+}
+
+func (p *weblParser) cmpExpr() (expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		line := p.peek().line
+		if p.accept(tokPunct, op) {
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &binaryExpr{op: op, left: left, right: right, line: line}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *weblParser) addExpr() (expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.peek().line
+		var op string
+		switch {
+		case p.accept(tokPunct, "+"):
+			op = "+"
+		case p.accept(tokPunct, "-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op, left: left, right: right, line: line}
+	}
+}
+
+func (p *weblParser) mulExpr() (expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.peek().line
+		var op string
+		switch {
+		case p.accept(tokPunct, "*"):
+			op = "*"
+		case p.accept(tokPunct, "/"):
+			op = "/"
+		case p.accept(tokPunct, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op, left: left, right: right, line: line}
+	}
+}
+
+func (p *weblParser) unary() (expr, error) {
+	line := p.peek().line
+	switch {
+	case p.accept(tokPunct, "-"):
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", operand: operand, line: line}, nil
+	case p.accept(tokKeyword, "not"), p.accept(tokPunct, "!"):
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "not", operand: operand, line: line}, nil
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *weblParser) postfix() (expr, error) {
+	base, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.peek().line
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			base = &indexExpr{base: base, index: idx, line: line}
+		case p.at(tokPunct, "("):
+			id, ok := base.(*ident)
+			if !ok {
+				return nil, p.errf("only named builtins can be called")
+			}
+			p.next() // (
+			var args []expr
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			base = &callExpr{fn: id.name, args: args, line: line}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *weblParser) primary() (expr, error) {
+	switch {
+	case p.at(tokString, ""):
+		return &stringLit{val: p.next().text}, nil
+	case p.at(tokNumber, ""):
+		tok := p.next()
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", tok.text)
+		}
+		return &numberLit{val: f}, nil
+	case p.accept(tokKeyword, "true"):
+		return &boolLit{val: true}, nil
+	case p.accept(tokKeyword, "false"):
+		return &boolLit{val: false}, nil
+	case p.accept(tokKeyword, "nil"):
+		return &nilLit{}, nil
+	case p.at(tokIdent, ""):
+		tok := p.next()
+		return &ident{name: tok.text, line: tok.line}, nil
+	case p.accept(tokPunct, "("):
+		inner, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.accept(tokPunct, "["):
+		var elems []expr
+		if !p.at(tokPunct, "]") {
+			for {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return &listLit{elems: elems}, nil
+	default:
+		return nil, p.errf("expected an expression, got %s", p.peek())
+	}
+}

@@ -1,0 +1,342 @@
+// Package workload generates synthetic B2B integration worlds for tests,
+// examples, and the benchmark harness. The domain is the paper's watch
+// marketplace: N data sources of each kind (database, XML, web page, plain
+// text), each holding M product records, plus the mappings that integrate
+// them under the paper ontology.
+//
+// The paper evaluates on no public dataset (workshop paper); this generator
+// is the synthetic substitute documented in DESIGN.md. Generation is
+// deterministic per seed so benchmark comparisons are stable.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/ontology"
+	"repro/internal/reldb"
+)
+
+// Spec describes a synthetic world.
+type Spec struct {
+	// DBSources, XMLSources, WebSources, TextSources count data sources of
+	// each kind.
+	DBSources   int
+	XMLSources  int
+	WebSources  int
+	TextSources int
+	// RecordsPerSource is the number of product records per source.
+	RecordsPerSource int
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+// Record is one generated product record — the ground truth a test can
+// verify extraction against.
+type Record struct {
+	Brand           string
+	Model           string
+	Case            string
+	Price           float64
+	WaterResistance int
+	SourceID        string
+}
+
+// World is a generated integration scenario.
+type World struct {
+	// Ontology is the paper's watch ontology.
+	Ontology *ontology.Ontology
+	// Catalog backs the generated sources.
+	Catalog *datasource.Catalog
+	// Definitions are the data source registrations.
+	Definitions []datasource.Definition
+	// Entries are the attribute mappings.
+	Entries []mapping.Entry
+	// Records is the ground truth across all sources, in generation order.
+	Records []Record
+	// ProviderNames maps source IDs to the provider published by that
+	// source.
+	ProviderNames map[string]string
+	// RawDocuments holds the generated source content by source ID (XML
+	// documents, HTML pages, price lists) so tools can dump the world to
+	// disk; database sources are not included.
+	RawDocuments map[string]string
+}
+
+var (
+	brands    = []string{"Seiko", "Casio", "Citizen", "Orient", "Pulsar", "Timex", "Swatch", "Fossil"}
+	cases     = []string{"stainless-steel", "gold", "resin", "titanium", "ceramic"}
+	modelFmts = []string{"Dive %d", "Dress %d", "Field %d", "Chrono %d", "Digital %d"}
+)
+
+// Generate builds a world from a spec.
+func Generate(spec Spec) (*World, error) {
+	if spec.RecordsPerSource <= 0 {
+		spec.RecordsPerSource = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	w := &World{
+		Ontology:      ontology.Paper(),
+		Catalog:       datasource.NewCatalog(),
+		ProviderNames: map[string]string{},
+		RawDocuments:  map[string]string{},
+	}
+	for i := 0; i < spec.DBSources; i++ {
+		if err := w.addDBSource(rng, i, spec.RecordsPerSource); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < spec.XMLSources; i++ {
+		w.addXMLSource(rng, i, spec.RecordsPerSource)
+	}
+	for i := 0; i < spec.WebSources; i++ {
+		w.addWebSource(rng, i, spec.RecordsPerSource)
+	}
+	for i := 0; i < spec.TextSources; i++ {
+		w.addTextSource(rng, i, spec.RecordsPerSource)
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(spec Spec) *World {
+	w, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// record draws one random product record.
+func (w *World) record(rng *rand.Rand, sourceID string) Record {
+	r := Record{
+		Brand:           brands[rng.Intn(len(brands))],
+		Model:           fmt.Sprintf(modelFmts[rng.Intn(len(modelFmts))], rng.Intn(900)+100),
+		Case:            cases[rng.Intn(len(cases))],
+		Price:           float64(rng.Intn(49000)+1000) / 100,
+		WaterResistance: (rng.Intn(20) + 1) * 10,
+		SourceID:        sourceID,
+	}
+	w.Records = append(w.Records, r)
+	return r
+}
+
+func (w *World) provider(rng *rand.Rand, sourceID string) string {
+	name := fmt.Sprintf("Provider%02d", rng.Intn(40))
+	w.ProviderNames[sourceID] = name
+	return name
+}
+
+func (w *World) addDBSource(rng *rand.Rand, n, records int) error {
+	id := fmt.Sprintf("db_%03d", n)
+	dsn := fmt.Sprintf("inventory-%03d", n)
+	db := reldb.New()
+	db.MustExec("CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, model TEXT, watch_case TEXT, price REAL, water_m INTEGER)")
+	db.MustExec("CREATE TABLE provider (name TEXT)")
+	for i := 0; i < records; i++ {
+		r := w.record(rng, id)
+		if _, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO watches (id, brand, model, watch_case, price, water_m) VALUES (%d, '%s', '%s', '%s', %.2f, %d)",
+			i, r.Brand, r.Model, r.Case, r.Price, r.WaterResistance)); err != nil {
+			return err
+		}
+	}
+	prov := w.provider(rng, id)
+	db.MustExec(fmt.Sprintf("INSERT INTO provider (name) VALUES ('%s')", prov))
+	w.Catalog.AddDB(dsn, db)
+	w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindDatabase, DSN: dsn})
+
+	add := func(attr, query string) {
+		w.Entries = append(w.Entries, mapping.Entry{
+			AttributeID: attr, SourceID: id,
+			Rule: mapping.Rule{Language: mapping.LangSQL, Code: query},
+		})
+	}
+	add("thing.product.brand", "SELECT brand FROM watches ORDER BY id")
+	add("thing.product.model", "SELECT model FROM watches ORDER BY id")
+	add("thing.product.watch.case", "SELECT watch_case FROM watches ORDER BY id")
+	add("thing.product.price", "SELECT price FROM watches ORDER BY id")
+	add("thing.product.watch.water_resistance", "SELECT water_m FROM watches ORDER BY id")
+	w.Entries = append(w.Entries, mapping.Entry{
+		AttributeID: "thing.provider.name", SourceID: id,
+		Rule:     mapping.Rule{Language: mapping.LangSQL, Code: "SELECT name FROM provider"},
+		Scenario: mapping.SingleRecord,
+	})
+	return nil
+}
+
+func (w *World) addXMLSource(rng *rand.Rand, n, records int) {
+	id := fmt.Sprintf("xml_%03d", n)
+	path := fmt.Sprintf("catalog-%03d.xml", n)
+	var b strings.Builder
+	b.WriteString("<catalog>\n")
+	for i := 0; i < records; i++ {
+		r := w.record(rng, id)
+		fmt.Fprintf(&b, "  <watch id=\"%d\"><brand>%s</brand><model>%s</model><case>%s</case><price>%.2f</price><water>%d</water></watch>\n",
+			i, r.Brand, r.Model, r.Case, r.Price, r.WaterResistance)
+	}
+	prov := w.provider(rng, id)
+	fmt.Fprintf(&b, "  <provider><name>%s</name></provider>\n", prov)
+	b.WriteString("</catalog>")
+	w.RawDocuments[id] = b.String()
+	w.Catalog.XML.MustAdd(path, b.String())
+	w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindXML, Path: path})
+
+	add := func(attr, expr string) {
+		w.Entries = append(w.Entries, mapping.Entry{
+			AttributeID: attr, SourceID: id,
+			Rule: mapping.Rule{Language: mapping.LangXPath, Code: expr},
+		})
+	}
+	add("thing.product.brand", "/catalog/watch/brand")
+	add("thing.product.model", "/catalog/watch/model")
+	add("thing.product.watch.case", "/catalog/watch/case")
+	add("thing.product.price", "/catalog/watch/price")
+	add("thing.product.watch.water_resistance", "/catalog/watch/water")
+	w.Entries = append(w.Entries, mapping.Entry{
+		AttributeID: "thing.provider.name", SourceID: id,
+		Rule:     mapping.Rule{Language: mapping.LangXPath, Code: "/catalog/provider/name"},
+		Scenario: mapping.SingleRecord,
+	})
+}
+
+func (w *World) addWebSource(rng *rand.Rand, n, records int) {
+	id := fmt.Sprintf("web_%03d", n)
+	url := fmt.Sprintf("http://shop%03d.example/watches.html", n)
+	var b strings.Builder
+	prov := w.provider(rng, id)
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", prov)
+	fmt.Fprintf(&b, "<h1>%s catalogue</h1>\n", prov)
+	for i := 0; i < records; i++ {
+		r := w.record(rng, id)
+		fmt.Fprintf(&b, `<div class="product"><p> <b class="brand">%s</b> </p>`+
+			`<span class="model">%s</span><span class="case">%s</span>`+
+			`<span class="price">%.2f</span></div>`+"\n",
+			r.Brand, r.Model, r.Case, r.Price)
+	}
+	b.WriteString("</body></html>")
+	w.RawDocuments[id] = b.String()
+	w.Catalog.AddPage(url, b.String())
+	w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindWeb, URL: url})
+
+	// WebL rules collect one list per attribute via regex capture groups;
+	// Column projects the group in linear time.
+	listRule := func(varName, pattern string) string {
+		return fmt.Sprintf(`
+var P = GetURL(%q)
+var ms = Str_Search(Text(P), %q)
+var %s = Column(ms, 1)
+`, url, pattern, varName)
+	}
+	add := func(attr, varName, pattern string) {
+		w.Entries = append(w.Entries, mapping.Entry{
+			AttributeID: attr, SourceID: id,
+			Rule: mapping.Rule{Language: mapping.LangWebL, Code: listRule(varName, pattern), Column: varName},
+		})
+	}
+	add("thing.product.brand", "brand", `<b class="brand">([^<]+)</b>`)
+	add("thing.product.model", "model", `<span class="model">([^<]+)</span>`)
+	add("thing.product.watch.case", "wcase", `<span class="case">([^<]+)</span>`)
+	add("thing.product.price", "price", `<span class="price">([^<]+)</span>`)
+	w.Entries = append(w.Entries, mapping.Entry{
+		AttributeID: "thing.provider.name", SourceID: id,
+		Rule: mapping.Rule{Language: mapping.LangWebL, Code: fmt.Sprintf(`
+var P = GetURL(%q)
+var ms = Str_Search(Text(P), "<title>([^<]+)</title>")
+var name = ms[0][1]
+`, url), Column: "name"},
+		Scenario: mapping.SingleRecord,
+	})
+}
+
+func (w *World) addTextSource(rng *rand.Rand, n, records int) {
+	id := fmt.Sprintf("txt_%03d", n)
+	path := fmt.Sprintf("pricelist-%03d.txt", n)
+	var b strings.Builder
+	prov := w.provider(rng, id)
+	fmt.Fprintf(&b, "# %s wholesale price list\nprovider: %s\n", prov, prov)
+	for i := 0; i < records; i++ {
+		r := w.record(rng, id)
+		fmt.Fprintf(&b, "SKU W-%04d brand=%s model=[%s] case=%s price=%.2f water=%dm\n",
+			i, r.Brand, r.Model, r.Case, r.Price, r.WaterResistance)
+	}
+	w.RawDocuments[id] = b.String()
+	w.Catalog.Text.MustAdd(path, b.String())
+	w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindText, Path: path})
+
+	add := func(attr, pattern string) {
+		w.Entries = append(w.Entries, mapping.Entry{
+			AttributeID: attr, SourceID: id,
+			Rule: mapping.Rule{Language: mapping.LangRegex, Code: pattern},
+		})
+	}
+	add("thing.product.brand", `brand=([A-Za-z]+)`)
+	add("thing.product.model", `model=\[([^\]]+)\]`)
+	add("thing.product.watch.case", `case=([a-z-]+)`)
+	add("thing.product.price", `price=([0-9.]+)`)
+	add("thing.product.watch.water_resistance", `water=([0-9]+)m`)
+	w.Entries = append(w.Entries, mapping.Entry{
+		AttributeID: "thing.provider.name", SourceID: id,
+		Rule:     mapping.Rule{Language: mapping.LangRegex, Code: `provider: ([A-Za-z0-9]+)`},
+		Scenario: mapping.SingleRecord,
+	})
+}
+
+// Registrar is the subset of the middleware the world registers itself
+// into; core.Middleware satisfies it.
+type Registrar interface {
+	RegisterSource(datasource.Definition) error
+	RegisterMapping(mapping.Entry) error
+}
+
+// Apply registers every source and mapping into a middleware.
+func (w *World) Apply(m Registrar) error {
+	for _, def := range w.Definitions {
+		if err := m.RegisterSource(def); err != nil {
+			return err
+		}
+	}
+	for _, e := range w.Entries {
+		if err := m.RegisterMapping(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountMatching returns how many ground-truth records satisfy a predicate.
+func (w *World) CountMatching(pred func(Record) bool) int {
+	n := 0
+	for _, r := range w.Records {
+		if pred(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// GrowOntology returns a synthetic ontology with the requested number of
+// classes (in a random tree under the root) and attributes per class; used
+// by the ontology-scaling experiment (E2).
+func GrowOntology(classes, attrsPerClass int, seed int64) *ontology.Ontology {
+	rng := rand.New(rand.NewSource(seed))
+	ont := ontology.MustNew("http://s2s.uma.pt/gen#", "generated", "thing")
+	names := []string{"thing"}
+	for i := 0; i < classes; i++ {
+		parent := names[rng.Intn(len(names))]
+		name := fmt.Sprintf("class%04d", i)
+		if _, err := ont.AddClass(name, parent); err != nil {
+			panic(err)
+		}
+		names = append(names, name)
+		for a := 0; a < attrsPerClass; a++ {
+			if _, err := ont.AddAttribute(name, fmt.Sprintf("attr%d", a), ""); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return ont
+}

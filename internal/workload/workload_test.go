@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1, RecordsPerSource: 5, Seed: 42}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if len(a.Records) != len(b.Records) || len(a.Records) != 20 {
+		t.Fatalf("records = %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	w := MustGenerate(Spec{DBSources: 2, XMLSources: 3, WebSources: 1, TextSources: 1, RecordsPerSource: 4, Seed: 7})
+	if len(w.Definitions) != 7 {
+		t.Errorf("definitions = %d", len(w.Definitions))
+	}
+	kinds := map[datasource.Kind]int{}
+	for _, d := range w.Definitions {
+		kinds[d.Kind]++
+		if err := d.Validate(); err != nil {
+			t.Errorf("definition %s invalid: %v", d.ID, err)
+		}
+	}
+	if kinds[datasource.KindDatabase] != 2 || kinds[datasource.KindXML] != 3 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// 6 mappings per DB/XML/text source, 5 per web source.
+	want := 2*6 + 3*6 + 1*5 + 1*6
+	if len(w.Entries) != want {
+		t.Errorf("entries = %d, want %d", len(w.Entries), want)
+	}
+	if len(w.ProviderNames) != 7 {
+		t.Errorf("providers = %v", w.ProviderNames)
+	}
+}
+
+func TestGeneratedMappingsRegister(t *testing.T) {
+	w := MustGenerate(Spec{DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1, RecordsPerSource: 3, Seed: 1})
+	reg := datasource.NewRegistry()
+	repo := mapping.NewRepository(w.Ontology, reg)
+	for _, d := range w.Definitions {
+		if err := reg.Register(d); err != nil {
+			t.Fatalf("source %s: %v", d.ID, err)
+		}
+	}
+	for _, e := range w.Entries {
+		if err := repo.Register(e); err != nil {
+			t.Fatalf("mapping %s/%s: %v", e.AttributeID, e.SourceID, err)
+		}
+	}
+}
+
+func TestCountMatching(t *testing.T) {
+	w := MustGenerate(Spec{DBSources: 1, RecordsPerSource: 50, Seed: 3})
+	total := w.CountMatching(func(Record) bool { return true })
+	if total != 50 {
+		t.Fatalf("total = %d", total)
+	}
+	cheap := w.CountMatching(func(r Record) bool { return r.Price < 100 })
+	if cheap <= 0 || cheap >= 50 {
+		t.Errorf("cheap = %d; generation should spread prices", cheap)
+	}
+}
+
+func TestGrowOntology(t *testing.T) {
+	ont := GrowOntology(50, 3, 9)
+	if err := ont.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ont.Classes()); got != 51 {
+		t.Errorf("classes = %d", got)
+	}
+	if got := len(ont.Attributes()); got != 150 {
+		t.Errorf("attributes = %d", got)
+	}
+}

@@ -1,0 +1,51 @@
+package xmlpath
+
+import "testing"
+
+// FuzzCompile checks the path compiler never panics and compiled paths
+// evaluate safely against a fixed document.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"/catalog/watch/brand",
+		"//watch[@id='2']/model",
+		"//watch[brand!='Casio'][2]/case",
+		"//@currency",
+		"/catalog/*/price/text()",
+		"catalog/watch",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc, err := ParseString(`<catalog><watch id="1"><brand>Seiko</brand></watch></catalog>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Compile(expr)
+		if err != nil {
+			return
+		}
+		_ = p.SelectStrings(doc)
+		_ = p.SelectNodes(doc)
+	})
+}
+
+// FuzzParse checks the XML tree builder never panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a><b c="d">text</b></a>`,
+		`<?xml version="1.0"?><x/>`,
+		`<a>&amp;&lt;</a>`,
+		`<a><b></a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		root, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		_ = root.DeepText()
+	})
+}

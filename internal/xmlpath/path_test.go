@@ -1,0 +1,268 @@
+package xmlpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const catalog = `<?xml version="1.0"?>
+<catalog source="timehouse">
+  <watch id="1" featured="yes">
+    <brand>Seiko</brand>
+    <model>Dive Auto</model>
+    <case>stainless-steel</case>
+    <price currency="EUR">129.99</price>
+  </watch>
+  <watch id="2">
+    <brand>Seiko</brand>
+    <model>Dress</model>
+    <case>gold</case>
+    <price currency="USD">299.50</price>
+  </watch>
+  <watch id="3">
+    <brand>Casio</brand>
+    <model>F91W</model>
+    <case>resin</case>
+    <price currency="EUR">15.00</price>
+  </watch>
+  <provider>
+    <name>TimeHouse</name>
+    <address><country>JP</country></address>
+  </provider>
+</catalog>`
+
+func mustParse(t *testing.T, doc string) *Node {
+	t.Helper()
+	n, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseBuildsTree(t *testing.T) {
+	root := mustParse(t, catalog)
+	if len(root.Children) != 1 || root.Children[0].Name != "catalog" {
+		t.Fatalf("document element = %+v", root.Children)
+	}
+	cat := root.Children[0]
+	if v, ok := cat.Attr("source"); !ok || v != "timehouse" {
+		t.Errorf("source attr = %q, %v", v, ok)
+	}
+	if got := len(cat.Children); got != 4 {
+		t.Errorf("catalog children = %d, want 4", got)
+	}
+	w := cat.Child("watch")
+	if w == nil || w.Child("brand").Text() != "Seiko" {
+		t.Errorf("first watch brand lookup failed: %+v", w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, doc := range []string{"", "just text", "<a><b></a>", "<a>"} {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("ParseString(%q) succeeded", doc)
+		}
+	}
+}
+
+func TestSelectStrings(t *testing.T) {
+	root := mustParse(t, catalog)
+	tests := []struct {
+		path string
+		want []string
+	}{
+		{"/catalog/watch/brand", []string{"Seiko", "Seiko", "Casio"}},
+		{"//brand", []string{"Seiko", "Seiko", "Casio"}},
+		{"/catalog/watch/@id", []string{"1", "2", "3"}},
+		{"//watch[@id='2']/model", []string{"Dress"}},
+		{"//watch[@id!='2']/model", []string{"Dive Auto", "F91W"}},
+		{"//watch[brand='Casio']/price", []string{"15.00"}},
+		{"//watch[brand!='Casio']/case", []string{"stainless-steel", "gold"}},
+		{"//watch[@featured]/brand", []string{"Seiko"}},
+		{"/catalog/watch[2]/brand", []string{"Seiko"}},
+		{"/catalog/watch[3]/brand", []string{"Casio"}},
+		{"//price[@currency='EUR']", []string{"129.99", "15.00"}},
+		{"//provider/name", []string{"TimeHouse"}},
+		{"//address//country", []string{"JP"}},
+		{"/catalog/provider", []string{"TimeHouse JP"}}, // deep text
+		{"//watch/price/text()", []string{"129.99", "299.50", "15.00"}},
+		{"/catalog/*/brand", []string{"Seiko", "Seiko", "Casio"}},
+		{"//watch[case='gold']/brand", []string{"Seiko"}},
+		{"//nosuch", nil},
+		{"//watch[@id='99']/brand", nil},
+		{"//watch[4]/brand", nil},
+	}
+	for _, tt := range tests {
+		p, err := Compile(tt.path)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tt.path, err)
+			continue
+		}
+		got := p.SelectStrings(root)
+		if len(got) != len(tt.want) {
+			t.Errorf("SelectStrings(%q) = %q, want %q", tt.path, got, tt.want)
+			continue
+		}
+		for i := range got {
+			want := tt.want[i]
+			if tt.path == "/catalog/provider" {
+				// Deep text: whitespace between elements collapses unevenly;
+				// compare loosely.
+				if !strings.Contains(got[i], "TimeHouse") || !strings.Contains(got[i], "JP") {
+					t.Errorf("SelectStrings(%q)[%d] = %q", tt.path, i, got[i])
+				}
+				continue
+			}
+			if got[i] != want {
+				t.Errorf("SelectStrings(%q)[%d] = %q, want %q", tt.path, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSelectNodesPredicateChaining(t *testing.T) {
+	root := mustParse(t, catalog)
+	p := MustCompile("//watch[brand='Seiko'][2]")
+	nodes := p.SelectNodes(root)
+	if len(nodes) != 1 {
+		t.Fatalf("nodes = %d, want 1", len(nodes))
+	}
+	if id, _ := nodes[0].Attr("id"); id != "2" {
+		t.Errorf("second Seiko watch id = %q, want 2", id)
+	}
+}
+
+func TestRelativePathBehavesLikeAbsolute(t *testing.T) {
+	root := mustParse(t, catalog)
+	abs := MustCompile("/catalog/watch/brand").SelectStrings(root)
+	rel := MustCompile("catalog/watch/brand").SelectStrings(root)
+	if len(abs) != len(rel) {
+		t.Fatalf("abs %v != rel %v", abs, rel)
+	}
+}
+
+func TestSelectFromSubtree(t *testing.T) {
+	root := mustParse(t, catalog)
+	watches := MustCompile("//watch").SelectNodes(root)
+	if len(watches) != 3 {
+		t.Fatalf("watches = %d", len(watches))
+	}
+	// Relative evaluation from a record node: the n-record extraction
+	// scenario (paper §2.3) iterates records and extracts per-record values.
+	brand := MustCompile("brand")
+	for i, w := range watches {
+		vals := brand.SelectStrings(w)
+		if len(vals) != 1 {
+			t.Fatalf("watch %d brand = %v", i, vals)
+		}
+	}
+}
+
+func TestUnionPaths(t *testing.T) {
+	root := mustParse(t, catalog)
+	got := MustCompile("//brand | //provider/name").SelectStrings(root)
+	want := []string{"Seiko", "Seiko", "Casio", "TimeHouse"}
+	if len(got) != len(want) {
+		t.Fatalf("union strings = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("union[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Overlapping alternatives deduplicate at the node level.
+	nodes := MustCompile("//watch | //watch[@id='1']").SelectAllNodes(root)
+	if len(nodes) != 3 {
+		t.Fatalf("union nodes = %d, want 3 (deduplicated)", len(nodes))
+	}
+	// '|' inside a predicate is not a union separator.
+	if _, err := Compile("//watch[@id='a|b']"); err != nil {
+		t.Errorf("pipe inside predicate rejected: %v", err)
+	}
+	// A failing alternative fails the whole compile.
+	if _, err := Compile("//brand | //["); err == nil {
+		t.Error("bad union alternative accepted")
+	}
+	if _, err := Compile("//brand | "); err == nil {
+		t.Error("empty union alternative accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"/",
+		"//",
+		"/catalog/",
+		"/catalog/@id/brand",          // attribute mid-path
+		"/catalog/text()/brand",       // text() mid-path
+		"/catalog/watch[0]",           // position < 1
+		"/catalog/watch[brand=Seiko]", // unquoted value
+		"/catalog/watch[brand='x'",    // unbalanced bracket
+		"/catalog/watch]x[",           // unbalanced close
+		"/catalog/wat ch",             // invalid name
+		"/@",                          // empty attribute
+		"/catalog/watch[]",            // empty predicate
+		"/catalog/9pins",              // invalid name start
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("//")
+}
+
+func TestDescendantAttribute(t *testing.T) {
+	root := mustParse(t, catalog)
+	got := MustCompile("//@currency").SelectStrings(root)
+	if len(got) != 3 {
+		t.Fatalf("//@currency = %v", got)
+	}
+}
+
+// Property: every value written into a generated document is found by the
+// corresponding paths, in document order.
+func TestExtractionCompleteProperty(t *testing.T) {
+	f := func(brands []uint8) bool {
+		if len(brands) > 40 {
+			brands = brands[:40]
+		}
+		var b strings.Builder
+		b.WriteString("<catalog>")
+		for i, v := range brands {
+			fmt.Fprintf(&b, "<watch id=\"%d\"><brand>b%d</brand></watch>", i, v)
+		}
+		b.WriteString("</catalog>")
+		root, err := ParseString(b.String())
+		if err != nil {
+			return false
+		}
+		got := MustCompile("/catalog/watch/brand").SelectStrings(root)
+		if len(got) != len(brands) {
+			return false
+		}
+		for i, v := range brands {
+			if got[i] != fmt.Sprintf("b%d", v) {
+				return false
+			}
+		}
+		ids := MustCompile("//watch/@id").SelectStrings(root)
+		return len(ids) == len(brands)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
