@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check vet fmt build test bin clean
+
+# check is the full gate: static analysis, formatting, build, and the
+# test suite under the race detector.
+check: vet fmt build test
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# bin builds the two executables into ./bin.
+bin:
+	$(GO) build -o bin/s2s-server ./cmd/s2s-server
+	$(GO) build -o bin/s2s-query ./cmd/s2s-query
+
+clean:
+	rm -rf bin

@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	s2s-query -q "SELECT product WHERE brand='Seiko'" [-format owl|turtle|ntriples|xml|json|text]
-//	s2s-query -endpoint http://localhost:8080 -q "SELECT provider" -format json
+//	s2s-query -q "SELECT product WHERE brand='Seiko'" [-format owl|turtle|ntriples|xml|json|text] [-trace]
+//	s2s-query -endpoint http://localhost:8080 -q "SELECT provider" -format json -trace
+//
+// With -trace, the query's span tree (per-stage and per-source timings;
+// see docs/OBSERVABILITY.md) is pretty-printed to stderr after the
+// result. In endpoint mode the tree comes back from the server, so a
+// federated query shows its remote per-source spans under one trace.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/reason"
 	"repro/internal/sparql"
 	"repro/internal/transport"
@@ -34,18 +40,19 @@ func main() {
 		records  = flag.Int("records", 50, "records per source for the local world")
 		seed     = flag.Int64("seed", 1, "seed for the local world")
 		timeout  = flag.Duration("timeout", 30*time.Second, "query timeout")
+		trace    = flag.Bool("trace", false, "print the query's span tree to stderr")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *doReason); err != nil {
+	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *doReason, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, doReason bool) error {
+func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, doReason, trace bool) error {
 	if endpoint != "" {
 		client := transport.NewClient(endpoint, nil)
 		if sparqlQuery != "" {
@@ -58,7 +65,13 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 			printBindings(resp.Vars, resp.Bindings)
 			return nil
 		}
-		resp, err := client.Query(ctx, query, format)
+		var resp *transport.QueryResponse
+		var err error
+		if trace {
+			resp, err = client.QueryTraced(ctx, query, format)
+		} else {
+			resp, err = client.Query(ctx, query, format)
+		}
 		if err != nil {
 			return err
 		}
@@ -68,6 +81,10 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 			fmt.Printf("# error: %s\n", e)
 		}
 		fmt.Print(resp.Body)
+		if trace && resp.Trace != nil {
+			fmt.Fprintln(os.Stderr, "# trace:")
+			obs.WriteTree(os.Stderr, resp.Trace)
+		}
 		return nil
 	}
 
@@ -117,6 +134,7 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 			rows = append(rows, row)
 		}
 		printBindings(out.Vars, rows)
+		printLastTrace(mw, trace)
 		return nil
 	}
 
@@ -126,7 +144,19 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 	}
 	fmt.Fprintf(os.Stderr, "# matched=%d related=%d errors=%d\n",
 		len(res.Matched), len(res.Related), len(res.Errors))
+	printLastTrace(mw, trace)
 	return nil
+}
+
+// printLastTrace prints the most recent completed query trace to stderr.
+func printLastTrace(mw *core.Middleware, trace bool) {
+	if !trace {
+		return
+	}
+	for _, tr := range mw.Tracer().Last(1) {
+		fmt.Fprintln(os.Stderr, "# trace:")
+		obs.WriteTree(os.Stderr, tr)
+	}
 }
 
 func printBindings(vars []string, rows []map[string]string) {

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1]
+//	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1] [-pprof]
 //
-// The server exposes /query, /ontology, /sources, /mappings, /stats, and
-// /healthz (see internal/transport).
+// The server exposes /query, /ontology, /sources, /mappings, /stats,
+// /metrics, /trace/last, /health/sources, and /healthz (see
+// internal/transport; docs/OBSERVABILITY.md documents the ops surface).
+// With -pprof, the Go runtime profiles are additionally served under
+// /debug/pprof/.
 package main
 
 import (
@@ -16,7 +19,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; exposed only with -pprof
 	"os"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -34,6 +39,7 @@ func main() {
 		text       = flag.Int("text", 2, "plain-text sources")
 		records    = flag.Int("records", 100, "records per source")
 		seed       = flag.Int64("seed", 1, "workload generation seed")
+		pprofOn    = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 		dumpConfig = flag.String("dump-config", "", "write the generated middleware configuration to this file and continue")
 	)
 	flag.Parse()
@@ -41,13 +47,13 @@ func main() {
 	if err := run(*addr, workload.Spec{
 		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
 		RecordsPerSource: *records, Seed: *seed,
-	}, *dumpConfig); err != nil {
+	}, *dumpConfig, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec workload.Spec, dumpConfig string) error {
+func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool) error {
 	world, err := workload.Generate(spec)
 	if err != nil {
 		return err
@@ -69,9 +75,30 @@ func run(addr string, spec workload.Spec, dumpConfig string) error {
 		}
 		log.Printf("s2s-server: wrote configuration to %s", dumpConfig)
 	}
+	handler := http.Handler(transport.NewServer(mw))
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("s2s-server: pprof enabled at http://localhost%s/debug/pprof/", displayAddr(addr))
+	}
 	log.Printf("s2s-server: %d sources, %d records, listening on %s",
 		len(world.Definitions), len(world.Records), addr)
 	log.Printf("s2s-server: try  curl '%s'",
-		"http://localhost"+addr+"/query?q=SELECT+product+WHERE+brand%3D%27Seiko%27&format=json")
-	return http.ListenAndServe(addr, transport.NewServer(mw))
+		"http://localhost"+displayAddr(addr)+"/query?q=SELECT+product+WHERE+brand%3D%27Seiko%27&format=json")
+	log.Printf("s2s-server: ops  curl http://localhost%s/metrics  |  curl http://localhost%s/trace/last",
+		displayAddr(addr), displayAddr(addr))
+	return http.ListenAndServe(addr, handler)
+}
+
+// displayAddr normalizes a listen address for log-friendly URLs.
+func displayAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return addr
+	}
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		return addr[i:]
+	}
+	return addr
 }

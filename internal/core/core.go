@@ -7,16 +7,19 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datasource"
 	"repro/internal/extract"
 	"repro/internal/instance"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/s2sql"
 )
@@ -30,6 +33,9 @@ type Config struct {
 	Backends extract.Backends
 	// Extract tunes the extractor manager.
 	Extract extract.Options
+	// TraceCapacity bounds the in-memory ring of completed query traces;
+	// 0 uses obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Middleware is the S2S middleware instance.
@@ -40,13 +46,14 @@ type Middleware struct {
 	manager *extract.Manager
 	gen     *instance.Generator
 
-	mu    sync.Mutex
-	stats Stats
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+	stats   statsCounters
 }
 
 // Stats aggregates middleware activity.
 type Stats struct {
-	// Queries is the number of Query calls served.
+	// Queries is the number of Query calls served (failures included).
 	Queries int
 	// Instances is the total matched instances returned.
 	Instances int
@@ -58,6 +65,17 @@ type Stats struct {
 	PlanTime time.Duration
 	// GenerateTime accumulates instance-generation time across queries.
 	GenerateTime time.Duration
+}
+
+// statsCounters is the race-safe accumulator behind Stats: plain atomics
+// so concurrent Query calls and Stats snapshots never contend on a lock.
+type statsCounters struct {
+	queries      atomic.Int64
+	instances    atomic.Int64
+	sourceErrors atomic.Int64
+	planNS       atomic.Int64
+	extractNS    atomic.Int64
+	generateNS   atomic.Int64
 }
 
 // New builds a middleware from a configuration.
@@ -76,6 +94,8 @@ func New(cfg Config) (*Middleware, error) {
 		repo:    repo,
 		manager: extract.NewManager(repo, cfg.Backends, cfg.Extract),
 		gen:     instance.NewGenerator(cfg.Ontology, repo),
+		tracer:  obs.NewTracer(cfg.TraceCapacity),
+		metrics: obs.NewRegistry(),
 	}, nil
 }
 
@@ -94,6 +114,13 @@ func (m *Middleware) Sources() *datasource.Registry { return m.sources }
 // Mappings returns the attribute repository.
 func (m *Middleware) Mappings() *mapping.Repository { return m.repo }
 
+// Tracer returns the middleware's query tracer (the ring of completed
+// span trees behind GET /trace/last and s2s-query -trace).
+func (m *Middleware) Tracer() *obs.Tracer { return m.tracer }
+
+// Metrics returns the middleware's metrics registry (behind GET /metrics).
+func (m *Middleware) Metrics() *obs.Registry { return m.metrics }
+
 // RegisterSource adds a data source definition (paper §2.3.2).
 func (m *Middleware) RegisterSource(def datasource.Definition) error {
 	return m.sources.Register(def)
@@ -109,47 +136,84 @@ func (m *Middleware) SetClassKey(class, attributeID string) error {
 	return m.repo.SetClassKey(class, attributeID)
 }
 
-// Query answers one S2SQL query: parse and plan (query handler), extract
-// (extractor manager), generate (instance generator).
-func (m *Middleware) Query(ctx context.Context, query string) (*instance.Result, error) {
+// beginQuery opens the query's trace root (joining any trace already
+// active in ctx), injects the metrics registry, and returns the finish
+// callback that stamps the outcome, records query metrics, and ends the
+// root span.
+func (m *Middleware) beginQuery(ctx context.Context, query string) (context.Context, func(*instance.Result, error)) {
+	ctx = obs.ContextWithMetrics(ctx, m.metrics)
+	ctx, root := m.tracer.StartTrace(ctx, "query")
+	root.SetAttr("query", query)
+	start := time.Now()
+	return ctx, func(res *instance.Result, err error) {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+			root.SetAttr("error", err.Error())
+		}
+		root.SetAttr("outcome", outcome)
+		m.metrics.Counter(obs.MetricQueryTotal, obs.Labels{"outcome": outcome}).Inc()
+		m.metrics.Histogram(obs.MetricQueryDuration, nil).Observe(time.Since(start).Seconds())
+		m.stats.queries.Add(1)
+		if res != nil {
+			m.metrics.Counter(obs.MetricInstances, nil).Add(uint64(len(res.Matched)))
+			m.stats.instances.Add(int64(len(res.Matched)))
+			m.stats.sourceErrors.Add(int64(len(res.Errors)))
+			root.SetAttr("matched", strconv.Itoa(len(res.Matched)))
+			root.SetAttr("source_errors", strconv.Itoa(len(res.Errors)))
+		}
+		root.End()
+	}
+}
+
+// answer runs the traced pipeline body: parse and plan (query handler),
+// extract (extractor manager), generate (instance generator).
+func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result, error) {
 	planStart := time.Now()
+	_, pspan, pdone := obs.StartStage(ctx, "parse_plan")
 	plan, err := s2sql.ParseAndPlan(query, m.ont)
+	pdone()
+	m.stats.planNS.Add(int64(time.Since(planStart)))
 	if err != nil {
 		return nil, err
 	}
-	planTime := time.Since(planStart)
+	pspan.SetAttr("attributes", strconv.Itoa(len(plan.AttributeIDs())))
 
 	rs, err := m.manager.Extract(ctx, plan.AttributeIDs())
 	if err != nil {
 		return nil, err
 	}
+	m.stats.extractNS.Add(int64(rs.Stats.SchemaDuration + rs.Stats.ExtractDuration))
 
 	genStart := time.Now()
-	res, err := m.gen.Generate(plan, rs)
+	res, err := m.gen.GenerateContext(ctx, plan, rs)
+	m.stats.generateNS.Add(int64(time.Since(genStart)))
 	if err != nil {
 		return nil, err
 	}
-	genTime := time.Since(genStart)
-
-	m.mu.Lock()
-	m.stats.Queries++
-	m.stats.Instances += len(res.Matched)
-	m.stats.SourceErrors += len(res.Errors)
-	m.stats.PlanTime += planTime
-	m.stats.ExtractTime += rs.Stats.SchemaDuration + rs.Stats.ExtractDuration
-	m.stats.GenerateTime += genTime
-	m.mu.Unlock()
 	return res, nil
 }
 
+// Query answers one S2SQL query: parse and plan (query handler), extract
+// (extractor manager), generate (instance generator). The full pipeline
+// is traced; the completed span tree is retained by Tracer.
+func (m *Middleware) Query(ctx context.Context, query string) (*instance.Result, error) {
+	ctx, finish := m.beginQuery(ctx, query)
+	res, err := m.answer(ctx, query)
+	finish(res, err)
+	return res, err
+}
+
 // QueryTo answers a query and serializes the result to w in the given
-// format.
+// format; serialization is part of the query's trace.
 func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, format instance.Format) (*instance.Result, error) {
-	res, err := m.Query(ctx, query)
-	if err != nil {
-		return nil, err
+	ctx, finish := m.beginQuery(ctx, query)
+	res, err := m.answer(ctx, query)
+	if err == nil {
+		err = m.gen.SerializeContext(ctx, w, res, format)
 	}
-	if err := m.gen.Serialize(w, res, format); err != nil {
+	finish(res, err)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -157,11 +221,11 @@ func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, for
 
 // QueryString answers a query and returns the serialized result.
 func (m *Middleware) QueryString(ctx context.Context, query string, format instance.Format) (string, error) {
-	res, err := m.Query(ctx, query)
-	if err != nil {
+	var buf bytes.Buffer
+	if _, err := m.QueryTo(ctx, &buf, query, format); err != nil {
 		return "", err
 	}
-	return m.gen.SerializeString(res, format)
+	return buf.String(), nil
 }
 
 // Generator exposes the instance generator (for custom serialization).
@@ -173,9 +237,15 @@ func (m *Middleware) SourceHealth() []extract.SourceHealth {
 	return m.manager.Health()
 }
 
-// Stats returns a snapshot of cumulative statistics.
+// Stats returns a snapshot of cumulative statistics. Safe to call
+// concurrently with Query.
 func (m *Middleware) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Queries:      int(m.stats.queries.Load()),
+		Instances:    int(m.stats.instances.Load()),
+		SourceErrors: int(m.stats.sourceErrors.Load()),
+		PlanTime:     time.Duration(m.stats.planNS.Load()),
+		ExtractTime:  time.Duration(m.stats.extractNS.Load()),
+		GenerateTime: time.Duration(m.stats.generateNS.Load()),
+	}
 }

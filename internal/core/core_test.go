@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/datasource"
@@ -255,5 +256,56 @@ func TestAddingSourceNeedsOnlyMappings(t *testing.T) {
 	}
 	if len(after.Matched) != 5 {
 		t.Errorf("after = %d, want 5 (3 original + 2 late)", len(after.Matched))
+	}
+}
+
+// TestStatsConcurrentQueries hammers Query from many goroutines while
+// other goroutines snapshot Stats; the final totals must be exact. Run
+// with -race, this is the regression test for the Stats data race.
+func TestStatsConcurrentQueries(t *testing.T) {
+	m, _ := testMiddleware(t, workload.Spec{XMLSources: 1, RecordsPerSource: 5, Seed: 13})
+	const workers, perWorker = 8, 5
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers race with the writers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.Stats()
+				}
+			}
+		}()
+	}
+	var qwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := m.Query(context.Background(), "SELECT product"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+	s := m.Stats()
+	if s.Queries != workers*perWorker {
+		t.Errorf("queries = %d, want %d", s.Queries, workers*perWorker)
+	}
+	if s.Instances != workers*perWorker*5 {
+		t.Errorf("instances = %d, want %d", s.Instances, workers*perWorker*5)
+	}
+	if s.PlanTime <= 0 || s.ExtractTime <= 0 || s.GenerateTime <= 0 {
+		t.Errorf("timings not recorded: %+v", s)
 	}
 }

@@ -74,10 +74,12 @@ func (b *breaker) retryAt(sourceID string) time.Time {
 	return time.Time{}
 }
 
-// report records one extraction outcome for the source.
-func (b *breaker) report(sourceID string, failed bool) {
+// report records one extraction outcome for the source. It returns true
+// when this outcome tripped the circuit from closed to open (the signal
+// behind the s2s_breaker_trips_total metric).
+func (b *breaker) report(sourceID string, failed bool) bool {
 	if b == nil {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -89,12 +91,15 @@ func (b *breaker) report(sourceID string, failed bool) {
 	if !failed {
 		st.failures = 0
 		st.openUntil = time.Time{}
-		return
+		return false
 	}
 	st.failures++
 	if st.failures >= b.opts.Threshold {
+		wasOpen := b.now().Before(st.openUntil)
 		st.openUntil = b.now().Add(b.opts.Cooldown)
+		return !wasOpen
 	}
+	return false
 }
 
 // SourceHealth describes one source's breaker state.

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/datasource"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/reldb"
 	"repro/internal/selector"
 	"repro/internal/textsrc"
@@ -78,6 +80,8 @@ type Stats struct {
 	ExtractDuration time.Duration
 	// Retries counts rule re-executions after transient failures.
 	Retries int
+	// CacheHits counts rules answered from the rule-result cache.
+	CacheHits int
 }
 
 // ResultSet is the raw output of one extraction run.
@@ -209,16 +213,27 @@ func (m *Manager) cachePut(key string, values []string) {
 	m.cacheMu.Unlock()
 }
 
-// Extract runs the four-step process for the given attribute list.
+// Extract runs the four-step process for the given attribute list. When
+// ctx carries an obs span and metrics registry (the middleware query
+// path injects both), the run emits an "extract" span with one
+// "source:<id>" child per contacted source and per-source counters and
+// latency histograms.
 func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSet, error) {
+	ctx, espan, edone := obs.StartStage(ctx, "extract")
+	defer edone()
+	metrics := obs.MetricsFromContext(ctx)
 	rs := &ResultSet{}
 
 	// Steps 2-3: extraction schema + data source definitions.
 	start := time.Now()
+	_, sspan, sdone := obs.StartStage(ctx, "extraction_schema")
 	plans, missing, err := m.repo.Schema(attributeIDs)
+	sdone()
 	if err != nil {
 		return nil, fmt.Errorf("extract: obtaining extraction schema: %w", err)
 	}
+	sspan.SetAttr("sources", strconv.Itoa(len(plans)))
+	espan.SetAttr("sources", strconv.Itoa(len(plans)))
 	rs.Missing = missing
 	rs.Stats.SchemaDuration = time.Since(start)
 
@@ -237,16 +252,20 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
 			case <-ctx.Done():
+				metrics.Counter(obs.MetricSourceExtractTotal,
+					obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
 				mu.Lock()
 				rs.Errors = append(rs.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
 				mu.Unlock()
 				return
 			}
-			frags, errs, retries := m.extractSource(ctx, plan)
+			sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
+			frags, errs, run := m.extractSource(sctx, plan)
 			mu.Lock()
 			rs.Fragments = append(rs.Fragments, frags...)
 			rs.Errors = append(rs.Errors, errs...)
-			rs.Stats.Retries += retries
+			rs.Stats.Retries += run.retries
+			rs.Stats.CacheHits += run.cacheHits
 			mu.Unlock()
 		}(plan)
 	}
@@ -272,14 +291,43 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 	return rs, nil
 }
 
+// sourceRun summarizes one source's extraction pass.
+type sourceRun struct {
+	retries   int
+	cacheHits int
+}
+
 // extractSource runs every rule of one source plan under the per-source
-// timeout, honoring the circuit breaker.
-func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (frags []Fragment, errs []SourceError, retries int) {
+// timeout, honoring the circuit breaker. The span and metrics registry
+// carried by ctx (if any) receive the per-source annotations: kind,
+// outcome, retries, cache hits, and breaker state.
+func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (frags []Fragment, errs []SourceError, run sourceRun) {
+	span := obs.SpanFromContext(ctx)
+	metrics := obs.MetricsFromContext(ctx)
+	srcLabels := obs.Labels{"source": plan.Source.ID}
+	start := time.Now()
+	outcome := "ok"
+	defer func() {
+		span.SetAttr("kind", plan.Source.Kind.String())
+		span.SetAttr("outcome", outcome)
+		span.SetAttr("retries", strconv.Itoa(run.retries))
+		if m.cache != nil {
+			span.SetAttr("cache_hits", strconv.Itoa(run.cacheHits))
+		}
+		span.End()
+		metrics.Counter(obs.MetricSourceExtractTotal,
+			obs.Labels{"source": plan.Source.ID, "outcome": outcome}).Inc()
+		metrics.Histogram(obs.MetricSourceExtractDuration, srcLabels).Observe(time.Since(start).Seconds())
+		metrics.Counter(obs.MetricSourceRetries, srcLabels).Add(uint64(run.retries))
+	}()
+
 	if !m.breaker.allow(plan.Source.ID) {
+		outcome = "breaker_open"
+		span.SetAttr("breaker", "open")
 		return nil, []SourceError{{
 			SourceID: plan.Source.ID,
 			Err:      errCircuitOpen{sourceID: plan.Source.ID, retryAt: m.breaker.retryAt(plan.Source.ID)},
-		}}, 0
+		}}, run
 	}
 
 	ctx, cancel := context.WithTimeout(ctx, m.opts.Timeout)
@@ -289,14 +337,18 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 		select {
 		case <-time.After(m.opts.SimulatedLatency):
 		case <-ctx.Done():
-			return nil, []SourceError{{SourceID: plan.Source.ID, Err: ctx.Err()}}, 0
+			outcome = "canceled"
+			return nil, []SourceError{{SourceID: plan.Source.ID, Err: ctx.Err()}}, run
 		}
 	}
 
 	anyFailed := false
 	for _, entry := range plan.Entries {
-		values, tries, err := m.runRuleWithRetry(ctx, plan.Source, entry)
-		retries += tries
+		values, tries, cached, err := m.runRuleWithRetry(ctx, plan.Source, entry)
+		run.retries += tries
+		if cached {
+			run.cacheHits++
+		}
 		if err != nil {
 			anyFailed = true
 			errs = append(errs, SourceError{SourceID: plan.Source.ID, AttributeID: entry.AttributeID, Err: err})
@@ -318,17 +370,25 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 			Values:      values,
 		})
 	}
-	m.breaker.report(plan.Source.ID, anyFailed)
-	return frags, errs, retries
+	if anyFailed {
+		outcome = "error"
+	}
+	if m.breaker.report(plan.Source.ID, anyFailed) {
+		span.SetAttr("breaker", "tripped")
+		metrics.Counter(obs.MetricBreakerTrips, srcLabels).Inc()
+	}
+	return frags, errs, run
 }
 
-func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) (values []string, retries int, err error) {
+func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) (values []string, retries int, cacheHit bool, err error) {
 	var key string
 	if m.cache != nil {
 		key = cacheKey(def, entry)
 		if cached, ok := m.cacheGet(key); ok {
-			return cached, 0, nil
+			obs.MetricsFromContext(ctx).Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "hit"}).Inc()
+			return cached, 0, true, nil
 		}
+		obs.MetricsFromContext(ctx).Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "miss"}).Inc()
 	}
 	for attempt := 0; ; attempt++ {
 		values, err = m.runRule(ctx, def, entry)
@@ -336,10 +396,10 @@ func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definitio
 			if m.cache != nil {
 				m.cachePut(key, values)
 			}
-			return values, attempt, nil
+			return values, attempt, false, nil
 		}
 		if attempt >= m.opts.Retries || ctx.Err() != nil {
-			return values, attempt, err
+			return values, attempt, false, err
 		}
 	}
 }
@@ -363,7 +423,7 @@ func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry 
 		case datasource.KindXML:
 			o.values, o.err = m.extractXML(def, entry)
 		case datasource.KindWeb:
-			o.values, o.err = m.extractWeb(def, entry)
+			o.values, o.err = m.extractWeb(ctx, def, entry)
 		case datasource.KindText:
 			o.values, o.err = m.extractText(def, entry)
 		default:
@@ -461,18 +521,39 @@ func (m *Manager) extractText(def datasource.Definition, entry mapping.Entry) ([
 	return m.backends.Text.Extract(def.Path, entry.Rule.Code)
 }
 
+// ContextFetcher is an optional upgrade of webl.Fetcher: a page backend
+// that accepts the request context, so trace identifiers propagate to
+// remote web sources (transport.HTTPFetcher implements it by forwarding
+// the trace/span ID headers).
+type ContextFetcher interface {
+	FetchContext(ctx context.Context, url string) (string, error)
+}
+
+// ctxBoundFetcher adapts a ContextFetcher to the context-free
+// webl.Fetcher interface by capturing the per-rule context.
+type ctxBoundFetcher struct {
+	ctx context.Context
+	cf  ContextFetcher
+}
+
+func (f ctxBoundFetcher) Fetch(url string) (string, error) { return f.cf.FetchContext(f.ctx, url) }
+
 // extractWeb delegates by rule language: WebL programs run in the
 // interpreter; CSS selector rules fetch the page and extract directly.
-func (m *Manager) extractWeb(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, entry mapping.Entry) ([]string, error) {
 	if m.backends.Pages == nil {
 		return nil, errors.New("extract: no web backend configured")
+	}
+	pages := m.backends.Pages
+	if cf, ok := pages.(ContextFetcher); ok {
+		pages = ctxBoundFetcher{ctx: ctx, cf: cf}
 	}
 	if entry.Rule.Language == mapping.LangSelector {
 		sel, err := selector.Compile(entry.Rule.Code)
 		if err != nil {
 			return nil, err
 		}
-		html, err := m.backends.Pages.Fetch(def.URL)
+		html, err := pages.Fetch(def.URL)
 		if err != nil {
 			return nil, err
 		}
@@ -482,7 +563,7 @@ func (m *Manager) extractWeb(def datasource.Definition, entry mapping.Entry) ([]
 	if err != nil {
 		return nil, err
 	}
-	globals, err := prog.Run(&webl.Env{Fetcher: m.backends.Pages, MaxSteps: m.opts.WebLMaxSteps})
+	globals, err := prog.Run(&webl.Env{Fetcher: pages, MaxSteps: m.opts.WebLMaxSteps})
 	if err != nil {
 		return nil, err
 	}

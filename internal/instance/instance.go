@@ -26,12 +26,15 @@
 package instance
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/extract"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/s2sql"
 )
@@ -117,6 +120,21 @@ type Generator struct {
 // repository (used for class keys).
 func NewGenerator(ont *ontology.Ontology, repo *mapping.Repository) *Generator {
 	return &Generator{ont: ont, repo: repo}
+}
+
+// GenerateContext is Generate with tracing: it runs under a "generate"
+// span when ctx carries one and records the stage latency in the
+// context's metrics registry (see internal/obs). It is the entry point
+// the middleware's query path uses.
+func (g *Generator) GenerateContext(ctx context.Context, plan *s2sql.Plan, rs *extract.ResultSet) (*Result, error) {
+	_, span, done := obs.StartStage(ctx, "generate")
+	res, err := g.Generate(plan, rs)
+	if err == nil {
+		span.SetAttr("matched", strconv.Itoa(len(res.Matched)))
+		span.SetAttr("related", strconv.Itoa(len(res.Related)))
+	}
+	done()
+	return res, err
 }
 
 // Generate compiles raw fragments into instances and applies the plan's

@@ -134,10 +134,10 @@ type flakyFetcher struct {
 func (f *flakyFetcher) Fetch(url string) (string, error) {
 	f.mu.Lock()
 	f.n++
-	fail := f.failEach > 0 && f.n%f.failEach == 0
+	n := f.n
 	f.mu.Unlock()
-	if fail {
-		return "", fmt.Errorf("injected network failure #%d", f.n)
+	if f.failEach > 0 && n%f.failEach == 0 {
+		return "", fmt.Errorf("injected network failure #%d", n)
 	}
 	return f.inner.Fetch(url)
 }

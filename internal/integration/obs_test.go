@@ -1,0 +1,246 @@
+package integration
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/mapping"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestFederatedQuerySingleSpanTree runs a traced query against a remote
+// S2S endpoint and checks that the local client span and the server's
+// whole pipeline — down to the per-source extraction spans — form one
+// connected tree under a single trace ID.
+func TestFederatedQuerySingleSpanTree(t *testing.T) {
+	mw, _ := build(t, workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 5, Seed: 71,
+	}, extract.Options{})
+	srv := httptest.NewServer(transport.NewServer(mw))
+	defer srv.Close()
+	client := transport.NewClient(srv.URL, nil)
+
+	tracer := obs.NewTracer(4)
+	ctx, root := tracer.StartTrace(context.Background(), "federated_query")
+	resp, err := client.QueryTraced(ctx, "SELECT product", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if resp.Trace == nil {
+		t.Fatal("no trace returned by the server")
+	}
+	if len(root.Children) != 1 || root.Children[0] != resp.Trace {
+		t.Fatal("server trace not grafted under the local span")
+	}
+	remote := resp.Trace
+	if remote.Name != "http_query" {
+		t.Errorf("server root span = %q, want http_query", remote.Name)
+	}
+	if remote.TraceID != root.TraceID {
+		t.Errorf("server trace id = %q, client trace id = %q — not one trace",
+			remote.TraceID, root.TraceID)
+	}
+	if remote.ParentID != root.ID {
+		t.Errorf("server root parent = %q, want client span %q", remote.ParentID, root.ID)
+	}
+
+	// Every span in the grafted tree shares the trace ID, and every
+	// child's parent pointer is consistent with its position.
+	names := map[string]int{}
+	var verify func(s *obs.Span)
+	verify = func(s *obs.Span) {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %s has trace id %q, want %q", s.Name, s.TraceID, root.TraceID)
+		}
+		names[s.Name]++
+		for _, c := range s.Children {
+			if c.ParentID != s.ID {
+				t.Errorf("span %s has parent %q, want %q (its position in the tree)",
+					c.Name, c.ParentID, s.ID)
+			}
+			verify(c)
+		}
+	}
+	verify(root)
+
+	for _, stage := range []string{"query", "parse_plan", "extract", "extraction_schema", "generate", "serialize"} {
+		if names[stage] != 1 {
+			t.Errorf("stage span %q appears %d times, want 1", stage, names[stage])
+		}
+	}
+	sources := 0
+	for name := range names {
+		if strings.HasPrefix(name, "source:") {
+			sources++
+		}
+	}
+	if sources != 4 {
+		t.Errorf("per-source spans = %d, want 4", sources)
+	}
+
+	// Stage durations nest inside the query span's latency.
+	var query *obs.Span
+	remote.Walk(func(s *obs.Span) {
+		if s.Name == "query" {
+			query = s
+		}
+	})
+	var stageSum time.Duration
+	for _, c := range query.Children {
+		if c.Duration < 0 {
+			t.Errorf("stage %s has negative duration", c.Name)
+		}
+		stageSum += c.Duration
+	}
+	if stageSum == 0 || stageSum > query.Duration {
+		t.Errorf("stage durations sum to %v, query span took %v", stageSum, query.Duration)
+	}
+}
+
+// TestEmittedMetricsMatchDeclaredAndDocumented drives a middleware
+// through a scenario that touches every metric family — successful
+// extraction from all four source kinds, cache hits on a repeated query,
+// retries and a breaker trip on a dead source — and then checks that
+// every family the registry actually holds is declared in internal/obs
+// and documented in docs/OBSERVABILITY.md.
+func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 5, Seed: 72,
+	})
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: extract.FromCatalog(world.Catalog),
+		Extract: extract.Options{
+			CacheTTL: time.Hour,
+			Retries:  1,
+			Breaker:  extract.BreakerOptions{Threshold: 1, Cooldown: time.Hour},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	// A dead source: fails (with a retry), trips its breaker on the first
+	// query, and is skipped as breaker_open on the second.
+	if err := mw.RegisterSource(datasource.Definition{
+		ID: "dead", Kind: datasource.KindWeb, URL: "http://dead.example/x",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.RegisterMapping(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "dead",
+		Rule: mapping.Rule{Code: `var brand = Text(GetURL("http://dead.example/x"))`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := mw.Query(ctx, "SELECT product"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	declared := map[string]bool{}
+	for _, name := range obs.MetricNames() {
+		declared[name] = true
+	}
+	docBytes, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+
+	emitted := mw.Metrics().Names()
+	for _, name := range emitted {
+		if !declared[name] {
+			t.Errorf("registry emits undeclared metric %s", name)
+		}
+		if !strings.Contains(doc, name) {
+			t.Errorf("emitted metric %s is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+	// The scenario above must exercise the full declared surface; if a
+	// family stops being emitted, either the code or the declaration (and
+	// this scenario) has drifted.
+	if len(emitted) != len(declared) {
+		t.Errorf("emitted %d of %d declared families: %v", len(emitted), len(declared), emitted)
+	}
+
+	hits := mw.Metrics().Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "hit"}).Value()
+	if hits == 0 {
+		t.Error("repeated query produced no cache hits")
+	}
+	if v := mw.Metrics().Counter(obs.MetricBreakerTrips, obs.Labels{"source": "dead"}).Value(); v != 1 {
+		t.Errorf("breaker trips for dead source = %d, want 1", v)
+	}
+	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 1 {
+		t.Errorf("breaker_open attempts for dead source = %d, want 1", v)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestOpsEndpointsServeMetricsAndTraces checks the HTTP ops surface: a
+// served query shows up in /metrics with per-source labels and in
+// /trace/last as a JSON span tree.
+func TestOpsEndpointsServeMetricsAndTraces(t *testing.T) {
+	mw, _ := build(t, workload.Spec{DBSources: 2, RecordsPerSource: 5, Seed: 73}, extract.Options{})
+	srv := httptest.NewServer(transport.NewServer(mw))
+	defer srv.Close()
+	client := transport.NewClient(srv.URL, nil)
+	if _, err := client.Query(context.Background(), "SELECT product", "json"); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := httpGetBody(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`s2s_query_total{outcome="ok"} 1`,
+		`s2s_source_extract_total{outcome="ok",source="db_000"} 1`,
+		"s2s_query_duration_seconds_bucket",
+		"# TYPE s2s_stage_duration_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	traces := httpGetBody(t, srv.URL+"/trace/last?n=1")
+	for _, want := range []string{`"name":"http_query"`, `"name":"source:db_000"`, `"traceId"`} {
+		if !strings.Contains(traces, want) {
+			t.Errorf("/trace/last missing %q:\n%s", want, traces)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exported metric family names. Every family the middleware emits is
+// declared here and documented in docs/OBSERVABILITY.md; a test keeps
+// the code, this list, and the document in sync.
+const (
+	// MetricQueryTotal counts queries served, labeled by outcome.
+	MetricQueryTotal = "s2s_query_total"
+	// MetricQueryDuration is the end-to-end query latency histogram.
+	MetricQueryDuration = "s2s_query_duration_seconds"
+	// MetricStageDuration is the per-pipeline-stage latency histogram.
+	MetricStageDuration = "s2s_stage_duration_seconds"
+	// MetricSourceExtractTotal counts per-source extraction attempts.
+	MetricSourceExtractTotal = "s2s_source_extract_total"
+	// MetricSourceExtractDuration is the per-source extraction latency
+	// histogram.
+	MetricSourceExtractDuration = "s2s_source_extract_duration_seconds"
+	// MetricSourceRetries counts rule re-executions per source.
+	MetricSourceRetries = "s2s_source_retries_total"
+	// MetricCacheLookups counts rule-cache lookups by outcome.
+	MetricCacheLookups = "s2s_cache_lookups_total"
+	// MetricBreakerTrips counts circuit-breaker open transitions.
+	MetricBreakerTrips = "s2s_breaker_trips_total"
+	// MetricInstances counts generated (matched) ontology instances.
+	MetricInstances = "s2s_instances_generated_total"
+)
+
+// Desc describes one exported metric family.
+type Desc struct {
+	// Name is the Prometheus family name.
+	Name string
+	// Type is "counter" or "histogram".
+	Type string
+	// Help is the one-line exposition HELP text.
+	Help string
+	// Labels lists the label keys the family is emitted with.
+	Labels []string
+}
+
+// descriptors is the canonical family list, in exposition order.
+var descriptors = []Desc{
+	{MetricQueryTotal, "counter", "Queries served, labeled by outcome (ok|error).", []string{"outcome"}},
+	{MetricQueryDuration, "histogram", "End-to-end query latency in seconds.", nil},
+	{MetricStageDuration, "histogram", "Pipeline stage latency in seconds (parse_plan, extraction_schema, extract, generate, serialize).", []string{"stage"}},
+	{MetricSourceExtractTotal, "counter", "Per-source extraction attempts, labeled by source and outcome (ok|error|breaker_open|canceled).", []string{"source", "outcome"}},
+	{MetricSourceExtractDuration, "histogram", "Per-source extraction latency in seconds.", []string{"source"}},
+	{MetricSourceRetries, "counter", "Rule re-executions after transient failures, per source.", []string{"source"}},
+	{MetricCacheLookups, "counter", "Rule-cache lookups, labeled by outcome (hit|miss).", []string{"outcome"}},
+	{MetricBreakerTrips, "counter", "Circuit-breaker transitions to open, per source.", []string{"source"}},
+	{MetricInstances, "counter", "Matched ontology instances generated across queries.", nil},
+}
+
+// Descriptors returns the canonical exported-metric descriptions.
+func Descriptors() []Desc {
+	out := make([]Desc, len(descriptors))
+	copy(out, descriptors)
+	return out
+}
+
+// MetricNames returns every declared family name, in exposition order.
+func MetricNames() []string {
+	out := make([]string, len(descriptors))
+	for i, d := range descriptors {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Labels is one metric series' label set, e.g.
+// Labels{"source": "db_1", "outcome": "ok"}.
+type Labels map[string]string
+
+// labelKey is a deterministic series key: sorted k=v pairs.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('\xff')
+		}
+		b.WriteString(k)
+		b.WriteByte('\xfe')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing series. All methods are nil-safe
+// and lock-free.
+type Counter struct {
+	v      atomic.Uint64
+	labels Labels
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefaultBuckets returns the log-linear latency bucket upper bounds, in
+// seconds: 1..9 µs, 10..90 µs, ... up to 9 s (63 finite buckets plus the
+// implicit +Inf overflow). Log-linear keeps relative error under ~11%
+// across six decades with a fixed, cheap bucket count.
+func DefaultBuckets() []float64 {
+	out := make([]float64, 0, 63)
+	for exp := -6; exp <= 0; exp++ {
+		mag := math.Pow(10, float64(exp))
+		for m := 1; m <= 9; m++ {
+			out = append(out, float64(m)*mag)
+		}
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency distribution. Observations are
+// atomic adds (no locks); all methods are nil-safe.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+	labels  Labels
+}
+
+func newHistogram(bounds []float64, labels Labels) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1), labels: labels}
+}
+
+// Observe records one value (seconds; negatives clamp to zero).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// First bucket whose upper bound is >= v (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the bucket upper bounds and the per-bucket
+// (non-cumulative) counts; the final count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Registry holds the metric series of one middleware instance, keyed by
+// family name and label set. Lookups take a read-lock; updates on the
+// returned series are lock-free atomics. All methods are nil-safe so
+// uninstrumented call paths cost nothing.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]map[string]*Counter
+	histograms map[string]map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]map[string]*Counter),
+		histograms: make(map[string]map[string]*Histogram),
+	}
+}
+
+func copyLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns (creating if needed) the counter series for the family
+// name and label set.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.RLock()
+	c := r.counters[name][key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series, ok := r.counters[name]
+	if !ok {
+		series = make(map[string]*Counter)
+		r.counters[name] = series
+	}
+	if c = series[key]; c == nil {
+		c = &Counter{labels: copyLabels(labels)}
+		series[key] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the histogram series for the
+// family name and label set, with DefaultBuckets bounds.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.RLock()
+	h := r.histograms[name][key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series, ok := r.histograms[name]
+	if !ok {
+		series = make(map[string]*Histogram)
+		r.histograms[name] = series
+	}
+	if h = series[key]; h == nil {
+		h = newHistogram(DefaultBuckets(), copyLabels(labels))
+		series[key] = h
+	}
+	return h
+}
+
+// Names returns the family names with at least one series, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters)+len(r.histograms))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	for name := range r.histograms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// escapeLabelValue escapes a value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatLabels renders {k="v",...} with sorted keys, plus an optional
+// extra pair appended last (used for le on histogram buckets).
+func formatLabels(l Labels, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabelValue(l[k]))
+	}
+	if extraKey != "" {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", extraKey, extraVal)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "{" + b.String() + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every populated family in the Prometheus text
+// exposition format (version 0.0.4), families in canonical declaration
+// order, series sorted by label set; undeclared families, if any, follow
+// alphabetically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	written := make(map[string]bool)
+	for _, d := range descriptors {
+		if err := r.writeFamily(w, d); err != nil {
+			return err
+		}
+		written[d.Name] = true
+	}
+	var rest []string
+	for name := range r.counters {
+		if !written[name] {
+			rest = append(rest, name)
+		}
+	}
+	for name := range r.histograms {
+		if !written[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		typ := "counter"
+		if _, ok := r.histograms[name]; ok {
+			typ = "histogram"
+		}
+		if err := r.writeFamily(w, Desc{Name: name, Type: typ, Help: "(undeclared)"}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFamily renders one family; the caller holds at least a read lock.
+func (r *Registry) writeFamily(w io.Writer, d Desc) error {
+	switch d.Type {
+	case "counter":
+		series := r.counters[d.Name]
+		if len(series) == 0 {
+			return nil
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", d.Name, d.Help, d.Name)
+		for _, key := range sortedKeys(series) {
+			c := series[key]
+			fmt.Fprintf(w, "%s%s %d\n", d.Name, formatLabels(c.labels, "", ""), c.Value())
+		}
+	case "histogram":
+		series := r.histograms[d.Name]
+		if len(series) == 0 {
+			return nil
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", d.Name, d.Help, d.Name)
+		for _, key := range sortedKeys(series) {
+			h := series[key]
+			bounds, counts := h.Buckets()
+			var cum uint64
+			for i, bound := range bounds {
+				cum += counts[i]
+				if counts[i] == 0 && i < len(bounds)-1 {
+					continue // elide empty interior buckets; cumulative stays exact
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", d.Name, formatLabels(h.labels, "le", formatFloat(bound)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", d.Name, formatLabels(h.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", d.Name, formatLabels(h.labels, "", ""), formatFloat(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", d.Name, formatLabels(h.labels, "", ""), cum)
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceTreeStructure(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	if root == nil || root.TraceID == "" || root.ID == "" {
+		t.Fatalf("bad root: %+v", root)
+	}
+	cctx, child := StartSpan(ctx, "extract")
+	if child.ParentID != root.ID || child.TraceID != root.TraceID {
+		t.Errorf("child not linked: %+v", child)
+	}
+	_, grand := StartSpan(cctx, "source:db_1")
+	if grand.ParentID != child.ID {
+		t.Errorf("grandchild parent = %q, want %q", grand.ParentID, child.ID)
+	}
+	grand.SetAttr("outcome", "ok")
+	grand.End()
+	child.End()
+	if tr.Len() != 0 {
+		t.Errorf("trace recorded before root ended")
+	}
+	root.End()
+	got := tr.Last(1)
+	if len(got) != 1 || got[0] != root {
+		t.Fatalf("Last(1) = %v", got)
+	}
+	var names []string
+	root.Walk(func(s *Span) { names = append(names, s.Name) })
+	want := []string{"query", "extract", "source:db_1"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("walk = %v, want %v", names, want)
+	}
+}
+
+func TestStartSpanWithoutTraceIsNilSafe(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "orphan")
+	if span != nil {
+		t.Fatalf("expected nil span, got %+v", span)
+	}
+	// All methods must be no-ops on nil.
+	span.SetAttr("k", "v")
+	span.End()
+	span.Adopt(nil)
+	if c := span.StartChild("x"); c != nil {
+		t.Errorf("nil StartChild = %+v", c)
+	}
+	span.Walk(func(*Span) { t.Error("walk visited nil span") })
+	WriteTree(&strings.Builder{}, span)
+	if got := SpanFromContext(ctx); got != nil {
+		t.Errorf("context gained a span: %+v", got)
+	}
+	// StartStage must still work as a pure timer.
+	_, _, done := StartStage(ctx, "stage")
+	done()
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(3)
+	var roots []*Span
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartTrace(context.Background(), fmt.Sprintf("q%d", i))
+		root.End()
+		roots = append(roots, root)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	got := tr.Last(10)
+	if len(got) != 3 || got[0] != roots[4] || got[1] != roots[3] || got[2] != roots[2] {
+		t.Errorf("Last order wrong: %v", got)
+	}
+}
+
+func TestStartTraceJoinsRemote(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := ContextWithRemote(context.Background(), Remote{TraceID: "tid123", ParentID: "pid456"})
+	_, root := tr.StartTrace(ctx, "http_query")
+	if root.TraceID != "tid123" || root.ParentID != "pid456" {
+		t.Errorf("remote not joined: %+v", root)
+	}
+}
+
+func TestStartTraceNestsUnderActiveSpan(t *testing.T) {
+	outer := NewTracer(2)
+	inner := NewTracer(2)
+	ctx, root := outer.StartTrace(context.Background(), "http_query")
+	_, nested := inner.StartTrace(ctx, "query")
+	if nested.TraceID != root.TraceID || nested.ParentID != root.ID {
+		t.Errorf("nested trace not joined: %+v", nested)
+	}
+	nested.End()
+	if inner.Len() != 0 {
+		t.Errorf("nested span recorded as its own trace")
+	}
+	root.End()
+	if outer.Len() != 1 {
+		t.Errorf("outer root not recorded")
+	}
+}
+
+func TestAdoptGrafts(t *testing.T) {
+	tr := NewTracer(2)
+	_, local := tr.StartTrace(context.Background(), "client")
+	remote := &Span{TraceID: local.TraceID, ID: "remote1", Name: "http_query"}
+	local.Adopt(remote)
+	if remote.ParentID != local.ID {
+		t.Errorf("adopted parent = %q, want %q", remote.ParentID, local.ID)
+	}
+	if len(local.Children) != 1 || local.Children[0] != remote {
+		t.Errorf("child not attached")
+	}
+}
+
+func TestConcurrentChildrenAndAttrs(t *testing.T) {
+	tr := NewTracer(2)
+	_, root := tr.StartTrace(context.Background(), "query")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.StartChild(fmt.Sprintf("source:%d", i))
+			c.SetAttr("outcome", "ok")
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children) != 32 {
+		t.Errorf("children = %d, want 32", len(root.Children))
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(2)
+	_, root := tr.StartTrace(context.Background(), "query")
+	root.End()
+	d := root.Duration
+	root.End()
+	if root.Duration != d {
+		t.Errorf("second End changed duration")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("recorded %d times, want 1", tr.Len())
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(2)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	_, child := StartSpan(ctx, "extract")
+	child.SetAttr("sources", "2")
+	child.End()
+	root.End()
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || len(back.Children) != 1 || back.Children[0].Attrs["sources"] != "2" {
+		t.Errorf("round trip lost data: %+v", &back)
+	}
+	if back.TraceID != root.TraceID || back.Children[0].ParentID != root.ID {
+		t.Errorf("ids lost: %+v", &back)
+	}
+}
+
+func TestWriteTreeOutput(t *testing.T) {
+	tr := NewTracer(2)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	_, child := StartSpan(ctx, "extract")
+	child.SetAttr("sources", "4")
+	child.End()
+	root.End()
+	var b strings.Builder
+	WriteTree(&b, root)
+	out := b.String()
+	if !strings.Contains(out, "query ") || !strings.Contains(out, "\n  extract ") {
+		t.Errorf("tree output missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "sources=4") {
+		t.Errorf("tree output missing attrs:\n%s", out)
+	}
+}

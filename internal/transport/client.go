@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client talks to a remote S2S middleware endpoint.
@@ -47,6 +49,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Forward the caller's trace identity so the remote middleware joins
+	// this trace instead of starting its own.
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(TraceIDHeader, span.TraceID)
+		req.Header.Set(SpanIDHeader, span.ID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("transport: calling %s %s: %w", method, path, err)
@@ -75,6 +83,20 @@ func (c *Client) Query(ctx context.Context, query, format string) (*QueryRespons
 	if err := c.do(ctx, http.MethodPost, "/query", QueryRequest{Query: query, Format: format}, &out); err != nil {
 		return nil, err
 	}
+	return &out, nil
+}
+
+// QueryTraced runs an S2SQL query remotely and asks the server for its
+// span tree. When ctx carries an active local span, the returned server
+// subtree is grafted under it, so the federated query reads as one
+// connected trace (the server joined the local trace ID via the
+// forwarded headers).
+func (c *Client) QueryTraced(ctx context.Context, query, format string) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/query", QueryRequest{Query: query, Format: format, Trace: true}, &out); err != nil {
+		return nil, err
+	}
+	obs.SpanFromContext(ctx).Adopt(out.Trace)
 	return &out, nil
 }
 

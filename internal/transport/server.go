@@ -1,13 +1,16 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/reason"
 	"repro/internal/sparql"
 )
@@ -25,8 +28,15 @@ import (
 //	GET  /mappings       registered mapping entries (JSON)
 //	POST /mappings       register a WireMapping
 //	GET  /stats          middleware statistics (JSON)
+//	GET  /metrics        Prometheus text-format counters and histograms
+//	GET  /trace/last     recent completed query span trees (JSON, ?n=)
 //	POST /sparql         SPARQLRequest → SPARQLResponse (optionally reasoned)
 //	GET  /health/sources per-source circuit breaker state (JSON)
+//
+// The query endpoint participates in distributed tracing: it joins a
+// caller trace announced via the TraceIDHeader/SpanIDHeader request
+// headers, echoes TraceIDHeader on the response, and returns its span
+// tree in QueryResponse.Trace when the request asks for it.
 type Server struct {
 	mw  *core.Middleware
 	mux *http.ServeMux
@@ -41,6 +51,8 @@ func NewServer(mw *core.Middleware) *Server {
 	s.mux.HandleFunc("/sources", s.handleSources)
 	s.mux.HandleFunc("/mappings", s.handleMappings)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace/last", s.handleTraceLast)
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/health/sources", s.handleSourceHealth)
 	return s
@@ -73,6 +85,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		req.Query = r.URL.Query().Get("q")
 		req.Format = r.URL.Query().Get("format")
+		switch r.URL.Query().Get("trace") {
+		case "1", "true", "yes":
+			req.Trace = true
+		}
 	default:
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
 		return
@@ -91,12 +107,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		format = f
 	}
 
-	res, err := s.mw.Query(r.Context(), req.Query)
+	// Join the caller's trace, if announced, and open the server-side
+	// root span; the middleware's "query" span nests under it.
+	ctx := obs.ContextWithMetrics(r.Context(), s.mw.Metrics())
+	if tid := r.Header.Get(TraceIDHeader); tid != "" {
+		ctx = obs.ContextWithRemote(ctx, obs.Remote{TraceID: tid, ParentID: r.Header.Get(SpanIDHeader)})
+	}
+	ctx, root := s.mw.Tracer().StartTrace(ctx, "http_query")
+	w.Header().Set(TraceIDHeader, root.TraceID)
+
+	res, err := s.mw.Query(ctx, req.Query)
 	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := s.mw.Generator().SerializeString(res, format)
+	var buf bytes.Buffer
+	err = s.mw.Generator().SerializeContext(ctx, &buf, res, format)
+	root.SetAttr("outcome", "ok")
+	root.End()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -107,13 +137,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Matched: len(res.Matched),
 		Related: len(res.Related),
 		Missing: res.Missing,
-		Body:    body,
+		Body:    buf.String(),
+	}
+	if req.Trace {
+		resp.Trace = root
 	}
 	for _, e := range res.Errors {
 		resp.Errors = append(resp.Errors, e.Error())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics exposes the middleware's metrics registry in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.mw.Metrics().WritePrometheus(w)
+}
+
+// handleTraceLast returns the most recent completed query span trees as
+// a JSON array, newest first (?n= bounds the count, default 1).
+func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	n := 1
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	traces := s.mw.Tracer().Last(n)
+	if traces == nil {
+		traces = []*obs.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(traces)
 }
 
 func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {

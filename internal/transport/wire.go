@@ -6,6 +6,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,7 +14,9 @@ import (
 	"time"
 
 	"repro/internal/datasource"
+	"repro/internal/extract"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/webl"
 )
 
@@ -109,10 +112,26 @@ func FromEntry(e mapping.Entry) WireMapping {
 	return wm
 }
 
+// Trace propagation headers of the remote-source protocol. A caller that
+// is itself traced sends both; the server joins the caller's trace
+// instead of minting a new one, and echoes the trace ID on the response,
+// so a federated query reads as one connected span tree.
+const (
+	// TraceIDHeader carries the trace identifier shared by every span of
+	// one federated query.
+	TraceIDHeader = "X-S2s-Trace-Id"
+	// SpanIDHeader carries the caller's active span ID — the parent of
+	// the server-side subtree.
+	SpanIDHeader = "X-S2s-Span-Id"
+)
+
 // QueryRequest is the body of POST /query.
 type QueryRequest struct {
 	Query  string `json:"query"`
 	Format string `json:"format,omitempty"`
+	// Trace asks the server to return its span tree for this query in
+	// QueryResponse.Trace (GET form: ?trace=1).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the envelope of a query answer.
@@ -125,6 +144,10 @@ type QueryResponse struct {
 	Missing []string `json:"missing,omitempty"`
 	// Body is the serialized result in the requested format.
 	Body string `json:"body"`
+	// Trace is the server-side span tree, present when the request set
+	// Trace. A traced caller grafts it under its own span (Span.Adopt) to
+	// see the federated query as one tree.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // SPARQLRequest is the body of POST /sparql: assemble instances with an
@@ -159,11 +182,26 @@ const (
 
 // Fetch implements webl.Fetcher.
 func (f *HTTPFetcher) Fetch(url string) (string, error) {
+	return f.FetchContext(context.Background(), url)
+}
+
+// FetchContext implements extract.ContextFetcher: the fetch is bound to
+// ctx and, when ctx carries an active span, the trace/span ID headers
+// are forwarded so remote web sources join the query's trace.
+func (f *HTTPFetcher) FetchContext(ctx context.Context, url string) (string, error) {
 	client := f.Client
 	if client == nil {
 		client = &http.Client{Timeout: DefaultFetchTimeout}
 	}
-	resp, err := client.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", fmt.Errorf("transport: fetching %s: %w", url, err)
+	}
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(TraceIDHeader, span.TraceID)
+		req.Header.Set(SpanIDHeader, span.ID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("transport: fetching %s: %w", url, err)
 	}
@@ -182,4 +220,7 @@ func (f *HTTPFetcher) Fetch(url string) (string, error) {
 	return string(body), nil
 }
 
-var _ webl.Fetcher = (*HTTPFetcher)(nil)
+var (
+	_ webl.Fetcher           = (*HTTPFetcher)(nil)
+	_ extract.ContextFetcher = (*HTTPFetcher)(nil)
+)
