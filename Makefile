@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet fmt build test bin clean
+.PHONY: check vet fmt build test chaos bin clean
 
-# check is the full gate: static analysis, formatting, build, and the
-# test suite under the race detector.
-check: vet fmt build test
+# check is the full gate: static analysis, formatting, build, the test
+# suite under the race detector, and the seeded chaos suite.
+check: vet fmt build test chaos
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,11 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# chaos runs the seeded fault-injection scenarios (deterministic; see
+# docs/ROBUSTNESS.md) on their own, for quick iteration on recovery code.
+chaos:
+	$(GO) test -race -run Chaos ./internal/integration
 
 # bin builds the two executables into ./bin.
 bin:

@@ -40,19 +40,20 @@ func main() {
 		records  = flag.Int("records", 50, "records per source for the local world")
 		seed     = flag.Int64("seed", 1, "seed for the local world")
 		timeout  = flag.Duration("timeout", 30*time.Second, "query timeout")
+		budget   = flag.Duration("budget", 0, "per-query extraction deadline budget for the local world (0 disables)")
 		trace    = flag.Bool("trace", false, "print the query's span tree to stderr")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *doReason, *trace); err != nil {
+	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *budget, *doReason, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, doReason, trace bool) error {
+func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, budget time.Duration, doReason, trace bool) error {
 	if endpoint != "" {
 		client := transport.NewClient(endpoint, nil)
 		if sparqlQuery != "" {
@@ -75,10 +76,13 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 		if err != nil {
 			return err
 		}
-		fmt.Printf("# matched=%d related=%d errors=%d format=%s\n",
-			resp.Matched, resp.Related, len(resp.Errors), resp.Format)
+		fmt.Printf("# matched=%d related=%d errors=%d degraded=%d format=%s\n",
+			resp.Matched, resp.Related, len(resp.Errors), len(resp.Degraded), resp.Format)
 		for _, e := range resp.Errors {
 			fmt.Printf("# error: %s\n", e)
+		}
+		for _, d := range resp.Degraded {
+			fmt.Printf("# degraded: %s\n", d)
 		}
 		fmt.Print(resp.Body)
 		if trace && resp.Trace != nil {
@@ -99,7 +103,7 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 	if err != nil {
 		return err
 	}
-	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{QueryBudget: budget})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1] [-pprof]
+//	           [-max-queries 0] [-budget 0]
+//
+// -max-queries caps concurrent /query work; excess requests are shed
+// with 503 + Retry-After (docs/ROBUSTNESS.md). -budget bounds each
+// query's total extraction time across all sources.
 //
 // The server exposes /query, /ontology, /sources, /mappings, /stats,
 // /metrics, /trace/last, /health/sources, and /healthz (see
@@ -22,6 +27,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux; exposed only with -pprof
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -41,24 +47,26 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload generation seed")
 		pprofOn    = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 		dumpConfig = flag.String("dump-config", "", "write the generated middleware configuration to this file and continue")
+		maxQueries = flag.Int("max-queries", 0, "concurrent /query cap; beyond it requests are shed with 503 + Retry-After (0 disables)")
+		budget     = flag.Duration("budget", 0, "per-query deadline budget across all sources (0 disables)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, workload.Spec{
 		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
 		RecordsPerSource: *records, Seed: *seed,
-	}, *dumpConfig, *pprofOn); err != nil {
+	}, *dumpConfig, *pprofOn, *maxQueries, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool) error {
+func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration) error {
 	world, err := workload.Generate(spec)
 	if err != nil {
 		return err
 	}
-	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{QueryBudget: budget})
 	if err != nil {
 		return err
 	}
@@ -75,7 +83,7 @@ func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool) error
 		}
 		log.Printf("s2s-server: wrote configuration to %s", dumpConfig)
 	}
-	handler := http.Handler(transport.NewServer(mw))
+	handler := http.Handler(transport.NewServer(mw, transport.WithMaxConcurrentQueries(maxQueries)))
 	if pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)

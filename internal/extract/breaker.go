@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,11 @@ type BreakerOptions struct {
 type breakerState struct {
 	failures  int
 	openUntil time.Time
+	// probing marks an in-flight half-open probe: after the cooldown,
+	// exactly one caller is admitted to test the source; concurrent
+	// callers keep getting the open-circuit error until the probe
+	// reports, so a recovering source is not stampeded.
+	probing bool
 }
 
 // breaker tracks per-source failure state.
@@ -46,7 +52,11 @@ func newBreaker(opts BreakerOptions) *breaker {
 	return &breaker{opts: opts, now: time.Now, states: map[string]*breakerState{}}
 }
 
-// allow reports whether the source may be contacted now.
+// allow reports whether the source may be contacted now. When an open
+// circuit's cooldown has passed, the first caller is admitted as the
+// half-open probe and subsequent callers are rejected until that probe
+// reports — admitting everyone at once would stampede a source that is
+// still warming back up.
 func (b *breaker) allow(sourceID string) bool {
 	if b == nil {
 		return true
@@ -57,7 +67,18 @@ func (b *breaker) allow(sourceID string) bool {
 	if !ok {
 		return true
 	}
-	return !b.now().Before(st.openUntil)
+	if b.now().Before(st.openUntil) {
+		return false
+	}
+	if st.openUntil.IsZero() {
+		return true // circuit closed
+	}
+	// Cooldown passed: half-open. Admit exactly one probe.
+	if st.probing {
+		return false
+	}
+	st.probing = true
+	return true
 }
 
 // retryAt returns when the source's open circuit half-opens (zero when the
@@ -88,12 +109,21 @@ func (b *breaker) report(sourceID string, failed bool) bool {
 		st = &breakerState{}
 		b.states[sourceID] = st
 	}
+	wasProbe := st.probing
+	st.probing = false
 	if !failed {
 		st.failures = 0
 		st.openUntil = time.Time{}
 		return false
 	}
 	st.failures++
+	if wasProbe {
+		// A failed half-open probe re-opens the circuit immediately,
+		// regardless of the consecutive-failure count.
+		wasOpen := b.now().Before(st.openUntil)
+		st.openUntil = b.now().Add(b.opts.Cooldown)
+		return !wasOpen
+	}
 	if st.failures >= b.opts.Threshold {
 		wasOpen := b.now().Before(st.openUntil)
 		st.openUntil = b.now().Add(b.opts.Cooldown)
@@ -109,6 +139,9 @@ type SourceHealth struct {
 	ConsecutiveFailures int
 	// Open reports whether the circuit currently rejects attempts.
 	Open bool
+	// Probing reports an in-flight half-open probe: the cooldown passed
+	// and one request is testing the source.
+	Probing bool
 	// RetryAt is when an open circuit half-opens (zero when closed).
 	RetryAt time.Time
 }
@@ -129,7 +162,7 @@ func (m *Manager) Health() []SourceHealth {
 		if st.failures == 0 {
 			continue
 		}
-		h := SourceHealth{SourceID: id, ConsecutiveFailures: st.failures}
+		h := SourceHealth{SourceID: id, ConsecutiveFailures: st.failures, Probing: st.probing}
 		if now.Before(st.openUntil) {
 			h.Open = true
 			h.RetryAt = st.openUntil
@@ -151,23 +184,10 @@ func (e errCircuitOpen) Error() string {
 		e.sourceID, e.retryAt.Format(time.RFC3339))
 }
 
-// IsCircuitOpen reports whether an error records a breaker skip.
+// IsCircuitOpen reports whether an error records a breaker skip, however
+// deeply wrapped: SourceError envelopes and fmt.Errorf("...: %w", ...)
+// chains are traversed with errors.As.
 func IsCircuitOpen(err error) bool {
-	_, ok := err.(errCircuitOpen)
-	if ok {
-		return true
-	}
-	var se SourceError
-	if asSourceError(err, &se) {
-		_, ok = se.Err.(errCircuitOpen)
-	}
-	return ok
-}
-
-func asSourceError(err error, out *SourceError) bool {
-	se, ok := err.(SourceError)
-	if ok {
-		*out = se
-	}
-	return ok
+	var e errCircuitOpen
+	return errors.As(err, &e)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,6 +156,86 @@ func TestBreakerIsolatesPerSource(t *testing.T) {
 	m.breaker.report("dead_0", false)
 	if !m.breaker.allow("dead_0") || m.breaker.allow("dead_1") {
 		t.Fatal("per-source isolation broken")
+	}
+}
+
+// TestBreakerHalfOpenAdmitsSingleProbe drives many concurrent callers at
+// a half-open circuit: exactly one may probe; the rest get the
+// open-circuit rejection, so a recovering source is not stampeded.
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	b := newBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Minute})
+	now := time.Now()
+	b.now = func() time.Time { return now }
+
+	b.report("s1", true) // trips: threshold 1
+	if b.allow("s1") {
+		t.Fatal("circuit should be open")
+	}
+	now = now.Add(2 * time.Minute) // cooldown passed: half-open
+
+	const callers = 64
+	var wg sync.WaitGroup
+	admitted := make(chan bool, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			admitted <- b.allow("s1")
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(admitted)
+	probes := 0
+	for ok := range admitted {
+		if ok {
+			probes++
+		}
+	}
+	if probes != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", probes)
+	}
+
+	// The probe succeeds: circuit closes, everyone is admitted again.
+	b.report("s1", false)
+	if !b.allow("s1") || !b.allow("s1") {
+		t.Fatal("circuit should be closed after successful probe")
+	}
+}
+
+// TestBreakerFailedProbeReopens verifies a failed half-open probe
+// re-opens the circuit for a full cooldown immediately, not after
+// another Threshold failures.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := newBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Minute})
+	now := time.Now()
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		b.report("s1", true)
+	}
+	if b.allow("s1") {
+		t.Fatal("circuit should be open")
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.allow("s1") {
+		t.Fatal("half-open circuit should admit one probe")
+	}
+	b.report("s1", true) // the probe fails
+	if b.allow("s1") {
+		t.Fatal("failed probe must re-open the circuit immediately")
+	}
+	// Health reports the probing flag while a probe is in flight.
+	now = now.Add(2 * time.Minute)
+	if !b.allow("s1") {
+		t.Fatal("second probe not admitted after another cooldown")
+	}
+	m := &Manager{breaker: b}
+	health := m.Health()
+	if len(health) != 1 || !health[0].Probing {
+		t.Fatalf("health = %+v, want probing=true", health)
 	}
 }
 

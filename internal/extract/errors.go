@@ -1,0 +1,33 @@
+package extract
+
+import "errors"
+
+// permanentError marks a failure that retrying cannot fix: a rule that
+// does not compile, a result set without the configured column, a backend
+// that is not wired up. The extractor fails fast on these instead of
+// burning its retry budget (autonomous-source outages are retriable;
+// mapping mistakes are not).
+type permanentError struct {
+	err error
+}
+
+func (e permanentError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying error so errors.Is/As keep working
+// through the marker.
+func (e permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as non-retriable. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err: err}
+}
+
+// IsPermanent reports whether err (anywhere in its wrap chain) was marked
+// non-retriable with Permanent.
+func IsPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}

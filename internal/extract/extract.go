@@ -28,14 +28,14 @@ import (
 	"sync"
 	"time"
 
+	"math/rand"
+
 	"repro/internal/datasource"
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/reldb"
 	"repro/internal/selector"
-	"repro/internal/textsrc"
 	"repro/internal/webl"
-	"repro/internal/xmlstore"
 )
 
 // Fragment is one chunk of extracted raw data: the values one rule produced
@@ -45,6 +45,12 @@ type Fragment struct {
 	SourceID    string
 	Scenario    mapping.Scenario
 	Values      []string
+	// Degraded marks a fragment served from an expired cache entry after
+	// live extraction failed (graceful degradation: stale beats nothing
+	// when a partner source is down).
+	Degraded bool
+	// Stale is the age of the served cache entry when Degraded is set.
+	Stale time.Duration
 }
 
 // SourceError records one extraction failure. Failures are data, not
@@ -54,13 +60,37 @@ type SourceError struct {
 	SourceID    string
 	AttributeID string
 	Err         error
+	// Failover reports that every attribute this failure cost was still
+	// served by at least one alternate source mapped to it, so the query
+	// lost redundancy, not data.
+	Failover bool
 }
 
 func (e SourceError) Error() string {
-	if e.AttributeID != "" {
-		return fmt.Sprintf("source %s, attribute %s: %v", e.SourceID, e.AttributeID, e.Err)
+	suffix := ""
+	if e.Failover {
+		suffix = " (failover: attribute served by an alternate source)"
 	}
-	return fmt.Sprintf("source %s: %v", e.SourceID, e.Err)
+	if e.AttributeID != "" {
+		return fmt.Sprintf("source %s, attribute %s: %v%s", e.SourceID, e.AttributeID, e.Err, suffix)
+	}
+	return fmt.Sprintf("source %s: %v%s", e.SourceID, e.Err, suffix)
+}
+
+// Degradation records one serve-stale event: an attribute answered from
+// an expired cache entry because live extraction failed.
+type Degradation struct {
+	SourceID    string
+	AttributeID string
+	// Stale is the age of the cache entry served in place of live data.
+	Stale time.Duration
+	// Err is the live extraction failure that forced the stale serve.
+	Err error
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("source %s, attribute %s: served %s-stale cached values (live extraction failed: %v)",
+		d.SourceID, d.AttributeID, d.Stale.Round(time.Millisecond), d.Err)
 }
 
 // Unwrap exposes the underlying error.
@@ -82,6 +112,9 @@ type Stats struct {
 	Retries int
 	// CacheHits counts rules answered from the rule-result cache.
 	CacheHits int
+	// StaleServes counts rules answered from expired cache entries after
+	// live extraction failed (see ResultSet.Degraded for details).
+	StaleServes int
 }
 
 // ResultSet is the raw output of one extraction run.
@@ -90,23 +123,34 @@ type ResultSet struct {
 	Fragments []Fragment
 	// Errors lists per-source failures.
 	Errors []SourceError
+	// Degraded lists the serve-stale events behind fragments whose
+	// Degraded flag is set, ordered like Fragments.
+	Degraded []Degradation
 	// Missing lists requested attributes that have no mapping.
 	Missing []string
 	// Stats summarizes the run.
 	Stats Stats
 }
 
+// DocExtractor resolves a document path and an extraction expression to
+// values; *xmlstore.Store and *textsrc.Store implement it, and wrappers
+// (fault injection, remote stores) can interpose.
+type DocExtractor interface {
+	Extract(path, expr string) ([]string, error)
+}
+
 // Backends resolves source definitions to live content. In the paper's
 // deployment these reach remote autonomous systems; the datasource.Catalog
 // provides in-process equivalents and the transport package HTTP-backed
-// ones.
+// ones. Every field is an interface (or func) so chaos and proxy layers
+// can wrap any backend uniformly (internal/faultinject does).
 type Backends struct {
 	// Pages fetches web page content by URL.
 	Pages webl.Fetcher
 	// XML resolves Definition.Path for XML sources.
-	XML *xmlstore.Store
+	XML DocExtractor
 	// Text resolves Definition.Path for plain-text sources.
-	Text *textsrc.Store
+	Text DocExtractor
 	// DB resolves Definition.DSN for database sources.
 	DB func(dsn string) (*reldb.DB, error)
 }
@@ -124,8 +168,24 @@ type Options struct {
 	// Timeout bounds each source's total extraction time; 0 means
 	// DefaultTimeout.
 	Timeout time.Duration
+	// QueryBudget bounds one whole extraction run: a deadline budget
+	// shared by every source, so a single slow partner cannot consume the
+	// query's entire time. It layers under the caller's context deadline
+	// and over the per-source Timeout. 0 means no budget.
+	QueryBudget time.Duration
 	// Retries is how many times a failed rule execution is retried.
+	// Failures marked Permanent (rule-compile errors, missing columns,
+	// unconfigured backends) are never retried.
 	Retries int
+	// RetryBackoff is the base delay of the full-jitter exponential
+	// backoff between retry attempts: each attempt sleeps a uniformly
+	// random duration in [0, min(RetryBackoffCap, RetryBackoff<<attempt)).
+	// 0 means DefaultRetryBackoff; negative disables backoff (tight-loop
+	// retries, useful in tests).
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps a single backoff sleep; 0 means
+	// DefaultRetryBackoffCap.
+	RetryBackoffCap time.Duration
 	// WebLMaxSteps caps WebL program execution; 0 uses the webl default.
 	WebLMaxSteps int
 	// SimulatedLatency, when positive, sleeps once per source before its
@@ -138,7 +198,14 @@ type Options struct {
 	// that duration. The paper notes sources "do not normally change their
 	// structures"; values change more often, so caching trades freshness
 	// for latency and is off by default. InvalidateCache drops it.
+	// Expired entries are kept for serve-stale degradation (see
+	// ServeStale) until InvalidateCache.
 	CacheTTL time.Duration
+	// DisableServeStale turns off graceful degradation from the rule
+	// cache. By default (with CacheTTL > 0), when live extraction of a
+	// rule fails after retries, an expired cache entry is served instead
+	// and the fragment is marked Degraded with its staleness age.
+	DisableServeStale bool
 	// Breaker configures the per-source circuit breaker; the zero value
 	// disables it.
 	Breaker BreakerOptions
@@ -146,8 +213,10 @@ type Options struct {
 
 // Defaults for Options.
 const (
-	DefaultParallelism = 8
-	DefaultTimeout     = 10 * time.Second
+	DefaultParallelism     = 8
+	DefaultTimeout         = 10 * time.Second
+	DefaultRetryBackoff    = 20 * time.Millisecond
+	DefaultRetryBackoffCap = 2 * time.Second
 )
 
 // Manager coordinates extraction across the registered data sources.
@@ -160,6 +229,13 @@ type Manager struct {
 	cache   map[string]cacheEntry
 
 	breaker *breaker
+
+	// sleep and randFloat are the backoff hooks; tests inject a recording
+	// sleep and a deterministic rand to assert jittered delays exactly.
+	// sleep returns false when ctx expired before the delay elapsed.
+	sleep     func(ctx context.Context, d time.Duration) bool
+	randMu    sync.Mutex
+	randFloat func() float64
 }
 
 type cacheEntry struct {
@@ -176,11 +252,55 @@ func NewManager(repo *mapping.Repository, backends Backends, opts Options) *Mana
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.RetryBackoffCap <= 0 {
+		opts.RetryBackoffCap = DefaultRetryBackoffCap
+	}
 	m := &Manager{repo: repo, backends: backends, opts: opts, breaker: newBreaker(opts.Breaker)}
 	if opts.CacheTTL > 0 {
 		m.cache = make(map[string]cacheEntry)
 	}
+	m.sleep = sleepCtx
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	m.randFloat = rng.Float64
 	return m
+}
+
+// sleepCtx sleeps for d unless ctx expires first; it reports whether the
+// full delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoffDelay returns the full-jitter exponential backoff before retry
+// attempt (0-based): uniform in [0, min(cap, base<<attempt)).
+func (m *Manager) backoffDelay(attempt int) time.Duration {
+	base := m.opts.RetryBackoff
+	if base < 0 {
+		return 0
+	}
+	ceil := m.opts.RetryBackoffCap
+	if attempt < 62 { // avoid shift overflow
+		if scaled := base << uint(attempt); scaled < ceil {
+			ceil = scaled
+		}
+	}
+	m.randMu.Lock()
+	f := m.randFloat()
+	m.randMu.Unlock()
+	return time.Duration(f * float64(ceil))
 }
 
 // InvalidateCache drops every cached rule result.
@@ -202,9 +322,22 @@ func (m *Manager) cacheGet(key string) ([]string, bool) {
 	defer m.cacheMu.Unlock()
 	e, ok := m.cache[key]
 	if !ok || time.Since(e.at) > m.opts.CacheTTL {
+		// Expired entries stay in the map: they are the serve-stale
+		// reserve graceful degradation draws on when a source is down.
 		return nil, false
 	}
 	return e.values, true
+}
+
+// cacheGetStale returns a cache entry regardless of TTL, with its age.
+func (m *Manager) cacheGetStale(key string) (values []string, age time.Duration, ok bool) {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	e, ok := m.cache[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.values, time.Since(e.at), true
 }
 
 func (m *Manager) cachePut(key string, values []string) {
@@ -223,6 +356,14 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 	defer edone()
 	metrics := obs.MetricsFromContext(ctx)
 	rs := &ResultSet{}
+
+	// The deadline budget bounds the whole run; per-source timeouts nest
+	// under it, so one slow source cannot consume the query's time.
+	if m.opts.QueryBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.opts.QueryBudget)
+		defer cancel()
+	}
 
 	// Steps 2-3: extraction schema + data source definitions.
 	start := time.Now()
@@ -264,8 +405,10 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 			mu.Lock()
 			rs.Fragments = append(rs.Fragments, frags...)
 			rs.Errors = append(rs.Errors, errs...)
+			rs.Degraded = append(rs.Degraded, run.degraded...)
 			rs.Stats.Retries += run.retries
 			rs.Stats.CacheHits += run.cacheHits
+			rs.Stats.StaleServes += len(run.degraded)
 			mu.Unlock()
 		}(plan)
 	}
@@ -276,6 +419,7 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 	for _, f := range rs.Fragments {
 		rs.Stats.ValuesExtracted += len(f.Values)
 	}
+	m.markFailovers(rs, plans, metrics, espan)
 	sort.Slice(rs.Fragments, func(i, j int) bool {
 		if rs.Fragments[i].AttributeID != rs.Fragments[j].AttributeID {
 			return rs.Fragments[i].AttributeID < rs.Fragments[j].AttributeID
@@ -288,13 +432,75 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 		}
 		return rs.Errors[i].AttributeID < rs.Errors[j].AttributeID
 	})
+	sort.Slice(rs.Degraded, func(i, j int) bool {
+		if rs.Degraded[i].AttributeID != rs.Degraded[j].AttributeID {
+			return rs.Degraded[i].AttributeID < rs.Degraded[j].AttributeID
+		}
+		return rs.Degraded[i].SourceID < rs.Degraded[j].SourceID
+	})
 	return rs, nil
+}
+
+// markFailovers flags failures whose attributes were still served by an
+// alternate source: the mapping repository holds more than one source per
+// attribute, so a partner outage costs redundancy, not answers. Flagged
+// failures count under the "failover" outcome.
+func (m *Manager) markFailovers(rs *ResultSet, plans []mapping.SourcePlan, metrics *obs.Registry, espan *obs.Span) {
+	if len(rs.Degraded) > 0 {
+		espan.SetAttr("degraded", strconv.Itoa(len(rs.Degraded)))
+	}
+	if len(rs.Errors) == 0 {
+		return
+	}
+	covered := make(map[string]bool, len(rs.Fragments))
+	for _, f := range rs.Fragments {
+		covered[f.AttributeID] = true
+	}
+	attrsOf := make(map[string][]string, len(plans))
+	for _, p := range plans {
+		for _, e := range p.Entries {
+			attrsOf[p.Source.ID] = append(attrsOf[p.Source.ID], e.AttributeID)
+		}
+	}
+	failovers := 0
+	for i := range rs.Errors {
+		e := &rs.Errors[i]
+		// Whole-source failures (breaker skips, timeouts before any rule
+		// ran) carry no attribute ID; they fail over when every attribute
+		// the source was planned to serve is covered elsewhere.
+		attrs := attrsOf[e.SourceID]
+		if e.AttributeID != "" {
+			attrs = []string{e.AttributeID}
+		}
+		if len(attrs) == 0 {
+			continue
+		}
+		all := true
+		for _, a := range attrs {
+			if !covered[a] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		e.Failover = true
+		failovers++
+		metrics.Counter(obs.MetricSourceExtractTotal,
+			obs.Labels{"source": e.SourceID, "outcome": obs.OutcomeFailover}).Inc()
+	}
+	if failovers > 0 {
+		espan.SetAttr("failover", strconv.Itoa(failovers))
+	}
 }
 
 // sourceRun summarizes one source's extraction pass.
 type sourceRun struct {
 	retries   int
 	cacheHits int
+	degraded  []Degradation
+	exhausted bool // at least one rule failed after its full retry budget
 }
 
 // extractSource runs every rule of one source plan under the per-source
@@ -344,64 +550,136 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 
 	anyFailed := false
 	for _, entry := range plan.Entries {
-		values, tries, cached, err := m.runRuleWithRetry(ctx, plan.Source, entry)
-		run.retries += tries
-		if cached {
+		res := m.runRuleWithRetry(ctx, plan.Source, entry)
+		run.retries += res.attempts
+		if res.cacheHit {
 			run.cacheHits++
 		}
-		if err != nil {
+		if res.exhausted {
+			run.exhausted = true
+		}
+		if res.err != nil {
 			anyFailed = true
-			errs = append(errs, SourceError{SourceID: plan.Source.ID, AttributeID: entry.AttributeID, Err: err})
+			errs = append(errs, SourceError{SourceID: plan.Source.ID, AttributeID: entry.AttributeID, Err: res.err})
 			continue
 		}
-		if entry.Scenario == mapping.SingleRecord && len(values) > 1 {
+		if entry.Scenario == mapping.SingleRecord && len(res.values) > 1 {
 			errs = append(errs, SourceError{
 				SourceID:    plan.Source.ID,
 				AttributeID: entry.AttributeID,
-				Err: fmt.Errorf("extract: single-record source produced %d values for %s",
-					len(values), entry.AttributeID),
+				Err: Permanent(fmt.Errorf("extract: single-record source produced %d values for %s",
+					len(res.values), entry.AttributeID)),
 			})
 			continue
+		}
+		if res.stale > 0 {
+			run.degraded = append(run.degraded, Degradation{
+				SourceID:    plan.Source.ID,
+				AttributeID: entry.AttributeID,
+				Stale:       res.stale,
+				Err:         res.liveErr,
+			})
 		}
 		frags = append(frags, Fragment{
 			AttributeID: entry.AttributeID,
 			SourceID:    plan.Source.ID,
 			Scenario:    entry.Scenario,
-			Values:      values,
+			Values:      res.values,
+			Degraded:    res.stale > 0,
+			Stale:       res.stale,
 		})
 	}
-	if anyFailed {
-		outcome = "error"
+	switch {
+	case anyFailed && run.exhausted:
+		outcome = obs.OutcomeRetryExhausted
+	case anyFailed:
+		outcome = obs.OutcomeError
+	case len(run.degraded) > 0:
+		outcome = obs.OutcomeDegradedStale
 	}
-	if m.breaker.report(plan.Source.ID, anyFailed) {
+	// Stale serves count as failures for breaker purposes: the live source
+	// misbehaved even though the query was answered.
+	if m.breaker.report(plan.Source.ID, anyFailed || len(run.degraded) > 0) {
 		span.SetAttr("breaker", "tripped")
 		metrics.Counter(obs.MetricBreakerTrips, srcLabels).Inc()
 	}
 	return frags, errs, run
 }
 
-func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) (values []string, retries int, cacheHit bool, err error) {
+// ruleResult is the outcome of one rule execution (with retries).
+type ruleResult struct {
+	values   []string
+	attempts int  // retries performed (not counting the first attempt)
+	cacheHit bool // answered from a fresh cache entry
+	// stale > 0 means values came from an expired cache entry after live
+	// extraction failed; liveErr is that live failure.
+	stale   time.Duration
+	liveErr error
+	// exhausted marks a retriable failure that used the whole retry
+	// budget; err is the final error (nil when stale values were served).
+	exhausted bool
+	err       error
+}
+
+// runRuleWithRetry executes one rule with bounded retries: full-jitter
+// exponential backoff between attempts, fail-fast on Permanent errors,
+// and — when the rule cache holds an expired entry — serve-stale
+// degradation after the retry budget is spent.
+func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) ruleResult {
+	metrics := obs.MetricsFromContext(ctx)
 	var key string
 	if m.cache != nil {
 		key = cacheKey(def, entry)
 		if cached, ok := m.cacheGet(key); ok {
-			obs.MetricsFromContext(ctx).Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "hit"}).Inc()
-			return cached, 0, true, nil
+			metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheHit}).Inc()
+			return ruleResult{values: cached, cacheHit: true}
 		}
-		obs.MetricsFromContext(ctx).Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "miss"}).Inc()
+		metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheMiss}).Inc()
 	}
+	var res ruleResult
 	for attempt := 0; ; attempt++ {
+		var values []string
+		var err error
 		values, err = m.runRule(ctx, def, entry)
 		if err == nil {
 			if m.cache != nil {
 				m.cachePut(key, values)
 			}
-			return values, attempt, false, nil
+			res.values = values
+			res.attempts = attempt
+			return res
+		}
+		if IsPermanent(err) {
+			res.attempts = attempt
+			res.err = err
+			break
 		}
 		if attempt >= m.opts.Retries || ctx.Err() != nil {
-			return values, attempt, false, err
+			res.attempts = attempt
+			res.err = err
+			res.exhausted = m.opts.Retries > 0 && attempt >= m.opts.Retries
+			break
+		}
+		if !m.sleep(ctx, m.backoffDelay(attempt)) {
+			res.attempts = attempt
+			res.err = err
+			break
 		}
 	}
+	// Graceful degradation: an expired cache entry beats a failure.
+	if m.cache != nil && !m.opts.DisableServeStale {
+		if stale, age, ok := m.cacheGetStale(key); ok {
+			metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheStale}).Inc()
+			return ruleResult{
+				values:    stale,
+				attempts:  res.attempts,
+				stale:     age,
+				liveErr:   res.err,
+				exhausted: res.exhausted,
+			}
+		}
+	}
+	return res
 }
 
 // runRule delegates to the extractor for the source's kind, then applies
@@ -427,7 +705,7 @@ func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry 
 		case datasource.KindText:
 			o.values, o.err = m.extractText(def, entry)
 		default:
-			o.err = fmt.Errorf("extract: no extractor for source kind %d", int(def.Kind))
+			o.err = Permanent(fmt.Errorf("extract: no extractor for source kind %d", int(def.Kind)))
 		}
 		if o.err == nil {
 			o.values, o.err = applyTransform(entry.Rule, o.values)
@@ -470,7 +748,7 @@ func applyTransform(rule mapping.Rule, values []string) ([]string, error) {
 // extractDB runs a SQL rule and projects the configured column as strings.
 func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]string, error) {
 	if m.backends.DB == nil {
-		return nil, errors.New("extract: no database backend configured")
+		return nil, Permanent(errors.New("extract: no database backend configured"))
 	}
 	db, err := m.backends.DB(def.DSN)
 	if err != nil {
@@ -490,11 +768,11 @@ func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]s
 			}
 		}
 		if col < 0 {
-			return nil, fmt.Errorf("extract: result of %q has no column %q", entry.Rule.Code, entry.Rule.Column)
+			return nil, Permanent(fmt.Errorf("extract: result of %q has no column %q", entry.Rule.Code, entry.Rule.Column))
 		}
 	}
 	if len(res.Columns) == 0 {
-		return nil, fmt.Errorf("extract: rule %q projected no columns", entry.Rule.Code)
+		return nil, Permanent(fmt.Errorf("extract: rule %q projected no columns", entry.Rule.Code))
 	}
 	values := make([]string, 0, len(res.Rows))
 	for _, row := range res.Rows {
@@ -509,14 +787,14 @@ func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]s
 
 func (m *Manager) extractXML(def datasource.Definition, entry mapping.Entry) ([]string, error) {
 	if m.backends.XML == nil {
-		return nil, errors.New("extract: no XML backend configured")
+		return nil, Permanent(errors.New("extract: no XML backend configured"))
 	}
 	return m.backends.XML.Extract(def.Path, entry.Rule.Code)
 }
 
 func (m *Manager) extractText(def datasource.Definition, entry mapping.Entry) ([]string, error) {
 	if m.backends.Text == nil {
-		return nil, errors.New("extract: no text backend configured")
+		return nil, Permanent(errors.New("extract: no text backend configured"))
 	}
 	return m.backends.Text.Extract(def.Path, entry.Rule.Code)
 }
@@ -542,7 +820,7 @@ func (f ctxBoundFetcher) Fetch(url string) (string, error) { return f.cf.FetchCo
 // interpreter; CSS selector rules fetch the page and extract directly.
 func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, entry mapping.Entry) ([]string, error) {
 	if m.backends.Pages == nil {
-		return nil, errors.New("extract: no web backend configured")
+		return nil, Permanent(errors.New("extract: no web backend configured"))
 	}
 	pages := m.backends.Pages
 	if cf, ok := pages.(ContextFetcher); ok {
@@ -551,7 +829,7 @@ func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, ent
 	if entry.Rule.Language == mapping.LangSelector {
 		sel, err := selector.Compile(entry.Rule.Code)
 		if err != nil {
-			return nil, err
+			return nil, Permanent(err)
 		}
 		html, err := pages.Fetch(def.URL)
 		if err != nil {
@@ -561,7 +839,7 @@ func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, ent
 	}
 	prog, err := webl.Compile(entry.Rule.Code)
 	if err != nil {
-		return nil, err
+		return nil, Permanent(err)
 	}
 	globals, err := prog.Run(&webl.Env{Fetcher: pages, MaxSteps: m.opts.WebLMaxSteps})
 	if err != nil {
@@ -584,7 +862,7 @@ func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, ent
 		}
 		return weblValueToStrings(v)
 	}
-	return nil, fmt.Errorf("extract: webl rule defines none of %v", candidates)
+	return nil, Permanent(fmt.Errorf("extract: webl rule defines none of %v", candidates))
 }
 
 func weblValueToStrings(v webl.Value) ([]string, error) {

@@ -1,0 +1,443 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/obs"
+)
+
+// countingFetcher counts fetches and delegates to fn.
+type countingFetcher struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(url string) (string, error)
+}
+
+func (f *countingFetcher) Fetch(url string) (string, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	return f.fn(url)
+}
+
+func (f *countingFetcher) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	fetcher := &countingFetcher{fn: func(url string) (string, error) {
+		return "", Permanent(fmt.Errorf("credentials rejected"))
+	}}
+	backends.Pages = fetcher
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule}, Scenario: mapping.SingleRecord,
+	})
+	m := NewManager(w.repo, backends, Options{Retries: 5, RetryBackoff: -1})
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetcher.count(); got != 1 {
+		t.Errorf("fetch attempts = %d, want 1 (permanent errors must fail fast)", got)
+	}
+	if rs.Stats.Retries != 0 {
+		t.Errorf("retries = %d, want 0", rs.Stats.Retries)
+	}
+	if len(rs.Errors) != 1 || !IsPermanent(rs.Errors[0]) {
+		t.Fatalf("errors = %v, want one permanent error", rs.Errors)
+	}
+}
+
+func TestRuleMisconfigurationIsPermanent(t *testing.T) {
+	w := newWorld(t)
+	// The rule compiles but defines no variable for the mapped attribute —
+	// a mapping mistake no retry can fix.
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: `var unrelated = "x"`},
+	})
+	m := w.manager(Options{Retries: 5, RetryBackoff: -1})
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Errors) != 1 || !IsPermanent(rs.Errors[0]) {
+		t.Fatalf("errors = %v, want one permanent misconfiguration error", rs.Errors)
+	}
+	if rs.Stats.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (misconfigurations must not be retried)", rs.Stats.Retries)
+	}
+}
+
+func TestTransientErrorIsRetried(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	fetcher := &countingFetcher{fn: func(url string) (string, error) {
+		return "", fmt.Errorf("transient network failure")
+	}}
+	backends.Pages = fetcher
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	m := NewManager(w.repo, backends, Options{Retries: 3, RetryBackoff: -1})
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetcher.count(); got != 4 {
+		t.Errorf("fetch attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+	if len(rs.Errors) != 1 {
+		t.Fatalf("errors = %v", rs.Errors)
+	}
+}
+
+func TestRetryExhaustedOutcomeMetric(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		return "", fmt.Errorf("still down")
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(context.Background(), reg)
+	m := NewManager(w.repo, backends, Options{Retries: 2, RetryBackoff: -1})
+	if _, err := m.Extract(ctx, []string{"thing.product.brand"}); err != nil {
+		t.Fatal(err)
+	}
+	got := reg.Counter(obs.MetricSourceExtractTotal,
+		obs.Labels{"source": "wpage_81", "outcome": obs.OutcomeRetryExhausted}).Value()
+	if got != 1 {
+		t.Errorf("retry_exhausted counter = %v, want 1", got)
+	}
+}
+
+// TestBackoffDelaysGrowGeometrically drives the backoff hooks directly:
+// with the rng pinned to 1.0 the jittered delay equals its ceiling, so
+// the sequence must double from RetryBackoff up to RetryBackoffCap.
+func TestBackoffDelaysGrowGeometrically(t *testing.T) {
+	w := newWorld(t)
+	m := w.manager(Options{
+		Retries:         8,
+		RetryBackoff:    10 * time.Millisecond,
+		RetryBackoffCap: 100 * time.Millisecond,
+	})
+	m.randFloat = func() float64 { return 1.0 }
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond,
+	}
+	for attempt, exp := range want {
+		if got := m.backoffDelay(attempt); got != exp {
+			t.Errorf("attempt %d: delay = %v, want %v", attempt, got, exp)
+		}
+	}
+}
+
+func TestBackoffDelaysJitterWithinRange(t *testing.T) {
+	w := newWorld(t)
+	m := w.manager(Options{
+		Retries:         4,
+		RetryBackoff:    10 * time.Millisecond,
+		RetryBackoffCap: 50 * time.Millisecond,
+	})
+	// Real rng: every draw must stay within [0, min(cap, base<<attempt)).
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := 10 * time.Millisecond << uint(attempt)
+		if ceil > 50*time.Millisecond || ceil <= 0 {
+			ceil = 50 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			d := m.backoffDelay(attempt)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffSleepsBetweenRetries records what the retry loop actually
+// sleeps through the injected sleep hook.
+func TestBackoffSleepsBetweenRetries(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		return "", fmt.Errorf("down")
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	m := NewManager(w.repo, backends, Options{
+		Retries:         3,
+		RetryBackoff:    10 * time.Millisecond,
+		RetryBackoffCap: 1 * time.Second,
+	})
+	m.randFloat = func() float64 { return 1.0 }
+	var mu sync.Mutex
+	var slept []time.Duration
+	m.sleep = func(ctx context.Context, d time.Duration) bool {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return true // don't actually wait
+	}
+	if _, err := m.Extract(context.Background(), []string{"thing.product.brand"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full sequence %v)", i, slept[i], want[i], slept)
+		}
+	}
+}
+
+func TestServeStaleOnFailure(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	inner := backends.Pages
+	var failing bool
+	var mu sync.Mutex
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		mu.Lock()
+		f := failing
+		mu.Unlock()
+		if f {
+			return "", fmt.Errorf("source went away")
+		}
+		return inner.Fetch(url)
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule}, Scenario: mapping.SingleRecord,
+	})
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(context.Background(), reg)
+	m := NewManager(w.repo, backends, Options{CacheTTL: 20 * time.Millisecond, RetryBackoff: -1})
+
+	// Warm the cache with a healthy extraction.
+	rs, err := m.Extract(ctx, []string{"thing.product.brand"})
+	if err != nil || len(rs.Errors) > 0 {
+		t.Fatalf("%v %v", err, rs.Errors)
+	}
+
+	// Let the entry expire, then kill the source.
+	time.Sleep(40 * time.Millisecond)
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+
+	rs, err = m.Extract(ctx, []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Fragments) != 1 {
+		t.Fatalf("fragments = %+v, want the stale value served", rs.Fragments)
+	}
+	frag := rs.Fragments[0]
+	if !frag.Degraded {
+		t.Error("fragment not marked Degraded")
+	}
+	if frag.Stale < 40*time.Millisecond {
+		t.Errorf("staleness = %v, want >= 40ms", frag.Stale)
+	}
+	if strings.TrimSpace(frag.Values[0]) != "Seiko" {
+		t.Errorf("stale value = %q", frag.Values[0])
+	}
+	if len(rs.Degraded) != 1 {
+		t.Fatalf("degradations = %v", rs.Degraded)
+	}
+	d := rs.Degraded[0]
+	if d.SourceID != "wpage_81" || d.AttributeID != "thing.product.brand" {
+		t.Errorf("degradation = %+v", d)
+	}
+	if d.Stale != frag.Stale {
+		t.Errorf("degradation staleness %v != fragment staleness %v", d.Stale, frag.Stale)
+	}
+	if d.Err == nil || !strings.Contains(d.Err.Error(), "source went away") {
+		t.Errorf("degradation must carry the live error, got %v", d.Err)
+	}
+	if rs.Stats.StaleServes != 1 {
+		t.Errorf("StaleServes = %d, want 1", rs.Stats.StaleServes)
+	}
+	// A degraded answer is not an extraction error: the query got values.
+	if len(rs.Errors) != 0 {
+		t.Errorf("errors = %v, want none (stale serve absorbed the failure)", rs.Errors)
+	}
+	got := reg.Counter(obs.MetricSourceExtractTotal,
+		obs.Labels{"source": "wpage_81", "outcome": obs.OutcomeDegradedStale}).Value()
+	if got != 1 {
+		t.Errorf("degraded_stale counter = %v, want 1", got)
+	}
+}
+
+func TestServeStaleDisabled(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	inner := backends.Pages
+	var failing bool
+	var mu sync.Mutex
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		mu.Lock()
+		f := failing
+		mu.Unlock()
+		if f {
+			return "", fmt.Errorf("source went away")
+		}
+		return inner.Fetch(url)
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule}, Scenario: mapping.SingleRecord,
+	})
+	m := NewManager(w.repo, backends, Options{
+		CacheTTL: 20 * time.Millisecond, DisableServeStale: true, RetryBackoff: -1,
+	})
+	if rs, err := m.Extract(context.Background(), []string{"thing.product.brand"}); err != nil || len(rs.Errors) > 0 {
+		t.Fatalf("%v %v", err, rs.Errors)
+	}
+	time.Sleep(40 * time.Millisecond)
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Fragments) != 0 || len(rs.Errors) != 1 {
+		t.Fatalf("fragments=%v errors=%v, want plain failure with serve-stale off", rs.Fragments, rs.Errors)
+	}
+	if rs.Stats.StaleServes != 0 || len(rs.Degraded) != 0 {
+		t.Errorf("unexpected degradation: %+v", rs.Degraded)
+	}
+}
+
+func TestFailoverMarking(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		return "", fmt.Errorf("web replica down")
+	})
+	// Two sources map brand; only the web one fails, so its loss is a
+	// failover: the attribute is still served.
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "xml_7",
+		Rule: mapping.Rule{Code: "/catalog/watch/brand"},
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(context.Background(), reg)
+	m := NewManager(w.repo, backends, Options{RetryBackoff: -1})
+	rs, err := m.Extract(ctx, []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Fragments) != 1 || rs.Fragments[0].SourceID != "xml_7" {
+		t.Fatalf("fragments = %+v", rs.Fragments)
+	}
+	if len(rs.Errors) != 1 {
+		t.Fatalf("errors = %v", rs.Errors)
+	}
+	if !rs.Errors[0].Failover {
+		t.Error("error not marked as failover although xml_7 still served the attribute")
+	}
+	if !strings.Contains(rs.Errors[0].Error(), "failover") {
+		t.Errorf("error text should mention failover: %s", rs.Errors[0].Error())
+	}
+	got := reg.Counter(obs.MetricSourceExtractTotal,
+		obs.Labels{"source": "wpage_81", "outcome": obs.OutcomeFailover}).Value()
+	if got != 1 {
+		t.Errorf("failover counter = %v, want 1", got)
+	}
+}
+
+func TestFailoverNotMarkedWhenAttributeLost(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		return "", fmt.Errorf("down")
+	})
+	// Only one source maps brand: its loss loses the attribute.
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	m := NewManager(w.repo, backends, Options{RetryBackoff: -1})
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Errors) != 1 || rs.Errors[0].Failover {
+		t.Fatalf("errors = %+v, want one non-failover error", rs.Errors)
+	}
+}
+
+func TestQueryBudgetBoundsExtraction(t *testing.T) {
+	w := newWorld(t)
+	backends := FromCatalog(w.catalog)
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		time.Sleep(2 * time.Second)
+		return "", fmt.Errorf("too slow to matter")
+	})
+	w.repo.MustRegister(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "wpage_81",
+		Rule: mapping.Rule{Code: paperWebLRule},
+	})
+	m := NewManager(w.repo, backends, Options{QueryBudget: 50 * time.Millisecond, RetryBackoff: -1})
+	start := time.Now()
+	rs, err := m.Extract(context.Background(), []string{"thing.product.brand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("extraction took %v, budget was 50ms", elapsed)
+	}
+	if len(rs.Errors) != 1 {
+		t.Fatalf("errors = %v", rs.Errors)
+	}
+}
+
+func TestIsCircuitOpenWrappedChains(t *testing.T) {
+	base := errCircuitOpen{sourceID: "s1", retryAt: time.Now()}
+	cases := []error{
+		base,
+		fmt.Errorf("wrapped: %w", base),
+		SourceError{SourceID: "s1", Err: base},
+		fmt.Errorf("outer: %w", SourceError{SourceID: "s1", Err: fmt.Errorf("inner: %w", base)}),
+	}
+	for i, err := range cases {
+		if !IsCircuitOpen(err) {
+			t.Errorf("case %d: IsCircuitOpen(%v) = false, want true", i, err)
+		}
+	}
+	for i, err := range []error{nil, errors.New("plain"), SourceError{Err: errors.New("x")}} {
+		if IsCircuitOpen(err) {
+			t.Errorf("negative case %d: IsCircuitOpen(%v) = true, want false", i, err)
+		}
+	}
+}

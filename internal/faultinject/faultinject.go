@@ -1,0 +1,399 @@
+// Package faultinject is a seeded, deterministic fault-injection layer
+// for chaos-testing the extraction pipeline. The paper's data sources are
+// autonomous and distributed — partner outages, slowdowns, and garbage
+// responses are the normal case — so the recovery machinery (retries with
+// backoff, circuit breakers, serve-stale degradation, failover marking)
+// needs tests that reproduce those failures exactly.
+//
+// An Injector holds per-target fault Plans keyed by the backend address a
+// source resolves to (URL for web pages, Path for XML/text documents, DSN
+// for databases — see Key). It wraps extract.Backends, webl.Fetcher, or
+// an http.RoundTripper; every operation against a planned target first
+// consults the plan, which may add latency, fail the call, hang until the
+// context expires, or corrupt the payload. Count-based faults (FailFirst,
+// flapping) depend only on the per-target call number, and latency jitter
+// comes from a per-target rng derived from the Injector seed, so a run is
+// reproducible from the single seed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/reldb"
+	"repro/internal/webl"
+)
+
+// maxHang bounds Hang faults when the wrapped call path carries no
+// context (the context-free webl.Fetcher and DocExtractor interfaces);
+// without it a hung call would leak its goroutine forever.
+const maxHang = 30 * time.Second
+
+// Fault is the failure plan for one target. Zero value injects nothing.
+// When several fields are set they compose: latency is always applied
+// first, then the failure decision (Permanent > FailFirst > flapping >
+// FailEvery), and Corrupt only mangles calls that were allowed to
+// succeed.
+type Fault struct {
+	// AddLatency delays every operation by this fixed amount.
+	AddLatency time.Duration
+	// JitterLatency adds a further uniform [0, JitterLatency) delay drawn
+	// from the target's seeded rng.
+	JitterLatency time.Duration
+	// FailFirst fails the first N operations with a transient error, then
+	// recovers — the "fail N then recover" shape retry/breaker tests need.
+	FailFirst int
+	// FlapFail/FlapOK make the target flap: cycles of FlapFail transient
+	// failures followed by FlapOK successes. FlapOK defaults to 1 when
+	// FlapFail is set.
+	FlapFail int
+	FlapOK   int
+	// FailEvery fails every Nth operation (1 = always) transiently.
+	FailEvery int
+	// Permanent fails every operation with an error marked
+	// extract.Permanent, so the extractor must fail fast instead of
+	// burning retries.
+	Permanent bool
+	// Hang blocks the operation until its context is canceled (or maxHang
+	// for context-free call paths), simulating a source that accepts the
+	// connection and never answers.
+	Hang bool
+	// Corrupt lets the operation through but mangles the payload:
+	// extracted values are wrapped in corrupt(...), fetched pages are
+	// truncated mid-document, and HTTP bodies are garbled.
+	Corrupt bool
+}
+
+// active reports whether the fault injects anything at all.
+func (f Fault) active() bool {
+	return f != Fault{}
+}
+
+// Plan maps injection targets (see Key) to their faults.
+type Plan map[string]Fault
+
+// Key returns the injection target key for a source definition: the
+// backend address its extraction resolves — URL for web sources, Path
+// for XML and text documents, DSN for databases. Faults planned under
+// this key hit every operation against that backend.
+func Key(def datasource.Definition) string {
+	switch def.Kind {
+	case datasource.KindWeb:
+		return def.URL
+	case datasource.KindXML, datasource.KindText:
+		return def.Path
+	case datasource.KindDatabase:
+		return def.DSN
+	}
+	return def.ID
+}
+
+// targetState is one target's mutable injection state.
+type targetState struct {
+	fault Fault
+	calls int
+	rng   *rand.Rand
+}
+
+// Injector applies a fault Plan to wrapped backends. All methods are
+// safe for concurrent use; determinism is per target (each target's
+// call sequence and rng are independent of interleaving with other
+// targets).
+type Injector struct {
+	seed int64
+
+	mu      sync.Mutex
+	targets map[string]*targetState
+}
+
+// New returns an Injector whose jittered delays derive from seed. Faults
+// are registered with Set or all at once via Plan.
+func New(seed int64, plan Plan) *Injector {
+	in := &Injector{seed: seed, targets: map[string]*targetState{}}
+	for target, f := range plan {
+		in.Set(target, f)
+	}
+	return in
+}
+
+// Set installs (or replaces) the fault for one target, resetting its
+// call counter.
+func (in *Injector) Set(target string, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.targets[target] = &targetState{fault: f, rng: rand.New(rand.NewSource(in.seed ^ hashTarget(target)))}
+}
+
+// Calls returns how many operations have reached the target so far
+// (only targets with a registered fault are counted).
+func (in *Injector) Calls(target string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.targets[target]; ok {
+		return st.calls
+	}
+	return 0
+}
+
+func hashTarget(target string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, target)
+	return int64(h.Sum64())
+}
+
+// decision is the injection outcome for one operation.
+type decision struct {
+	delay   time.Duration
+	err     error
+	hang    bool
+	corrupt bool
+}
+
+// decide draws the injection outcome for the target's next operation.
+// The failure choice is made under the lock from the call counter and
+// the per-target rng; the delay (and any hang) is applied by apply, not
+// here, so targets never serialize on each other's sleeps.
+func (in *Injector) decide(target string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.targets[target]
+	if !ok || !st.fault.active() {
+		return decision{}
+	}
+	st.calls++
+	n := st.calls
+	f := st.fault
+
+	var d decision
+	d.delay = f.AddLatency
+	if f.JitterLatency > 0 {
+		d.delay += time.Duration(st.rng.Int63n(int64(f.JitterLatency)))
+	}
+	switch {
+	case f.Permanent:
+		d.err = extract.Permanent(fmt.Errorf("faultinject: %s: injected permanent failure (call %d)", target, n))
+	case f.Hang:
+		d.hang = true
+	case n <= f.FailFirst:
+		d.err = fmt.Errorf("faultinject: %s: injected transient failure %d/%d", target, n, f.FailFirst)
+	case f.FlapFail > 0:
+		ok := f.FlapOK
+		if ok <= 0 {
+			ok = 1
+		}
+		if (n-1)%(f.FlapFail+ok) < f.FlapFail {
+			d.err = fmt.Errorf("faultinject: %s: injected flapping failure (call %d)", target, n)
+		}
+	case f.FailEvery > 0 && n%f.FailEvery == 0:
+		d.err = fmt.Errorf("faultinject: %s: injected transient failure (call %d)", target, n)
+	}
+	d.corrupt = f.Corrupt && d.err == nil && !d.hang
+	return d
+}
+
+// apply sleeps out the decision's delay (and hang) under ctx and returns
+// the injected error, if any. corrupt reports whether the caller must
+// mangle a successful payload.
+func (in *Injector) apply(ctx context.Context, target string) (corrupt bool, err error) {
+	d := in.decide(target)
+	if d.delay > 0 {
+		t := time.NewTimer(d.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return false, fmt.Errorf("faultinject: %s: canceled during injected latency: %w", target, ctx.Err())
+		}
+	}
+	if d.hang {
+		t := time.NewTimer(maxHang)
+		select {
+		case <-t.C:
+			return false, fmt.Errorf("faultinject: %s: injected hang elapsed: %w", target, context.DeadlineExceeded)
+		case <-ctx.Done():
+			t.Stop()
+			return false, fmt.Errorf("faultinject: %s: injected hang: %w", target, ctx.Err())
+		}
+	}
+	return d.corrupt, d.err
+}
+
+// WrapBackends returns b with every non-nil backend routed through the
+// injector. The wrapped Pages fetcher always implements
+// extract.ContextFetcher so per-rule contexts cancel injected hangs and
+// latency even when the inner fetcher is context-free.
+func (in *Injector) WrapBackends(b extract.Backends) extract.Backends {
+	out := b
+	if b.Pages != nil {
+		out.Pages = in.WrapFetcher(b.Pages)
+	}
+	if b.XML != nil {
+		out.XML = &docExtractor{in: in, next: b.XML}
+	}
+	if b.Text != nil {
+		out.Text = &docExtractor{in: in, next: b.Text}
+	}
+	if b.DB != nil {
+		next := b.DB
+		out.DB = func(dsn string) (*reldb.DB, error) {
+			if _, err := in.apply(context.Background(), dsn); err != nil {
+				return nil, err
+			}
+			return next(dsn)
+		}
+	}
+	return out
+}
+
+// WrapFetcher routes a page fetcher through the injector, keyed by URL.
+func (in *Injector) WrapFetcher(next webl.Fetcher) webl.Fetcher {
+	return &fetcher{in: in, next: next}
+}
+
+// fetcher wraps a webl.Fetcher. It implements extract.ContextFetcher so
+// the extract layer hands it the per-rule context.
+type fetcher struct {
+	in   *Injector
+	next webl.Fetcher
+}
+
+func (f *fetcher) Fetch(url string) (string, error) {
+	return f.FetchContext(context.Background(), url)
+}
+
+func (f *fetcher) FetchContext(ctx context.Context, url string) (string, error) {
+	corrupt, err := f.in.apply(ctx, url)
+	if err != nil {
+		return "", err
+	}
+	var html string
+	if cf, ok := f.next.(extract.ContextFetcher); ok {
+		html, err = cf.FetchContext(ctx, url)
+	} else {
+		html, err = f.next.Fetch(url)
+	}
+	if err != nil {
+		return "", err
+	}
+	if corrupt {
+		return CorruptPage(html), nil
+	}
+	return html, nil
+}
+
+// docExtractor wraps an XML or text DocExtractor, keyed by document path.
+type docExtractor struct {
+	in   *Injector
+	next extract.DocExtractor
+}
+
+func (d *docExtractor) Extract(path, expr string) ([]string, error) {
+	corrupt, err := d.in.apply(context.Background(), path)
+	if err != nil {
+		return nil, err
+	}
+	values, err := d.next.Extract(path, expr)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		out := make([]string, len(values))
+		for i, v := range values {
+			out[i] = CorruptValue(v)
+		}
+		return out, nil
+	}
+	return values, nil
+}
+
+// CorruptValue mangles one extracted value the way a half-broken source
+// would: recognizably garbage, but still a string the pipeline must
+// carry without crashing.
+func CorruptValue(v string) string {
+	return "\x00corrupt(" + v + ")"
+}
+
+// CorruptPage truncates a fetched page mid-document and appends garbage,
+// simulating a source that cuts the response off.
+func CorruptPage(html string) string {
+	cut := len(html) / 2
+	return html[:cut] + "\x00\x00<corrupted"
+}
+
+// RoundTripper routes HTTP requests through the injector, keyed by the
+// request URL's host. Transient faults surface as synthesized 503
+// responses carrying Retry-After (what a struggling upstream actually
+// sends, and what the transport client's retry loop keys on); permanent
+// faults as 500s; Corrupt garbles the response body.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{in: in, next: next}
+}
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	corrupt, err := rt.in.apply(req.Context(), req.URL.Host)
+	if err != nil {
+		if extract.IsPermanent(err) {
+			return syntheticResponse(req, http.StatusInternalServerError, err.Error(), nil), nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Hangs and cancellations never produce a response: the
+			// caller sees a transport-level error, like a real timeout.
+			return nil, err
+		}
+		return syntheticResponse(req, http.StatusServiceUnavailable, err.Error(),
+			http.Header{"Retry-After": []string{"1"}}), nil
+	}
+	resp, err := rt.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		mangled := CorruptPage(string(body))
+		resp.Body = io.NopCloser(strings.NewReader(mangled))
+		resp.ContentLength = int64(len(mangled))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(mangled)))
+	}
+	return resp, nil
+}
+
+func syntheticResponse(req *http.Request, status int, body string, hdr http.Header) *http.Response {
+	if hdr == nil {
+		hdr = http.Header{}
+	}
+	hdr.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,276 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/webl"
+)
+
+func TestKeySelectsBackendAddress(t *testing.T) {
+	cases := []struct {
+		def  datasource.Definition
+		want string
+	}{
+		{datasource.Definition{ID: "w1", Kind: datasource.KindWeb, URL: "http://a/p"}, "http://a/p"},
+		{datasource.Definition{ID: "x1", Kind: datasource.KindXML, Path: "cat.xml"}, "cat.xml"},
+		{datasource.Definition{ID: "t1", Kind: datasource.KindText, Path: "notes.txt"}, "notes.txt"},
+		{datasource.Definition{ID: "d1", Kind: datasource.KindDatabase, DSN: "mem://db"}, "mem://db"},
+		{datasource.Definition{ID: "u1"}, "u1"},
+	}
+	for _, c := range cases {
+		if got := Key(c.def); got != c.want {
+			t.Errorf("Key(%s) = %q, want %q", c.def.ID, got, c.want)
+		}
+	}
+}
+
+func TestFailFirstThenRecover(t *testing.T) {
+	in := New(1, Plan{"src": {FailFirst: 3}})
+	for i := 1; i <= 5; i++ {
+		_, err := in.apply(context.Background(), "src")
+		if i <= 3 && err == nil {
+			t.Fatalf("call %d: want injected failure, got nil", i)
+		}
+		if i > 3 && err != nil {
+			t.Fatalf("call %d: want recovery, got %v", i, err)
+		}
+		if i <= 3 && extract.IsPermanent(err) {
+			t.Fatalf("call %d: FailFirst must be transient, got permanent %v", i, err)
+		}
+	}
+	if got := in.Calls("src"); got != 5 {
+		t.Fatalf("Calls = %d, want 5", got)
+	}
+}
+
+func TestFlappingCycle(t *testing.T) {
+	in := New(1, Plan{"src": {FlapFail: 2, FlapOK: 3}})
+	var pattern []bool
+	for i := 0; i < 10; i++ {
+		_, err := in.apply(context.Background(), "src")
+		pattern = append(pattern, err != nil)
+	}
+	want := []bool{true, true, false, false, false, true, true, false, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("call %d: failed=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestPermanentFaultIsMarkedPermanent(t *testing.T) {
+	in := New(1, Plan{"src": {Permanent: true}})
+	_, err := in.apply(context.Background(), "src")
+	if err == nil || !extract.IsPermanent(err) {
+		t.Fatalf("want permanent injected error, got %v", err)
+	}
+}
+
+func TestHangHonorsContext(t *testing.T) {
+	in := New(1, Plan{"src": {Hang: true}})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := in.apply(ctx, "src")
+	if err == nil {
+		t.Fatal("want hang error, got nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang ignored context, took %v", elapsed)
+	}
+}
+
+func TestLatencyIsDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		in := New(seed, Plan{"src": {JitterLatency: time.Hour}})
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, in.decide("src").delay)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestAddLatencyDelays(t *testing.T) {
+	in := New(1, Plan{"src": {AddLatency: 30 * time.Millisecond}})
+	start := time.Now()
+	if _, err := in.apply(context.Background(), "src"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestWrapFetcherImplementsContextFetcher(t *testing.T) {
+	inner := webl.MapFetcher{"http://a/p": "<html>ok</html>"}
+	in := New(1, Plan{"http://a/p": {FailFirst: 1}})
+	wrapped := in.WrapFetcher(inner)
+	if _, ok := wrapped.(extract.ContextFetcher); !ok {
+		t.Fatal("wrapped fetcher must implement extract.ContextFetcher")
+	}
+	if _, err := wrapped.Fetch("http://a/p"); err == nil {
+		t.Fatal("first fetch should fail")
+	}
+	html, err := wrapped.Fetch("http://a/p")
+	if err != nil {
+		t.Fatalf("second fetch: %v", err)
+	}
+	if html != "<html>ok</html>" {
+		t.Fatalf("unexpected page %q", html)
+	}
+}
+
+func TestWrapFetcherCorruptsPages(t *testing.T) {
+	inner := webl.MapFetcher{"http://a/p": "<html><body>hello</body></html>"}
+	in := New(1, Plan{"http://a/p": {Corrupt: true}})
+	html, err := in.WrapFetcher(inner).Fetch("http://a/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if html == "<html><body>hello</body></html>" {
+		t.Fatal("page was not corrupted")
+	}
+	if !strings.Contains(html, "<corrupted") {
+		t.Fatalf("corrupted page missing marker: %q", html)
+	}
+}
+
+type stubDoc struct{ values []string }
+
+func (s stubDoc) Extract(path, expr string) ([]string, error) { return s.values, nil }
+
+func TestWrapBackendsDocCorruption(t *testing.T) {
+	in := New(1, Plan{"cat.xml": {Corrupt: true}})
+	b := in.WrapBackends(extract.Backends{XML: stubDoc{values: []string{"v1", "v2"}}})
+	values, err := b.XML.Extract("cat.xml", "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if !strings.HasPrefix(v, "\x00corrupt(") {
+			t.Fatalf("value %q not corrupted", v)
+		}
+	}
+	// Unplanned path passes through untouched.
+	values, err = b.XML.Extract("other.xml", "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values[0] != "v1" {
+		t.Fatalf("unplanned target mangled: %v", values)
+	}
+}
+
+func TestRoundTripperTransientIs503WithRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(1, Plan{host: {FailFirst: 1}})
+	client := &http.Client{Transport: in.RoundTripper(http.DefaultTransport)}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("recovered call: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestRoundTripperPermanentIs500(t *testing.T) {
+	in := New(1, Plan{"example.invalid": {Permanent: true}})
+	rt := in.RoundTripper(http.DefaultTransport)
+	req, _ := http.NewRequest(http.MethodGet, "http://example.invalid/q", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestRoundTripperCorruptsBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "<html><body>clean payload body</body></html>")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(1, Plan{host: {Corrupt: true}})
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "<corrupted") {
+		t.Fatalf("body not corrupted: %q", body)
+	}
+}
+
+func TestSameSeedSamePlanIsReproducible(t *testing.T) {
+	run := func() []bool {
+		in := New(7, Plan{
+			"a": {FailFirst: 2},
+			"b": {FlapFail: 1, FlapOK: 1},
+		})
+		var outcomes []bool
+		for i := 0; i < 6; i++ {
+			_, errA := in.apply(context.Background(), "a")
+			_, errB := in.apply(context.Background(), "b")
+			outcomes = append(outcomes, errA != nil, errB != nil)
+		}
+		return outcomes
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("outcome %d diverged between identical runs", i)
+		}
+	}
+}

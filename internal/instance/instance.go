@@ -94,6 +94,10 @@ type Result struct {
 	// generator "handles the errors from the queries and from the
 	// extraction phases", §2.6).
 	Errors []extract.SourceError
+	// Degraded records values served stale from the rule cache after the
+	// live source failed; consumers see which fragments are degraded and
+	// how old they are.
+	Degraded []extract.Degradation
 	// Missing lists attributes in the plan that had no mapping.
 	Missing []string
 }
@@ -146,6 +150,7 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 	res := &Result{Plan: plan}
 	if rs != nil {
 		res.Errors = append(res.Errors, rs.Errors...)
+		res.Degraded = append(res.Degraded, rs.Degraded...)
 		res.Missing = append(res.Missing, rs.Missing...)
 	}
 

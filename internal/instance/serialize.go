@@ -159,7 +159,10 @@ func (g *Generator) Serialize(w io.Writer, res *Result, format Format) error {
 		if err != nil {
 			return err
 		}
-		return owl.WriteRDFXML(w, graph, g.prefixes())
+		if err := owl.WriteRDFXML(w, graph, g.prefixes()); err != nil {
+			return err
+		}
+		return writeErrorEpilog(w, res)
 	case FormatTurtle:
 		graph, err := g.ToGraph(res)
 		if err != nil {
@@ -181,6 +184,40 @@ func (g *Generator) Serialize(w io.Writer, res *Result, format Format) error {
 	default:
 		return fmt.Errorf("instance: unknown format %d", int(format))
 	}
+}
+
+// writeErrorEpilog appends the OWL output's error report: an XML comment
+// block after the RDF/XML document naming every source error and stale
+// degradation. Comments after the document element are valid XML, so the
+// output still parses, but a B2B consumer (or an operator reading the
+// file) sees exactly which parts of the answer are missing or stale —
+// the paper's §2.6 requirement that the generator "handles the errors
+// ... from the extraction phases" surfaced in the primary format. It is
+// omitted entirely for clean results.
+func writeErrorEpilog(w io.Writer, res *Result) error {
+	if len(res.Errors) == 0 && len(res.Degraded) == 0 && len(res.Missing) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("<!-- s2s:error-report\n")
+	for _, e := range res.Errors {
+		fmt.Fprintf(&b, "  error: %s\n", commentSafe(e.Error()))
+	}
+	for _, d := range res.Degraded {
+		fmt.Fprintf(&b, "  degraded: %s\n", commentSafe(d.String()))
+	}
+	for _, m := range res.Missing {
+		fmt.Fprintf(&b, "  unmapped: %s\n", commentSafe(m))
+	}
+	b.WriteString("-->\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// commentSafe makes a string legal inside an XML comment ("--" is
+// forbidden there).
+func commentSafe(s string) string {
+	return strings.ReplaceAll(s, "--", "- -")
 }
 
 // SerializeString is Serialize into a string.
@@ -266,11 +303,12 @@ type jsonInstance struct {
 
 func (g *Generator) writeJSON(w io.Writer, res *Result) error {
 	type payload struct {
-		Query   string         `json:"query"`
-		Matched []jsonInstance `json:"matched"`
-		Related []jsonInstance `json:"related,omitempty"`
-		Errors  []string       `json:"errors,omitempty"`
-		Missing []string       `json:"missing,omitempty"`
+		Query    string         `json:"query"`
+		Matched  []jsonInstance `json:"matched"`
+		Related  []jsonInstance `json:"related,omitempty"`
+		Errors   []string       `json:"errors,omitempty"`
+		Degraded []string       `json:"degraded,omitempty"`
+		Missing  []string       `json:"missing,omitempty"`
 	}
 	conv := func(ins []*Instance) []jsonInstance {
 		out := make([]jsonInstance, 0, len(ins))
@@ -301,6 +339,9 @@ func (g *Generator) writeJSON(w io.Writer, res *Result) error {
 	}
 	for _, e := range res.Errors {
 		p.Errors = append(p.Errors, e.Error())
+	}
+	for _, d := range res.Degraded {
+		p.Degraded = append(p.Degraded, d.String())
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -339,6 +380,9 @@ func (g *Generator) writeText(w io.Writer, res *Result) error {
 	}
 	for _, e := range res.Errors {
 		fmt.Fprintf(&b, "! %s\n", e.Error())
+	}
+	for _, d := range res.Degraded {
+		fmt.Fprintf(&b, "~ %s\n", d.String())
 	}
 	for _, m := range res.Missing {
 		fmt.Fprintf(&b, "? unmapped attribute %s\n", m)

@@ -1,0 +1,254 @@
+package integration
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// The chaos suite (run by `make chaos`) drives full queries through the
+// seeded fault-injection harness and asserts the recovery invariants:
+// no total query failure while an alternate source covers each
+// attribute, end-to-end latency bounded by the deadline budget, and
+// retry/breaker/outcome counters matching the injected plan exactly.
+// Everything derives from fixed seeds, so failures reproduce.
+
+const chaosSeed = 1337
+
+// chaosWorld generates a world and wires its backends through an
+// injector running the given plan. Plan targets are backend addresses;
+// use chaosKey to resolve a source ID to its target.
+func chaosWorld(t *testing.T, spec workload.Spec, plan faultinject.Plan, opts extract.Options) (*core.Middleware, *workload.World, *faultinject.Injector) {
+	t.Helper()
+	world := workload.MustGenerate(spec)
+	inj := faultinject.New(chaosSeed, plan)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: inj.WrapBackends(extract.FromCatalog(world.Catalog)),
+		Extract:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	return mw, world, inj
+}
+
+// chaosKey returns the fault-injection target for a generated source.
+func chaosKey(t *testing.T, world *workload.World, sourceID string) string {
+	t.Helper()
+	for _, def := range world.Definitions {
+		if def.ID == sourceID {
+			return faultinject.Key(def)
+		}
+	}
+	t.Fatalf("no definition for source %s", sourceID)
+	return ""
+}
+
+func counter(mw *core.Middleware, name string, labels obs.Labels) uint64 {
+	return mw.Metrics().Counter(name, labels).Value()
+}
+
+// TestChaosReplicaFailoverKeepsAnswering kills one of two sources that
+// map the product attributes and verifies the invariant: the query
+// still answers from the healthy source, and the dead source's error is
+// marked failover because every attribute it served was still covered.
+func TestChaosReplicaFailoverKeepsAnswering(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, WebSources: 1, RecordsPerSource: 8, Seed: 71}
+	probe := workload.MustGenerate(spec) // throwaway copy just to resolve the target key
+	target := chaosKey(t, probe, "web_000")
+
+	mw, world, _ := chaosWorld(t, spec,
+		faultinject.Plan{target: {Permanent: true}},
+		extract.Options{Retries: 2, RetryBackoff: -1})
+
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		t.Fatalf("query must not fail totally with a healthy replica: %v", err)
+	}
+	healthy := world.CountMatching(func(r workload.Record) bool {
+		return strings.HasPrefix(r.SourceID, "xml_")
+	})
+	if len(res.Matched) != healthy {
+		t.Errorf("matched = %d, want %d from the healthy source", len(res.Matched), healthy)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("killed source reported no errors")
+	}
+	for _, e := range res.Errors {
+		if e.SourceID != "web_000" {
+			t.Errorf("error attributed to %s, want web_000", e.SourceID)
+		}
+		if !e.Failover {
+			t.Errorf("killed source's attributes were all covered; error not marked failover: %v", e)
+		}
+		if !extract.IsPermanent(e.Err) {
+			t.Errorf("injected permanent fault lost its classification: %v", e.Err)
+		}
+	}
+	// One failover per failed rule: every error was covered elsewhere.
+	if got := counter(mw, obs.MetricSourceExtractTotal, obs.Labels{"source": "web_000", "outcome": obs.OutcomeFailover}); got != uint64(len(res.Errors)) {
+		t.Errorf("failover counter = %v, want %d (one per failed rule)", got, len(res.Errors))
+	}
+	// Permanent failures must fail fast: zero retries despite Retries: 2.
+	if got := counter(mw, obs.MetricSourceRetries, obs.Labels{"source": "web_000"}); got != 0 {
+		t.Errorf("permanent fault consumed %v retries, want 0", got)
+	}
+}
+
+// TestChaosBudgetBoundsLatencyUnderHangs hangs every web source and
+// checks the query-wide deadline budget bounds end-to-end latency: the
+// healthy source still answers and the hung sources surface as errors
+// well before their own 10s default timeout.
+func TestChaosBudgetBoundsLatencyUnderHangs(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, WebSources: 2, RecordsPerSource: 5, Seed: 72}
+	probe := workload.MustGenerate(spec)
+	plan := faultinject.Plan{
+		chaosKey(t, probe, "web_000"): {Hang: true},
+		chaosKey(t, probe, "web_001"): {Hang: true},
+	}
+	mw, world, _ := chaosWorld(t, spec, plan, extract.Options{
+		QueryBudget:  300 * time.Millisecond,
+		RetryBackoff: -1,
+	})
+
+	start := time.Now()
+	res, err := mw.Query(context.Background(), "SELECT product")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("query must degrade, not fail: %v", err)
+	}
+	// Generous bound for race-detector and scheduler noise; without the
+	// budget the hung fetches would pin the query for the full 10s
+	// per-source timeout.
+	if elapsed > 2*time.Second {
+		t.Errorf("query took %v, budget was 300ms", elapsed)
+	}
+	healthy := world.CountMatching(func(r workload.Record) bool {
+		return strings.HasPrefix(r.SourceID, "xml_")
+	})
+	if len(res.Matched) != healthy {
+		t.Errorf("matched = %d, want %d from the healthy source", len(res.Matched), healthy)
+	}
+	if len(res.Errors) == 0 {
+		t.Error("hung sources produced no errors")
+	}
+	for _, e := range res.Errors {
+		if !strings.HasPrefix(e.SourceID, "web_") {
+			t.Errorf("error attributed to healthy source: %v", e)
+		}
+	}
+}
+
+// TestChaosCountersMatchInjectedPlan injects an exact failure count and
+// checks the recovery counters line up with it: FailFirst: 2 under a
+// budget of 3 retries must produce exactly 2 retries, one ok outcome,
+// no exhaustion, and no data loss — twice, identically, from the same
+// seed.
+func TestChaosCountersMatchInjectedPlan(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, RecordsPerSource: 6, Seed: 73}
+
+	run := func() (matched int, retries, ok, exhausted uint64, calls int) {
+		probe := workload.MustGenerate(spec)
+		target := chaosKey(t, probe, "xml_000")
+		mw, _, inj := chaosWorld(t, spec,
+			faultinject.Plan{target: {FailFirst: 2}},
+			extract.Options{Retries: 3, RetryBackoff: -1})
+		res, err := mw.Query(context.Background(), "SELECT product")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Errors) > 0 {
+			t.Fatalf("retries should have absorbed the plan's 2 failures: %v", res.Errors)
+		}
+		return len(res.Matched),
+			counter(mw, obs.MetricSourceRetries, obs.Labels{"source": "xml_000"}),
+			counter(mw, obs.MetricSourceExtractTotal, obs.Labels{"source": "xml_000", "outcome": obs.OutcomeOK}),
+			counter(mw, obs.MetricSourceExtractTotal, obs.Labels{"source": "xml_000", "outcome": obs.OutcomeRetryExhausted}),
+			inj.Calls(target)
+	}
+
+	matched, retries, ok, exhausted, calls := run()
+	if matched != 6 {
+		t.Errorf("matched = %d, want 6 (no data loss)", matched)
+	}
+	// The plan failed exactly 2 calls; every failure costs exactly one
+	// retry under a sufficient budget.
+	if retries != 2 {
+		t.Errorf("retries = %v, want exactly the 2 injected failures", retries)
+	}
+	if ok != 1 {
+		t.Errorf("ok outcome = %v, want 1", ok)
+	}
+	if exhausted != 0 {
+		t.Errorf("retry_exhausted = %v, want 0", exhausted)
+	}
+
+	matched2, retries2, ok2, exhausted2, calls2 := run()
+	if matched2 != matched || retries2 != retries || ok2 != ok || exhausted2 != exhausted || calls2 != calls {
+		t.Errorf("chaos run not reproducible from seed: (%d,%v,%v,%v,%d) vs (%d,%v,%v,%v,%d)",
+			matched, retries, ok, exhausted, calls, matched2, retries2, ok2, exhausted2, calls2)
+	}
+}
+
+// TestChaosServeStaleKeepsDataFlowing warms the rule cache, kills the
+// only source, and verifies the degradation ladder: answers keep
+// flowing from expired cache entries, marked degraded with their
+// staleness age, with no errors surfaced.
+func TestChaosServeStaleKeepsDataFlowing(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, RecordsPerSource: 5, Seed: 74}
+	probe := workload.MustGenerate(spec)
+	target := chaosKey(t, probe, "xml_000")
+
+	mw, _, inj := chaosWorld(t, spec, nil, extract.Options{
+		CacheTTL:     25 * time.Millisecond,
+		RetryBackoff: -1,
+	})
+	ctx := context.Background()
+
+	warm, err := mw.Query(ctx, "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Errors) > 0 || len(warm.Matched) != 5 {
+		t.Fatalf("warm query: matched=%d errors=%v", len(warm.Matched), warm.Errors)
+	}
+
+	time.Sleep(60 * time.Millisecond) // let the cache expire
+	inj.Set(target, faultinject.Fault{Permanent: true})
+
+	res, err := mw.Query(ctx, "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 5 {
+		t.Errorf("stale serve matched %d, want 5 (stale answers beat no answers)", len(res.Matched))
+	}
+	if len(res.Errors) > 0 {
+		t.Errorf("serve-stale should absorb the failure, got errors: %v", res.Errors)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("stale-served result carries no degradation records")
+	}
+	for _, d := range res.Degraded {
+		if d.SourceID != "xml_000" {
+			t.Errorf("degradation attributed to %s, want xml_000", d.SourceID)
+		}
+		if d.Stale < 60*time.Millisecond {
+			t.Errorf("staleness age = %v, want >= the 60ms the cache sat expired", d.Stale)
+		}
+	}
+	if got := counter(mw, obs.MetricSourceExtractTotal, obs.Labels{"source": "xml_000", "outcome": obs.OutcomeDegradedStale}); got != 1 {
+		t.Errorf("degraded_stale counter = %v, want 1", got)
+	}
+}

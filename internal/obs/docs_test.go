@@ -56,6 +56,33 @@ func TestDocCoversEveryMetric(t *testing.T) {
 	}
 }
 
+// TestDocCoversEveryOutcomeValue keeps the documented label values in
+// lockstep with the outcome constants the pipeline emits: every outcome
+// of every labeled family must appear in docs/OBSERVABILITY.md.
+func TestDocCoversEveryOutcomeValue(t *testing.T) {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", docPath, err)
+	}
+	doc := string(raw)
+	families := []struct {
+		family   string
+		outcomes []string
+	}{
+		{MetricQueryTotal, QueryOutcomes},
+		{MetricSourceExtractTotal, SourceOutcomes},
+		{MetricCacheLookups, CacheOutcomes},
+	}
+	for _, f := range families {
+		for _, outcome := range f.outcomes {
+			if !strings.Contains(doc, "`"+outcome+"`") {
+				t.Errorf("outcome %q of %s is emitted but not documented in %s",
+					outcome, f.family, docPath)
+			}
+		}
+	}
+}
+
 // TestDocCoversSpanTaxonomy pins the span names the pipeline emits to
 // the documented taxonomy.
 func TestDocCoversSpanTaxonomy(t *testing.T) {

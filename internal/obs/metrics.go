@@ -37,6 +37,54 @@ const (
 	MetricInstances = "s2s_instances_generated_total"
 )
 
+// Outcome label values. Every label value the middleware emits under an
+// "outcome" key is declared here; docs/OBSERVABILITY.md documents each
+// one and a test keeps the two in sync.
+const (
+	// OutcomeOK marks a fully successful operation.
+	OutcomeOK = "ok"
+	// OutcomeError marks a failed operation.
+	OutcomeError = "error"
+	// OutcomeBreakerOpen marks a source skipped by its open circuit.
+	OutcomeBreakerOpen = "breaker_open"
+	// OutcomeCanceled marks work abandoned because the query's context
+	// expired before it could start.
+	OutcomeCanceled = "canceled"
+	// OutcomeRetryExhausted marks a source whose rules still failed after
+	// the full retry/backoff budget.
+	OutcomeRetryExhausted = "retry_exhausted"
+	// OutcomeDegradedStale marks a source answered from expired cache
+	// entries because live extraction failed.
+	OutcomeDegradedStale = "degraded_stale"
+	// OutcomeFailover marks a source failure whose attributes were still
+	// served by an alternate source mapped to the same attribute.
+	OutcomeFailover = "failover"
+	// OutcomeShed marks a query rejected by server-side load shedding
+	// (503 + Retry-After above the concurrent-query cap).
+	OutcomeShed = "shed"
+	// OutcomeCacheHit / OutcomeCacheMiss / OutcomeCacheStale label rule
+	// cache lookups: fresh hit, miss, and expired entry served anyway
+	// under degradation.
+	OutcomeCacheHit   = "hit"
+	OutcomeCacheMiss  = "miss"
+	OutcomeCacheStale = "stale"
+)
+
+// SourceOutcomes lists every outcome value MetricSourceExtractTotal is
+// emitted with.
+var SourceOutcomes = []string{
+	OutcomeOK, OutcomeError, OutcomeBreakerOpen, OutcomeCanceled,
+	OutcomeRetryExhausted, OutcomeDegradedStale, OutcomeFailover,
+}
+
+// QueryOutcomes lists every outcome value MetricQueryTotal is emitted
+// with.
+var QueryOutcomes = []string{OutcomeOK, OutcomeError, OutcomeShed}
+
+// CacheOutcomes lists every outcome value MetricCacheLookups is emitted
+// with.
+var CacheOutcomes = []string{OutcomeCacheHit, OutcomeCacheMiss, OutcomeCacheStale}
+
 // Desc describes one exported metric family.
 type Desc struct {
 	// Name is the Prometheus family name.
@@ -51,13 +99,13 @@ type Desc struct {
 
 // descriptors is the canonical family list, in exposition order.
 var descriptors = []Desc{
-	{MetricQueryTotal, "counter", "Queries served, labeled by outcome (ok|error).", []string{"outcome"}},
+	{MetricQueryTotal, "counter", "Queries served, labeled by outcome (ok|error|shed).", []string{"outcome"}},
 	{MetricQueryDuration, "histogram", "End-to-end query latency in seconds.", nil},
 	{MetricStageDuration, "histogram", "Pipeline stage latency in seconds (parse_plan, extraction_schema, extract, generate, serialize).", []string{"stage"}},
-	{MetricSourceExtractTotal, "counter", "Per-source extraction attempts, labeled by source and outcome (ok|error|breaker_open|canceled).", []string{"source", "outcome"}},
+	{MetricSourceExtractTotal, "counter", "Per-source extraction attempts, labeled by source and outcome (ok|error|breaker_open|canceled|retry_exhausted|degraded_stale|failover).", []string{"source", "outcome"}},
 	{MetricSourceExtractDuration, "histogram", "Per-source extraction latency in seconds.", []string{"source"}},
 	{MetricSourceRetries, "counter", "Rule re-executions after transient failures, per source.", []string{"source"}},
-	{MetricCacheLookups, "counter", "Rule-cache lookups, labeled by outcome (hit|miss).", []string{"outcome"}},
+	{MetricCacheLookups, "counter", "Rule-cache lookups, labeled by outcome (hit|miss|stale).", []string{"outcome"}},
 	{MetricBreakerTrips, "counter", "Circuit-breaker transitions to open, per source.", []string{"source"}},
 	{MetricInstances, "counter", "Matched ontology instances generated across queries.", nil},
 }

@@ -8,58 +8,159 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// Client talks to a remote S2S middleware endpoint.
+// Client talks to a remote S2S middleware endpoint. Idempotent GET
+// requests are retried on transport errors and retriable statuses (429,
+// 502, 503, 504), honoring the server's Retry-After when present —
+// pairing with the server's load shedding so a briefly saturated
+// endpoint sheds instead of failing its callers.
 type Client struct {
 	base string
 	http *http.Client
+
+	retries   int
+	retryBase time.Duration
 }
 
 // NewClient builds a client for the endpoint base URL, e.g.
 // "http://localhost:8080". A nil httpClient uses a client with
-// DefaultClientTimeout.
+// DefaultClientTimeout. GETs retry up to DefaultGetRetries times;
+// SetRetries changes that.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: DefaultClientTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{
+		base:      strings.TrimRight(base, "/"),
+		http:      httpClient,
+		retries:   DefaultGetRetries,
+		retryBase: DefaultRetryBase,
+	}
 }
 
-// DefaultClientTimeout bounds client calls.
-const DefaultClientTimeout = 30 * time.Second
+// Defaults for the client's retry behavior.
+const (
+	// DefaultClientTimeout bounds client calls.
+	DefaultClientTimeout = 30 * time.Second
+	// DefaultGetRetries is how many times an idempotent GET is retried
+	// after a transport error or retriable status.
+	DefaultGetRetries = 2
+	// DefaultRetryBase is the first retry delay (doubled per attempt),
+	// used when the server sends no Retry-After.
+	DefaultRetryBase = 100 * time.Millisecond
+)
+
+// SetRetries configures how many times idempotent GETs are retried
+// (0 disables retrying).
+func (c *Client) SetRetries(n int) { c.retries = n }
+
+// retriableStatus reports statuses worth retrying an idempotent request
+// for: rate limiting and transient upstream failures.
+func retriableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryDelay picks the wait before retry attempt (0-based): the server's
+// Retry-After if it sent one, else the doubling base delay.
+func (c *Client) retryDelay(resp *http.Response, attempt int) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(strings.TrimSpace(ra)); err == nil && secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return c.retryBase << attempt
+}
+
+// sleepCtx waits d or until ctx is done; it reports whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		data, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("transport: encoding request: %w", err)
 		}
-		reader = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
-	if err != nil {
-		return fmt.Errorf("transport: building request: %w", err)
+	// Only idempotent GETs are retried: replaying a POST could register a
+	// source twice or double-run a mutation.
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+		if err != nil {
+			return fmt.Errorf("transport: building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		// Forward the caller's trace identity so the remote middleware joins
+		// this trace instead of starting its own.
+		if span := obs.SpanFromContext(ctx); span != nil {
+			req.Header.Set(TraceIDHeader, span.TraceID)
+			req.Header.Set(SpanIDHeader, span.ID)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("transport: calling %s %s: %w", method, path, err)
+			if attempt < attempts-1 && ctx.Err() == nil && sleepCtx(ctx, c.retryDelay(nil, attempt)) {
+				continue
+			}
+			return lastErr
+		}
+		if retriableStatus(resp.StatusCode) && attempt < attempts-1 {
+			delay := c.retryDelay(resp, attempt)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("transport: %s %s: status %s", method, path, resp.Status)
+			if sleepCtx(ctx, delay) {
+				continue
+			}
+			return lastErr
+		}
+		err = decodeResponse(resp, method, path, out)
+		resp.Body.Close()
+		return err
 	}
-	// Forward the caller's trace identity so the remote middleware joins
-	// this trace instead of starting its own.
-	if span := obs.SpanFromContext(ctx); span != nil {
-		req.Header.Set(TraceIDHeader, span.TraceID)
-		req.Header.Set(SpanIDHeader, span.ID)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("transport: calling %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
+	return lastErr
+}
+
+// decodeResponse turns one HTTP exchange into the call's result.
+func decodeResponse(resp *http.Response, method, path string, out any) error {
 	if resp.StatusCode >= 400 {
 		var e struct {
 			Error string `json:"error"`

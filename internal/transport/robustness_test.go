@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestClientRetriesGetOn503 exercises the idempotent-GET retry loop:
+// the server sheds twice with 503 + Retry-After, then answers.
+func TestClientRetriesGetOn503(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"overloaded"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `[]`)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	if _, err := client.Sources(context.Background()); err != nil {
+		t.Fatalf("GET should have recovered after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestClientDoesNotRetryPost ensures mutations are never replayed.
+func TestClientDoesNotRetryPost(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"overloaded"}`)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	if _, err := client.Query(context.Background(), "SELECT product", "json"); err == nil {
+		t.Fatal("POST against a 503 server should fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d POST calls, want 1 (mutations must not be replayed)", got)
+	}
+}
+
+func TestClientRetriesDisabled(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	client.SetRetries(0)
+	if _, err := client.Sources(context.Background()); err == nil {
+		t.Fatal("expected failure with retries disabled")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestServerShedsAboveConcurrencyCap saturates a capped server with one
+// slow in-flight query and verifies the next request is shed with 503 +
+// Retry-After and counted under s2s_query_total{outcome="shed"}.
+func TestServerShedsAboveConcurrencyCap(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 10, Seed: 21,
+	})
+	// SimulatedLatency keeps the in-flight query slow enough to hold the
+	// single slot while the second request arrives.
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{
+		SimulatedLatency: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mw, WithMaxConcurrentQueries(1)))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/query?q=SELECT+product&format=json")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow query occupy the slot
+
+	resp, err := http.Get(srv.URL + "/query?q=SELECT+product&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (shed)", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "capacity") {
+		t.Errorf("shed body = %+v (%v)", e, err)
+	}
+	wg.Wait()
+
+	got := mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Value()
+	if got != 1 {
+		t.Errorf("shed counter = %v, want 1", got)
+	}
+}
+
+// TestQueryResponseCarriesDegraded runs a query against a world whose web
+// source dies after warming the rule cache, and checks the degradations
+// reach the wire envelope.
+func TestQueryResponseCarriesDegraded(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		WebSources: 1, RecordsPerSource: 5, Seed: 3,
+	})
+	backends := extract.FromCatalog(world.Catalog)
+	inner := backends.Pages
+	var dead atomic.Bool
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		if dead.Load() {
+			return "", fmt.Errorf("partner offline")
+		}
+		return inner.Fetch(url)
+	})
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: backends,
+		Extract:  extract.Options{CacheTTL: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mw))
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	if _, err := client.Query(ctx, "SELECT product", "json"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // expire the cache
+	dead.Store(true)
+
+	resp, err := client.Query(ctx, "SELECT product", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Degraded) == 0 {
+		t.Fatalf("response carries no degradations: %+v", resp)
+	}
+	if !strings.Contains(resp.Degraded[0], "stale") {
+		t.Errorf("degradation text = %q", resp.Degraded[0])
+	}
+	if resp.Matched == 0 {
+		t.Error("stale serve should still answer the query")
+	}
+}
+
+type fetcherFunc func(url string) (string, error)
+
+func (f fetcherFunc) Fetch(url string) (string, error) { return f(url) }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/instance"
@@ -40,11 +41,35 @@ import (
 type Server struct {
 	mw  *core.Middleware
 	mux *http.ServeMux
+
+	// querySem, when non-nil, caps concurrent /query work; requests over
+	// the cap are shed with 503 + Retry-After instead of queuing without
+	// bound (a saturated integration endpoint that answers some callers
+	// fast beats one that answers every caller too late).
+	querySem       chan struct{}
+	shedRetryAfter time.Duration
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxConcurrentQueries caps concurrent /query requests at n;
+// requests beyond the cap get 503 with a Retry-After header. n <= 0
+// leaves shedding off.
+func WithMaxConcurrentQueries(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.querySem = make(chan struct{}, n)
+		}
+	}
 }
 
 // NewServer wraps a middleware in an HTTP handler.
-func NewServer(mw *core.Middleware) *Server {
-	s := &Server{mw: mw, mux: http.NewServeMux()}
+func NewServer(mw *core.Middleware, opts ...ServerOption) *Server {
+	s := &Server{mw: mw, mux: http.NewServeMux(), shedRetryAfter: time.Second}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/ontology", s.handleOntology)
@@ -75,6 +100,18 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.querySem != nil {
+		select {
+		case s.querySem <- struct{}{}:
+			defer func() { <-s.querySem }()
+		default:
+			s.mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.shedRetryAfter/time.Second)))
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("transport: server at concurrent-query capacity, retry later"))
+			return
+		}
+	}
 	var req QueryRequest
 	switch r.Method {
 	case http.MethodPost:
@@ -144,6 +181,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, e := range res.Errors {
 		resp.Errors = append(resp.Errors, e.Error())
+	}
+	for _, d := range res.Degraded {
+		resp.Degraded = append(resp.Degraded, d.String())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -328,6 +368,7 @@ func (s *Server) handleSourceHealth(w http.ResponseWriter, r *http.Request) {
 			"source":              h.SourceID,
 			"consecutiveFailures": h.ConsecutiveFailures,
 			"open":                h.Open,
+			"probing":             h.Probing,
 		}
 		if h.Open {
 			entry["retryAt"] = h.RetryAt.UTC().Format("2006-01-02T15:04:05Z07:00")
