@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet fmt build test chaos bin clean
+# Benchmarks: keep runs short by default; override for steadier numbers,
+# e.g. `make bench BENCHTIME=1s`.
+BENCHTIME ?= 100ms
 
-# check is the full gate: static analysis, formatting, build, the test
-# suite under the race detector, and the seeded chaos suite.
-check: vet fmt build test chaos
+.PHONY: check vet fmt lint build test chaos bench bin clean
+
+# check is the full gate: go vet, formatting, the repo's own static
+# analysis suite, build, the test suite under the race detector, and the
+# seeded chaos suite.
+check: vet fmt lint build test chaos
 
 vet:
 	$(GO) vet ./...
@@ -22,10 +27,25 @@ build:
 test:
 	$(GO) test -race ./...
 
+# lint runs the repo-specific analyzer suite (stdlibonly, errwrap,
+# spanend, ctxfield, determinism, lockbalance — see
+# docs/STATIC_ANALYSIS.md) over every package; non-zero exit on findings.
+lint:
+	$(GO) run ./cmd/s2s-lint
+
 # chaos runs the seeded fault-injection scenarios (deterministic; see
 # docs/ROBUSTNESS.md) on their own, for quick iteration on recovery code.
 chaos:
 	$(GO) test -race -run Chaos ./internal/integration
+
+# bench runs the root benchmark families (bench_test.go, E1–E12) with
+# allocation stats and persists a machine-readable baseline for the perf
+# trajectory. The text output still streams to the terminal via stderr.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_lint_baseline.json
+	@echo "wrote BENCH_lint_baseline.json"
 
 # bin builds the two executables into ./bin.
 bin:

@@ -1,0 +1,103 @@
+// Command s2s-benchjson converts `go test -bench` text output (read
+// from stdin) into machine-readable JSON on stdout, so `make bench` can
+// persist a perf baseline (BENCH_lint_baseline.json) that future PRs
+// diff against. Only the standard benchmark line format is parsed;
+// everything else (PASS, ok, log lines) is ignored.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | s2s-benchjson > baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Baseline is the persisted document.
+type Baseline struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// benchRe matches "BenchmarkName-8  123  456 ns/op ..." lines.
+var benchRe = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	base := Baseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   []Result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			base.Results = append(base.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line; ok is false for
+// non-benchmark output.
+func parseLine(line string) (Result, bool) {
+	m := benchRe.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Procs: 1}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+
+	// The tail is unit pairs: "456.7 ns/op  12 B/op  3 allocs/op  8.9 MB/s".
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "MB/s":
+			r.MBPerS, _ = strconv.ParseFloat(val, 64)
+		}
+	}
+	if r.NsPerOp == 0 && r.Iterations == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkE1EndToEnd-8   \t     123\t   9876543 ns/op\t  123456 B/op\t    1234 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkE1EndToEnd" || r.Procs != 8 || r.Iterations != 123 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.NsPerOp != 9876543 || r.BytesPerOp != 123456 || r.AllocsPerOp != 1234 {
+		t.Errorf("units parsed wrong: %+v", r)
+	}
+
+	sub, ok := parseLine("BenchmarkE2OntologyScale/classes=64-4  50  31415.9 ns/op")
+	if !ok || sub.Name != "BenchmarkE2OntologyScale/classes=64" || sub.NsPerOp != 31415.9 {
+		t.Errorf("subbenchmark parsed wrong: %+v ok=%v", sub, ok)
+	}
+
+	for _, junk := range []string{"PASS", "ok  \trepro\t12.3s", "goos: linux", "", "some log line"} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("%q misparsed as a benchmark line", junk)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command s2s-lint runs the repository's own static-analysis suite
+// (internal/analysis) over every package in the module — invariants go
+// vet cannot see: the stdlib-only import rule, %w error wrapping on the
+// retry-classification path, span finish obligations, context plumbing,
+// fault-injection determinism, and lock/unlock balance.
+//
+// Usage:
+//
+//	s2s-lint                    # run every analyzer over the module
+//	s2s-lint -analyzers a,b     # run a subset
+//	s2s-lint -list              # print the registered analyzers
+//	s2s-lint -debug             # additionally print loader type diagnostics
+//
+// Findings print as file:line: analyzer: message; the exit status is 1
+// when any finding is reported. A finding is suppressed by a
+// `//lint:ignore <analyzer> <reason>` comment on its line or the line
+// above (see docs/STATIC_ANALYSIS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	debug := flag.Bool("debug", false, "print loader type-check diagnostics")
+	dir := flag.String("C", ".", "module root to lint")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(*dir, *names, *debug); err != nil {
+		fmt.Fprintln(os.Stderr, "s2s-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(dir, names string, debug bool) error {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	analyzers := analysis.All()
+	if names != "" {
+		analyzers = nil
+		for _, name := range strings.Split(names, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	units, err := loader.Load()
+	if err != nil {
+		return err
+	}
+	if debug {
+		for _, e := range loader.TypeErrors {
+			fmt.Fprintln(os.Stderr, "s2s-lint: typecheck:", e)
+		}
+	}
+
+	findings := analysis.Run(units, analyzers)
+	for _, f := range findings {
+		// Print module-relative paths: stable across checkouts and what
+		// editors expect.
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "s2s-lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+	}
+}

@@ -7,15 +7,18 @@
 //
 // Usage:
 //
-//	s2s-validate -config s2s.json
+//	s2s-validate -config s2s.json [-strict]
 //
-// Exit status 1 on validation errors; 0 otherwise (coverage gaps are
-// warnings, not errors — unmapped attributes simply never produce values).
+// Exit status 1 on validation errors; 0 otherwise. By default coverage
+// gaps are warnings (unmapped attributes simply never produce values);
+// with -strict they are errors, for deployments that promise full
+// ontology coverage.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -29,9 +32,10 @@ import (
 func main() {
 	cfgPath := flag.String("config", "s2s.json", "middleware configuration file")
 	nextPath := flag.String("next", "", "proposed new configuration; prints the ontology diff and mapping impact")
+	strict := flag.Bool("strict", false, "treat coverage gaps (unmapped attributes, unused sources) as errors")
 	flag.Parse()
 
-	if err := run(*cfgPath); err != nil {
+	if err := run(os.Stdout, *cfgPath, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-validate:", err)
 		os.Exit(1)
 	}
@@ -80,7 +84,7 @@ func runDiff(currentPath, nextPath string) error {
 	return nil
 }
 
-func run(path string) error {
+func run(w io.Writer, path string, strict bool) error {
 	cfg, err := config.LoadFile(path)
 	if err != nil {
 		return err
@@ -94,11 +98,12 @@ func run(path string) error {
 
 	ont := mw.Ontology()
 	repo := mw.Mappings()
-	fmt.Printf("ontology %q: %d classes, %d attributes\n", ont.Name, len(ont.Classes()), len(ont.Attributes()))
-	fmt.Printf("sources: %d, mappings: %d\n\n", mw.Sources().Len(), len(repo.AllEntries()))
+	fmt.Fprintf(w, "ontology %q: %d classes, %d attributes\n", ont.Name, len(ont.Classes()), len(ont.Attributes()))
+	fmt.Fprintf(w, "sources: %d, mappings: %d\n\n", mw.Sources().Len(), len(repo.AllEntries()))
 
 	// Per-class coverage.
-	fmt.Println("attribute coverage by class:")
+	unmapped := 0
+	fmt.Fprintln(w, "attribute coverage by class:")
 	for _, class := range ont.Classes() {
 		attrs := class.Attributes
 		if len(attrs) == 0 {
@@ -112,11 +117,12 @@ func run(path string) error {
 				uncovered = append(uncovered, a.Name)
 			}
 		}
-		fmt.Printf("  %-30s %d/%d mapped", class.Path(), len(covered), len(attrs))
+		unmapped += len(uncovered)
+		fmt.Fprintf(w, "  %-30s %d/%d mapped", class.Path(), len(covered), len(attrs))
 		if len(uncovered) > 0 {
-			fmt.Printf("   (unmapped: %s)", strings.Join(uncovered, ", "))
+			fmt.Fprintf(w, "   (unmapped: %s)", strings.Join(uncovered, ", "))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// Per-source statistics.
@@ -129,7 +135,7 @@ func run(path string) error {
 		sourceIDs = append(sourceIDs, id)
 	}
 	sort.Strings(sourceIDs)
-	fmt.Println("\nmappings by source:")
+	fmt.Fprintln(w, "\nmappings by source:")
 	for _, id := range sourceIDs {
 		entries := bySource[id]
 		langs := map[string]int{}
@@ -145,7 +151,7 @@ func run(path string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-12s %-9s %2d rules (%s)\n", id, def.Kind, len(entries), strings.Join(langParts, ", "))
+		fmt.Fprintf(w, "  %-12s %-9s %2d rules (%s)\n", id, def.Kind, len(entries), strings.Join(langParts, ", "))
 	}
 
 	// Sources registered but never used by a mapping.
@@ -156,22 +162,28 @@ func run(path string) error {
 		}
 	}
 	if len(unused) > 0 {
-		fmt.Printf("\nwarning: sources with no mappings: %s\n", strings.Join(unused, ", "))
+		fmt.Fprintf(w, "\nwarning: sources with no mappings: %s\n", strings.Join(unused, ", "))
 	}
 
 	// Class keys.
 	if keys := repo.ClassKeys(); len(keys) > 0 {
-		fmt.Println("\nclass keys (cross-source identity):")
+		fmt.Fprintln(w, "\nclass keys (cross-source identity):")
 		var classes []string
 		for c := range keys {
 			classes = append(classes, c)
 		}
 		sort.Strings(classes)
 		for _, c := range classes {
-			fmt.Printf("  %s -> %s\n", c, keys[c])
+			fmt.Fprintf(w, "  %s -> %s\n", c, keys[c])
 		}
 	}
 
-	fmt.Println("\nconfiguration is valid")
+	// In strict mode a deployment promises full coverage: every attribute
+	// answerable, every registered source earning its keep.
+	if strict && (unmapped > 0 || len(unused) > 0) {
+		return fmt.Errorf("strict: %d unmapped attribute(s), %d source(s) with no mappings", unmapped, len(unused))
+	}
+
+	fmt.Fprintln(w, "\nconfiguration is valid")
 	return nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// fixture persists a generated middleware configuration to a temp file.
+// With gap set, every mapping for one attribute is dropped, so the
+// config is structurally valid but has an unmapped attribute.
+func fixture(t *testing.T, gap bool) string {
+	t.Helper()
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, RecordsPerSource: 4, Seed: 51,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	// The generated workload leaves a few attributes unmapped; fill them
+	// in so the baseline fixture has full coverage.
+	for _, a := range mw.Ontology().Attributes() {
+		if len(mw.Mappings().Entries(a.ID())) == 0 {
+			err := mw.RegisterMapping(mapping.Entry{
+				AttributeID: a.ID(), SourceID: "db_000",
+				Rule: mapping.Rule{Language: mapping.LangSQL, Code: "SELECT model FROM watches ORDER BY id"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cfg, err := config.FromMiddleware(mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap {
+		victim := cfg.Mappings[0].Attribute
+		kept := cfg.Mappings[:0:0]
+		for _, m := range cfg.Mappings {
+			if m.Attribute != victim {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == len(cfg.Mappings) {
+			t.Fatalf("no mapping dropped for %s", victim)
+		}
+		cfg.Mappings = kept
+	}
+	path := filepath.Join(t.TempDir(), "s2s.json")
+	if err := config.SaveFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDefaultModeWarnsOnGaps(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, fixture(t, true), false); err != nil {
+		t.Fatalf("default mode turned a coverage gap into an error: %v", err)
+	}
+	if !strings.Contains(out.String(), "unmapped:") {
+		t.Errorf("gap not reported in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "configuration is valid") {
+		t.Errorf("valid config not confirmed:\n%s", out.String())
+	}
+}
+
+func TestRunStrictModeFailsOnGaps(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, fixture(t, true), true)
+	if err == nil {
+		t.Fatal("strict mode accepted a config with an unmapped attribute")
+	}
+	if !strings.Contains(err.Error(), "unmapped attribute") {
+		t.Errorf("error does not name the gap: %v", err)
+	}
+	if strings.Contains(out.String(), "configuration is valid") {
+		t.Errorf("strict failure still printed the valid verdict:\n%s", out.String())
+	}
+}
+
+func TestRunStrictModeAcceptsFullCoverage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, fixture(t, false), true); err != nil {
+		t.Fatalf("strict mode rejected a fully covered config: %v", err)
+	}
+	if !strings.Contains(out.String(), "configuration is valid") {
+		t.Errorf("valid config not confirmed:\n%s", out.String())
+	}
+}

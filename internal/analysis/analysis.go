@@ -1,0 +1,215 @@
+// Package analysis is a stdlib-only static-analysis framework enforcing
+// this repository's own invariants — the ones `go vet` cannot see. The
+// observability PR promised that every started span is finished; the
+// robustness PR promised that retry classification survives error
+// wrapping and that fault injection stays deterministic; the project
+// charter promises a pure-stdlib tree. Each promise is encoded here as an
+// Analyzer and enforced mechanically by `make lint` (cmd/s2s-lint).
+//
+// The framework itself honours the same stdlib rule: packages are loaded
+// with go/parser and type-checked with go/types, stdlib imports are
+// resolved from compiler export data (go/importer with a lookup into the
+// build cache), and no golang.org/x/tools code is involved anywhere.
+//
+// A finding prints as
+//
+//	file:line: analyzer: message
+//
+// and can be suppressed — with a mandatory reason — by a comment on the
+// same line or the line directly above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// docs/STATIC_ANALYSIS.md documents every analyzer; a doc-drift test
+// keeps the two in lockstep.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the identifier used in findings and //lint:ignore comments.
+	Name string
+	// Doc is a one-line statement of the invariant the analyzer enforces.
+	Doc string
+	// NeedTypes reports whether Run requires type information. Analyzers
+	// that inspect syntax only (imports, comments) run on parse-only
+	// units, which lets their golden corpora contain unresolvable
+	// imports.
+	NeedTypes bool
+	// Run inspects one unit and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical file:line: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass carries one unit (a package, possibly augmented with its test
+// files) through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// PkgPath is the unit's import path. Test-file units share the path
+	// of the package they augment.
+	PkgPath string
+	// Pkg and Info are nil for parse-only units (NeedTypes == false).
+	Pkg  *types.Package
+	Info *types.Info
+
+	unit     *Unit
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless a //lint:ignore comment for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.unit.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of an expression, or nil when the unit
+// was loaded without (or failed) type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// ignoreRe matches a suppression comment: //lint:ignore <analyzer> <reason>.
+// The reason is mandatory — an undocumented suppression is itself a smell.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\w+)\s+(\S.*)$`)
+
+// suppressions maps file name → line → set of suppressed analyzer names.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans a file's comments for //lint:ignore markers.
+func collectSuppressions(fset *token.FileSet, file *ast.File, into suppressions) {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			byLine := into[pos.Filename]
+			if byLine == nil {
+				byLine = map[int]map[string]bool{}
+				into[pos.Filename] = byLine
+			}
+			for _, name := range strings.Fields(m[1]) {
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = map[string]bool{}
+				}
+				byLine[pos.Line][name] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding by analyzer at position is covered
+// by an ignore comment on the same line or the line directly above.
+func (u *Unit) suppressed(analyzer string, pos token.Position) bool {
+	byLine := u.suppress[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}
+
+// registry of all analyzers, in reporting order.
+var all []*Analyzer
+
+func register(a *Analyzer) *Analyzer {
+	all = append(all, a)
+	return a
+}
+
+// All returns every registered analyzer, sorted by name.
+func All() []*Analyzer {
+	out := make([]*Analyzer, len(all))
+	copy(out, all)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range all {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to every unit and returns the findings
+// sorted by file, line, and analyzer.
+func Run(units []*Unit, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, u := range units {
+		for _, a := range analyzers {
+			if a.NeedTypes && u.Pkg == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				PkgPath:  u.PkgPath,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				unit:     u,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}

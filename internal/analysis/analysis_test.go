@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLoaderCoversModule loads the real module and checks the unit
+// inventory: packages, in-package test augmentation, test-only
+// directories (the chaos suite), and command mains must all be present
+// and type-checked — otherwise whole invariant surfaces silently escape
+// the lint gate.
+func TestLoaderCoversModule(t *testing.T) {
+	loader := corpusLoader(t)
+	units, err := loader.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Unit{}
+	for _, u := range units {
+		byPath[u.PkgPath] = u
+		if u.Pkg == nil {
+			t.Errorf("unit %s loaded without type information", u.PkgPath)
+		}
+	}
+	for _, want := range []string{
+		"repro",                      // root: bench_test.go only
+		"repro/internal/obs",         // package + in-package tests
+		"repro/internal/integration", // test-only package (chaos suite)
+		"repro/internal/faultinject", // deterministic zone
+		"repro/cmd/s2s-lint",         // the linter lints itself
+		"repro/internal/analysis",    // and its own framework
+	} {
+		if byPath[want] == nil {
+			t.Errorf("no unit loaded for %s", want)
+		}
+	}
+	for _, mustBeTest := range []string{"repro", "repro/internal/integration", "repro/internal/obs"} {
+		if u := byPath[mustBeTest]; u != nil && !u.Test {
+			t.Errorf("unit %s should include test files", mustBeTest)
+		}
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verb
+	}{
+		{"plain", nil},
+		{"%v", []verb{{0, 'v'}}},
+		{"%d and %w", []verb{{0, 'd'}, {1, 'w'}}},
+		{"100%% %s", []verb{{0, 's'}}},
+		{"%*d %v", []verb{{1, 'd'}, {2, 'v'}}},
+		{"%.2f %v", []verb{{0, 'f'}, {1, 'v'}}},
+		{"%-10s|%+d", []verb{{0, 's'}, {1, 'd'}}},
+		{"%[2]s %[1]s", []verb{{1, 's'}, {0, 's'}}},
+		{"trailing %", nil},
+	}
+	for _, c := range cases {
+		if got := formatVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("formatVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}
+
+func TestStdlibOrModuleImport(t *testing.T) {
+	allowed := []string{"fmt", "net/http", "math/rand/v2", "repro", "repro/internal/obs"}
+	for _, path := range allowed {
+		if !stdlibOrModuleImport(path) {
+			t.Errorf("%q should be allowed", path)
+		}
+	}
+	denied := []string{"github.com/acme/widget", "golang.org/x/tools/go/analysis", "gopkg.in/yaml.v3"}
+	for _, path := range denied {
+		if stdlibOrModuleImport(path) {
+			t.Errorf("%q should be denied", path)
+		}
+	}
+}
+
+func TestDeterminismScope(t *testing.T) {
+	in := []string{
+		"repro/internal/faultinject",
+		"repro/internal/integration",
+		"repro/internal/integration_test", // external test unit of the chaos suite
+	}
+	for _, path := range in {
+		if !inDeterminismScope(path) {
+			t.Errorf("%q should be in the deterministic zone", path)
+		}
+	}
+	out := []string{"repro/internal/obs", "repro/internal/core", "repro"}
+	for _, path := range out {
+		if inDeterminismScope(path) {
+			t.Errorf("%q should be outside the deterministic zone", path)
+		}
+	}
+}
+
+// TestSuppressionRequiresReason pins the ignore-comment grammar: the
+// analyzer name alone does not suppress — a reason is mandatory.
+func TestSuppressionRequiresReason(t *testing.T) {
+	if ignoreRe.MatchString("//lint:ignore errwrap") {
+		t.Error("suppression without a reason must not parse")
+	}
+	m := ignoreRe.FindStringSubmatch("//lint:ignore errwrap keeping the flat message for operators")
+	if m == nil || m[1] != "errwrap" {
+		t.Fatalf("well-formed suppression failed to parse: %v", m)
+	}
+	if !strings.Contains(m[2], "operators") {
+		t.Errorf("reason not captured: %q", m[2])
+	}
+}

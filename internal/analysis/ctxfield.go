@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfield enforces the context-plumbing convention the observability
+// layer depends on: a context.Context travels down the call graph as the
+// first parameter, never inside a struct field. Spans, metrics, remote
+// trace identity, and the per-query deadline budget all ride the
+// context; a context frozen into a struct outlives its query, silently
+// detaching cancellation and attributing spans to the wrong trace.
+var Ctxfield = register(&Analyzer{
+	Name:      "ctxfield",
+	Doc:       "no context.Context struct fields; ctx is the first parameter",
+	NeedTypes: true,
+	Run:       runCtxfield,
+})
+
+func runCtxfield(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextType(p, field.Type) {
+						p.Reportf(field.Pos(),
+							"context.Context stored in a struct field; pass ctx as the first parameter instead")
+					}
+				}
+			case *ast.FuncDecl:
+				checkCtxPosition(p, n.Type)
+			case *ast.FuncLit:
+				checkCtxPosition(p, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition reports a context.Context parameter that is not the
+// first parameter.
+func checkCtxPosition(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if isContextType(p, field.Type) && idx > 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		idx += names
+	}
+}
+
+// isContextType reports whether the expression's static type is exactly
+// context.Context.
+func isContextType(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const docPath = "../../docs/STATIC_ANALYSIS.md"
+
+// TestDocCoversEveryAnalyzer keeps docs/STATIC_ANALYSIS.md and the
+// analyzer registry in lockstep (mirroring internal/obs/docs_test.go):
+// every registered analyzer must have its own "## <name>" section with
+// an example finding, and every analyzer-shaped section heading must
+// resolve to a registered analyzer.
+func TestDocCoversEveryAnalyzer(t *testing.T) {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", docPath, err)
+	}
+	doc := string(raw)
+
+	registered := map[string]bool{}
+	for _, a := range All() {
+		registered[a.Name] = true
+		if !strings.Contains(doc, "## "+a.Name+"\n") {
+			t.Errorf("analyzer %s is registered but has no section in %s", a.Name, docPath)
+		}
+		// Each section shows at least one finding in the driver's
+		// file:line: analyzer: message format.
+		if !strings.Contains(doc, ": "+a.Name+": ") {
+			t.Errorf("analyzer %s has no example finding in %s", a.Name, docPath)
+		}
+	}
+
+	// Analyzer-shaped headings are single lowercase words; prose
+	// sections ("## Suppressing a finding") do not match.
+	for _, m := range regexp.MustCompile(`(?m)^## ([a-z]+)$`).FindAllStringSubmatch(doc, -1) {
+		if !registered[m[1]] {
+			t.Errorf("doc section %q does not correspond to a registered analyzer", m[1])
+		}
+	}
+
+	if !strings.Contains(doc, "//lint:ignore <analyzer> <reason>") {
+		t.Errorf("suppression syntax is not documented in %s", docPath)
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Errwrap enforces the robustness layer's error-chain contract: when
+// fmt.Errorf formats an error operand, it must use %w. The extractor
+// classifies failures as permanent or transient with errors.Is/As over
+// the wrapped chain (extract.IsPermanent); a %v anywhere on the path
+// from a backend to the retry loop silently flattens the chain and turns
+// every permanent failure into a retried one. This analyzer makes that
+// class of bug unwritable.
+var Errwrap = register(&Analyzer{
+	Name:      "errwrap",
+	Doc:       "fmt.Errorf with an error operand must wrap it with %w",
+	NeedTypes: true,
+	Run:       runErrwrap,
+})
+
+func runErrwrap(p *Pass) {
+	errorType := types.Universe.Lookup("error").Type()
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(p, call) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(p, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range formatVerbs(format) {
+				argIdx := v.arg + 1 // args[0] is the format string
+				if v.verb == 'w' || v.verb == 'T' || argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				t := p.TypeOf(arg)
+				if t == nil || !types.AssignableTo(t, errorType) {
+					continue
+				}
+				p.Reportf(arg.Pos(),
+					"error operand formatted with %%%c; use %%w so errors.Is/As can see through the wrap", v.verb)
+			}
+			return true
+		})
+	}
+}
+
+// isFmtErrorf resolves the callee to the fmt.Errorf function object.
+func isFmtErrorf(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	return ok && fn.FullName() == "fmt.Errorf"
+}
+
+// constantString extracts a compile-time constant format string.
+func constantString(p *Pass, e ast.Expr) (string, bool) {
+	if p.Info == nil {
+		return "", false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verb is one formatting directive and the operand index it consumes.
+type verb struct {
+	arg  int
+	verb byte
+}
+
+// formatVerbs parses a printf format string into its operand-consuming
+// verbs, handling flags, * width/precision (which consume operands), and
+// explicit [n] argument indexes.
+func formatVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, verb{arg: arg, verb: format[i]})
+		arg++
+	}
+	return verbs
+}

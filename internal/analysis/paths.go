@@ -1,0 +1,304 @@
+// Shared control-flow helper for the "acquire must be released on every
+// return path" analyzers (spanend, lockbalance). The checker is a small
+// abstract interpreter over the AST of one function body: it walks the
+// statements that execute after an acquire site and verifies that no
+// path reaches a return (or the end of the function) while the resource
+// is still held, crediting either a registered `defer` of the release or
+// a dominating direct release call.
+//
+// The interpreter is deliberately conservative where Go's control flow
+// gets interesting: a release inside a loop body is not credited (the
+// loop may run zero times), branches merge to "still held" unless every
+// fall-through branch released, and a release inside a `go` statement
+// never counts. Ownership transfers — the resource escaping into another
+// function's care — are the caller's business to detect before invoking
+// the checker.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// releaseCheck configures one acquire-site check.
+type releaseCheck struct {
+	// acquire is the statement performing the acquisition; checking
+	// starts at the statement after it.
+	acquire ast.Stmt
+	// isRelease reports whether a call expression releases the resource.
+	isRelease func(*ast.CallExpr) bool
+	// isTerminal reports whether a call never returns (panic, os.Exit,
+	// testing.T.Fatal…); paths ending there are not leaks.
+	isTerminal func(*ast.CallExpr) bool
+}
+
+// holdState tracks the resource along one path.
+type holdState int
+
+const (
+	notYet   holdState = iota // acquire site not reached on this path
+	held                      // acquired, no defer, not yet released
+	released                  // released directly or guaranteed by defer
+)
+
+// merge combines the states of two paths that join: a path that may
+// still hold the resource dominates.
+func merge(a, b holdState) holdState {
+	if a == held || b == held {
+		return held
+	}
+	if a == released || b == released {
+		return released
+	}
+	return notYet
+}
+
+// leak is a path that exits the function while holding the resource.
+type leak struct{ pos token.Pos }
+
+// checkReleased runs the interpreter over a function body and returns
+// the position of the first leaking exit, or token.NoPos when every
+// path releases. body is the *ast.BlockStmt of the function owning the
+// acquire.
+func checkReleased(body *ast.BlockStmt, rc releaseCheck) token.Pos {
+	w := &releaseWalker{rc: rc}
+	end := w.stmts(body.List, notYet)
+	if end == held && w.leakPos == token.NoPos {
+		// Fell off the end of a void function while holding.
+		w.leakPos = body.Rbrace
+	}
+	return w.leakPos
+}
+
+type releaseWalker struct {
+	rc      releaseCheck
+	leakPos token.Pos
+}
+
+func (w *releaseWalker) leakAt(pos token.Pos) {
+	if w.leakPos == token.NoPos {
+		w.leakPos = pos
+	}
+}
+
+// stmts interprets a statement list, returning the fall-through state.
+// Paths that return inside the list are checked and do not contribute to
+// the fall-through state.
+func (w *releaseWalker) stmts(list []ast.Stmt, st holdState) holdState {
+	for _, s := range list {
+		var exited bool
+		st, exited = w.stmt(s, st)
+		if exited {
+			// Everything after an unconditional return/terminal call is
+			// dead for this path.
+			return notYet
+		}
+	}
+	return st
+}
+
+// stmt interprets one statement. It returns the fall-through state and
+// whether the statement unconditionally exits the path.
+func (w *releaseWalker) stmt(s ast.Stmt, st holdState) (holdState, bool) {
+	if s == w.rc.acquire {
+		return held, false
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if st == held && w.rc.isRelease(call) {
+				return released, false
+			}
+			if w.isTerminal(call) {
+				return st, true
+			}
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		if st == held && w.deferReleases(s.Call) {
+			return released, false
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		if st == held {
+			w.leakAt(s.Pos())
+		}
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st), false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		thenSt := w.stmts(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt, _ = w.stmt(s.Else, st)
+		}
+		return merge(thenSt, elseSt), false
+
+	case *ast.ForStmt:
+		return w.loop(s.Body, s.Init, st), false
+
+	case *ast.RangeStmt:
+		return w.loop(s.Body, nil, st), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.cases(s, st), false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.GoStmt:
+		// A release performed by a spawned goroutine is not ordered with
+		// this function's returns; never credit it.
+		return st, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as ending the current list without
+		// exiting the function; the conservative merge at the enclosing
+		// construct keeps "held" sticky.
+		return st, true
+
+	default:
+		return st, false
+	}
+}
+
+// loop interprets a loop: leaks inside the body are reported, but state
+// changes are not credited outward — the body may run zero times, and a
+// release on iteration N does not cover the acquire before the loop on
+// iteration N+1's view.
+func (w *releaseWalker) loop(body *ast.BlockStmt, init ast.Stmt, st holdState) holdState {
+	if init != nil {
+		st, _ = w.stmt(init, st)
+	}
+	w.stmts(body.List, st)
+	return st
+}
+
+// cases interprets switch/type-switch/select: every clause is checked
+// from the incoming state; the fall-through state is the merge of all
+// clause ends, plus the incoming state unless a default clause makes the
+// construct exhaustive.
+func (w *releaseWalker) cases(s ast.Stmt, st holdState) holdState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := notYet
+	seen := false
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			list = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		end := w.stmts(list, st)
+		if seen {
+			out = merge(out, end)
+		} else {
+			out, seen = end, true
+		}
+	}
+	if !seen {
+		return st
+	}
+	if !hasDefault {
+		out = merge(out, st)
+	}
+	return out
+}
+
+// deferReleases reports whether a deferred call guarantees the release:
+// either the release call itself, or a deferred closure whose body
+// contains a release (the `defer func() { mu.Unlock() }()` idiom).
+func (w *releaseWalker) deferReleases(call *ast.CallExpr) bool {
+	if w.rc.isRelease(call) {
+		return true
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && w.rc.isRelease(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *releaseWalker) isTerminal(call *ast.CallExpr) bool {
+	if w.rc.isTerminal != nil && w.rc.isTerminal(call) {
+		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return false
+}
+
+// funcBodies yields every function-like body in a file — declarations
+// and literals — without descending into nested literals from the outer
+// body's perspective. fn receives the body and runs its own analysis.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// topLevelStmts walks the statements of a body, invoking fn for every
+// statement reachable without entering a nested function literal. This
+// is how analyzers find acquire sites that belong to this body rather
+// than to a closure.
+func topLevelStmts(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case ast.Stmt:
+			fn(n.(ast.Stmt))
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+	}
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Spanend enforces the tracing contract from docs/OBSERVABILITY.md:
+// every span started in a function is finished on all return paths,
+// either by a deferred End/done call or by a call that dominates every
+// return. An unfinished span freezes its subtree with a zero duration
+// and — for roots — never records the trace, so a single early return
+// quietly blinds the /trace/last endpoint for exactly the failing
+// queries it exists to explain.
+//
+// Span-starting calls recognized: obs.StartSpan, obs.StartStage (whose
+// done closure must be called), (*obs.Tracer).StartTrace, and
+// (*obs.Span).StartChild. A span whose variable escapes — passed to
+// another call, returned, or assigned onward — transfers ownership and
+// is not checked here.
+var Spanend = register(&Analyzer{
+	Name:      "spanend",
+	Doc:       "every started obs span must be finished on all return paths",
+	NeedTypes: true,
+	Run:       runSpanend,
+})
+
+// obsPkg is the import path of the observability package; the golden
+// corpus imports the real package, so the same constant serves both.
+const obsPkg = "repro/internal/obs"
+
+// spanStart describes one recognized start call found in a function.
+type spanStart struct {
+	stmt ast.Stmt      // the assignment statement
+	call *ast.CallExpr // the start call itself
+	kind string        // function name, for messages
+	// owner is the identifier whose End()/() call finishes the span: the
+	// span variable, or the done closure for StartStage.
+	owner *ast.Ident
+}
+
+func runSpanend(p *Pass) {
+	for _, file := range p.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkSpanBody(p, body)
+		})
+	}
+}
+
+func checkSpanBody(p *Pass, body *ast.BlockStmt) {
+	var starts []spanStart
+	topLevelStmts(body, func(s ast.Stmt) {
+		if st, ok := spanStartOf(p, s); ok {
+			starts = append(starts, st)
+		}
+	})
+	for _, st := range starts {
+		if st.owner == nil {
+			p.Reportf(st.call.Pos(), "%s result discarded; the span can never be finished", st.kind)
+			continue
+		}
+		if spanEscapes(body, st) {
+			continue
+		}
+		rc := releaseCheck{
+			acquire:   st.stmt,
+			isRelease: func(c *ast.CallExpr) bool { return finishesSpan(c, st.owner) },
+		}
+		if leak := checkReleased(body, rc); leak != token.NoPos {
+			pos := p.Fset.Position(leak)
+			p.Reportf(st.call.Pos(),
+				"span from %s is not finished on all return paths (path escaping at line %d); defer %s",
+				st.kind, pos.Line, finishHint(st))
+		}
+	}
+}
+
+func finishHint(st spanStart) string {
+	if st.kind == "StartStage" {
+		return st.owner.Name + "()"
+	}
+	return st.owner.Name + ".End()"
+}
+
+// spanStartOf recognizes an assignment whose RHS is a span-starting
+// call and returns the identifier that owns finishing it.
+func spanStartOf(p *Pass, s ast.Stmt) (spanStart, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return spanStart{}, false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return spanStart{}, false
+		}
+		kind, ownerIdx := spanStartKind(p, call)
+		if kind == "" || ownerIdx >= len(s.Lhs) {
+			return spanStart{}, false
+		}
+		owner, _ := s.Lhs[ownerIdx].(*ast.Ident)
+		if owner != nil && owner.Name == "_" {
+			owner = nil
+		}
+		return spanStart{stmt: s, call: call, kind: kind, owner: owner}, true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return spanStart{}, false
+		}
+		kind, _ := spanStartKind(p, call)
+		if kind == "" {
+			return spanStart{}, false
+		}
+		return spanStart{stmt: s, call: call, kind: kind}, true
+	}
+	return spanStart{}, false
+}
+
+// spanStartKind resolves a call to one of the recognized span-starting
+// functions, returning its name and the index of the result that owns
+// the finish obligation.
+func spanStartKind(p *Pass, call *ast.CallExpr) (kind string, ownerIdx int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+		return "", 0
+	}
+	switch fn.Name() {
+	case "StartSpan":
+		return "StartSpan", 1 // (ctx, span)
+	case "StartStage":
+		return "StartStage", 2 // (ctx, span, done) — done finishes
+	case "StartTrace":
+		return "StartTrace", 1 // (ctx, span)
+	case "StartChild":
+		return "StartChild", 0 // span
+	}
+	return "", 0
+}
+
+// finishesSpan reports whether the call finishes the owned span:
+// owner.End() for span variables, owner() for StartStage done closures.
+func finishesSpan(call *ast.CallExpr, owner *ast.Ident) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		return ok && id.Name == owner.Name && fun.Sel.Name == "End"
+	case *ast.Ident:
+		return fun.Name == owner.Name
+	}
+	return false
+}
+
+// spanEscapes reports whether the owning identifier leaves the
+// function's custody: used as a call argument, returned, assigned
+// elsewhere, captured by a non-deferred closure, or address-taken.
+// Method calls on the span (SetAttr, End, Walk…) are not escapes, but a
+// closure that captures the span — even only to call End on it — takes
+// over the finish obligation, unless that closure is directly deferred
+// (which the path checker credits as a deferred release instead).
+func spanEscapes(body *ast.BlockStmt, st spanStart) bool {
+	deferred := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+	escaped := false
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !deferred[n] && mentionsIdent(n.Body, st.owner) {
+				escaped = true
+			}
+			return false
+		case *ast.AssignStmt:
+			if n == st.stmt {
+				// The defining assignment itself; still scan the RHS for
+				// uses of a shadowed outer variable — close enough.
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if usesIdent(rhs, st.owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesIdent(arg, st.owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesIdent(res, st.owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.UnaryExpr:
+			if usesIdent(n.X, st.owner) {
+				escaped = true
+			}
+			return !escaped
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if usesIdent(elt, st.owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.GoStmt:
+			// The span crossing into a goroutine is an ownership handoff.
+			if usesIdent(n.Call, st.owner) {
+				escaped = true
+			}
+			return !escaped
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return escaped
+}
+
+// mentionsIdent reports whether the node mentions the identifier by
+// name anywhere at all, receiver positions included.
+func mentionsIdent(n ast.Node, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if other, ok := m.(*ast.Ident); ok && other.Name == id.Name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesIdent reports whether the expression mentions the identifier by
+// name anywhere except as the receiver of a method call.
+func usesIdent(e ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == id.Name {
+				// owner.Method(...) — receiver position, not an escape;
+				// but still scan the selector's... nothing else to scan.
+				return false
+			}
+		}
+		if other, ok := n.(*ast.Ident); ok && other.Name == id.Name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

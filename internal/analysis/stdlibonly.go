@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Stdlibonly enforces the project charter's pure-stdlib rule: every
+// import in the tree must be a standard-library package or a package of
+// this module. The middleware is meant to run unattended between B2B
+// partners; a dependency-free build is part of that contract, and this
+// analyzer is what keeps "stdlib-only" true by construction rather than
+// by review vigilance.
+var Stdlibonly = register(&Analyzer{
+	Name: "stdlibonly",
+	Doc:  "imports must come from the standard library or this module",
+	Run:  runStdlibonly,
+})
+
+// modulePrefix is the import-path prefix of this module. The analyzer
+// derives the unit's own module from its package path so the golden
+// corpus (whose packages live under the same module) behaves like the
+// real tree.
+const modulePrefix = "repro"
+
+func runStdlibonly(p *Pass) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if stdlibOrModuleImport(path) {
+				continue
+			}
+			p.Reportf(imp.Pos(), "import %q is neither standard library nor module-internal; the tree is stdlib-only", path)
+		}
+	}
+}
+
+// stdlibOrModuleImport reports whether path is acceptable: module
+// packages, or standard-library packages — recognized, as the go tool
+// itself does, by the absence of a dot in the first path element.
+func stdlibOrModuleImport(path string) bool {
+	if path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/") {
+		return true
+	}
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,43 @@
+// Corpus for the ctxfield analyzer.
+package ctxfield
+
+import "context"
+
+type holder struct {
+	name string
+	ctx  context.Context // want "stored in a struct field"
+}
+
+type embedded struct {
+	context.Context // want "stored in a struct field"
+	n               int
+}
+
+type clean struct {
+	name string
+	n    int
+}
+
+func firstParam(ctx context.Context, name string) {} // correct position
+
+func lastParam(name string, ctx context.Context) {} // want "must be the first parameter"
+
+func middleParam(a int, ctx context.Context, b int) {} // want "must be the first parameter"
+
+func noCtx(a, b int) {}
+
+func literalToo() {
+	_ = func(n int, ctx context.Context) {} // want "must be the first parameter"
+}
+
+func use(ctx context.Context) any {
+	_ = holder{}
+	_ = embedded{}
+	_ = clean{}
+	firstParam(ctx, "x")
+	lastParam("x", ctx)
+	middleParam(1, ctx, 2)
+	noCtx(1, 2)
+	literalToo()
+	return nil
+}

@@ -1,0 +1,23 @@
+// Corpus negative case: this package is outside the deterministic zone
+// (no faultinject/integration path segment), so nothing is reported.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() time.Time {
+	return time.Now()
+}
+
+func globalRandIsFineHere() int {
+	return rand.Intn(6)
+}
+
+func mapOutputIsFineHere(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,47 @@
+// Corpus for the determinism analyzer: this package's import path has a
+// "faultinject" segment, which places it in the deterministic zone.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "injected clock"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "seeded *rand.Rand"
+}
+
+func seededRandIsFine() int {
+	r := rand.New(rand.NewSource(42)) // constructing the seeded rng is the sanctioned pattern
+	return r.Intn(6)
+}
+
+func mapOrderedOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map-range"
+	}
+}
+
+func mapOrderedWrite(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "map-range"
+	}
+}
+
+func sortedOutput(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // counting/collecting is order-insensitive: no finding
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // slice range: no finding
+	}
+}

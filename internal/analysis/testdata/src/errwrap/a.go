@@ -1,0 +1,54 @@
+// Corpus for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+type myErr struct{}
+
+func (myErr) Error() string { return "my" }
+
+func wraps() error {
+	return fmt.Errorf("context: %w", errBase) // correct wrap, no finding
+}
+
+func flattens() error {
+	return fmt.Errorf("context: %v", errBase) // want "use %w"
+}
+
+func flattensString() error {
+	return fmt.Errorf("context: %s", errBase) // want "use %w"
+}
+
+func flattensLater(n int) error {
+	return fmt.Errorf("%d items failed: %v", n, errBase) // want "use %w"
+}
+
+func starWidth(w int) error {
+	return fmt.Errorf("%*d wide: %v", w, 7, errBase) // want "use %w"
+}
+
+func typedValue() error {
+	return fmt.Errorf("oops: %v", myErr{}) // want "use %w"
+}
+
+func typeVerbIsFine() error {
+	return fmt.Errorf("unexpected error type %T", errBase) // no finding: %T prints the type
+}
+
+func nonErrorOperand(name string) error {
+	return fmt.Errorf("no such source %v", name) // no finding: not an error
+}
+
+func explicitIndex() error {
+	return fmt.Errorf("twice: %[1]v and %[1]v", errBase) // want "use %w" // want "use %w"
+}
+
+func suppressedForGoodReason() error {
+	//lint:ignore errwrap corpus exercises the suppression syntax
+	return fmt.Errorf("deliberately flattened: %v", errBase)
+}

@@ -1,0 +1,83 @@
+// Corpus for the lockbalance analyzer.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu   sync.RWMutex
+	data map[string]string
+}
+
+func (s *store) deferred(k, v string) {
+	s.mu.Lock() // no finding: deferred unlock
+	defer s.mu.Unlock()
+	s.data[k] = v
+}
+
+func (s *store) balancedDirect(k, v string) {
+	s.mu.Lock() // no finding: dominating direct unlock
+	s.data[k] = v
+	s.mu.Unlock()
+}
+
+func (s *store) leaksOnEarlyReturn(k string) (string, error) {
+	s.mu.RLock() // want "not released on every path"
+	v, ok := s.data[k]
+	if !ok {
+		return "", errors.New("missing")
+	}
+	s.mu.RUnlock()
+	return v, nil
+}
+
+func (s *store) releasesOnBothPaths(k string) (string, error) {
+	s.mu.RLock() // no finding: both branches release
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.RUnlock()
+		return "", errors.New("missing")
+	}
+	s.mu.RUnlock()
+	return v, nil
+}
+
+func (s *store) mismatchedRelease(k, v string) {
+	s.mu.RLock() // want "not released on every path"
+	s.data[k] = v
+	s.mu.Unlock() // Unlock does not balance RLock
+}
+
+func (s *store) neverReleased(k, v string) {
+	s.mu.Lock() // want "not released on every path"
+	s.data[k] = v
+}
+
+type embedder struct {
+	sync.Mutex
+	n int
+}
+
+func (e *embedder) promoted() {
+	e.Lock() // no finding: promoted method, deferred unlock
+	defer e.Unlock()
+	e.n++
+}
+
+var global sync.Mutex
+
+func closureBody() func() {
+	return func() {
+		global.Lock() // want "not released on every path"
+		// closure forgets to unlock
+	}
+}
+
+func twoLocks(a, b *sync.Mutex) {
+	a.Lock() // no finding
+	defer a.Unlock()
+	b.Lock() // want "not released on every path"
+	// b never unlocked; a's unlock must not satisfy it
+}

@@ -1,0 +1,104 @@
+// Corpus for the spanend analyzer, exercised against the real obs
+// package.
+package spanend
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs"
+)
+
+func deferredEnd(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "work") // no finding: deferred End
+	defer span.End()
+	use(ctx)
+}
+
+func neverEnded(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "work") // want "not finished on all return paths"
+	span.SetAttr("k", "v")
+	use(ctx)
+}
+
+func endOnOnePathOnly(ctx context.Context, fail bool) error {
+	ctx, span := obs.StartSpan(ctx, "work") // want "not finished on all return paths"
+	if fail {
+		return errors.New("early return leaks the span")
+	}
+	use(ctx)
+	span.End()
+	return nil
+}
+
+func endOnAllPaths(ctx context.Context, fail bool) error {
+	ctx, span := obs.StartSpan(ctx, "work") // no finding: both paths end
+	if fail {
+		span.End()
+		return errors.New("failed, but finished")
+	}
+	use(ctx)
+	span.End()
+	return nil
+}
+
+func stageDeferred(ctx context.Context) {
+	ctx, span, done := obs.StartStage(ctx, "stage") // no finding: deferred done
+	defer done()
+	span.SetAttr("k", "v")
+	use(ctx)
+}
+
+func stageLeaks(ctx context.Context, fail bool) error {
+	ctx, _, done := obs.StartStage(ctx, "stage") // want "not finished on all return paths"
+	if fail {
+		return errors.New("early return skips done")
+	}
+	use(ctx)
+	done()
+	return nil
+}
+
+func stageDiscarded(ctx context.Context) {
+	_, _, _ = obs.StartStage(ctx, "stage") // want "can never be finished"
+}
+
+func childEnded(parent *obs.Span) {
+	child := parent.StartChild("step") // no finding
+	defer child.End()
+}
+
+func childLeaked(parent *obs.Span) {
+	child := parent.StartChild("step") // want "not finished on all return paths"
+	child.SetAttr("k", "v")
+}
+
+func traceEnded(ctx context.Context, tr *obs.Tracer) {
+	ctx, root := tr.StartTrace(ctx, "query") // no finding
+	defer root.End()
+	use(ctx)
+}
+
+func traceLeaked(ctx context.Context, tr *obs.Tracer) {
+	ctx, root := tr.StartTrace(ctx, "query") // want "not finished on all return paths"
+	root.SetAttr("k", "v")
+	use(ctx)
+}
+
+func ownershipTransferred(ctx context.Context) *obs.Span {
+	_, span := obs.StartSpan(ctx, "handoff") // no finding: returned to the caller
+	return span
+}
+
+func closureTakesOver(ctx context.Context) func() {
+	_, span := obs.StartSpan(ctx, "deferred-by-caller") // no finding: the closure owns the finish
+	return func() { span.End() }
+}
+
+func deferredClosureCounts(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "wrapped") // no finding: deferred closure ends it
+	defer func() { span.End() }()
+	use(ctx)
+}
+
+func use(context.Context) {}

@@ -1,0 +1,21 @@
+// Corpus for the stdlibonly analyzer. This package is parse-only (the
+// third-party imports deliberately do not resolve).
+package stdlibonly
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+
+	"github.com/acme/widget"      // want "neither standard library nor module-internal"
+	etcd "go.etcd.io/etcd/client" // want "neither standard library nor module-internal"
+	"gopkg.in/yaml.v3"            // want "neither standard library nor module-internal"
+)
+
+var _ = fmt.Sprint
+var _ = strings.TrimSpace
+var _ = obs.StartSpan
+var _ = widget.New
+var _ = etcd.New
+var _ = yaml.Marshal

@@ -808,8 +808,12 @@ type ContextFetcher interface {
 }
 
 // ctxBoundFetcher adapts a ContextFetcher to the context-free
-// webl.Fetcher interface by capturing the per-rule context.
+// webl.Fetcher interface by capturing the per-rule context. This is the
+// sanctioned exception to the no-ctx-in-structs rule: webl.Fetcher's
+// signature cannot carry a context, the adapter lives only for the one
+// Fetch call it bridges, and it never outlives the request that made it.
 type ctxBoundFetcher struct {
+	//lint:ignore ctxfield single-call adapter bridging the context-free webl.Fetcher interface; scoped to one extraction and never stored
 	ctx context.Context
 	cf  ContextFetcher
 }

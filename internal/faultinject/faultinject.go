@@ -113,14 +113,32 @@ type targetState struct {
 type Injector struct {
 	seed int64
 
+	// sleep waits out an injected delay under ctx. It is the injector's
+	// clock seam: tests swap in a recording fake so latency and hang
+	// behaviour can be asserted without real waiting or wall-clock reads
+	// (the determinism analyzer forbids time.Now in this package).
+	sleep func(ctx context.Context, d time.Duration) error
+
 	mu      sync.Mutex
 	targets map[string]*targetState
+}
+
+// realSleep blocks for d or until the context is done.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
 }
 
 // New returns an Injector whose jittered delays derive from seed. Faults
 // are registered with Set or all at once via Plan.
 func New(seed int64, plan Plan) *Injector {
-	in := &Injector{seed: seed, targets: map[string]*targetState{}}
+	in := &Injector{seed: seed, sleep: realSleep, targets: map[string]*targetState{}}
 	for target, f := range plan {
 		in.Set(target, f)
 	}
@@ -208,23 +226,15 @@ func (in *Injector) decide(target string) decision {
 func (in *Injector) apply(ctx context.Context, target string) (corrupt bool, err error) {
 	d := in.decide(target)
 	if d.delay > 0 {
-		t := time.NewTimer(d.delay)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return false, fmt.Errorf("faultinject: %s: canceled during injected latency: %w", target, ctx.Err())
+		if err := in.sleep(ctx, d.delay); err != nil {
+			return false, fmt.Errorf("faultinject: %s: canceled during injected latency: %w", target, err)
 		}
 	}
 	if d.hang {
-		t := time.NewTimer(maxHang)
-		select {
-		case <-t.C:
-			return false, fmt.Errorf("faultinject: %s: injected hang elapsed: %w", target, context.DeadlineExceeded)
-		case <-ctx.Done():
-			t.Stop()
-			return false, fmt.Errorf("faultinject: %s: injected hang: %w", target, ctx.Err())
+		if err := in.sleep(ctx, maxHang); err != nil {
+			return false, fmt.Errorf("faultinject: %s: injected hang: %w", target, err)
 		}
+		return false, fmt.Errorf("faultinject: %s: injected hang elapsed: %w", target, context.DeadlineExceeded)
 	}
 	return d.corrupt, d.err
 }

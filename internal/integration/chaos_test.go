@@ -55,6 +55,17 @@ func chaosKey(t *testing.T, world *workload.World, sourceID string) string {
 	return ""
 }
 
+// stopwatch returns a function reporting the real time elapsed since
+// the call. The budget assertions bound *actual* waiting — that hung
+// sources cannot pin a query past its deadline — so they must read the
+// wall clock; the determinism rule governs fault generation, which
+// stays fully seeded.
+func stopwatch() func() time.Duration {
+	//lint:ignore determinism real-elapsed-time guard: asserts the query budget bounds wall-clock latency, which only the wall clock can witness
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
 func counter(mw *core.Middleware, name string, labels obs.Labels) uint64 {
 	return mw.Metrics().Counter(name, labels).Value()
 }
@@ -122,9 +133,9 @@ func TestChaosBudgetBoundsLatencyUnderHangs(t *testing.T) {
 		RetryBackoff: -1,
 	})
 
-	start := time.Now()
+	stop := stopwatch()
 	res, err := mw.Query(context.Background(), "SELECT product")
-	elapsed := time.Since(start)
+	elapsed := stop()
 	if err != nil {
 		t.Fatalf("query must degrade, not fail: %v", err)
 	}

@@ -111,6 +111,7 @@ func TestStartTraceNestsUnderActiveSpan(t *testing.T) {
 func TestAdoptGrafts(t *testing.T) {
 	tr := NewTracer(2)
 	_, local := tr.StartTrace(context.Background(), "client")
+	defer local.End()
 	remote := &Span{TraceID: local.TraceID, ID: "remote1", Name: "http_query"}
 	local.Adopt(remote)
 	if remote.ParentID != local.ID {

@@ -1,0 +1,44 @@
+package webl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestComparisonErrorUnwrapsThroughLineWrap pins the error-chain
+// contract the errwrap analyzer enforces: the line-number wrap the
+// evaluator adds around a comparison failure must use %w, so callers can
+// still reach the typed CompareError underneath with errors.As (and walk
+// the chain with errors.Unwrap) to classify the failure as a permanent
+// rule bug rather than a transient source fault.
+func TestComparisonErrorUnwrapsThroughLineWrap(t *testing.T) {
+	prog, err := Compile(`var x = "a" < 1;`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	_, err = prog.Run(&Env{})
+	if err == nil {
+		t.Fatal("ordering a string against a number must fail")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("wrap lost the line number: %v", err)
+	}
+
+	var ce *CompareError
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As cannot reach *CompareError through %v", err)
+	}
+	if ce.Left != "string" || ce.Right != "number" {
+		t.Errorf("CompareError = %s vs %s, want string vs number", ce.Left, ce.Right)
+	}
+
+	inner := errors.Unwrap(err)
+	for inner != nil {
+		if _, ok := inner.(*CompareError); ok {
+			return
+		}
+		inner = errors.Unwrap(inner)
+	}
+	t.Error("errors.Unwrap chain never yields the *CompareError")
+}

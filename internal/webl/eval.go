@@ -417,7 +417,7 @@ func (in *interp) evalBinary(x *binaryExpr) (Value, error) {
 	case "<", ">", "<=", ">=":
 		c, err := compareValues(left, right)
 		if err != nil {
-			return nil, fmt.Errorf("webl: line %d: %v", x.line, err)
+			return nil, fmt.Errorf("webl: line %d: %w", x.line, err)
 		}
 		switch x.op {
 		case "<":
@@ -496,6 +496,19 @@ func equalValues(a, b Value) bool {
 	return a == b
 }
 
+// CompareError reports an attempt to order two values whose dynamic
+// types have no defined ordering. It is a typed error so extraction
+// callers can recognize rule-level type mistakes through the line-number
+// wrap with errors.As and classify them as permanent (a bad rule stays
+// bad on retry).
+type CompareError struct {
+	Left, Right string // value type names
+}
+
+func (e *CompareError) Error() string {
+	return fmt.Sprintf("cannot order %s and %s", e.Left, e.Right)
+}
+
 func compareValues(a, b Value) (int, error) {
 	if as, ok := a.(string); ok {
 		if bs, ok := b.(string); ok {
@@ -514,7 +527,7 @@ func compareValues(a, b Value) (int, error) {
 			}
 		}
 	}
-	return 0, fmt.Errorf("cannot order %s and %s", typeName(a), typeName(b))
+	return 0, &CompareError{Left: typeName(a), Right: typeName(b)}
 }
 
 func typeName(v Value) string {
