@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos bench bin clean
+.PHONY: check vet fmt lint build test chaos bench bench-compare bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -24,6 +24,9 @@ fmt:
 build:
 	$(GO) build ./...
 
+# test runs everything under the race detector; the cache-coherence and
+# concurrency suites (plan/schema/compiled-rule invalidation, singleflight
+# dedup, concurrent query+invalidation) rely on -race staying on here.
 test:
 	$(GO) test -race ./...
 
@@ -46,6 +49,14 @@ bench:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/s2s-benchjson > BENCH_lint_baseline.json
 	@echo "wrote BENCH_lint_baseline.json"
+
+# bench-compare re-runs the benchmark families and diffs them against
+# the committed baseline, failing on any >20% ns/op regression. Use a
+# longer BENCHTIME (e.g. 1s) for trustworthy numbers on noisy machines.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/s2s-benchjson > /tmp/s2s-bench-current.json
+	$(GO) run ./cmd/s2s-benchjson -compare BENCH_lint_baseline.json /tmp/s2s-bench-current.json
 
 # bin builds the two executables into ./bin.
 bin:

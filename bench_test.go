@@ -364,6 +364,73 @@ func BenchmarkE12Reasoning(b *testing.B) {
 	})
 }
 
+// BenchmarkE15RepeatedQuery — hot-path amortization: the same query
+// repeated against an unchanged world. "cold" disables the rule-result
+// cache so every run pays the full fetch/parse/compile cost; "warm"
+// enables it and pre-warms, so steady-state cost is what the caching
+// layers (rule results, compiled rules, plans, schemas) leave behind.
+// BENCH_query_opt.json records this family before and after the
+// hot-path optimisation pass.
+func BenchmarkE15RepeatedQuery(b *testing.B) {
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 25, Seed: 15,
+	}
+	modes := []struct {
+		name string
+		opts extract.Options
+	}{
+		{"cold", extract.Options{}},
+		{"warm", extract.Options{CacheTTL: time.Hour}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			mw, _ := buildMW(b, spec, mode.opts)
+			ctx := context.Background()
+			if _, err := mw.Query(ctx, paperQuery); err != nil { // warm caches & page servers
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, paperQuery)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatalf("errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE16ConcurrentQuery — N goroutines issuing the identical
+// query against one middleware, warm caches. Exercises cache-read
+// contention (sharded rule cache) and duplicate-fill suppression
+// (singleflight).
+func BenchmarkE16ConcurrentQuery(b *testing.B) {
+	mw, _ := buildMW(b, workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 25, Seed: 16,
+	}, extract.Options{CacheTTL: time.Hour})
+	ctx := context.Background()
+	if _, err := mw.Query(ctx, paperQuery); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := mw.Query(ctx, paperQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Errors) > 0 {
+				b.Fatalf("errors: %v", res.Errors)
+			}
+		}
+	})
+}
+
 // BenchmarkE10Transport — the middleware behind HTTP.
 func BenchmarkE10Transport(b *testing.B) {
 	mw, _ := buildMW(b, workload.Spec{

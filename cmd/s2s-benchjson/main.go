@@ -7,15 +7,25 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | s2s-benchjson > baseline.json
+//
+// With -compare, the command instead diffs two previously recorded
+// baselines benchmark by benchmark and exits non-zero when any shared
+// benchmark's ns/op regressed by more than -threshold percent (20 by
+// default), so `make bench-compare` can gate perf changes:
+//
+//	s2s-benchjson -compare old.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +53,32 @@ type Baseline struct {
 var benchRe = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
 
 func main() {
+	compare := flag.Bool("compare", false, "diff two baseline JSON files instead of converting bench output")
+	threshold := flag.Float64("threshold", 20, "with -compare, fail on ns/op regressions above this percentage")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "s2s-benchjson: -compare needs exactly two baseline files: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readBaseline(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2s-benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := readBaseline(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2s-benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed := compareBaselines(old, cur, *threshold, os.Stdout); len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "s2s-benchjson: %d benchmark(s) regressed more than %.0f%%: %s\n",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
+
 	base := Baseline{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -66,6 +102,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "s2s-benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readBaseline loads one persisted baseline document.
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// compareBaselines prints a per-benchmark delta table and returns the
+// names whose ns/op regressed by more than threshold percent. Benchmarks
+// present in only one document are reported but never fail the compare:
+// added or retired benchmarks are not regressions.
+func compareBaselines(old, cur Baseline, threshold float64, w io.Writer) []string {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var regressed []string
+	seen := make(map[string]bool, len(cur.Results))
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range cur.Results {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSED"
+			regressed = append(regressed, nr.Name)
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
+		if or.AllocsPerOp != 0 || nr.AllocsPerOp != 0 {
+			fmt.Fprintf(w, "%-52s %14d %14d  (allocs/op)\n", "", or.AllocsPerOp, nr.AllocsPerOp)
+		}
+	}
+	var gone []string
+	for _, or := range old.Results {
+		if !seen[or.Name] {
+			gone = append(gone, or.Name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-52s %14s %14s %9s\n", name, "-", "-", "removed")
+	}
+	return regressed
 }
 
 // parseLine parses one benchmark result line; ok is false for

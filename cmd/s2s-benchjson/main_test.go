@@ -1,6 +1,39 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBaselines(t *testing.T) {
+	old := Baseline{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 50},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}}
+	cur := Baseline{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: 40}, // +10%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 2500},                  // +25%: regression
+		{Name: "BenchmarkNew", NsPerOp: 5},
+	}}
+	var out strings.Builder
+	regressed := compareBaselines(old, cur, 20, &out)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSED", "new", "removed", "BenchmarkGone", "allocs/op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+
+	// A faster run is never a regression, whatever the margin.
+	fast := Baseline{Results: []Result{{Name: "BenchmarkB", NsPerOp: 100}}}
+	if got := compareBaselines(old, fast, 20, &out); len(got) != 0 {
+		t.Errorf("speedup flagged as regression: %v", got)
+	}
+}
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkE1EndToEnd-8   \t     123\t   9876543 ns/op\t  123456 B/op\t    1234 allocs/op")

@@ -36,6 +36,9 @@ type Config struct {
 	// TraceCapacity bounds the in-memory ring of completed query traces;
 	// 0 uses obs.DefaultTraceCapacity.
 	TraceCapacity int
+	// PlanCacheSize bounds the S2SQL plan cache (query string → compiled
+	// plan); 0 uses DefaultPlanCacheSize, negative disables the cache.
+	PlanCacheSize int
 }
 
 // Middleware is the S2S middleware instance.
@@ -45,6 +48,7 @@ type Middleware struct {
 	repo    *mapping.Repository
 	manager *extract.Manager
 	gen     *instance.Generator
+	plans   *planCache
 
 	tracer  *obs.Tracer
 	metrics *obs.Registry
@@ -94,6 +98,7 @@ func New(cfg Config) (*Middleware, error) {
 		repo:    repo,
 		manager: extract.NewManager(repo, cfg.Backends, cfg.Extract),
 		gen:     instance.NewGenerator(cfg.Ontology, repo),
+		plans:   newPlanCache(cfg.PlanCacheSize),
 		tracer:  obs.NewTracer(cfg.TraceCapacity),
 		metrics: obs.NewRegistry(),
 	}, nil
@@ -123,18 +128,45 @@ func (m *Middleware) Metrics() *obs.Registry { return m.metrics }
 
 // RegisterSource adds a data source definition (paper §2.3.2).
 func (m *Middleware) RegisterSource(def datasource.Definition) error {
-	return m.sources.Register(def)
+	if err := m.sources.Register(def); err != nil {
+		return err
+	}
+	m.invalidateCaches()
+	return nil
 }
 
 // RegisterMapping adds an attribute mapping (paper §2.3.1).
 func (m *Middleware) RegisterMapping(e mapping.Entry) error {
-	return m.repo.Register(e)
+	if err := m.repo.Register(e); err != nil {
+		return err
+	}
+	m.invalidateCaches()
+	return nil
 }
 
 // SetClassKey declares the cross-source identity attribute of a class.
 func (m *Middleware) SetClassKey(class, attributeID string) error {
-	return m.repo.SetClassKey(class, attributeID)
+	if err := m.repo.SetClassKey(class, attributeID); err != nil {
+		return err
+	}
+	m.invalidateCaches()
+	return nil
 }
+
+// invalidateCaches flushes every cache whose contents could be stale
+// after a catalog mutation: the plan cache here and the extractor
+// manager's compiled-rule and result caches. Called after each
+// successful RegisterSource/RegisterMapping/SetClassKey so a remapped
+// rule can never serve results compiled or cached under the old
+// mapping.
+func (m *Middleware) invalidateCaches() {
+	m.plans.invalidate()
+	m.manager.InvalidateCache()
+}
+
+// PlanCacheLen reports the number of cached query plans (introspection
+// for tests and the ops surface).
+func (m *Middleware) PlanCacheLen() int { return m.plans.len() }
 
 // beginQuery opens the query's trace root (joining any trace already
 // active in ctx), injects the metrics registry, and returns the finish
@@ -171,12 +203,22 @@ func (m *Middleware) beginQuery(ctx context.Context, query string) (context.Cont
 func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result, error) {
 	planStart := time.Now()
 	_, pspan, pdone := obs.StartStage(ctx, "parse_plan")
-	plan, err := s2sql.ParseAndPlan(query, m.ont)
+	plan := m.plans.get(query)
+	if plan != nil {
+		pspan.SetAttr("plan_cache", "hit")
+	} else {
+		pspan.SetAttr("plan_cache", "miss")
+		var err error
+		plan, err = s2sql.ParseAndPlan(query, m.ont)
+		if err != nil {
+			pdone()
+			m.stats.planNS.Add(int64(time.Since(planStart)))
+			return nil, err
+		}
+		m.plans.put(query, plan)
+	}
 	pdone()
 	m.stats.planNS.Add(int64(time.Since(planStart)))
-	if err != nil {
-		return nil, err
-	}
 	pspan.SetAttr("attributes", strconv.Itoa(len(plan.AttributeIDs())))
 
 	rs, err := m.manager.Extract(ctx, plan.AttributeIDs())

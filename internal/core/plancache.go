@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/s2sql"
+)
+
+// DefaultPlanCacheSize is the plan cache's entry bound when
+// Config.PlanCacheSize is 0.
+const DefaultPlanCacheSize = 512
+
+// planCache memoizes S2SQL query strings to their compiled plans. Plans
+// depend on the query text and the ontology, so the middleware flushes
+// the cache on every mutation that could affect planning or downstream
+// rule execution (RegisterSource, RegisterMapping, SetClassKey) —
+// conservatively: correctness never rides on knowing which mutations
+// matter. Cached plans are shared across queries and must be treated as
+// read-only; every consumer in the pipeline only reads them.
+//
+// The cache is bounded: when it reaches capacity it flushes wholesale
+// rather than tracking recency, which is free on the hot path and
+// pathological only for workloads with more distinct hot query strings
+// than the bound — those can raise Config.PlanCacheSize.
+type planCache struct {
+	cap int
+
+	mu sync.RWMutex
+	m  map[string]*s2sql.Plan
+}
+
+// newPlanCache returns a cache bounded to size entries (0 means
+// DefaultPlanCacheSize), or nil — every method is nil-safe and a miss —
+// when size is negative (caching disabled).
+func newPlanCache(size int) *planCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	return &planCache{cap: size, m: make(map[string]*s2sql.Plan)}
+}
+
+func (c *planCache) get(query string) *s2sql.Plan {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[query]
+}
+
+func (c *planCache) put(query string, p *s2sql.Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		c.m = make(map[string]*s2sql.Plan, c.cap)
+	}
+	c.m[query] = p
+	c.mu.Unlock()
+}
+
+func (c *planCache) invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m = make(map[string]*s2sql.Plan)
+	c.mu.Unlock()
+}
+
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

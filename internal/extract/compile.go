@@ -1,0 +1,273 @@
+package extract
+
+import (
+	"regexp"
+	"sync"
+
+	"repro/internal/htmldoc"
+	"repro/internal/mapping"
+	"repro/internal/reldb"
+	"repro/internal/selector"
+	"repro/internal/sqllang"
+	"repro/internal/webl"
+	"repro/internal/xmlpath"
+)
+
+// compiledRule holds a rule's pre-compiled artifacts so the hot path
+// never re-parses rule text. Exactly one language slot is populated.
+//
+// Error semantics preserve the uncompiled path byte for byte: WebL,
+// selector, and transform compilation always happened in the manager
+// (errors are Permanent), so their failures are recorded here and
+// surfaced the same way; SQL, XPath, and regex compilation happened
+// inside the backend, so a failed compile leaves the slot nil and the
+// extractor falls back to the backend's own Extract call, reproducing
+// the backend's error text and retry classification.
+type compiledRule struct {
+	sql   *sqllang.Select
+	xpath *xmlpath.Path
+	regex *regexp.Regexp
+
+	webl    *webl.Program
+	weblErr error
+
+	selector    *selector.Selector
+	selectorErr error
+
+	transform    *webl.Program
+	transformErr error
+}
+
+// compiledKey identifies a rule by everything compilation depends on.
+// Source identity is deliberately absent: the same rule text mapped to
+// two sources compiles once.
+func compiledKey(rule mapping.Rule) string {
+	return rule.Language.String() + "\x00" + rule.Code + "\x00" + rule.Transform
+}
+
+// compileArtifacts compiles every artifact the rule needs. Pure: same
+// rule in, same artifacts out, no I/O.
+func compileArtifacts(rule mapping.Rule) *compiledRule {
+	cr := &compiledRule{}
+	switch rule.Language {
+	case mapping.LangSQL:
+		if stmt, err := sqllang.Parse(rule.Code); err == nil {
+			if sel, ok := stmt.(*sqllang.Select); ok {
+				cr.sql = sel
+			}
+		}
+	case mapping.LangXPath:
+		if p, err := xmlpath.Compile(rule.Code); err == nil {
+			cr.xpath = p
+		}
+	case mapping.LangRegex:
+		if re, err := regexp.Compile(rule.Code); err == nil {
+			cr.regex = re
+		}
+	case mapping.LangWebL:
+		cr.webl, cr.weblErr = webl.Compile(rule.Code)
+	case mapping.LangSelector:
+		cr.selector, cr.selectorErr = selector.Compile(rule.Code)
+	}
+	cr.transform, cr.transformErr = rule.TransformProgram()
+	return cr
+}
+
+// compiledCache memoizes compileArtifacts per rule. Compiled programs
+// are immutable and every executor takes per-run state (webl.Program
+// builds a fresh interpreter per Run), so one artifact serves all
+// goroutines. A racing double compile is tolerated — the first stored
+// entry wins — because compilation is pure and rare.
+type compiledCache struct {
+	mu sync.RWMutex
+	m  map[string]*compiledRule
+}
+
+func (c *compiledCache) get(rule mapping.Rule) *compiledRule {
+	key := compiledKey(rule)
+	c.mu.RLock()
+	cr := c.m[key]
+	c.mu.RUnlock()
+	if cr != nil {
+		return cr
+	}
+	cr = compileArtifacts(rule)
+	c.mu.Lock()
+	if existing := c.m[key]; existing != nil {
+		cr = existing
+	} else {
+		if c.m == nil {
+			c.m = make(map[string]*compiledRule)
+		}
+		c.m[key] = cr
+	}
+	c.mu.Unlock()
+	return cr
+}
+
+func (c *compiledCache) clear() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+
+func (c *compiledCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// xmlGetter is the optional backend upgrade the shared-document fast
+// path needs for XML sources: access to the parsed document itself
+// (*xmlstore.Store implements it). Wrappers that only implement
+// DocExtractor (fault injection, remote proxies) keep the legacy
+// per-rule Extract path.
+type xmlGetter interface {
+	Get(id string) (*xmlpath.Node, error)
+}
+
+// textGetter is the optional backend upgrade for text sources: raw
+// document content (*textsrc.Store implements it).
+type textGetter interface {
+	Get(id string) (string, error)
+}
+
+// runDocs is the per-Extract-run shared document layer: each source
+// document is fetched/parsed/resolved at most once per run and shared
+// across that run's rules, no matter how many rules read it or how many
+// retries they make. Only successes are memoized — failures pass
+// through so retry behavior and fault-injection call counts are exactly
+// those of the unshared path. Cross-run, concurrent fetches of the same
+// page deduplicate through the manager's docFlight singleflight group;
+// completed fetches leave no residue there, so document freshness stays
+// per run.
+type runDocs struct {
+	m *Manager
+
+	mu    sync.Mutex
+	pages map[string]string        // URL → page content
+	html  map[string]*htmldoc.Node // URL → parsed DOM
+	xml   map[string]*xmlpath.Node // path → parsed document root
+	text  map[string]string        // path → document content
+	dbs   map[string]*reldb.DB     // DSN → resolved handle
+}
+
+func (m *Manager) newRunDocs() *runDocs {
+	return &runDocs{
+		m:     m,
+		pages: make(map[string]string),
+		html:  make(map[string]*htmldoc.Node),
+		xml:   make(map[string]*xmlpath.Node),
+		text:  make(map[string]string),
+		dbs:   make(map[string]*reldb.DB),
+	}
+}
+
+// page fetches a URL through f, once per run per URL. The fetcher is a
+// parameter rather than a field so context-bound fetchers stay scoped
+// to the rule that made them.
+func (d *runDocs) page(f webl.Fetcher, url string) (string, error) {
+	d.mu.Lock()
+	if v, ok := d.pages[url]; ok {
+		d.mu.Unlock()
+		return v, nil
+	}
+	d.mu.Unlock()
+	v, err, _ := d.m.docFlight.Do("page\x00"+url, func() (any, error) {
+		return f.Fetch(url)
+	})
+	if err != nil {
+		return "", err
+	}
+	s := v.(string)
+	d.mu.Lock()
+	d.pages[url] = s
+	d.mu.Unlock()
+	return s, nil
+}
+
+// htmlRoot returns the parsed DOM of a page, fetching and parsing at
+// most once per run.
+func (d *runDocs) htmlRoot(f webl.Fetcher, url string) (*htmldoc.Node, error) {
+	d.mu.Lock()
+	if n, ok := d.html[url]; ok {
+		d.mu.Unlock()
+		return n, nil
+	}
+	d.mu.Unlock()
+	src, err := d.page(f, url)
+	if err != nil {
+		return nil, err
+	}
+	v, _, _ := d.m.docFlight.Do("html\x00"+url, func() (any, error) {
+		return htmldoc.Parse(src), nil
+	})
+	n := v.(*htmldoc.Node)
+	d.mu.Lock()
+	d.html[url] = n
+	d.mu.Unlock()
+	return n, nil
+}
+
+// xmlRoot resolves a parsed XML document once per run.
+func (d *runDocs) xmlRoot(g xmlGetter, path string) (*xmlpath.Node, error) {
+	d.mu.Lock()
+	if n, ok := d.xml[path]; ok {
+		d.mu.Unlock()
+		return n, nil
+	}
+	d.mu.Unlock()
+	n, err := g.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.xml[path] = n
+	d.mu.Unlock()
+	return n, nil
+}
+
+// textContent resolves a text document once per run.
+func (d *runDocs) textContent(g textGetter, path string) (string, error) {
+	d.mu.Lock()
+	if s, ok := d.text[path]; ok {
+		d.mu.Unlock()
+		return s, nil
+	}
+	d.mu.Unlock()
+	s, err := g.Get(path)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.text[path] = s
+	d.mu.Unlock()
+	return s, nil
+}
+
+// db resolves a database handle once per run.
+func (d *runDocs) db(resolve func(dsn string) (*reldb.DB, error), dsn string) (*reldb.DB, error) {
+	d.mu.Lock()
+	if h, ok := d.dbs[dsn]; ok {
+		d.mu.Unlock()
+		return h, nil
+	}
+	d.mu.Unlock()
+	h, err := resolve(dsn)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.dbs[dsn] = h
+	d.mu.Unlock()
+	return h, nil
+}
+
+// memoFetcher routes WebL GetURL calls through the run's shared page
+// memo so programs against one page fetch it once per run.
+type memoFetcher struct {
+	docs *runDocs
+	next webl.Fetcher
+}
+
+func (f memoFetcher) Fetch(url string) (string, error) { return f.docs.page(f.next, url) }

@@ -34,7 +34,8 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/reldb"
-	"repro/internal/selector"
+	"repro/internal/singleflight"
+	"repro/internal/textsrc"
 	"repro/internal/webl"
 )
 
@@ -165,6 +166,13 @@ type Options struct {
 	// Parallelism bounds concurrent source extractions; 0 means
 	// DefaultParallelism, 1 forces sequential extraction.
 	Parallelism int
+	// RuleParallelism bounds concurrent rule executions within one
+	// source's plan; 0 means DefaultRuleParallelism, 1 runs a source's
+	// rules sequentially. Results keep the plan's deterministic entry
+	// order regardless of the setting, and the per-run shared document
+	// layer guarantees concurrent rules still fetch and parse each
+	// source document once.
+	RuleParallelism int
 	// Timeout bounds each source's total extraction time; 0 means
 	// DefaultTimeout.
 	Timeout time.Duration
@@ -214,6 +222,7 @@ type Options struct {
 // Defaults for Options.
 const (
 	DefaultParallelism     = 8
+	DefaultRuleParallelism = 4
 	DefaultTimeout         = 10 * time.Second
 	DefaultRetryBackoff    = 20 * time.Millisecond
 	DefaultRetryBackoffCap = 2 * time.Second
@@ -225,10 +234,28 @@ type Manager struct {
 	backends Backends
 	opts     Options
 
-	cacheMu sync.Mutex
-	cache   map[string]cacheEntry
+	// cache is the sharded rule-result cache; nil unless CacheTTL > 0.
+	cache *shardedCache
+	// compiled memoizes per-rule compiled artifacts (always on:
+	// compilation is pure, so there is no freshness to trade).
+	compiled compiledCache
+	// flight deduplicates concurrent fills of one rule-cache key;
+	// docFlight deduplicates concurrent fetches of one source document.
+	flight    singleflight.Group
+	docFlight singleflight.Group
 
 	breaker *breaker
+
+	// srcMetricsMu guards the memoized per-source metric handles: the
+	// labels maps and series lookups for a source's steady-state metrics
+	// are resolved once per (registry, source), not once per query.
+	srcMetricsMu  sync.Mutex
+	srcMetricsFor map[string]srcMetrics
+	srcMetricsReg *obs.Registry
+
+	// keyMemoMu guards keyMemo; see cacheKeyFor.
+	keyMemoMu sync.RWMutex
+	keyMemo   map[*mapping.Entry]string
 
 	// sleep and randFloat are the backoff hooks; tests inject a recording
 	// sleep and a deterministic rand to assert jittered delays exactly.
@@ -238,16 +265,14 @@ type Manager struct {
 	randFloat func() float64
 }
 
-type cacheEntry struct {
-	values []string
-	at     time.Time
-}
-
 // NewManager builds an extractor manager over an attribute repository and
 // content backends.
 func NewManager(repo *mapping.Repository, backends Backends, opts Options) *Manager {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = DefaultParallelism
+	}
+	if opts.RuleParallelism <= 0 {
+		opts.RuleParallelism = DefaultRuleParallelism
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
@@ -260,7 +285,7 @@ func NewManager(repo *mapping.Repository, backends Backends, opts Options) *Mana
 	}
 	m := &Manager{repo: repo, backends: backends, opts: opts, breaker: newBreaker(opts.Breaker)}
 	if opts.CacheTTL > 0 {
-		m.cache = make(map[string]cacheEntry)
+		m.cache = newShardedCache(opts.CacheTTL)
 	}
 	m.sleep = sleepCtx
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -303,47 +328,91 @@ func (m *Manager) backoffDelay(attempt int) time.Duration {
 	return time.Duration(f * float64(ceil))
 }
 
-// InvalidateCache drops every cached rule result.
+// InvalidateCache drops every cached rule result and every compiled
+// rule artifact. The middleware calls it whenever mappings, sources, or
+// class keys change, so a remapped rule can never serve results (or
+// compiled code) from its previous registration.
 func (m *Manager) InvalidateCache() {
-	if m.cache == nil {
-		return
+	m.compiled.clear()
+	if m.cache != nil {
+		m.cache.clear()
 	}
-	m.cacheMu.Lock()
-	m.cache = make(map[string]cacheEntry)
-	m.cacheMu.Unlock()
+	m.keyMemoMu.Lock()
+	m.keyMemo = nil
+	m.keyMemoMu.Unlock()
+}
+
+// keyMemoBound caps the result-cache key memo; past it the memo is
+// flushed wholesale, like the other bounded caches in this package.
+const keyMemoBound = 4096
+
+// cacheKeyFor is cacheKey memoized by entry address. Schema plans are
+// cached by the mapping repository and shared across queries, so an
+// Entry's address identifies its contents for as long as the memo holds
+// it (the map key itself keeps the backing array alive, so the address
+// cannot be recycled for a different entry while referenced).
+func (m *Manager) cacheKeyFor(def datasource.Definition, entry *mapping.Entry) string {
+	m.keyMemoMu.RLock()
+	k, ok := m.keyMemo[entry]
+	m.keyMemoMu.RUnlock()
+	if ok {
+		return k
+	}
+	k = cacheKey(def, *entry)
+	m.keyMemoMu.Lock()
+	if m.keyMemo == nil || len(m.keyMemo) >= keyMemoBound {
+		m.keyMemo = make(map[*mapping.Entry]string, 64)
+	}
+	m.keyMemo[entry] = k
+	m.keyMemoMu.Unlock()
+	return k
+}
+
+// srcMetrics is one source's steady-state metric handles.
+type srcMetrics struct {
+	okTotal  *obs.Counter   // extract total, outcome "ok"
+	duration *obs.Histogram // extract duration
+	retries  *obs.Counter   // retry count
+}
+
+// sourceMetrics resolves (and memoizes) a source's steady-state metric
+// handles against reg. A registry change — tests wiring a fresh one —
+// resets the memo; every handle is nil-safe when reg is nil.
+func (m *Manager) sourceMetrics(reg *obs.Registry, sourceID string) srcMetrics {
+	m.srcMetricsMu.Lock()
+	defer m.srcMetricsMu.Unlock()
+	if m.srcMetricsReg != reg || m.srcMetricsFor == nil {
+		m.srcMetricsReg = reg
+		m.srcMetricsFor = make(map[string]srcMetrics)
+	}
+	sm, ok := m.srcMetricsFor[sourceID]
+	if !ok {
+		sm = srcMetrics{
+			okTotal:  reg.Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": sourceID, "outcome": "ok"}),
+			duration: reg.Histogram(obs.MetricSourceExtractDuration, obs.Labels{"source": sourceID}),
+			retries:  reg.Counter(obs.MetricSourceRetries, obs.Labels{"source": sourceID}),
+		}
+		m.srcMetricsFor[sourceID] = sm
+	}
+	return sm
+}
+
+// CompiledRuleCount reports how many distinct rules currently hold
+// compiled artifacts (ops introspection; coherence tests assert it
+// drops to zero on invalidation).
+func (m *Manager) CompiledRuleCount() int { return m.compiled.len() }
+
+// CachedRuleResults reports how many rule results (fresh or stale) the
+// result cache currently holds; 0 when caching is off.
+func (m *Manager) CachedRuleResults() int {
+	if m.cache == nil {
+		return 0
+	}
+	return m.cache.len()
 }
 
 func cacheKey(def datasource.Definition, entry mapping.Entry) string {
 	return def.ID + "\x00" + entry.Rule.Language.String() + "\x00" + entry.Rule.Code + "\x00" + entry.Rule.Column
-}
-
-func (m *Manager) cacheGet(key string) ([]string, bool) {
-	m.cacheMu.Lock()
-	defer m.cacheMu.Unlock()
-	e, ok := m.cache[key]
-	if !ok || time.Since(e.at) > m.opts.CacheTTL {
-		// Expired entries stay in the map: they are the serve-stale
-		// reserve graceful degradation draws on when a source is down.
-		return nil, false
-	}
-	return e.values, true
-}
-
-// cacheGetStale returns a cache entry regardless of TTL, with its age.
-func (m *Manager) cacheGetStale(key string) (values []string, age time.Duration, ok bool) {
-	m.cacheMu.Lock()
-	defer m.cacheMu.Unlock()
-	e, ok := m.cache[key]
-	if !ok {
-		return nil, 0, false
-	}
-	return e.values, time.Since(e.at), true
-}
-
-func (m *Manager) cachePut(key string, values []string) {
-	m.cacheMu.Lock()
-	m.cache[key] = cacheEntry{values: values, at: time.Now()}
-	m.cacheMu.Unlock()
 }
 
 // Extract runs the four-step process for the given attribute list. When
@@ -378,6 +447,20 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 	rs.Missing = missing
 	rs.Stats.SchemaDuration = time.Since(start)
 
+	// Pre-size the fragment slice to the plan's rule count: the common
+	// all-sources-healthy run appends exactly one fragment per entry.
+	totalEntries := 0
+	for _, p := range plans {
+		totalEntries += len(p.Entries)
+	}
+	rs.Fragments = make([]Fragment, 0, totalEntries)
+
+	// Per-run shared state: the document layer (each source document is
+	// fetched/parsed once per run, shared across rules) and memoized
+	// cache-lookup counters (resolved once, not per rule).
+	docs := m.newRunDocs()
+	rm := newRunMetrics(metrics)
+
 	// Step 4: delegate a specific extractor per source, concurrently.
 	extractStart := time.Now()
 	var (
@@ -401,7 +484,7 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 				return
 			}
 			sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
-			frags, errs, run := m.extractSource(sctx, plan)
+			frags, errs, run := m.extractSource(sctx, plan, docs, rm)
 			mu.Lock()
 			rs.Fragments = append(rs.Fragments, frags...)
 			rs.Errors = append(rs.Errors, errs...)
@@ -503,14 +586,31 @@ type sourceRun struct {
 	exhausted bool // at least one rule failed after its full retry budget
 }
 
+// runMetrics holds the cache-lookup counter handles for one extraction
+// run. Resolving a counter costs a label-map allocation and a registry
+// lookup; the rule hot loop increments these per rule, so the handles
+// are resolved once per run instead. All methods are nil-safe, matching
+// the no-registry case.
+type runMetrics struct {
+	cacheHit, cacheMiss, cacheStale *obs.Counter
+}
+
+func newRunMetrics(metrics *obs.Registry) runMetrics {
+	return runMetrics{
+		cacheHit:   metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheHit}),
+		cacheMiss:  metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheMiss}),
+		cacheStale: metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheStale}),
+	}
+}
+
 // extractSource runs every rule of one source plan under the per-source
 // timeout, honoring the circuit breaker. The span and metrics registry
 // carried by ctx (if any) receive the per-source annotations: kind,
 // outcome, retries, cache hits, and breaker state.
-func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (frags []Fragment, errs []SourceError, run sourceRun) {
+func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, docs *runDocs, rm runMetrics) (frags []Fragment, errs []SourceError, run sourceRun) {
 	span := obs.SpanFromContext(ctx)
 	metrics := obs.MetricsFromContext(ctx)
-	srcLabels := obs.Labels{"source": plan.Source.ID}
+	sm := m.sourceMetrics(metrics, plan.Source.ID)
 	start := time.Now()
 	outcome := "ok"
 	defer func() {
@@ -521,10 +621,14 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 			span.SetAttr("cache_hits", strconv.Itoa(run.cacheHits))
 		}
 		span.End()
-		metrics.Counter(obs.MetricSourceExtractTotal,
-			obs.Labels{"source": plan.Source.ID, "outcome": outcome}).Inc()
-		metrics.Histogram(obs.MetricSourceExtractDuration, srcLabels).Observe(time.Since(start).Seconds())
-		metrics.Counter(obs.MetricSourceRetries, srcLabels).Add(uint64(run.retries))
+		if outcome == "ok" {
+			sm.okTotal.Inc()
+		} else {
+			metrics.Counter(obs.MetricSourceExtractTotal,
+				obs.Labels{"source": plan.Source.ID, "outcome": outcome}).Inc()
+		}
+		sm.duration.Observe(time.Since(start).Seconds())
+		sm.retries.Add(uint64(run.retries))
 	}()
 
 	if !m.breaker.allow(plan.Source.ID) {
@@ -536,21 +640,70 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 		}}, run
 	}
 
-	ctx, cancel := context.WithTimeout(ctx, m.opts.Timeout)
-	defer cancel()
+	// Answer fresh cache hits inline first — a fully warm source then
+	// skips the timeout context, the simulated latency sleep, and the
+	// rule worker pool entirely — and send only the misses to the pool.
+	// Results land in entry order, so fragments, errors, and degradation
+	// records stay deterministic regardless of the parallelism setting.
+	// The scratch buffers are pooled: nothing below retains them past the
+	// deferred release (fragment values are slice headers copied out).
+	scratch := scratchPool.Get().(*sourceScratch)
+	defer scratch.release()
+	results := scratch.resultsFor(len(plan.Entries))
+	pending := scratch.pending[:0]
+	if m.cache != nil {
+		for i := range plan.Entries {
+			if cached, ok := m.cache.get(m.cacheKeyFor(plan.Source, &plan.Entries[i])); ok {
+				rm.cacheHit.Inc()
+				results[i] = ruleResult{values: cached, cacheHit: true}
+				continue
+			}
+			pending = append(pending, i)
+		}
+	} else {
+		for i := range plan.Entries {
+			pending = append(pending, i)
+		}
+	}
+	scratch.pending = pending
 
-	if m.opts.SimulatedLatency > 0 {
-		select {
-		case <-time.After(m.opts.SimulatedLatency):
-		case <-ctx.Done():
-			outcome = "canceled"
-			return nil, []SourceError{{SourceID: plan.Source.ID, Err: ctx.Err()}}, run
+	if len(pending) > 0 {
+		ctx, cancel := context.WithTimeout(ctx, m.opts.Timeout)
+		defer cancel()
+
+		if m.opts.SimulatedLatency > 0 {
+			select {
+			case <-time.After(m.opts.SimulatedLatency):
+			case <-ctx.Done():
+				outcome = "canceled"
+				return nil, []SourceError{{SourceID: plan.Source.ID, Err: ctx.Err()}}, run
+			}
+		}
+
+		if rp := m.opts.RuleParallelism; rp > 1 && len(pending) > 1 {
+			var rwg sync.WaitGroup
+			rsem := make(chan struct{}, rp)
+			for _, i := range pending {
+				rwg.Add(1)
+				go func(i int) {
+					defer rwg.Done()
+					rsem <- struct{}{}
+					defer func() { <-rsem }()
+					results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm)
+				}(i)
+			}
+			rwg.Wait()
+		} else {
+			for _, i := range pending {
+				results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm)
+			}
 		}
 	}
 
+	frags = make([]Fragment, 0, len(plan.Entries))
 	anyFailed := false
-	for _, entry := range plan.Entries {
-		res := m.runRuleWithRetry(ctx, plan.Source, entry)
+	for i, entry := range plan.Entries {
+		res := results[i]
 		run.retries += res.attempts
 		if res.cacheHit {
 			run.cacheHits++
@@ -601,9 +754,41 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan) (f
 	// misbehaved even though the query was answered.
 	if m.breaker.report(plan.Source.ID, anyFailed || len(run.degraded) > 0) {
 		span.SetAttr("breaker", "tripped")
-		metrics.Counter(obs.MetricBreakerTrips, srcLabels).Inc()
+		metrics.Counter(obs.MetricBreakerTrips, obs.Labels{"source": plan.Source.ID}).Inc()
 	}
 	return frags, errs, run
+}
+
+// sourceScratch is extractSource's pooled per-call working memory: the
+// in-order rule results and the pending (cache-miss) index list. Pooling
+// them keeps the fully-warm path from allocating per source per query.
+type sourceScratch struct {
+	results []ruleResult
+	pending []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(sourceScratch) }}
+
+// resultsFor returns a zeroed results slice of length n, reusing the
+// pooled backing array when it is large enough.
+func (s *sourceScratch) resultsFor(n int) []ruleResult {
+	if cap(s.results) < n {
+		s.results = make([]ruleResult, n)
+	}
+	s.results = s.results[:n]
+	for i := range s.results {
+		s.results[i] = ruleResult{}
+	}
+	return s.results
+}
+
+// release drops value references (so cached extraction results are not
+// pinned by the pool) and returns the scratch to the pool.
+func (s *sourceScratch) release() {
+	for i := range s.results {
+		s.results[i] = ruleResult{}
+	}
+	scratchPool.Put(s)
 }
 
 // ruleResult is the outcome of one rule execution (with retries).
@@ -621,29 +806,51 @@ type ruleResult struct {
 	err       error
 }
 
-// runRuleWithRetry executes one rule with bounded retries: full-jitter
+// runRuleWithRetry answers one rule: from the result cache when fresh,
+// otherwise by live execution behind a per-key singleflight, so N
+// concurrent identical extractions (the same rule racing across
+// concurrent queries) cost one backend round trip — waiters share the
+// leader's result.
+func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry, docs *runDocs, rm runMetrics) ruleResult {
+	if m.cache == nil {
+		return m.runRuleLive(ctx, def, entry, docs, rm, "")
+	}
+	key := cacheKey(def, entry)
+	if cached, ok := m.cache.get(key); ok {
+		rm.cacheHit.Inc()
+		return ruleResult{values: cached, cacheHit: true}
+	}
+	rm.cacheMiss.Inc()
+	v, _, shared := m.flight.Do(key, func() (any, error) {
+		return m.runRuleLive(ctx, def, entry, docs, rm, key), nil
+	})
+	res := v.(ruleResult)
+	if shared {
+		// Waiters did none of the leader's work: they performed no
+		// retries of their own, and a successfully shared fill is a
+		// cache hit from the waiter's point of view.
+		res.attempts = 0
+		if res.err == nil && res.stale == 0 {
+			res.cacheHit = true
+		}
+	}
+	return res
+}
+
+// runRuleLive executes one rule with bounded retries: full-jitter
 // exponential backoff between attempts, fail-fast on Permanent errors,
 // and — when the rule cache holds an expired entry — serve-stale
-// degradation after the retry budget is spent.
-func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry) ruleResult {
-	metrics := obs.MetricsFromContext(ctx)
-	var key string
-	if m.cache != nil {
-		key = cacheKey(def, entry)
-		if cached, ok := m.cacheGet(key); ok {
-			metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheHit}).Inc()
-			return ruleResult{values: cached, cacheHit: true}
-		}
-		metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheMiss}).Inc()
-	}
+// degradation after the retry budget is spent. key is the result-cache
+// key, or "" when caching is off.
+func (m *Manager) runRuleLive(ctx context.Context, def datasource.Definition, entry mapping.Entry, docs *runDocs, rm runMetrics, key string) ruleResult {
 	var res ruleResult
 	for attempt := 0; ; attempt++ {
 		var values []string
 		var err error
-		values, err = m.runRule(ctx, def, entry)
+		values, err = m.runRule(ctx, def, entry, docs)
 		if err == nil {
 			if m.cache != nil {
-				m.cachePut(key, values)
+				m.cache.put(key, values)
 			}
 			res.values = values
 			res.attempts = attempt
@@ -668,8 +875,8 @@ func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definitio
 	}
 	// Graceful degradation: an expired cache entry beats a failure.
 	if m.cache != nil && !m.opts.DisableServeStale {
-		if stale, age, ok := m.cacheGetStale(key); ok {
-			metrics.Counter(obs.MetricCacheLookups, obs.Labels{"outcome": obs.OutcomeCacheStale}).Inc()
+		if stale, age, ok := m.cache.getStale(key); ok {
+			rm.cacheStale.Inc()
 			return ruleResult{
 				values:    stale,
 				attempts:  res.attempts,
@@ -683,11 +890,14 @@ func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definitio
 }
 
 // runRule delegates to the extractor for the source's kind, then applies
-// the rule's value transform, if any.
-func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry mapping.Entry) ([]string, error) {
+// the rule's value transform, if any. Compiled artifacts come from the
+// manager's compiled-rule cache; source documents from the run's shared
+// document layer.
+func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry mapping.Entry, docs *runDocs) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cr := m.compiled.get(entry.Rule)
 	type outcome struct {
 		values []string
 		err    error
@@ -697,18 +907,18 @@ func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry 
 		var o outcome
 		switch def.Kind {
 		case datasource.KindDatabase:
-			o.values, o.err = m.extractDB(def, entry)
+			o.values, o.err = m.extractDB(def, entry, cr, docs)
 		case datasource.KindXML:
-			o.values, o.err = m.extractXML(def, entry)
+			o.values, o.err = m.extractXML(def, entry, cr, docs)
 		case datasource.KindWeb:
-			o.values, o.err = m.extractWeb(ctx, def, entry)
+			o.values, o.err = m.extractWeb(ctx, def, entry, cr, docs)
 		case datasource.KindText:
-			o.values, o.err = m.extractText(def, entry)
+			o.values, o.err = m.extractText(def, entry, cr, docs)
 		default:
 			o.err = Permanent(fmt.Errorf("extract: no extractor for source kind %d", int(def.Kind)))
 		}
 		if o.err == nil {
-			o.values, o.err = applyTransform(entry.Rule, o.values)
+			o.values, o.err = applyTransform(cr, o.values)
 		}
 		ch <- o
 	}()
@@ -720,16 +930,18 @@ func (m *Manager) runRule(ctx context.Context, def datasource.Definition, entry 
 	}
 }
 
-// applyTransform normalizes each extracted value through the rule's WebL
-// transform expression (with the raw value bound to v).
-func applyTransform(rule mapping.Rule, values []string) ([]string, error) {
-	prog, err := rule.TransformProgram()
-	if err != nil || prog == nil {
-		return values, err
+// applyTransform normalizes each extracted value through the rule's
+// compiled WebL transform expression (with the raw value bound to v).
+func applyTransform(cr *compiledRule, values []string) ([]string, error) {
+	if cr.transformErr != nil {
+		return values, cr.transformErr
+	}
+	if cr.transform == nil {
+		return values, nil
 	}
 	out := make([]string, len(values))
 	for i, raw := range values {
-		globals, err := prog.Run(&webl.Env{Globals: map[string]webl.Value{"v": raw}})
+		globals, err := cr.transform.Run(&webl.Env{Globals: map[string]webl.Value{"v": raw}})
 		if err != nil {
 			return nil, fmt.Errorf("extract: transform of %q: %w", raw, err)
 		}
@@ -746,15 +958,23 @@ func applyTransform(rule mapping.Rule, values []string) ([]string, error) {
 }
 
 // extractDB runs a SQL rule and projects the configured column as strings.
-func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+// The database handle is resolved once per run, and pre-parsed SELECTs
+// skip the per-call SQL parse; a rule whose statement did not pre-parse
+// falls back to the database's own Query for identical error reporting.
+func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry, cr *compiledRule, docs *runDocs) ([]string, error) {
 	if m.backends.DB == nil {
 		return nil, Permanent(errors.New("extract: no database backend configured"))
 	}
-	db, err := m.backends.DB(def.DSN)
+	db, err := docs.db(m.backends.DB, def.DSN)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.Query(entry.Rule.Code)
+	var res *reldb.Result
+	if cr.sql != nil {
+		res, err = db.QuerySelect(cr.sql)
+	} else {
+		res, err = db.Query(entry.Rule.Code)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -785,16 +1005,42 @@ func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry) ([]s
 	return values, nil
 }
 
-func (m *Manager) extractXML(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+// extractXML prefers the shared-document fast path: when the backend
+// exposes its parsed documents (xmlGetter) and the path pre-compiled,
+// the document resolves once per run and the compiled path runs
+// directly. Wrapped backends (fault injection, remote proxies) and
+// rules that failed to pre-compile keep the legacy per-rule Extract
+// call, byte-identical errors included.
+func (m *Manager) extractXML(def datasource.Definition, entry mapping.Entry, cr *compiledRule, docs *runDocs) ([]string, error) {
 	if m.backends.XML == nil {
 		return nil, Permanent(errors.New("extract: no XML backend configured"))
+	}
+	if cr.xpath != nil {
+		if g, ok := m.backends.XML.(xmlGetter); ok {
+			root, err := docs.xmlRoot(g, def.Path)
+			if err != nil {
+				return nil, err
+			}
+			return cr.xpath.SelectStrings(root), nil
+		}
 	}
 	return m.backends.XML.Extract(def.Path, entry.Rule.Code)
 }
 
-func (m *Manager) extractText(def datasource.Definition, entry mapping.Entry) ([]string, error) {
+// extractText mirrors extractXML: shared document content + compiled
+// regex when the backend allows it, legacy Extract otherwise.
+func (m *Manager) extractText(def datasource.Definition, entry mapping.Entry, cr *compiledRule, docs *runDocs) ([]string, error) {
 	if m.backends.Text == nil {
 		return nil, Permanent(errors.New("extract: no text backend configured"))
+	}
+	if cr.regex != nil {
+		if g, ok := m.backends.Text.(textGetter); ok {
+			content, err := docs.textContent(g, def.Path)
+			if err != nil {
+				return nil, err
+			}
+			return textsrc.ExtractCompiled(content, cr.regex), nil
+		}
 	}
 	return m.backends.Text.Extract(def.Path, entry.Rule.Code)
 }
@@ -821,8 +1067,9 @@ type ctxBoundFetcher struct {
 func (f ctxBoundFetcher) Fetch(url string) (string, error) { return f.cf.FetchContext(f.ctx, url) }
 
 // extractWeb delegates by rule language: WebL programs run in the
-// interpreter; CSS selector rules fetch the page and extract directly.
-func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, entry mapping.Entry) ([]string, error) {
+// interpreter (their GetURL calls routed through the run's shared page
+// memo); CSS selector rules extract from the run's shared parsed DOM.
+func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, entry mapping.Entry, cr *compiledRule, docs *runDocs) ([]string, error) {
 	if m.backends.Pages == nil {
 		return nil, Permanent(errors.New("extract: no web backend configured"))
 	}
@@ -831,21 +1078,19 @@ func (m *Manager) extractWeb(ctx context.Context, def datasource.Definition, ent
 		pages = ctxBoundFetcher{ctx: ctx, cf: cf}
 	}
 	if entry.Rule.Language == mapping.LangSelector {
-		sel, err := selector.Compile(entry.Rule.Code)
-		if err != nil {
-			return nil, Permanent(err)
+		if cr.selectorErr != nil {
+			return nil, Permanent(cr.selectorErr)
 		}
-		html, err := pages.Fetch(def.URL)
+		root, err := docs.htmlRoot(pages, def.URL)
 		if err != nil {
 			return nil, err
 		}
-		return sel.ExtractHTML(html), nil
+		return cr.selector.Extract(root), nil
 	}
-	prog, err := webl.Compile(entry.Rule.Code)
-	if err != nil {
-		return nil, Permanent(err)
+	if cr.weblErr != nil {
+		return nil, Permanent(cr.weblErr)
 	}
-	globals, err := prog.Run(&webl.Env{Fetcher: pages, MaxSteps: m.opts.WebLMaxSteps})
+	globals, err := cr.webl.Run(&webl.Env{Fetcher: memoFetcher{docs: docs, next: pages}, MaxSteps: m.opts.WebLMaxSteps})
 	if err != nil {
 		return nil, err
 	}

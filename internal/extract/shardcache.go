@@ -1,0 +1,110 @@
+package extract
+
+import (
+	"sync"
+	"time"
+)
+
+// cacheShards is the fixed shard count of the rule-result cache. The
+// single-mutex map it replaced serialized every lookup across sources
+// and rules; hashing the key over independent locks keeps concurrent
+// identical queries from queueing on one mutex. Sixteen shards cover
+// the Parallelism defaults with headroom and cost one cache line each.
+const cacheShards = 16
+
+// cacheEntry is one cached rule result. Entries past TTL are not
+// deleted: they are the serve-stale reserve graceful degradation draws
+// on when a source is down (see Options.DisableServeStale).
+type cacheEntry struct {
+	values []string
+	at     time.Time
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+// shardedCache is the rule-result cache: (source, rule) key → values
+// with a TTL, sharded by key hash to cut lock contention.
+type shardedCache struct {
+	ttl    time.Duration
+	shards [cacheShards]cacheShard
+}
+
+func newShardedCache(ttl time.Duration) *shardedCache {
+	c := &shardedCache{ttl: ttl}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+// shard picks the shard for a key with FNV-1a, stdlib-free of
+// allocation (hash/fnv would force a []byte conversion).
+func (c *shardedCache) shard(key string) *cacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// get returns fresh values for key; expired entries miss (but stay for
+// getStale).
+func (c *shardedCache) get(key string) ([]string, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || time.Since(e.at) > c.ttl {
+		return nil, false
+	}
+	return e.values, true
+}
+
+// getStale returns an entry regardless of TTL, with its age.
+func (c *shardedCache) getStale(key string) (values []string, age time.Duration, ok bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.values, time.Since(e.at), true
+}
+
+func (c *shardedCache) put(key string, values []string) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = cacheEntry{values: values, at: time.Now()}
+	s.mu.Unlock()
+}
+
+// clear drops every entry, including the serve-stale reserve.
+func (c *shardedCache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]cacheEntry)
+		s.mu.Unlock()
+	}
+}
+
+// len counts entries across shards (tests and ops introspection).
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

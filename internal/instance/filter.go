@@ -10,13 +10,23 @@ import (
 	"repro/internal/sqllang"
 )
 
+// conditionKeys precomputes each condition's lower-cased attribute ID —
+// the Values map key — once per query, not once per instance.
+func conditionKeys(conds []s2sql.PlannedCondition) []string {
+	keys := make([]string, len(conds))
+	for i := range conds {
+		keys[i] = strings.ToLower(conds[i].Attribute.ID())
+	}
+	return keys
+}
+
 // satisfiesAll reports whether an instance meets every planned condition.
 // An instance with no value for a constrained attribute does not match
 // (paper §2.5: the result is the products that have brand Seiko AND case
-// stainless-steel).
-func satisfiesAll(in *Instance, conds []s2sql.PlannedCondition) (bool, error) {
-	for _, c := range conds {
-		ok, err := satisfies(in, c)
+// stainless-steel). keys is conditionKeys(conds).
+func satisfiesAll(in *Instance, conds []s2sql.PlannedCondition, keys []string) (bool, error) {
+	for i, c := range conds {
+		ok, err := satisfies(in, c, keys[i])
 		if err != nil {
 			return false, err
 		}
@@ -27,8 +37,8 @@ func satisfiesAll(in *Instance, conds []s2sql.PlannedCondition) (bool, error) {
 	return true, nil
 }
 
-func satisfies(in *Instance, c s2sql.PlannedCondition) (bool, error) {
-	values := in.Values[strings.ToLower(c.Attribute.ID())]
+func satisfies(in *Instance, c s2sql.PlannedCondition, key string) (bool, error) {
+	values := in.Values[key]
 	if len(values) == 0 {
 		return false, nil
 	}

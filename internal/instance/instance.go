@@ -51,6 +51,12 @@ type Instance struct {
 	Links map[string][]*Instance
 	// Sources lists the data source IDs that contributed values.
 	Sources []string
+
+	// orderMemo caches the deterministic ordering key. Valid because
+	// Values and Sources are immutable once cross-source merging is done,
+	// and every sort happens after that; an instance may be sorted
+	// several times per query (relation linking plus final ordering).
+	orderMemo string
 }
 
 // Value returns the first value of an attribute, or "".
@@ -60,12 +66,6 @@ func (in *Instance) Value(attributeID string) string {
 		return ""
 	}
 	return vs[0]
-}
-
-// setValue appends a value for an attribute.
-func (in *Instance) setValue(attributeID, v string) {
-	key := strings.ToLower(attributeID)
-	in.Values[key] = append(in.Values[key], v)
 }
 
 // addSource records a contributing source once.
@@ -160,10 +160,11 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 	g.link(all)
 
 	// Partition into matched (queried class, conditions hold) and the rest.
+	condKeys := conditionKeys(plan.Conditions)
 	var others []*Instance
 	for _, in := range all {
 		if in.Class.IsA(plan.Class) {
-			ok, err := satisfiesAll(in, plan.Conditions)
+			ok, err := satisfiesAll(in, plan.Conditions, condKeys)
 			if err != nil {
 				res.Errors = append(res.Errors, extract.SourceError{
 					SourceID:    strings.Join(in.Sources, ","),
@@ -217,14 +218,26 @@ func (g *Generator) assemble(rs *extract.ResultSet) ([]*Instance, []extract.Sour
 	}
 	var errs []extract.SourceError
 
-	// Group fragments by source.
+	// Group fragments by source. Extraction emits each source's fragments
+	// as one contiguous run, so the common case aliases a capacity-capped
+	// subslice of rs.Fragments instead of copying; a source split across
+	// runs falls back to append (which copies, thanks to the capped cap).
 	bySource := map[string][]extract.Fragment{}
 	var sourceOrder []string
-	for _, f := range rs.Fragments {
-		if _, ok := bySource[f.SourceID]; !ok {
-			sourceOrder = append(sourceOrder, f.SourceID)
+	fs := rs.Fragments
+	for start := 0; start < len(fs); {
+		end := start + 1
+		for end < len(fs) && fs[end].SourceID == fs[start].SourceID {
+			end++
 		}
-		bySource[f.SourceID] = append(bySource[f.SourceID], f)
+		id := fs[start].SourceID
+		if existing, ok := bySource[id]; ok {
+			bySource[id] = append(existing, fs[start:end]...)
+		} else {
+			sourceOrder = append(sourceOrder, id)
+			bySource[id] = fs[start:end:end]
+		}
+		start = end
 	}
 	sort.Strings(sourceOrder)
 
@@ -299,17 +312,47 @@ func (grp *lineageGroup) instances(sourceID string) []*Instance {
 			records = len(f.Values)
 		}
 	}
+	// Attribute keys lower-case once per group, not once per value; Links
+	// maps allocate lazily in link() since most instances have none.
+	// Groups almost always carry distinct attributes, in which case the
+	// per-value existence lookup below is skipped entirely.
+	keys := make([]string, len(grp.frags))
+	unique := true
+	for j, f := range grp.frags {
+		keys[j] = strings.ToLower(f.AttributeID)
+		for k := 0; k < j; k++ {
+			if keys[k] == keys[j] {
+				unique = false
+			}
+		}
+	}
+	// One arena allocation for the whole record batch, and one shared
+	// Sources slice: it is immutable here (cap == len, so addSource's
+	// append during cross-source merging copies before writing).
+	sources := []string{sourceID}
+	arena := make([]Instance, records)
 	out := make([]*Instance, 0, records)
 	for i := 0; i < records; i++ {
-		in := &Instance{
-			Class:  grp.class,
-			Values: map[string][]string{},
-			Links:  map[string][]*Instance{},
-		}
-		in.addSource(sourceID)
-		for _, f := range grp.frags {
-			if i < len(f.Values) {
-				in.setValue(f.AttributeID, f.Values[i])
+		in := &arena[i]
+		in.Class = grp.class
+		in.Values = make(map[string][]string, len(grp.frags))
+		in.Sources = sources
+		for j, f := range grp.frags {
+			if i >= len(f.Values) {
+				continue
+			}
+			// Alias a capacity-capped subslice of the fragment instead of
+			// allocating a one-element slice per value; the cap keeps any
+			// later append from writing into the fragment (or the rule
+			// cache behind it).
+			if unique {
+				in.Values[keys[j]] = f.Values[i : i+1 : i+1]
+				continue
+			}
+			if vs, ok := in.Values[keys[j]]; ok {
+				in.Values[keys[j]] = append(vs, f.Values[i])
+			} else {
+				in.Values[keys[j]] = f.Values[i : i+1 : i+1]
 			}
 		}
 		out = append(out, in)
@@ -323,10 +366,21 @@ func (g *Generator) mergeByKey(all []*Instance) []*Instance {
 	if g.repo == nil {
 		return all
 	}
+	// One snapshot instead of a repository lock round-trip per instance;
+	// no declared keys means nothing can merge.
+	keys := g.repo.ClassKeys()
+	if len(keys) == 0 {
+		return all
+	}
+	keyAttrOf := make(map[*ontology.Class]string, 4)
 	byKey := map[string]*Instance{}
 	var out []*Instance
 	for _, in := range all {
-		keyAttr := g.repo.ClassKey(in.Class.Name)
+		keyAttr, ok := keyAttrOf[in.Class]
+		if !ok {
+			keyAttr = keys[strings.ToLower(in.Class.Name)]
+			keyAttrOf[in.Class] = keyAttr
+		}
 		if keyAttr == "" {
 			out = append(out, in)
 			continue
@@ -379,29 +433,136 @@ func (g *Generator) link(all []*Instance) {
 		return out
 	}
 
-	for _, in := range all {
-		// Relations visible on the instance's class: own + inherited.
-		var rels []*ontology.Relation
-		for c := in.Class; c != nil; c = c.Parent {
-			rels = append(rels, c.Relations...)
+	// Relations visible on a class (own + inherited) are the same for
+	// every instance of that class; resolve once per class.
+	relsCache := map[*ontology.Class][]*ontology.Relation{}
+	relsOf := func(c *ontology.Class) []*ontology.Relation {
+		if got, ok := relsCache[c]; ok {
+			return got
 		}
+		var rels []*ontology.Relation
+		for p := c; p != nil; p = p.Parent {
+			rels = append(rels, p.Relations...)
+		}
+		relsCache[c] = rels
+		return rels
+	}
+
+	// Targets of a relation grouped by contributing source, in target
+	// order. Single-source instances that are not themselves targets
+	// share the grouped slice directly instead of building their own.
+	bySourceCache := map[*ontology.Class]map[string][]*Instance{}
+	targetsBySource := func(c *ontology.Class) map[string][]*Instance {
+		if got, ok := bySourceCache[c]; ok {
+			return got
+		}
+		m := map[string][]*Instance{}
+		for _, t := range instancesOf(c) {
+			for _, s := range t.Sources {
+				m[s] = append(m[s], t)
+			}
+		}
+		bySourceCache[c] = m
+		return m
+	}
+
+	// Single-source instances of one class compute identical link sets
+	// unless the instance is itself among the candidate targets; those
+	// identical sets share one Links map — safe because Links are
+	// read-only once link returns. The per-instance map allocation was
+	// the single largest line in the generation allocation profile.
+	type classSource struct {
+		class  *ontology.Class
+		source string
+	}
+	linksShared := map[classSource]map[string][]*Instance{}
+	var chosenScratch [][]*Instance
+
+	for _, in := range all {
+		rels := relsOf(in.Class)
+		if len(rels) == 0 {
+			continue
+		}
+		chosenByRel := chosenScratch[:0]
+		shareable := len(in.Sources) == 1
+		nonEmpty := 0
 		for _, r := range rels {
 			targets := instancesOf(r.To)
-			if len(targets) == 0 {
-				continue
-			}
 			var chosen []*Instance
-			for _, t := range targets {
-				if t != in && shareSource(in, t) {
-					chosen = append(chosen, t)
+			if len(targets) > 0 {
+				if len(in.Sources) == 1 {
+					// Fast path: same-source targets are precomputed in
+					// target order; when the instance is not among them the
+					// slice is shared as-is, allocation-free.
+					cand := targetsBySource(r.To)[in.Sources[0]]
+					self := -1
+					for i, t := range cand {
+						if t == in {
+							self = i
+							break
+						}
+					}
+					switch {
+					case self < 0:
+						chosen = cand
+					case len(cand) > 1:
+						shareable = false
+						chosen = make([]*Instance, 0, len(cand)-1)
+						chosen = append(append(chosen, cand[:self]...), cand[self+1:]...)
+					default:
+						shareable = false
+					}
+				} else {
+					// Count first, then allocate exactly once: incremental
+					// append growth was a measurable share of generation
+					// allocations.
+					n := 0
+					for _, t := range targets {
+						if t != in && shareSource(in, t) {
+							n++
+						}
+					}
+					if n > 0 {
+						chosen = make([]*Instance, 0, n)
+						for _, t := range targets {
+							if t != in && shareSource(in, t) {
+								chosen = append(chosen, t)
+							}
+						}
+					}
+				}
+				if len(chosen) == 0 && len(targets) == 1 {
+					if targets[0] != in {
+						chosen = targets
+					} else {
+						shareable = false
+					}
 				}
 			}
-			if len(chosen) == 0 && len(targets) == 1 && targets[0] != in {
-				chosen = targets
-			}
+			chosenByRel = append(chosenByRel, chosen)
 			if len(chosen) > 0 {
-				in.Links[r.Name] = chosen
+				nonEmpty++
 			}
+		}
+		chosenScratch = chosenByRel
+		if nonEmpty == 0 {
+			continue
+		}
+		if shareable {
+			if m, ok := linksShared[classSource{in.Class, in.Sources[0]}]; ok {
+				in.Links = m
+				continue
+			}
+		}
+		m := make(map[string][]*Instance, nonEmpty)
+		for i, r := range rels {
+			if len(chosenByRel[i]) > 0 {
+				m[r.Name] = chosenByRel[i]
+			}
+		}
+		in.Links = m
+		if shareable {
+			linksShared[classSource{in.Class, in.Sources[0]}] = m
 		}
 	}
 }
@@ -423,9 +584,18 @@ func shareSource(a, b *Instance) bool {
 func sortInstances(ins []*Instance) {
 	s := &instanceSort{ins: ins, keys: make([]string, len(ins))}
 	for i, in := range ins {
-		s.keys[i] = in.Class.Path() + "\x00" + in.sortKey() + "\x00" + strings.Join(in.Sources, ",")
+		s.keys[i] = in.orderKey()
 	}
 	sort.Stable(s)
+}
+
+// orderKey returns the instance's full ordering key, computed once (see
+// orderMemo).
+func (in *Instance) orderKey() string {
+	if in.orderMemo == "" {
+		in.orderMemo = in.Class.Path() + "\x00" + in.sortKey() + "\x00" + strings.Join(in.Sources, ",")
+	}
+	return in.orderMemo
 }
 
 type instanceSort struct {
@@ -462,7 +632,7 @@ func (g *Generator) number(res *Result) {
 	assign := func(ins []*Instance) {
 		for _, in := range ins {
 			counters[in.Class.Name]++
-			in.ID = fmt.Sprintf("%s_%d", in.Class.Name, counters[in.Class.Name])
+			in.ID = in.Class.Name + "_" + strconv.Itoa(counters[in.Class.Name])
 		}
 	}
 	assign(res.Matched)

@@ -1,6 +1,7 @@
 package instance
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"encoding/xml"
@@ -8,12 +9,35 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 )
+
+// bufPool recycles the serializers' staging buffers across queries, so
+// repeated serialization stops allocating (and growing) a fresh buffer
+// per call. Each writer stages its whole document and hands w a single
+// Write, same as the strings.Builder code it replaces.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the capacity returned to the pool; one huge result
+// must not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
 
 // Format is an output serialization format. OWL (RDF/XML) is the paper's
 // primary output; the rest are the adaptable alternatives of §2.6.
@@ -198,19 +222,20 @@ func writeErrorEpilog(w io.Writer, res *Result) error {
 	if len(res.Errors) == 0 && len(res.Degraded) == 0 && len(res.Missing) == 0 {
 		return nil
 	}
-	var b strings.Builder
+	b := getBuf()
+	defer putBuf(b)
 	b.WriteString("<!-- s2s:error-report\n")
 	for _, e := range res.Errors {
-		fmt.Fprintf(&b, "  error: %s\n", commentSafe(e.Error()))
+		fmt.Fprintf(b, "  error: %s\n", commentSafe(e.Error()))
 	}
 	for _, d := range res.Degraded {
-		fmt.Fprintf(&b, "  degraded: %s\n", commentSafe(d.String()))
+		fmt.Fprintf(b, "  degraded: %s\n", commentSafe(d.String()))
 	}
 	for _, m := range res.Missing {
-		fmt.Fprintf(&b, "  unmapped: %s\n", commentSafe(m))
+		fmt.Fprintf(b, "  unmapped: %s\n", commentSafe(m))
 	}
 	b.WriteString("-->\n")
-	_, err := io.WriteString(w, b.String())
+	_, err := w.Write(b.Bytes())
 	return err
 }
 
@@ -246,11 +271,12 @@ func (g *Generator) prefixes() rdf.PrefixMap {
 // directly into an element hierarchy ("transforming the unique identifiers
 // of the ontology attributes in a XML format is done naturally").
 func (g *Generator) writeXML(w io.Writer, res *Result) error {
-	var b strings.Builder
+	b := getBuf()
+	defer putBuf(b)
 	b.WriteString(xml.Header)
 	b.WriteString("<s2s-result>\n")
 	writeInstanceXML := func(in *Instance) error {
-		fmt.Fprintf(&b, "  <instance id=%q class=%q>\n", in.ID, in.Class.Path())
+		fmt.Fprintf(b, "  <instance id=%q class=%q>\n", in.ID, in.Class.Path())
 		ids := make([]string, 0, len(in.Values))
 		for id := range in.Values {
 			ids = append(ids, id)
@@ -262,8 +288,8 @@ func (g *Generator) writeXML(w io.Writer, res *Result) error {
 				return fmt.Errorf("instance: unknown attribute %q", id)
 			}
 			for _, v := range in.Values[id] {
-				fmt.Fprintf(&b, "    <attribute id=%q name=%q>", attr.ID(), attr.Name)
-				if err := xml.EscapeText(&b, []byte(strings.TrimSpace(v))); err != nil {
+				fmt.Fprintf(b, "    <attribute id=%q name=%q>", attr.ID(), attr.Name)
+				if err := xml.EscapeText(b, []byte(strings.TrimSpace(v))); err != nil {
 					return err
 				}
 				b.WriteString("</attribute>\n")
@@ -276,7 +302,7 @@ func (g *Generator) writeXML(w io.Writer, res *Result) error {
 		sort.Strings(relNames)
 		for _, name := range relNames {
 			for _, t := range in.Links[name] {
-				fmt.Fprintf(&b, "    <relation name=%q target=%q/>\n", name, t.ID)
+				fmt.Fprintf(b, "    <relation name=%q target=%q/>\n", name, t.ID)
 			}
 		}
 		b.WriteString("  </instance>\n")
@@ -288,7 +314,7 @@ func (g *Generator) writeXML(w io.Writer, res *Result) error {
 		}
 	}
 	b.WriteString("</s2s-result>\n")
-	_, err := io.WriteString(w, b.String())
+	_, err := w.Write(b.Bytes())
 	return err
 }
 
@@ -349,18 +375,19 @@ func (g *Generator) writeJSON(w io.Writer, res *Result) error {
 }
 
 func (g *Generator) writeText(w io.Writer, res *Result) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "query: %s\n", res.Plan.Query.String())
-	fmt.Fprintf(&b, "matched: %d, related: %d, errors: %d\n", len(res.Matched), len(res.Related), len(res.Errors))
+	b := getBuf()
+	defer putBuf(b)
+	fmt.Fprintf(b, "query: %s\n", res.Plan.Query.String())
+	fmt.Fprintf(b, "matched: %d, related: %d, errors: %d\n", len(res.Matched), len(res.Related), len(res.Errors))
 	dump := func(in *Instance) {
-		fmt.Fprintf(&b, "- %s (%s) from %s\n", in.ID, in.Class.Path(), strings.Join(in.Sources, ", "))
+		fmt.Fprintf(b, "- %s (%s) from %s\n", in.ID, in.Class.Path(), strings.Join(in.Sources, ", "))
 		ids := make([]string, 0, len(in.Values))
 		for id := range in.Values {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			fmt.Fprintf(&b, "    %s = %s\n", id, strings.Join(in.Values[id], " | "))
+			fmt.Fprintf(b, "    %s = %s\n", id, strings.Join(in.Values[id], " | "))
 		}
 		relNames := make([]string, 0, len(in.Links))
 		for name := range in.Links {
@@ -372,21 +399,21 @@ func (g *Generator) writeText(w io.Writer, res *Result) error {
 			for _, t := range in.Links[name] {
 				ids = append(ids, t.ID)
 			}
-			fmt.Fprintf(&b, "    %s -> %s\n", name, strings.Join(ids, ", "))
+			fmt.Fprintf(b, "    %s -> %s\n", name, strings.Join(ids, ", "))
 		}
 	}
 	for _, in := range res.Instances() {
 		dump(in)
 	}
 	for _, e := range res.Errors {
-		fmt.Fprintf(&b, "! %s\n", e.Error())
+		fmt.Fprintf(b, "! %s\n", e.Error())
 	}
 	for _, d := range res.Degraded {
-		fmt.Fprintf(&b, "~ %s\n", d.String())
+		fmt.Fprintf(b, "~ %s\n", d.String())
 	}
 	for _, m := range res.Missing {
-		fmt.Fprintf(&b, "? unmapped attribute %s\n", m)
+		fmt.Fprintf(b, "? unmapped attribute %s\n", m)
 	}
-	_, err := io.WriteString(w, b.String())
+	_, err := w.Write(b.Bytes())
 	return err
 }

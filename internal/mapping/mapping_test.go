@@ -264,3 +264,63 @@ func TestScenarioString(t *testing.T) {
 		t.Error("scenario names")
 	}
 }
+
+// TestSchemaCacheCoherence pins the schema cache's contract: repeated
+// Schema calls return equal results without sharing mutable state, and
+// registering a new entry immediately shows up in the next call.
+func TestSchemaCacheCoherence(t *testing.T) {
+	ont, reg := fixtures(t)
+	repo := NewRepository(ont, reg)
+	repo.MustRegister(Entry{AttributeID: "thing.product.brand", SourceID: "xml_7", Rule: Rule{Code: "//brand"}})
+
+	attrs := []string{"thing.product.brand", "thing.provider.name"}
+	plans1, missing1, err := repo.Schema(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Callers may mutate the returned top-level slices freely.
+	plans1 = append(plans1[:0], SourcePlan{})
+	missing1 = append(missing1[:0], "clobbered")
+	_, _ = plans1, missing1
+
+	plans2, missing2, err := repo.Schema(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans2) != 1 || plans2[0].Source.ID != "xml_7" {
+		t.Fatalf("cached schema corrupted by caller mutation: %+v", plans2)
+	}
+	if len(missing2) != 1 || missing2[0] != "thing.provider.name" {
+		t.Fatalf("cached missing corrupted by caller mutation: %v", missing2)
+	}
+
+	// Registering a mapping for the missing attribute must invalidate.
+	repo.MustRegister(Entry{AttributeID: "thing.provider.name", SourceID: "txt_2", Rule: Rule{Code: `name=([A-Za-z]+)`}})
+	plans3, missing3, err := repo.Schema(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing3) != 0 {
+		t.Errorf("missing after registration = %v (stale schema cache)", missing3)
+	}
+	if len(plans3) != 2 {
+		t.Errorf("plans after registration = %+v", plans3)
+	}
+
+	// The `missing` list preserves the caller's casing, so differently
+	// cased requests must not share one cache entry.
+	_, missingUpper, err := repo.Schema([]string{"THING.PRODUCT.NOSUCH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missingLower, err := repo.Schema([]string{"thing.product.nosuch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missingUpper) != 1 || missingUpper[0] != "THING.PRODUCT.NOSUCH" {
+		t.Errorf("upper missing = %v", missingUpper)
+	}
+	if len(missingLower) != 1 || missingLower[0] != "thing.product.nosuch" {
+		t.Errorf("lower missing = %v", missingLower)
+	}
+}

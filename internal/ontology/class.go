@@ -24,11 +24,20 @@ type Class struct {
 	Relations []*Relation
 
 	ontology *Ontology
+
+	// path is the precomputed dotted path, set at AddClass time — the
+	// parent never changes afterwards. It stays empty on hand-built Class
+	// literals, where Path falls back to recomputing (and must not cache:
+	// a lazy write would race with concurrent readers).
+	path string
 }
 
 // Path returns the dotted path from the root to this class, e.g.
 // "thing.product.watch" (paper Figure 4).
 func (c *Class) Path() string {
+	if c.path != "" {
+		return c.path
+	}
 	if c.Parent == nil {
 		return c.Name
 	}
@@ -118,13 +127,22 @@ type Attribute struct {
 	// Required marks attributes the instance generator treats as mandatory
 	// when validating assembled instances.
 	Required bool
+
+	// id is the precomputed dotted identifier, set at AddAttribute time
+	// (see Class.path for why it is not lazily cached).
+	id string
 }
 
 // ID returns the attribute's unique dotted identifier, e.g.
 // "thing.product.brand" — the class path plus the attribute name (paper
 // §2.3.1 step 1, Figure 4). The ID both disambiguates repeated names and
 // records the hierarchy used to instantiate the ontology.
-func (a *Attribute) ID() string { return a.Class.Path() + "." + a.Name }
+func (a *Attribute) ID() string {
+	if a.id != "" {
+		return a.id
+	}
+	return a.Class.Path() + "." + a.Name
+}
 
 // String returns the attribute ID.
 func (a *Attribute) String() string { return a.ID() }

@@ -51,7 +51,7 @@ func New(base rdf.IRI, name, root string) (*Ontology, error) {
 		classes: make(map[string]*Class),
 		attrs:   make(map[string]*Attribute),
 	}
-	o.root = &Class{Name: root, ontology: o}
+	o.root = &Class{Name: root, ontology: o, path: root}
 	o.classes[strings.ToLower(root)] = o.root
 	return o, nil
 }
@@ -97,7 +97,7 @@ func (o *Ontology) AddClass(name, parent string) (*Class, error) {
 	if !ok {
 		return nil, fmt.Errorf("ontology: parent class %q of %q not defined", parent, name)
 	}
-	c := &Class{Name: name, Parent: p, ontology: o}
+	c := &Class{Name: name, Parent: p, ontology: o, path: p.Path() + "." + name}
 	p.Children = append(p.Children, c)
 	o.classes[strings.ToLower(name)] = c
 	return c, nil
@@ -122,7 +122,7 @@ func (o *Ontology) AddAttribute(class, name string, datatype rdf.IRI) (*Attribut
 	if datatype == "" {
 		datatype = rdf.XSDString
 	}
-	a := &Attribute{Name: name, Class: c, Datatype: datatype}
+	a := &Attribute{Name: name, Class: c, Datatype: datatype, id: c.Path() + "." + name}
 	c.Attributes = append(c.Attributes, a)
 	o.attrs[strings.ToLower(a.ID())] = a
 	return a, nil

@@ -75,6 +75,14 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("reldb: Query requires a SELECT statement, got %T", stmt)
 	}
+	return db.QuerySelect(sel)
+}
+
+// QuerySelect executes a pre-parsed SELECT statement. Callers that run
+// the same statement repeatedly (the extract manager's compiled-rule
+// cache) parse once and reuse the AST; execution never mutates it, so
+// one statement may run concurrently.
+func (db *DB) QuerySelect(sel *sqllang.Select) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.executeSelect(sel)

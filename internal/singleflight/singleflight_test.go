@@ -1,0 +1,109 @@
+package singleflight
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoSequentialRunsEveryCall checks that completed calls leave no
+// residue: sequential Dos with the same key each execute.
+func TestDoSequentialRunsEveryCall(t *testing.T) {
+	var g Group
+	var calls int32
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (any, error) {
+			return atomic.AddInt32(&calls, 1), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if got := v.(int32); got != int32(i+1) {
+			t.Fatalf("call %d returned %d, want %d (no caching between calls)", i, got, i+1)
+		}
+	}
+}
+
+// TestDoDeduplicatesConcurrentCalls holds the leader until every other
+// goroutine is blocked on the same key, then asserts the function ran
+// exactly once and everyone got its value.
+func TestDoDeduplicatesConcurrentCalls(t *testing.T) {
+	const fanIn = 8
+	var g Group
+	var calls int32
+	leaderIn := make(chan struct{})
+
+	results := make([]any, fanIn)
+	shareds := make([]bool, fanIn)
+	var wg sync.WaitGroup
+	for i := 0; i < fanIn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				close(leaderIn)
+				// Hold until every non-leader is provably parked on the key.
+				for g.Waiting("k") < fanIn-1 {
+					runtime.Gosched()
+				}
+				return int(atomic.AddInt32(&calls, 1)), nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = v
+			shareds[i] = shared
+		}(i)
+	}
+	<-leaderIn
+	wg.Wait()
+
+	if calls != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", calls, fanIn)
+	}
+	sharedCount := 0
+	for i, v := range results {
+		if v.(int) != 1 {
+			t.Errorf("goroutine %d got %v, want the leader's 1", i, v)
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != fanIn-1 {
+		t.Errorf("shared reported by %d callers, want %d", sharedCount, fanIn-1)
+	}
+	if g.Waiting("k") != 0 {
+		t.Errorf("Waiting = %d after completion, want 0", g.Waiting("k"))
+	}
+}
+
+// TestDoPropagatesErrorsWithoutCaching checks errors reach every waiter
+// but are not remembered for later calls.
+func TestDoPropagatesErrorsWithoutCaching(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	if _, err, _ := g.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err, _ := g.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("after an error the next call must run fresh: v=%v err=%v", v, err)
+	}
+}
+
+// TestDoPanicDoesNotStrandWaiters checks a panicking leader still
+// releases the key so later callers run.
+func TestDoPanicDoesNotStrandWaiters(t *testing.T) {
+	var g Group
+	func() {
+		defer func() { _ = recover() }()
+		_, _, _ = g.Do("k", func() (any, error) { panic("leader died") })
+	}()
+	v, err, _ := g.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("key stranded after leader panic: v=%v err=%v", v, err)
+	}
+}

@@ -80,6 +80,12 @@ func ExtractString(content, pattern string) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("textsrc: invalid extraction rule %q: %w", pattern, err)
 	}
+	return ExtractCompiled(content, re), nil
+}
+
+// ExtractCompiled is Extract with a pre-compiled pattern, for callers
+// that cache compiled rules and run them repeatedly.
+func ExtractCompiled(content string, re *regexp.Regexp) []string {
 	matches := re.FindAllStringSubmatch(content, -1)
 	out := make([]string, 0, len(matches))
 	for _, m := range matches {
@@ -89,5 +95,5 @@ func ExtractString(content, pattern string) ([]string, error) {
 			out = append(out, m[0])
 		}
 	}
-	return out, nil
+	return out
 }
