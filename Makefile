@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos bench bench-compare bin clean
+.PHONY: check vet fmt lint build test chaos bench bench-compare bench-pushdown bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -41,7 +41,7 @@ lint:
 chaos:
 	$(GO) test -race -run Chaos ./internal/integration
 
-# bench runs the root benchmark families (bench_test.go, E1–E12) with
+# bench runs the root benchmark families (bench_test.go, E1–E17) with
 # allocation stats and persists a machine-readable baseline for the perf
 # trajectory. The text output still streams to the terminal via stderr.
 bench:
@@ -51,12 +51,22 @@ bench:
 	@echo "wrote BENCH_lint_baseline.json"
 
 # bench-compare re-runs the benchmark families and diffs them against
-# the committed baseline, failing on any >20% ns/op regression. Use a
-# longer BENCHTIME (e.g. 1s) for trustworthy numbers on noisy machines.
+# the committed baseline, failing on any >20% ns/op or allocs/op
+# regression. Use a longer BENCHTIME (e.g. 1s) for trustworthy numbers
+# on noisy machines.
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/s2s-benchjson > /tmp/s2s-bench-current.json
 	$(GO) run ./cmd/s2s-benchjson -compare BENCH_lint_baseline.json /tmp/s2s-bench-current.json
+
+# bench-pushdown records only the query-planner family (E17
+# pushdown/nopushdown pair) into BENCH_pushdown.json — the measurement
+# docs/PERFORMANCE.md cites for the planner's speedup.
+bench-pushdown:
+	$(GO) test -run '^$$' -bench BenchmarkE17 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_pushdown.json
+	@echo "wrote BENCH_pushdown.json"
 
 # bin builds the two executables into ./bin.
 bin:

@@ -431,6 +431,48 @@ func BenchmarkE16ConcurrentQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkE17SelectiveQuery — query planner v2: one highly selective
+// constrained query against mixed sources, cold path (no rule-result
+// cache, so every iteration pays the full extraction), with predicate
+// pushdown on and off. The web sources map no water_resistance
+// attribute, so the planner prunes them outright — their WebL programs
+// never run — and the surviving DB/XML/text groups drop failing
+// records at the source boundary before instance assembly.
+// BENCH_pushdown.json records the measured pair.
+func BenchmarkE17SelectiveQuery(b *testing.B) {
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 2, TextSources: 1,
+		RecordsPerSource: 200, Seed: 17,
+	}
+	const q = "SELECT product WHERE water_resistance >= 200"
+	modes := []struct {
+		name string
+		opts extract.Options
+	}{
+		{"pushdown", extract.Options{}},
+		{"nopushdown", extract.Options{DisablePushdown: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			mw, _ := buildMW(b, spec, mode.opts)
+			ctx := context.Background()
+			if _, err := mw.Query(ctx, q); err != nil { // warm compiled rules & page servers
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatalf("errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE10Transport — the middleware behind HTTP.
 func BenchmarkE10Transport(b *testing.B) {
 	mw, _ := buildMW(b, workload.Spec{

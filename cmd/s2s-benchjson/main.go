@@ -10,8 +10,9 @@
 //
 // With -compare, the command instead diffs two previously recorded
 // baselines benchmark by benchmark and exits non-zero when any shared
-// benchmark's ns/op regressed by more than -threshold percent (20 by
-// default), so `make bench-compare` can gate perf changes:
+// benchmark's ns/op — or allocs/op, where both runs recorded it — regressed
+// by more than -threshold percent (20 by default), so `make bench-compare`
+// can gate perf changes:
 //
 //	s2s-benchjson -compare old.json new.json
 package main
@@ -118,9 +119,12 @@ func readBaseline(path string) (Baseline, error) {
 }
 
 // compareBaselines prints a per-benchmark delta table and returns the
-// names whose ns/op regressed by more than threshold percent. Benchmarks
-// present in only one document are reported but never fail the compare:
-// added or retired benchmarks are not regressions.
+// names whose ns/op or allocs/op regressed by more than threshold
+// percent. Benchmarks present in only one document are reported but
+// never fail the compare: added or retired benchmarks are not
+// regressions. The allocs gate only applies when the old run recorded a
+// non-zero count — 0→0 is flat, and a 0→N jump has no percentage to
+// gate on (typically a benchmark that just gained -benchmem).
 func compareBaselines(old, cur Baseline, threshold float64, w io.Writer) []string {
 	oldBy := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
@@ -147,7 +151,17 @@ func compareBaselines(old, cur Baseline, threshold float64, w io.Writer) []strin
 		}
 		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
 		if or.AllocsPerOp != 0 || nr.AllocsPerOp != 0 {
-			fmt.Fprintf(w, "%-52s %14d %14d  (allocs/op)\n", "", or.AllocsPerOp, nr.AllocsPerOp)
+			allocMark := ""
+			if or.AllocsPerOp > 0 {
+				allocDelta := float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp) * 100
+				if allocDelta > threshold {
+					allocMark = "  REGRESSED"
+					if mark == "" {
+						regressed = append(regressed, nr.Name)
+					}
+				}
+			}
+			fmt.Fprintf(w, "%-52s %14d %14d  (allocs/op)%s\n", "", or.AllocsPerOp, nr.AllocsPerOp, allocMark)
 		}
 	}
 	var gone []string

@@ -35,6 +35,32 @@ func TestCompareBaselines(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesAllocGate(t *testing.T) {
+	old := Baseline{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkZero", NsPerOp: 1000},                   // allocs 0→0: flat
+		{Name: "BenchmarkGained", NsPerOp: 1000},                 // allocs 0→N: no percentage, no gate
+		{Name: "BenchmarkBoth", NsPerOp: 1000, AllocsPerOp: 100}, // ns/op AND allocs regress: one entry
+	}}
+	cur := Baseline{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 130}, // +30% allocs, flat ns/op
+		{Name: "BenchmarkZero", NsPerOp: 1000},
+		{Name: "BenchmarkGained", NsPerOp: 1000, AllocsPerOp: 500},
+		{Name: "BenchmarkBoth", NsPerOp: 2000, AllocsPerOp: 300},
+	}}
+	var out strings.Builder
+	regressed := compareBaselines(old, cur, 20, &out)
+	if len(regressed) != 2 || regressed[0] != "BenchmarkA" || regressed[1] != "BenchmarkBoth" {
+		t.Fatalf("regressed = %v, want [BenchmarkA BenchmarkBoth]", regressed)
+	}
+
+	// Fewer allocations is an improvement, not a regression.
+	better := Baseline{Results: []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10}}}
+	if got := compareBaselines(old, better, 20, &out); len(got) != 0 {
+		t.Errorf("alloc reduction flagged as regression: %v", got)
+	}
+}
+
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkE1EndToEnd-8   \t     123\t   9876543 ns/op\t  123456 B/op\t    1234 allocs/op")
 	if !ok {

@@ -23,7 +23,7 @@ var Determinism = register(&Analyzer{
 
 // determinismScope lists the path segments that place a package inside
 // the deterministic zone.
-var determinismScope = []string{"faultinject", "integration"}
+var determinismScope = []string{"faultinject", "integration", "planner"}
 
 // inDeterminismScope reports whether the unit's import path has a
 // segment naming a deterministic-zone package.

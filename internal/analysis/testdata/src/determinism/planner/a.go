@@ -1,0 +1,44 @@
+// Corpus for the determinism analyzer: the query planner's import path
+// has a "planner" segment, which places it in the deterministic zone —
+// identical queries must rewrite identically, so plan decisions may not
+// depend on wall clocks, unseeded randomness, or map iteration order.
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func planTimestamp() time.Time {
+	return time.Now() // want "injected clock"
+}
+
+func randomTieBreak(n int) int {
+	return rand.Intn(n) // want "seeded *rand.Rand"
+}
+
+func decisionsFromMap(groups map[string][]string, sb *strings.Builder) {
+	for src := range groups {
+		sb.WriteString(src) // want "map-range"
+	}
+}
+
+func decisionsSorted(groups map[string][]string, sb *strings.Builder) {
+	ids := make([]string, 0, len(groups))
+	for src := range groups { // collecting is order-insensitive: no finding
+		ids = append(ids, src)
+	}
+	sort.Strings(ids)
+	for _, src := range ids {
+		sb.WriteString(src)
+	}
+}
+
+func debugDump(stats map[string]int) {
+	for k, v := range stats {
+		fmt.Println(k, v) // want "map-range"
+	}
+}

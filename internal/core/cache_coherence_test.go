@@ -152,6 +152,60 @@ func TestStaleRuleAfterRemap(t *testing.T) {
 	}
 }
 
+// TestStalePushedPlanAfterRemap guards the query planner's rewrite
+// cache: a constrained query caches pushed-down source plans (including
+// rewritten SQL) per query shape, and a mapping mutation must flush
+// them. If a stale rewrite survived the remap, the same query text
+// would keep extracting from the pre-mutation source list.
+func TestStalePushedPlanAfterRemap(t *testing.T) {
+	m, world := testMiddleware(t, workload.Spec{DBSources: 1, XMLSources: 1, RecordsPerSource: 3, Seed: 25})
+	world.Catalog.XML.MustAdd("fix.xml", "<catalog><watch><brand>PinnedBrand</brand></watch></catalog>")
+	if err := m.RegisterSource(datasource.Definition{ID: "fix_xml", Kind: datasource.KindXML, Path: "fix.xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterMapping(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "fix_xml",
+		Rule: mapping.Rule{Code: "/catalog/watch/brand"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "SELECT product WHERE brand = 'PinnedBrand'"
+	// Two runs: the first populates the planner's rewrite cache (pushdown
+	// rewrites the DB source's SQL and attaches record filters), the
+	// second is served from it.
+	for i := 0; i < 2; i++ {
+		res, err := m.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matched) != 1 {
+			t.Fatalf("run %d matched = %d, want 1", i, len(res.Matched))
+		}
+	}
+
+	world.Catalog.XML.MustAdd("remap2.xml", "<catalog><watch><brand>PinnedBrand</brand></watch></catalog>")
+	if err := m.RegisterSource(datasource.Definition{ID: "remap2_xml", Kind: datasource.KindXML, Path: "remap2.xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterMapping(mapping.Entry{
+		AttributeID: "thing.product.brand", SourceID: "remap2_xml",
+		Rule: mapping.Rule{Code: "/catalog/watch/brand"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The identical query text must now see the new source: a stale
+	// pushed-down plan would still carry the two-source schema.
+	res, err := m.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 2 {
+		t.Errorf("post-remap matched = %d, want 2 (stale pushed-down plan served?)", len(res.Matched))
+	}
+}
+
 // TestConcurrentQueriesWithInvalidation races warm queries against
 // catalog mutations; under -race this is the coherence counterpart to
 // TestStatsConcurrentQueries. Every query must still succeed and the

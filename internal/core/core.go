@@ -221,7 +221,10 @@ func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result
 	m.stats.planNS.Add(int64(time.Since(planStart)))
 	pspan.SetAttr("attributes", strconv.Itoa(len(plan.AttributeIDs())))
 
-	rs, err := m.manager.Extract(ctx, plan.AttributeIDs())
+	// ExtractQuery hands the full plan to the extractor so the query
+	// planner (internal/planner) can push the WHERE conditions toward the
+	// sources; the instance generator re-applies them regardless.
+	rs, err := m.manager.ExtractQuery(ctx, plan)
 	if err != nil {
 		return nil, err
 	}

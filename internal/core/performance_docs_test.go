@@ -54,6 +54,7 @@ func TestPerformanceDocKnobsExist(t *testing.T) {
 		"`extract.Options.Parallelism`",
 		"`extract.Options.RuleParallelism`",
 		"`extract.Options.SimulatedLatency`",
+		"`extract.Options.DisablePushdown`",
 	} {
 		if !strings.Contains(doc, knob) {
 			t.Errorf("tuning knob %s missing from %s", knob, perfDocPath)
@@ -83,7 +84,8 @@ func TestPerformanceDocCoversBenchesAndTests(t *testing.T) {
 	doc := string(raw)
 	for _, want := range []string{
 		"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery",
-		"BENCH_query_opt.json", "bench-compare", "InvalidateCache",
+		"BenchmarkE17SelectiveQuery", "BENCH_query_opt.json",
+		"BENCH_pushdown.json", "bench-compare", "InvalidateCache",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("%s missing from %s", want, perfDocPath)
@@ -93,7 +95,7 @@ func TestPerformanceDocCoversBenchesAndTests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, fn := range []string{"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery"} {
+	for _, fn := range []string{"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery", "BenchmarkE17SelectiveQuery"} {
 		if !strings.Contains(string(bench), "func "+fn) {
 			t.Errorf("doc describes %s, which bench_test.go does not define", fn)
 		}

@@ -33,7 +33,9 @@ import (
 	"repro/internal/datasource"
 	"repro/internal/mapping"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/reldb"
+	"repro/internal/s2sql"
 	"repro/internal/singleflight"
 	"repro/internal/textsrc"
 	"repro/internal/webl"
@@ -217,6 +219,16 @@ type Options struct {
 	// Breaker configures the per-source circuit breaker; the zero value
 	// disables it.
 	Breaker BreakerOptions
+	// DisablePushdown turns off the query planner's predicate pushdown
+	// and projection pruning (internal/planner). By default, ExtractQuery
+	// rewrites the extraction schema per query: source groups that cannot
+	// satisfy the WHERE conditions are pruned before any rule runs,
+	// record-scoped filters drop failing records at the source boundary,
+	// and database groups get the constraints appended to their generated
+	// SQL. The instance layer re-applies every condition regardless, so
+	// this knob trades only latency, never answers (benchmarks compare
+	// both paths; see docs/PERFORMANCE.md).
+	DisablePushdown bool
 }
 
 // Defaults for Options.
@@ -256,6 +268,13 @@ type Manager struct {
 	// keyMemoMu guards keyMemo; see cacheKeyFor.
 	keyMemoMu sync.RWMutex
 	keyMemo   map[*mapping.Entry]string
+
+	// rewriteMu guards rewrites, the bounded per-query-shape cache of
+	// planner rewrites (see plannedRewrite in pushdown.go). Caching the
+	// rewritten plans also keeps their entry addresses stable, which
+	// cacheKeyFor's address memo depends on.
+	rewriteMu sync.RWMutex
+	rewrites  map[string]rewriteEntry
 
 	// sleep and randFloat are the backoff hooks; tests inject a recording
 	// sleep and a deterministic rand to assert jittered delays exactly.
@@ -340,6 +359,9 @@ func (m *Manager) InvalidateCache() {
 	m.keyMemoMu.Lock()
 	m.keyMemo = nil
 	m.keyMemoMu.Unlock()
+	m.rewriteMu.Lock()
+	m.rewrites = nil
+	m.rewriteMu.Unlock()
 }
 
 // keyMemoBound caps the result-cache key memo; past it the memo is
@@ -421,6 +443,24 @@ func cacheKey(def datasource.Definition, entry mapping.Entry) string {
 // "source:<id>" child per contacted source and per-source counters and
 // latency histograms.
 func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSet, error) {
+	return m.extract(ctx, attributeIDs, nil)
+}
+
+// ExtractQuery is Extract with the full query plan in hand: before the
+// sources are contacted, the query planner (internal/planner) rewrites
+// the extraction schema against the plan's WHERE conditions — pruning
+// source groups that provably cannot contribute, attaching record-scoped
+// filters, and pushing string constraints into generated SQL. Disabled
+// by Options.DisablePushdown; the rewrite is cached per query shape and
+// flushed by InvalidateCache.
+func (m *Manager) ExtractQuery(ctx context.Context, qplan *s2sql.Plan) (*ResultSet, error) {
+	if qplan == nil {
+		return nil, errors.New("extract: nil query plan")
+	}
+	return m.extract(ctx, qplan.AttributeIDs(), qplan)
+}
+
+func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan) (*ResultSet, error) {
 	ctx, espan, edone := obs.StartStage(ctx, "extract")
 	defer edone()
 	metrics := obs.MetricsFromContext(ctx)
@@ -443,8 +483,20 @@ func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSe
 		return nil, fmt.Errorf("extract: obtaining extraction schema: %w", err)
 	}
 	sspan.SetAttr("sources", strconv.Itoa(len(plans)))
-	espan.SetAttr("sources", strconv.Itoa(len(plans)))
 	rs.Missing = missing
+
+	// Query planner v2: rewrite the schema against the plan's conditions.
+	if qplan != nil && len(qplan.Conditions) > 0 && !m.opts.DisablePushdown {
+		var pstats planner.Stats
+		plans, pstats = m.plannedRewrite(qplan, attributeIDs, plans)
+		espan.SetAttr("sources_pruned", strconv.Itoa(pstats.SourcesPruned))
+		espan.SetAttr("entries_pruned", strconv.Itoa(pstats.EntriesPruned))
+		espan.SetAttr("pushdown_applied", strconv.Itoa(pstats.PushdownApplied))
+		metrics.Counter(obs.MetricPlannerSourcesPruned, nil).Add(uint64(pstats.SourcesPruned))
+		metrics.Counter(obs.MetricPlannerEntriesPruned, nil).Add(uint64(pstats.EntriesPruned))
+		metrics.Counter(obs.MetricPlannerPushdownApplied, nil).Add(uint64(pstats.PushdownApplied))
+	}
+	espan.SetAttr("sources", strconv.Itoa(len(plans)))
 	rs.Stats.SchemaDuration = time.Since(start)
 
 	// Pre-size the fragment slice to the plan's rule count: the common
@@ -701,6 +753,15 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, do
 	}
 
 	frags = make([]Fragment, 0, len(plan.Entries))
+	// fragAt maps entry index to fragment index for the planner's
+	// record-scoped filters; entries whose rule failed map to -1.
+	var fragAt []int
+	if len(plan.Filters) > 0 {
+		fragAt = make([]int, len(plan.Entries))
+		for i := range fragAt {
+			fragAt[i] = -1
+		}
+	}
 	anyFailed := false
 	for i, entry := range plan.Entries {
 		res := results[i]
@@ -741,6 +802,12 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, do
 			Degraded:    res.stale > 0,
 			Stale:       res.stale,
 		})
+		if fragAt != nil {
+			fragAt[i] = len(frags) - 1
+		}
+	}
+	for _, f := range plan.Filters {
+		applyRecordFilter(frags, fragAt, f)
 	}
 	switch {
 	case anyFailed && run.exhausted:
@@ -974,6 +1041,12 @@ func (m *Manager) extractDB(def datasource.Definition, entry mapping.Entry, cr *
 		res, err = db.QuerySelect(cr.sql)
 	} else {
 		res, err = db.Query(entry.Rule.Code)
+	}
+	if err != nil && entry.Rule.Fallback != "" {
+		// The planner's pushed-down WHERE can fail where the original rule
+		// would not (e.g. LIKE against a non-text column); re-run the
+		// preserved original and let the instance-layer filter take over.
+		res, err = db.Query(entry.Rule.Fallback)
 	}
 	if err != nil {
 		return nil, err

@@ -1,13 +1,9 @@
 package instance
 
 import (
-	"fmt"
-	"strconv"
 	"strings"
 
-	"repro/internal/rdf"
 	"repro/internal/s2sql"
-	"repro/internal/sqllang"
 )
 
 // conditionKeys precomputes each condition's lower-cased attribute ID —
@@ -24,6 +20,11 @@ func conditionKeys(conds []s2sql.PlannedCondition) []string {
 // An instance with no value for a constrained attribute does not match
 // (paper §2.5: the result is the products that have brand Seiko AND case
 // stainless-steel). keys is conditionKeys(conds).
+//
+// This is the residual safety net below the query planner's pushdown
+// (internal/planner): even when constraints were already pushed toward
+// the sources, every assembled instance is re-checked here, so pushdown
+// is an optimization, never a correctness dependency.
 func satisfiesAll(in *Instance, conds []s2sql.PlannedCondition, keys []string) (bool, error) {
 	for i, c := range conds {
 		ok, err := satisfies(in, c, keys[i])
@@ -42,9 +43,10 @@ func satisfies(in *Instance, c s2sql.PlannedCondition, key string) (bool, error)
 	if len(values) == 0 {
 		return false, nil
 	}
-	// Multi-valued attributes match existentially.
+	// Multi-valued attributes match existentially. Value comparison is
+	// s2sql.EvalCondition, shared with the planner's pushdown filters.
 	for _, v := range values {
-		ok, err := compareValue(v, c)
+		ok, err := s2sql.EvalCondition(v, c)
 		if err != nil {
 			return false, err
 		}
@@ -53,104 +55,4 @@ func satisfies(in *Instance, c s2sql.PlannedCondition, key string) (bool, error)
 		}
 	}
 	return false, nil
-}
-
-func compareValue(raw string, c s2sql.PlannedCondition) (bool, error) {
-	dt := c.Attribute.Datatype
-	numeric := dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble
-
-	if c.Op == s2sql.OpLike {
-		return likePatternMatch(raw, c.Value.Text), nil
-	}
-
-	if numeric {
-		have, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
-		if err != nil {
-			return false, fmt.Errorf("instance: extracted value %q for %s is not numeric", raw, c.Attribute.ID())
-		}
-		want, err := strconv.ParseFloat(c.Value.Text, 64)
-		if err != nil {
-			return false, fmt.Errorf("instance: constraint %q is not numeric", c.Value.Text)
-		}
-		switch c.Op {
-		case s2sql.OpEq:
-			return have == want, nil
-		case s2sql.OpNe:
-			return have != want, nil
-		case s2sql.OpLt:
-			return have < want, nil
-		case s2sql.OpGt:
-			return have > want, nil
-		case s2sql.OpLe:
-			return have <= want, nil
-		case s2sql.OpGe:
-			return have >= want, nil
-		}
-	}
-
-	if dt == rdf.XSDBoolean {
-		have := parseBoolish(raw)
-		want := parseBoolish(c.Value.Text)
-		if c.Value.Kind == sqllang.LitBool {
-			want = strings.EqualFold(c.Value.Text, "TRUE")
-		}
-		switch c.Op {
-		case s2sql.OpEq:
-			return have == want, nil
-		case s2sql.OpNe:
-			return have != want, nil
-		default:
-			return false, fmt.Errorf("instance: operator %s is not defined for boolean attribute %s", c.Op, c.Attribute.ID())
-		}
-	}
-
-	// String comparison; equality trims surrounding whitespace, which web
-	// extraction frequently leaves behind.
-	have := strings.TrimSpace(raw)
-	want := c.Value.Text
-	switch c.Op {
-	case s2sql.OpEq:
-		return have == want, nil
-	case s2sql.OpNe:
-		return have != want, nil
-	default:
-		return false, fmt.Errorf("instance: operator %s is not defined for string attribute %s", c.Op, c.Attribute.ID())
-	}
-}
-
-func parseBoolish(s string) bool {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "true", "1", "yes", "y":
-		return true
-	default:
-		return false
-	}
-}
-
-// likePatternMatch implements SQL LIKE (% and _) case-insensitively.
-func likePatternMatch(s, pattern string) bool {
-	rs, rp := []rune(strings.ToLower(strings.TrimSpace(s))), []rune(strings.ToLower(pattern))
-	memo := map[[2]int]bool{}
-	var match func(i, j int) bool
-	match = func(i, j int) bool {
-		if j == len(rp) {
-			return i == len(rs)
-		}
-		key := [2]int{i, j}
-		if v, ok := memo[key]; ok {
-			return v
-		}
-		var out bool
-		switch rp[j] {
-		case '%':
-			out = match(i, j+1) || (i < len(rs) && match(i+1, j))
-		case '_':
-			out = i < len(rs) && match(i+1, j+1)
-		default:
-			out = i < len(rs) && rs[i] == rp[j] && match(i+1, j+1)
-		}
-		memo[key] = out
-		return out
-	}
-	return match(0, 0)
 }

@@ -157,6 +157,10 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// A constrained query exercises the query planner's pushdown counters.
+	if _, err := mw.Query(ctx, "SELECT product WHERE brand = 'Seiko'"); err != nil {
+		t.Fatal(err)
+	}
 
 	declared := map[string]bool{}
 	for _, name := range obs.MetricNames() {
@@ -191,8 +195,9 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	if v := mw.Metrics().Counter(obs.MetricBreakerTrips, obs.Labels{"source": "dead"}).Value(); v != 1 {
 		t.Errorf("breaker trips for dead source = %d, want 1", v)
 	}
-	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 1 {
-		t.Errorf("breaker_open attempts for dead source = %d, want 1", v)
+	// Both queries after the tripping one are skipped as breaker_open.
+	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 2 {
+		t.Errorf("breaker_open attempts for dead source = %d, want 2", v)
 	}
 }
 

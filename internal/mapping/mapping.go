@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/datasource"
 	"repro/internal/ontology"
+	"repro/internal/s2sql"
 	"repro/internal/selector"
 	"repro/internal/sqllang"
 	"repro/internal/webl"
@@ -141,6 +142,14 @@ type Rule struct {
 	// nomenclatures, vocabulary or units for concepts") — e.g.
 	// `ToString(ToNumber(v) / 100)` turns cents into the ontology's euros.
 	Transform string
+	// Fallback, when set, is the original rule code to re-run when Code
+	// fails at the source. The query planner (internal/planner) sets it on
+	// pushed-down SQL rewrites: if the rewritten WHERE cannot evaluate on
+	// the partner's schema (e.g. LIKE against a non-text column), the
+	// extractor degrades to the unpushed rule and the instance-layer
+	// filter does the work instead. Never set on operator-registered
+	// entries.
+	Fallback string
 }
 
 // TransformProgram compiles the rule's transform expression into a WebL
@@ -434,6 +443,24 @@ func (r *Repository) ImpactOf(next *ontology.Ontology) *ImpactReport {
 type SourcePlan struct {
 	Source  datasource.Definition
 	Entries []Entry
+	// Filters are record-scoped pushdown filters the query planner
+	// (internal/planner) attached for one specific query. Repository
+	// schemas never carry them; they appear only on the rewritten copies
+	// the extractor manager caches per query shape.
+	Filters []RecordFilter
+}
+
+// RecordFilter asks the extractor to drop, before fragments enter the
+// result set, the record positions of one record-scope group that
+// provably fail the query's WHERE conditions. Entries indexes into the
+// owning SourcePlan.Entries; all indexed entries share one source record
+// scope (same table row / same XML record node), so position i of each
+// entry's values describes the same record — exactly the tuple the
+// instance generator would assemble. Records whose evaluation errors are
+// kept, so the instance layer reproduces the error verbatim.
+type RecordFilter struct {
+	Entries    []int
+	Conditions []s2sql.PlannedCondition
 }
 
 // Schema assembles the extraction schema (paper §2.4.1 "Obtain Extraction

@@ -35,6 +35,15 @@ const (
 	MetricBreakerTrips = "s2s_breaker_trips_total"
 	// MetricInstances counts generated (matched) ontology instances.
 	MetricInstances = "s2s_instances_generated_total"
+	// MetricPlannerSourcesPruned counts source plans the query planner
+	// dropped entirely before extraction.
+	MetricPlannerSourcesPruned = "s2s_planner_sources_pruned_total"
+	// MetricPlannerEntriesPruned counts mapping entries the query planner
+	// removed without running their rules.
+	MetricPlannerEntriesPruned = "s2s_planner_entries_pruned_total"
+	// MetricPlannerPushdownApplied counts record-scope groups that
+	// received a predicate pushdown (record filter and/or native SQL).
+	MetricPlannerPushdownApplied = "s2s_planner_pushdown_applied_total"
 )
 
 // Outcome label values. Every label value the middleware emits under an
@@ -108,6 +117,9 @@ var descriptors = []Desc{
 	{MetricCacheLookups, "counter", "Rule-cache lookups, labeled by outcome (hit|miss|stale).", []string{"outcome"}},
 	{MetricBreakerTrips, "counter", "Circuit-breaker transitions to open, per source.", []string{"source"}},
 	{MetricInstances, "counter", "Matched ontology instances generated across queries.", nil},
+	{MetricPlannerSourcesPruned, "counter", "Source plans the query planner pruned before extraction.", nil},
+	{MetricPlannerEntriesPruned, "counter", "Mapping entries the query planner pruned before extraction.", nil},
+	{MetricPlannerPushdownApplied, "counter", "Record-scope groups with predicate pushdown applied.", nil},
 }
 
 // Descriptors returns the canonical exported-metric descriptions.

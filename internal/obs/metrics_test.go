@@ -171,6 +171,8 @@ func TestDescriptorsCoverConstants(t *testing.T) {
 		MetricQueryTotal, MetricQueryDuration, MetricStageDuration,
 		MetricSourceExtractTotal, MetricSourceExtractDuration, MetricSourceRetries,
 		MetricCacheLookups, MetricBreakerTrips, MetricInstances,
+		MetricPlannerSourcesPruned, MetricPlannerEntriesPruned,
+		MetricPlannerPushdownApplied,
 	}
 	got := MetricNames()
 	if len(got) != len(want) {

@@ -1,0 +1,531 @@
+// Package planner implements query planner v2: predicate pushdown and
+// projection pruning between S2SQL planning and extraction. The paper's
+// Query Handler derives "the list of attributes to extract" (§2.4); the
+// baseline pipeline extracts every mapped attribute from every source and
+// applies WHERE constraints only after instance generation
+// (internal/instance/filter.go). This package rewrites the extraction
+// schema per query so that work a selective query cannot use is never
+// fetched, parsed, or assembled:
+//
+//   - Prune: a record-scope group of entries that provably cannot satisfy
+//     the query's conditions (its group maps no entry for a constrained
+//     attribute, so every instance it would build lacks the value and
+//     fails the condition) is dropped before any rule runs.
+//   - Record filter: when the constrained attribute and its sibling
+//     entries share one source record scope (same table row, same XML
+//     record node, positionally correlated web/text fragments), the
+//     extractor drops failing record positions before fragments enter the
+//     result set (mapping.RecordFilter).
+//   - Native SQL pushdown: for database groups the string-equality and
+//     LIKE constraints are additionally appended to the generated SQL as
+//     a widened `col LIKE '%...%'` predicate, so the partner database
+//     returns fewer rows. The predicate is a strict superset of the
+//     instance-layer comparison, and the original rule is preserved as a
+//     fallback, so it can only shrink work, never answers.
+//
+// Every decision is sound, not load-bearing: the instance-layer filter
+// always re-applies the conditions as the residual safety net, and a
+// group that fails any eligibility gate is simply left alone. Decisions
+// are taken in deterministic order (source order, entry order, condition
+// order — no map iteration), so identical queries rewrite identically.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/s2sql"
+	"repro/internal/sqllang"
+	"repro/internal/xmlpath"
+)
+
+// Stats counts what a rewrite changed; the extractor surfaces them as
+// span attributes and s2s_planner_* counters (internal/obs).
+type Stats struct {
+	// SourcesPruned counts source plans dropped entirely (every entry
+	// pruned).
+	SourcesPruned int
+	// EntriesPruned counts mapping entries removed without running.
+	EntriesPruned int
+	// PushdownApplied counts record-scope groups that received a pushdown
+	// (a record filter, with or without native SQL predicates).
+	PushdownApplied int
+}
+
+// Action classifies one per-group planning decision.
+type Action string
+
+// Actions.
+const (
+	// ActionPrune removed the group's entries without running them.
+	ActionPrune Action = "prune"
+	// ActionFilter attached a record-scope filter.
+	ActionFilter Action = "filter"
+	// ActionFilterSQL attached a record-scope filter and rewrote the
+	// group's SQL with native WHERE predicates.
+	ActionFilterSQL Action = "filter+sql"
+	// ActionDecline left the group untouched; Detail names the gate.
+	ActionDecline Action = "decline"
+)
+
+// Decision records why one record-scope group was or was not pushed
+// down; the table-driven planner tests assert on these.
+type Decision struct {
+	SourceID string
+	// Group lists the member entries' attribute IDs in entry order.
+	Group  []string
+	Action Action
+	// Detail is the human-readable reason (gate name for declines).
+	Detail string
+}
+
+// Result is a rewritten extraction schema.
+type Result struct {
+	Plans     []mapping.SourcePlan
+	Stats     Stats
+	Decisions []Decision
+}
+
+// Rewrite plans pushdown and pruning for one query over one extraction
+// schema. It never mutates its inputs: plans carrying changes are fresh
+// copies (entry slices included), untouched plans are passed through.
+// classKeys is the mapping repository's class-key table
+// (Repository.ClassKeys); any declared key comparable with a group's
+// classes disables pushdown for that group, because cross-source merging
+// happens before the instance-layer filter.
+func Rewrite(ont *ontology.Ontology, classKeys map[string]string, plan *s2sql.Plan, plans []mapping.SourcePlan) Result {
+	res := Result{Plans: plans}
+	if ont == nil || plan == nil || plan.Class == nil || len(plan.Conditions) == 0 {
+		return res
+	}
+
+	// Relation targets across the whole ontology: a class that can be a
+	// link target may appear in the answer as a Related instance, so its
+	// records are never dropped at the source.
+	var relTargets []*ontology.Class
+	for _, c := range ont.Classes() {
+		for _, r := range c.Relations {
+			relTargets = append(relTargets, r.To)
+		}
+	}
+	// Class-key classes, resolved in deterministic order.
+	keyNames := make([]string, 0, len(classKeys))
+	for name := range classKeys {
+		keyNames = append(keyNames, name)
+	}
+	sort.Strings(keyNames)
+	var keyClasses []*ontology.Class
+	unresolvedKey := false
+	for _, name := range keyNames {
+		if c, ok := ont.Class(name); ok {
+			keyClasses = append(keyClasses, c)
+		} else {
+			unresolvedKey = true
+		}
+	}
+
+	out := make([]mapping.SourcePlan, 0, len(plans))
+	for _, sp := range plans {
+		rw := rewriteSource(ont, plan, sp, relTargets, keyClasses, unresolvedKey, &res)
+		if len(rw.Entries) > 0 {
+			out = append(out, rw)
+		} else {
+			res.Stats.SourcesPruned++
+		}
+	}
+	res.Plans = out
+	return res
+}
+
+// group is one simulated lineage group: the entries whose attribute
+// classes lie on one root-to-leaf chain, mirroring the instance
+// generator's partition() over this source's fragments.
+type group struct {
+	class   *ontology.Class
+	idx     []int
+	classes []*ontology.Class
+}
+
+// rewriteSource plans one source. The returned plan has zero entries
+// when every entry was pruned.
+func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePlan, relTargets, keyClasses []*ontology.Class, unresolvedKey bool, res *Result) mapping.SourcePlan {
+	classes := make([]*ontology.Class, len(sp.Entries))
+	for i, e := range sp.Entries {
+		attr, ok := ont.Attribute(e.AttributeID)
+		if !ok {
+			// An entry outside the ontology would error at instance
+			// generation; leave the whole source untouched so that path
+			// is preserved.
+			res.Decisions = append(res.Decisions, Decision{
+				SourceID: sp.Source.ID, Action: ActionDecline,
+				Detail: fmt.Sprintf("attribute %s not in ontology", e.AttributeID),
+			})
+			return sp
+		}
+		classes[i] = attr.Class
+	}
+
+	// Simulate the instance generator's greedy lineage partition in entry
+	// order (fragments are emitted in entry order, so the simulation and
+	// the runtime agree).
+	var groups []*group
+	for i, cls := range classes {
+		placed := false
+		for _, grp := range groups {
+			switch {
+			case cls.IsA(grp.class):
+				grp.idx = append(grp.idx, i)
+				grp.classes = append(grp.classes, cls)
+				grp.class = cls
+				placed = true
+			case grp.class.IsA(cls):
+				grp.idx = append(grp.idx, i)
+				grp.classes = append(grp.classes, cls)
+				placed = true
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{class: cls, idx: []int{i}, classes: []*ontology.Class{cls}})
+		}
+	}
+
+	pruned := make([]bool, len(sp.Entries))
+	anyPrune := false
+	var filters []mapping.RecordFilter
+	entries := sp.Entries // copied on first mutation
+	copied := false
+
+	for _, grp := range groups {
+		attrs := make([]string, len(grp.idx))
+		for k, i := range grp.idx {
+			attrs[k] = sp.Entries[i].AttributeID
+		}
+		decide := func(a Action, detail string) {
+			res.Decisions = append(res.Decisions, Decision{
+				SourceID: sp.Source.ID, Group: attrs, Action: a, Detail: detail,
+			})
+		}
+
+		// Shared gates: pushing or pruning a group is sound only when its
+		// records can neither appear in the answer by another route nor
+		// change how other records assemble.
+		if reason := shareGates(plan, grp, classes, relTargets, keyClasses, unresolvedKey); reason != "" {
+			decide(ActionDecline, reason)
+			continue
+		}
+
+		// Match conditions to group entries by attribute ID.
+		matchIdx := make([][]int, len(plan.Conditions))
+		for j, c := range plan.Conditions {
+			key := strings.ToLower(c.Attribute.ID())
+			for _, i := range grp.idx {
+				if strings.ToLower(sp.Entries[i].AttributeID) == key {
+					matchIdx[j] = append(matchIdx[j], i)
+				}
+			}
+		}
+
+		// Prune: a condition with no entry in this group means every
+		// instance the group builds lacks the value and fails the
+		// condition — provided no earlier condition could error instead
+		// (errors must surface identically, so an error-capable earlier
+		// condition blocks the prune and the record filter handles it).
+		pruneAt := -1
+		for j := range plan.Conditions {
+			if len(matchIdx[j]) == 0 {
+				pruneAt = j
+				break
+			}
+		}
+		if pruneAt >= 0 {
+			errFree := true
+			for j := 0; j < pruneAt; j++ {
+				if s2sql.ConditionCanError(plan.Conditions[j]) {
+					errFree = false
+					break
+				}
+			}
+			if errFree {
+				for _, i := range grp.idx {
+					pruned[i] = true
+				}
+				anyPrune = true
+				res.Stats.EntriesPruned += len(grp.idx)
+				decide(ActionPrune, fmt.Sprintf("no entry for constrained attribute %s", plan.Conditions[pruneAt].Attribute.ID()))
+				continue
+			}
+		}
+
+		// Record filter: requires every member to be multi-record (the
+		// positional contract) and a shared record scope per source kind.
+		single := false
+		for _, i := range grp.idx {
+			if sp.Entries[i].Scenario != mapping.MultiRecord {
+				single = true
+				break
+			}
+		}
+		if single {
+			decide(ActionDecline, "single-record entry in group")
+			continue
+		}
+		sels, reason := scopeGate(sp, grp)
+		if reason != "" {
+			decide(ActionDecline, reason)
+			continue
+		}
+
+		filters = append(filters, mapping.RecordFilter{
+			Entries:    append([]int(nil), grp.idx...),
+			Conditions: plan.Conditions,
+		})
+		res.Stats.PushdownApplied++
+
+		// Native SQL pushdown on top of the filter for database groups.
+		if sels != nil {
+			if pred := nativePredicate(plan.Conditions, matchIdx, sp.Entries, sels, grp); pred != nil {
+				if !copied {
+					entries = append([]mapping.Entry(nil), entries...)
+					copied = true
+				}
+				for k, i := range grp.idx {
+					sel := *sels[k] // shallow copy; only Where is replaced
+					sel.Where = andExpr(sel.Where, pred)
+					entries[i].Rule.Fallback = entries[i].Rule.Code
+					entries[i].Rule.Code = sel.String()
+				}
+				decide(ActionFilterSQL, pred.String())
+				continue
+			}
+		}
+		decide(ActionFilter, "record-scope filter")
+	}
+
+	if !anyPrune {
+		if len(filters) == 0 && !copied {
+			return sp
+		}
+		return mapping.SourcePlan{Source: sp.Source, Entries: entries, Filters: filters}
+	}
+
+	// Rebuild the entry list without the pruned groups, remapping filter
+	// indexes. Removing a whole lineage group preserves the remaining
+	// entries' partition assignments: the share gates guarantee no other
+	// entry's class is comparable with a pruned group's classes, so no
+	// surviving fragment could have joined (or absorbed) the pruned group.
+	remap := make([]int, len(sp.Entries))
+	kept := make([]mapping.Entry, 0, len(sp.Entries))
+	for i := range entries {
+		if pruned[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		kept = append(kept, entries[i])
+	}
+	for fi := range filters {
+		for k, i := range filters[fi].Entries {
+			filters[fi].Entries[k] = remap[i]
+		}
+	}
+	return mapping.SourcePlan{Source: sp.Source, Entries: kept, Filters: filters}
+}
+
+// shareGates checks the gates common to pruning and filtering; it
+// returns "" when they all hold, else the human-readable reason.
+//
+//   - Every member class must be the queried class or a descendant:
+//     other groups' instances are not condition-checked at all.
+//   - No member class may be a relation target (or a subclass of one):
+//     such instances can enter the answer as Related via links.
+//   - No declared class key may be comparable with a member class:
+//     cross-source merging happens before the instance-layer filter, so
+//     a dropped record could otherwise have donated values to a merge.
+//   - Every other entry of the same source must be class-incomparable
+//     with every member: otherwise removing (or failing) group members
+//     at runtime would re-partition the survivors differently than the
+//     simulation predicted.
+func shareGates(plan *s2sql.Plan, grp *group, classes []*ontology.Class, relTargets, keyClasses []*ontology.Class, unresolvedKey bool) string {
+	if unresolvedKey {
+		return "class key on unknown class"
+	}
+	for _, mc := range grp.classes {
+		if !mc.IsA(plan.Class) {
+			return fmt.Sprintf("class %s is not a %s", mc.Name, plan.Class.Name)
+		}
+		for _, t := range relTargets {
+			if mc.IsA(t) {
+				return fmt.Sprintf("class %s is a relation target", mc.Name)
+			}
+		}
+		for _, kc := range keyClasses {
+			if mc.IsA(kc) || kc.IsA(mc) {
+				return fmt.Sprintf("class key declared on %s", kc.Name)
+			}
+		}
+	}
+	member := make(map[int]bool, len(grp.idx))
+	for _, i := range grp.idx {
+		member[i] = true
+	}
+	for i, cls := range classes {
+		if member[i] {
+			continue
+		}
+		for _, mc := range grp.classes {
+			if cls.IsA(mc) || mc.IsA(cls) {
+				return fmt.Sprintf("class %s of another group is comparable with %s", cls.Name, mc.Name)
+			}
+		}
+	}
+	return ""
+}
+
+// scopeGate checks that every group member reads the same source record
+// scope, per source kind. For database groups it returns the parsed
+// SELECT of each member (in group order) for the native-SQL rewrite;
+// for other kinds sels is nil. reason is "" when the gate holds.
+func scopeGate(sp mapping.SourcePlan, grp *group) (sels []*sqllang.Select, reason string) {
+	switch sp.Source.Kind {
+	case datasource.KindDatabase:
+		sels = make([]*sqllang.Select, len(grp.idx))
+		var table, whereStr, orderStr string
+		for k, i := range grp.idx {
+			rule := sp.Entries[i].Rule
+			if rule.Language != mapping.LangSQL {
+				return nil, "non-SQL rule on database source"
+			}
+			stmt, err := sqllang.Parse(rule.Code)
+			if err != nil {
+				return nil, "unparseable SQL rule"
+			}
+			sel, ok := stmt.(*sqllang.Select)
+			if !ok {
+				return nil, "SQL rule is not a SELECT"
+			}
+			if sel.Distinct || len(sel.Joins) > 0 || len(sel.GroupBy) > 0 ||
+				sel.Limit >= 0 || sel.Offset > 0 ||
+				len(sel.Columns) != 1 || sqllang.HasAggregate(sel.Columns) {
+				return nil, "SQL rule is not a plain single-column scan"
+			}
+			w, o := "", ""
+			if sel.Where != nil {
+				w = sel.Where.String()
+			}
+			if sel.Order != nil {
+				o = sel.Order.Column.String()
+				if sel.Order.Desc {
+					o += " DESC"
+				}
+			}
+			if k == 0 {
+				table, whereStr, orderStr = sel.Table, w, o
+			} else if !strings.EqualFold(sel.Table, table) || w != whereStr || o != orderStr {
+				return nil, "SQL rules scan different row sets"
+			}
+			sels[k] = sel
+		}
+		return sels, ""
+	case datasource.KindXML:
+		var scope string
+		for k, i := range grp.idx {
+			rule := sp.Entries[i].Rule
+			if rule.Language != mapping.LangXPath {
+				return nil, "non-XPath rule on XML source"
+			}
+			p, err := xmlpath.Compile(rule.Code)
+			if err != nil {
+				return nil, "unparseable XPath rule"
+			}
+			s, ok := p.RecordScopeKey()
+			if !ok {
+				return nil, "XPath rule has no stable record scope"
+			}
+			if k == 0 {
+				scope = s
+			} else if s != scope {
+				return nil, "XPath rules read different record scopes"
+			}
+		}
+		return nil, ""
+	default:
+		// Web and text rules emit one positionally-correlated value list
+		// per record by the multi-record contract; the filter applies at
+		// the fragment level with no further scope to check.
+		return nil, ""
+	}
+}
+
+// nativePredicate builds the one WHERE predicate appended to every
+// member's SQL: the AND of a widened `col LIKE '%text%'` per eligible
+// condition. Widening makes the predicate a strict superset of the
+// instance-layer comparison (case-insensitive containment ⊇ trimmed
+// equality and ⊇ full-pattern LIKE), so rows it removes are exactly rows
+// the record filter would remove anyway. The same predicate goes on every
+// member, so the engine's type-driven WHERE errors hit all members
+// uniformly and the fallback keeps their row sets aligned. Returns nil
+// when no condition is eligible.
+func nativePredicate(conds []s2sql.PlannedCondition, matchIdx [][]int, entries []mapping.Entry, sels []*sqllang.Select, grp *group) sqllang.Expr {
+	selAt := make(map[int]*sqllang.Select, len(grp.idx))
+	for k, i := range grp.idx {
+		selAt[i] = sels[k]
+	}
+	var pred sqllang.Expr
+	for j, c := range conds {
+		dt := c.Attribute.Datatype
+		if dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble || dt == rdf.XSDBoolean {
+			continue // numeric/boolean comparisons are not containment-widenable
+		}
+		if c.Op != s2sql.OpEq && c.Op != s2sql.OpLike {
+			continue
+		}
+		if c.Value.Kind != sqllang.LitString {
+			continue
+		}
+		// A NULL column extracts as "", which an empty-matching constraint
+		// accepts — but the native predicate would drop the row. Push only
+		// constraints that reject the empty value.
+		if c.Op == s2sql.OpEq && c.Value.Text == "" {
+			continue
+		}
+		if c.Op == s2sql.OpLike && s2sql.LikeMatch("", c.Value.Text) {
+			continue
+		}
+		if len(matchIdx[j]) != 1 {
+			continue // no unambiguous column for this attribute
+		}
+		i := matchIdx[j][0]
+		if entries[i].Rule.Transform != "" {
+			continue // the filter compares transformed values; the column holds raw ones
+		}
+		sel, ok := selAt[i]
+		if !ok {
+			continue
+		}
+		p := &sqllang.BinaryExpr{
+			Op:    sqllang.OpLike,
+			Left:  sel.Columns[0].Col,
+			Right: sqllang.LiteralExpr{Kind: sqllang.LitString, Text: "%" + c.Value.Text + "%"},
+		}
+		pred = andExpr(pred, p)
+	}
+	return pred
+}
+
+func andExpr(left, right sqllang.Expr) sqllang.Expr {
+	if left == nil {
+		return right
+	}
+	if right == nil {
+		return left
+	}
+	return &sqllang.BinaryExpr{Op: sqllang.OpAnd, Left: left, Right: right}
+}

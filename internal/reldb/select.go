@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/sqllang"
 )
@@ -159,37 +161,54 @@ func evalOperand(expr sqllang.Expr, e *env) (Value, error) {
 	}
 }
 
-// likeMatch implements SQL LIKE with % (any run) and _ (any one rune).
+// likeMatch implements SQL LIKE with % (any run) and _ (any one rune),
+// case-insensitively. Greedy two-pointer match over byte positions:
+// advance through literal/_ characters, remember the most recent % and
+// where it started consuming, and on mismatch widen that % by one rune.
+// Allocation-free — the planner pushes `%literal%` predicates into
+// generated SQL, which puts this on the per-row hot path.
 func likeMatch(s, pattern string) bool {
-	// Dynamic-programming match over runes.
-	rs, rp := []rune(s), []rune(pattern)
-	memo := make(map[[2]int]bool)
-	var match func(i, j int) bool
-	match = func(i, j int) bool {
-		if j == len(rp) {
-			return i == len(rs)
+	i, j := 0, 0      // byte positions in s, pattern
+	star, si := -1, 0 // byte position of the last %, s position it resumes from
+	for i < len(s) {
+		if j < len(pattern) {
+			pc, pw := utf8.DecodeRuneInString(pattern[j:])
+			if pc == '%' {
+				star, si = j, i
+				j += pw
+				continue
+			}
+			sc, sw := utf8.DecodeRuneInString(s[i:])
+			if pc == '_' || equalFoldRune(sc, pc) {
+				i, j = i+sw, j+pw
+				continue
+			}
 		}
-		key := [2]int{i, j}
-		if v, ok := memo[key]; ok {
-			return v
+		if star < 0 {
+			return false
 		}
-		var out bool
-		switch rp[j] {
-		case '%':
-			out = match(i, j+1) || (i < len(rs) && match(i+1, j))
-		case '_':
-			out = i < len(rs) && match(i+1, j+1)
-		default:
-			out = i < len(rs) && equalFoldRune(rs[i], rp[j]) && match(i+1, j+1)
-		}
-		memo[key] = out
-		return out
+		_, sw := utf8.DecodeRuneInString(s[si:])
+		si += sw
+		i, j = si, star+1 // % is one byte wide
 	}
-	return match(0, 0)
+	for j < len(pattern) && pattern[j] == '%' {
+		j++
+	}
+	return j == len(pattern)
 }
 
+// equalFoldRune is strings.EqualFold's per-rune relation (simple case
+// folding) without building the intermediate strings.
 func equalFoldRune(a, b rune) bool {
-	return a == b || strings.EqualFold(string(a), string(b))
+	if a == b {
+		return true
+	}
+	for r := unicode.SimpleFold(a); r != a; r = unicode.SimpleFold(r) {
+		if r == b {
+			return true
+		}
+	}
+	return false
 }
 
 // executeSelect runs a parsed SELECT. Callers hold the read lock.

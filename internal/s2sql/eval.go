@@ -1,0 +1,147 @@
+package s2sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sqllang"
+)
+
+// This file holds the one evaluator for planned WHERE conditions against
+// raw extracted values. Two layers share it: the instance generator's
+// residual filter (internal/instance) and the query planner's
+// record-scoped pushdown filters (internal/planner). Sharing is what
+// makes pushdown sound-by-construction: a record the planner drops at
+// the source is exactly a record the instance layer would have rejected,
+// byte-identical error text included.
+//
+// Error messages keep their historical "instance:" prefix — the instance
+// generator is the user-visible surface that reports them, and golden
+// outputs pin the text.
+
+// EvalCondition reports whether a single raw extracted value satisfies a
+// planned condition. Comparison semantics follow the attribute's
+// declared datatype: numeric XSD types parse and compare as floats,
+// xsd:boolean compares truthiness, everything else compares as trimmed
+// strings; LIKE always pattern-matches case-insensitively.
+func EvalCondition(raw string, c PlannedCondition) (bool, error) {
+	dt := c.Attribute.Datatype
+	numeric := dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble
+
+	if c.Op == OpLike {
+		return LikeMatch(raw, c.Value.Text), nil
+	}
+
+	if numeric {
+		have, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return false, fmt.Errorf("instance: extracted value %q for %s is not numeric", raw, c.Attribute.ID())
+		}
+		want, err := strconv.ParseFloat(c.Value.Text, 64)
+		if err != nil {
+			return false, fmt.Errorf("instance: constraint %q for %s is not numeric", c.Value.Text, c.Attribute.ID())
+		}
+		switch c.Op {
+		case OpEq:
+			return have == want, nil
+		case OpNe:
+			return have != want, nil
+		case OpLt:
+			return have < want, nil
+		case OpGt:
+			return have > want, nil
+		case OpLe:
+			return have <= want, nil
+		case OpGe:
+			return have >= want, nil
+		}
+	}
+
+	if dt == rdf.XSDBoolean {
+		have := parseBoolish(raw)
+		want := parseBoolish(c.Value.Text)
+		if c.Value.Kind == sqllang.LitBool {
+			want = strings.EqualFold(c.Value.Text, "TRUE")
+		}
+		switch c.Op {
+		case OpEq:
+			return have == want, nil
+		case OpNe:
+			return have != want, nil
+		default:
+			return false, fmt.Errorf("instance: operator %s is not defined for boolean attribute %s", c.Op, c.Attribute.ID())
+		}
+	}
+
+	// String comparison; equality trims surrounding whitespace, which web
+	// extraction frequently leaves behind.
+	have := strings.TrimSpace(raw)
+	want := c.Value.Text
+	switch c.Op {
+	case OpEq:
+		return have == want, nil
+	case OpNe:
+		return have != want, nil
+	default:
+		return false, fmt.Errorf("instance: operator %s is not defined for string attribute %s", c.Op, c.Attribute.ID())
+	}
+}
+
+// ConditionCanError reports whether EvalCondition could return an error
+// for some extracted value under this condition — it mirrors the error
+// branches above exactly. The planner uses it as a prune gate: a source
+// group may be dropped without running its rules only when every
+// condition evaluated before the deciding one is error-free, so the
+// instance layer's error output cannot differ.
+func ConditionCanError(c PlannedCondition) bool {
+	if c.Op == OpLike {
+		return false
+	}
+	dt := c.Attribute.Datatype
+	if dt == rdf.XSDInteger || dt == rdf.XSDDecimal || dt == rdf.XSDDouble {
+		return true
+	}
+	// Boolean and string attributes evaluate Eq/Ne without error and
+	// reject every other operator with one.
+	return c.Op != OpEq && c.Op != OpNe
+}
+
+func parseBoolish(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "1", "yes", "y":
+		return true
+	default:
+		return false
+	}
+}
+
+// LikeMatch implements SQL LIKE (% and _) case-insensitively over the
+// trimmed value.
+func LikeMatch(s, pattern string) bool {
+	rs, rp := []rune(strings.ToLower(strings.TrimSpace(s))), []rune(strings.ToLower(pattern))
+	memo := map[[2]int]bool{}
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if j == len(rp) {
+			return i == len(rs)
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var out bool
+		switch rp[j] {
+		case '%':
+			out = match(i, j+1) || (i < len(rs) && match(i+1, j))
+		case '_':
+			out = i < len(rs) && match(i+1, j+1)
+		default:
+			out = i < len(rs) && rs[i] == rp[j] && match(i+1, j+1)
+		}
+		memo[key] = out
+		return out
+	}
+	return match(0, 0)
+}

@@ -1,0 +1,44 @@
+package xmlpath
+
+import "strings"
+
+// RecordScopeKey returns a canonical key for the record scope of a
+// compiled path: the element-path prefix whose nodes enumerate the
+// source's records, with the final value-producing step (the element
+// whose text is read, or the text() step's element) stripped. Two
+// multi-record rules whose paths report equal keys walk the same record
+// nodes, so their value lists correlate positionally record by record —
+// the precondition for pushing a WHERE constraint from one attribute
+// onto the others (internal/planner).
+//
+// The second result is false when no sound scope can be derived, and the
+// planner must decline pushdown: union paths (alternatives enumerate
+// independently), descendant ("//") axes (depth can differ per record),
+// and predicate-filtered steps (a predicate on one rule but not its
+// siblings skews positions) are all rejected conservatively.
+func (p *Path) RecordScopeKey() (string, bool) {
+	if len(p.union) > 0 {
+		return "", false
+	}
+	for _, st := range p.steps {
+		if st.descendant || len(st.preds) > 0 {
+			return "", false
+		}
+	}
+	scope := p.steps
+	// Element-valued paths and text() paths read one value per node of
+	// the final step, so the record nodes are the step before it. An
+	// attribute step reads from the final element step itself.
+	if p.finalAttr == "" {
+		if len(scope) == 0 {
+			return "", false
+		}
+		scope = scope[:len(scope)-1]
+	}
+	var b strings.Builder
+	for _, st := range scope {
+		b.WriteByte('/')
+		b.WriteString(st.name)
+	}
+	return b.String(), true
+}
