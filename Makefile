@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos bench bench-compare bench-pushdown bin clean
+.PHONY: check vet fmt lint build test chaos bench bench-compare bench-pushdown bench-stream bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -31,7 +31,7 @@ test:
 	$(GO) test -race ./...
 
 # lint runs the repo-specific analyzer suite (stdlibonly, errwrap,
-# spanend, ctxfield, determinism, lockbalance — see
+# spanend, ctxfield, determinism, lockbalance, pkgdoc — see
 # docs/STATIC_ANALYSIS.md) over every package; non-zero exit on findings.
 lint:
 	$(GO) run ./cmd/s2s-lint
@@ -41,7 +41,7 @@ lint:
 chaos:
 	$(GO) test -race -run Chaos ./internal/integration
 
-# bench runs the root benchmark families (bench_test.go, E1–E17) with
+# bench runs the root benchmark families (bench_test.go, E1–E18) with
 # allocation stats and persists a machine-readable baseline for the perf
 # trajectory. The text output still streams to the terminal via stderr.
 bench:
@@ -67,6 +67,19 @@ bench-pushdown:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/s2s-benchjson > BENCH_pushdown.json
 	@echo "wrote BENCH_pushdown.json"
+
+# bench-stream records only the streaming-pipeline family (E18
+# streaming/materializing pair across the row sweep) into
+# BENCH_stream.json — the measurement docs/STREAMING.md and
+# docs/PERFORMANCE.md cite for the bounded-memory path. Compare a fresh
+# run against it with
+#   go run ./cmd/s2s-benchjson -compare BENCH_stream.json <current.json>
+# which fails on any >20% ns/op or allocs/op regression.
+bench-stream:
+	$(GO) test -run '^$$' -bench BenchmarkE18 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_stream.json
+	@echo "wrote BENCH_stream.json"
 
 # bin builds the two executables into ./bin.
 bin:

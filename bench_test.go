@@ -9,6 +9,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -470,6 +471,48 @@ func BenchmarkE17SelectiveQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE18LargeSource — streaming pipeline: one full-scan query
+// over growing sources, streaming against materializing, serialized to
+// a discarded writer so the measurement isolates pipeline cost. Run
+// with -benchmem: the claim under test is the allocation profile —
+// the streaming path's peak buffered memory stays flat as rows grow
+// 10x (TestStreamingBoundedMemory asserts it; docs/PERFORMANCE.md
+// records the measured sweep). BENCH_stream.json records the pair for
+// `make bench-stream -compare` gating.
+func BenchmarkE18LargeSource(b *testing.B) {
+	modes := []struct {
+		name string
+		opts extract.Options
+	}{
+		{"streaming", extract.Options{Streaming: true}},
+		{"materializing", extract.Options{}},
+	}
+	for _, records := range []int{100, 1000} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/records=%d", mode.name, records), func(b *testing.B) {
+				mw, _ := buildMW(b, workload.Spec{
+					DBSources: 1, XMLSources: 1, TextSources: 1,
+					RecordsPerSource: records, Seed: 18,
+				}, mode.opts)
+				ctx := context.Background()
+				if _, err := mw.Query(ctx, "SELECT product"); err != nil { // warm compiled rules
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := mw.QueryTo(ctx, io.Discard, "SELECT product", instance.FormatJSON)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Errors) > 0 {
+						b.Fatalf("errors: %v", res.Errors)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -5,11 +5,18 @@
 //
 //	s2s-query -q "SELECT product WHERE brand='Seiko'" [-format owl|turtle|ntriples|xml|json|text] [-trace]
 //	s2s-query -endpoint http://localhost:8080 -q "SELECT provider" -format json -trace
+//	s2s-query -endpoint http://localhost:8080 -q "SELECT product" -stream
 //
 // With -trace, the query's span tree (per-stage and per-source timings;
 // see docs/OBSERVABILITY.md) is pretty-printed to stderr after the
 // result. In endpoint mode the tree comes back from the server, so a
 // federated query shows its remote per-source spans under one trace.
+//
+// With -stream, the answer flows through the streaming pipeline
+// (docs/STREAMING.md): in endpoint mode the body arrives via the
+// chunked /query/stream route and is written to stdout as it lands; in
+// local mode the middleware runs with the Streaming option. Output
+// bytes are identical either way.
 package main
 
 import (
@@ -42,20 +49,30 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "query timeout")
 		budget   = flag.Duration("budget", 0, "per-query extraction deadline budget for the local world (0 disables)")
 		trace    = flag.Bool("trace", false, "print the query's span tree to stderr")
+		stream   = flag.Bool("stream", false, "stream the answer (chunked /query/stream in endpoint mode, streaming pipeline locally)")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *budget, *doReason, *trace); err != nil {
+	if err := run(ctx, *endpoint, *query, *sparqlQ, *format, *records, *seed, *budget, *doReason, *trace, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, budget time.Duration, doReason, trace bool) error {
+func run(ctx context.Context, endpoint, query, sparqlQuery, format string, records int, seed int64, budget time.Duration, doReason, trace, stream bool) error {
 	if endpoint != "" {
 		client := transport.NewClient(endpoint, nil)
+		if stream && sparqlQuery == "" {
+			res, err := client.QueryStream(ctx, query, format, os.Stdout)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# matched=%d related=%d errors=%d bytes=%d (streamed)\n",
+				res.Matched, res.Related, res.SourceErrors, res.Bytes)
+			return nil
+		}
 		if sparqlQuery != "" {
 			resp, err := client.SPARQL(ctx, transport.SPARQLRequest{
 				S2SQL: query, SPARQL: sparqlQuery, Reason: doReason,
@@ -103,7 +120,8 @@ func run(ctx context.Context, endpoint, query, sparqlQuery, format string, recor
 	if err != nil {
 		return err
 	}
-	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{QueryBudget: budget})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog,
+		extract.Options{QueryBudget: budget, Streaming: stream})
 	if err != nil {
 		return err
 	}

@@ -6,15 +6,19 @@
 // Usage:
 //
 //	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1] [-pprof]
-//	           [-max-queries 0] [-budget 0]
+//	           [-max-queries 0] [-budget 0] [-stream]
 //
 // -max-queries caps concurrent /query work; excess requests are shed
 // with 503 + Retry-After (docs/ROBUSTNESS.md). -budget bounds each
-// query's total extraction time across all sources.
+// query's total extraction time across all sources. -stream runs the
+// middleware's /query path through the streaming pipeline
+// (docs/STREAMING.md); the chunked /query/stream route streams
+// regardless of the flag.
 //
-// The server exposes /query, /ontology, /sources, /mappings, /stats,
-// /metrics, /trace/last, /health/sources, and /healthz (see
-// internal/transport; docs/OBSERVABILITY.md documents the ops surface).
+// The server exposes /query, /query/stream, /ontology, /sources,
+// /mappings, /stats, /metrics, /trace/last, /health/sources, and
+// /healthz (see internal/transport; docs/OBSERVABILITY.md documents
+// the ops surface).
 // With -pprof, the Go runtime profiles are additionally served under
 // /debug/pprof/.
 package main
@@ -49,24 +53,26 @@ func main() {
 		dumpConfig = flag.String("dump-config", "", "write the generated middleware configuration to this file and continue")
 		maxQueries = flag.Int("max-queries", 0, "concurrent /query cap; beyond it requests are shed with 503 + Retry-After (0 disables)")
 		budget     = flag.Duration("budget", 0, "per-query deadline budget across all sources (0 disables)")
+		stream     = flag.Bool("stream", false, "run /query through the streaming pipeline (see docs/STREAMING.md)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, workload.Spec{
 		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
 		RecordsPerSource: *records, Seed: *seed,
-	}, *dumpConfig, *pprofOn, *maxQueries, *budget); err != nil {
+	}, *dumpConfig, *pprofOn, *maxQueries, *budget, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration) error {
+func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration, stream bool) error {
 	world, err := workload.Generate(spec)
 	if err != nil {
 		return err
 	}
-	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{QueryBudget: budget})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog,
+		extract.Options{QueryBudget: budget, Streaming: stream})
 	if err != nil {
 		return err
 	}

@@ -82,6 +82,7 @@ func TestGoldenCorpus(t *testing.T) {
 		{"determinism", []string{"determinism/faultinject", "determinism/clean", "determinism/planner"}, true},
 		{"spanend", []string{"spanend"}, true},
 		{"lockbalance", []string{"lockbalance"}, true},
+		{"pkgdoc", []string{"pkgdoc/missing", "pkgdoc/malformed", "pkgdoc/clean", "pkgdoc/command"}, false},
 	}
 	covered := map[string]bool{}
 	for _, c := range cases {

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Pkgdoc enforces the documented-architecture rule: every package
+// carries a package-level doc comment, and for named packages it is in
+// godoc form — starting with "Package <name>" — so godoc, pkg.go.dev,
+// and grep all find the one-paragraph statement of what the package is
+// for. A main package only needs some doc comment (commands and
+// examples open with whatever header reads best). Test files never
+// carry the package's doc, so they are skipped; an external test
+// package (only _test.go files) is exempt.
+//
+// Syntax-only: the corpus and the repo are checked without type
+// information.
+var Pkgdoc = register(&Analyzer{
+	Name:      "pkgdoc",
+	Doc:       "every package must have a package doc comment, godoc-form (Package <name> ...) for named packages",
+	NeedTypes: false,
+	Run:       runPkgdoc,
+})
+
+func runPkgdoc(p *Pass) {
+	// Non-test files in file-name order, so the "missing" finding lands
+	// deterministically on the alphabetically first file.
+	var files []*ast.File
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return p.Fset.Position(files[i].Pos()).Filename < p.Fset.Position(files[j].Pos()).Filename
+	})
+
+	pkgName := files[0].Name.Name
+	var documented []*ast.File
+	for _, f := range files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented = append(documented, f)
+		}
+	}
+	if len(documented) == 0 {
+		p.Reportf(files[0].Name.Pos(),
+			"package %s has no package-level doc comment", pkgName)
+		return
+	}
+	if pkgName == "main" {
+		return // any doc header reads fine on a command
+	}
+	wantPrefix := "Package " + pkgName
+	for _, f := range documented {
+		if strings.HasPrefix(f.Doc.Text(), wantPrefix) {
+			return // at least one file carries a well-formed doc
+		}
+	}
+	p.Reportf(documented[0].Doc.Pos(),
+		"package %s doc comment does not start with %q (godoc form)",
+		pkgName, wantPrefix)
+}

@@ -1,0 +1,3 @@
+// Package clean is the pkgdoc analyzer's happy path: one file carries
+// the godoc-form package comment, the others need none.
+package clean

@@ -1,0 +1,6 @@
+// A demo binary: the pkgdoc analyzer's happy path for package main.
+// Commands and examples may open with any doc header — "Package main"
+// is never required, only some package-level comment.
+package main
+
+func main() {}

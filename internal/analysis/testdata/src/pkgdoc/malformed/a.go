@@ -1,0 +1,4 @@
+// This comment documents the package but not in godoc form. // want "doc comment does not start with"
+package malformed
+
+func A() {}

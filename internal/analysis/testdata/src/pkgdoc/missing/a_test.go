@@ -1,0 +1,5 @@
+// Test files are skipped: this doc comment must not count as the
+// package's godoc comment.
+package missing
+
+func testHelper() {}

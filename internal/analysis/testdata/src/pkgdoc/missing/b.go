@@ -1,0 +1,6 @@
+package missing
+
+// B is documented, but the package is not: a func comment in a later
+// file must not satisfy the package-doc rule, and the finding must land
+// on the alphabetically first file (a.go), not here.
+func B() {}

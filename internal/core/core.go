@@ -50,6 +50,12 @@ type Middleware struct {
 	gen     *instance.Generator
 	plans   *planCache
 
+	// streaming mirrors Config.Extract.Streaming: when set, Query and
+	// QueryTo run the streaming pipeline (batched extraction, windowed
+	// assembly, chunked serialization) instead of materializing. Answers
+	// are byte-identical either way; see docs/STREAMING.md.
+	streaming bool
+
 	tracer  *obs.Tracer
 	metrics *obs.Registry
 	stats   statsCounters
@@ -93,14 +99,15 @@ func New(cfg Config) (*Middleware, error) {
 	sources := datasource.NewRegistry()
 	repo := mapping.NewRepository(cfg.Ontology, sources)
 	return &Middleware{
-		ont:     cfg.Ontology,
-		sources: sources,
-		repo:    repo,
-		manager: extract.NewManager(repo, cfg.Backends, cfg.Extract),
-		gen:     instance.NewGenerator(cfg.Ontology, repo),
-		plans:   newPlanCache(cfg.PlanCacheSize),
-		tracer:  obs.NewTracer(cfg.TraceCapacity),
-		metrics: obs.NewRegistry(),
+		ont:       cfg.Ontology,
+		sources:   sources,
+		repo:      repo,
+		manager:   extract.NewManager(repo, cfg.Backends, cfg.Extract),
+		gen:       instance.NewGenerator(cfg.Ontology, repo),
+		plans:     newPlanCache(cfg.PlanCacheSize),
+		streaming: cfg.Extract.Streaming,
+		tracer:    obs.NewTracer(cfg.TraceCapacity),
+		metrics:   obs.NewRegistry(),
 	}, nil
 }
 
@@ -198,9 +205,8 @@ func (m *Middleware) beginQuery(ctx context.Context, query string) (context.Cont
 	}
 }
 
-// answer runs the traced pipeline body: parse and plan (query handler),
-// extract (extractor manager), generate (instance generator).
-func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result, error) {
+// planQuery runs the traced parse-and-plan stage through the plan cache.
+func (m *Middleware) planQuery(ctx context.Context, query string) (*s2sql.Plan, error) {
 	planStart := time.Now()
 	_, pspan, pdone := obs.StartStage(ctx, "parse_plan")
 	plan := m.plans.get(query)
@@ -220,6 +226,21 @@ func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result
 	pdone()
 	m.stats.planNS.Add(int64(time.Since(planStart)))
 	pspan.SetAttr("attributes", strconv.Itoa(len(plan.AttributeIDs())))
+	return plan, nil
+}
+
+// answer runs the traced pipeline body: parse and plan (query handler),
+// extract (extractor manager), generate (instance generator). With the
+// Streaming option set the extract and generate stages run as a
+// producer/consumer pair over fragment batches instead.
+func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result, error) {
+	plan, err := m.planQuery(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	if m.streaming {
+		return m.generateStreaming(ctx, plan)
+	}
 
 	// ExtractQuery hands the full plan to the extractor so the query
 	// planner (internal/planner) can push the WHERE conditions toward the
@@ -239,6 +260,31 @@ func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result
 	return res, nil
 }
 
+// generateStreaming runs the streaming extract+generate pair for a
+// planned query. Extraction overlaps generation, so the generate time
+// recorded here includes waiting on batches; the extract time comes
+// from the stream's tail stats.
+func (m *Middleware) generateStreaming(ctx context.Context, plan *s2sql.Plan) (*instance.Result, error) {
+	st, err := m.manager.ExtractQueryStream(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	genStart := time.Now()
+	res, err := m.gen.GenerateStreamContext(ctx, plan, st)
+	m.stats.generateNS.Add(int64(time.Since(genStart)))
+	if err != nil {
+		// Drain so the producer can finish and release its budget.
+		go func() {
+			for range st.Batches {
+			}
+		}()
+		return nil, err
+	}
+	tail := st.Tail()
+	m.stats.extractNS.Add(int64(tail.Stats.SchemaDuration + tail.Stats.ExtractDuration))
+	return res, nil
+}
+
 // Query answers one S2SQL query: parse and plan (query handler), extract
 // (extractor manager), generate (instance generator). The full pipeline
 // is traced; the completed span tree is retained by Tracer.
@@ -250,12 +296,19 @@ func (m *Middleware) Query(ctx context.Context, query string) (*instance.Result,
 }
 
 // QueryTo answers a query and serializes the result to w in the given
-// format; serialization is part of the query's trace.
+// format; serialization is part of the query's trace. With the
+// Streaming option set, serialization is chunked: w receives bounded
+// incremental writes instead of one whole-document write (the bytes
+// are identical).
 func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, format instance.Format) (*instance.Result, error) {
 	ctx, finish := m.beginQuery(ctx, query)
 	res, err := m.answer(ctx, query)
 	if err == nil {
-		err = m.gen.SerializeContext(ctx, w, res, format)
+		if m.streaming {
+			_, err = m.gen.SerializeChunkedContext(ctx, w, res, format, 0)
+		} else {
+			err = m.gen.SerializeContext(ctx, w, res, format)
+		}
 	}
 	finish(res, err)
 	if err != nil {
@@ -263,6 +316,61 @@ func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, for
 	}
 	return res, nil
 }
+
+// QueryToStream answers a query through the streaming pipeline
+// regardless of the Streaming option and serializes the result to w in
+// bounded chunks — the transport's /query/stream endpoint hands it an
+// http.Flusher-backed writer so every chunk reaches the wire as a
+// chunked-transfer frame. The result and chunk statistics are returned
+// alongside any error; a serialization error may surface after part of
+// the body was already written, which is why the transport signals
+// completion in trailers.
+func (m *Middleware) QueryToStream(ctx context.Context, w io.Writer, query string, format instance.Format) (*instance.Result, instance.ChunkStats, error) {
+	ctx, finish := m.beginQuery(ctx, query)
+	var stats instance.ChunkStats
+	res, err := func() (*instance.Result, error) {
+		plan, err := m.planQuery(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.generateStreaming(ctx, plan)
+		if err != nil {
+			return nil, err
+		}
+		stats, err = m.gen.SerializeChunkedContext(ctx, w, res, format, 0)
+		return res, err
+	}()
+	finish(res, err)
+	if err != nil {
+		return res, stats, err
+	}
+	return res, stats, nil
+}
+
+// QueryStreamed answers a query through the streaming extract+generate
+// pipeline regardless of the Streaming option, without serializing.
+// The transport's /query/stream endpoint uses it so it can emit
+// response headers (matched/related counts) between generation and the
+// first body byte, then serialize in chunks straight to the wire.
+func (m *Middleware) QueryStreamed(ctx context.Context, query string) (*instance.Result, error) {
+	ctx, finish := m.beginQuery(ctx, query)
+	res, err := func() (*instance.Result, error) {
+		plan, err := m.planQuery(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return m.generateStreaming(ctx, plan)
+	}()
+	finish(res, err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// StreamingEnabled reports whether the middleware was configured with
+// the streaming pipeline (extract.Options.Streaming).
+func (m *Middleware) StreamingEnabled() bool { return m.streaming }
 
 // QueryString answers a query and returns the serialized result.
 func (m *Middleware) QueryString(ctx context.Context, query string, format instance.Format) (string, error) {

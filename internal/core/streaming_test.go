@@ -1,0 +1,314 @@
+package core_test
+
+// streaming_test.go proves the streaming pipeline's central contract:
+// for every query and every format, the streaming path (batched
+// extraction, windowed assembly, chunked serialization) produces
+// byte-identical output to the materializing path. The batch window is
+// forced small so every source spans several windows — the regime where
+// windowed assembly could diverge if its ordering argument were wrong.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasource"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// equivalenceQueries mirrors the planner's pushdown equivalence suite:
+// full scans, equality and LIKE pushdowns, conjunctions, numeric
+// ranges, and a query matching nothing.
+var equivalenceQueries = []string{
+	"SELECT product",
+	"SELECT product WHERE brand = 'Seiko'",
+	"SELECT product WHERE brand LIKE 'sei%'",
+	"SELECT product WHERE brand = 'Seiko' AND case = 'stainless-steel'",
+	"SELECT watch WHERE water_resistance >= 100",
+	"SELECT product WHERE price > 100 AND brand = 'Seiko'",
+	"SELECT product WHERE brand = 'NoSuchBrand'",
+	"SELECT provider WHERE name LIKE '%a%'",
+	"SELECT product WHERE water_resistance >= 100 AND brand LIKE '%s%'",
+}
+
+func buildEquivalenceWorld(t *testing.T, opts extract.Options) *core.Middleware {
+	t.Helper()
+	spec := workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 12,
+		Seed:             21,
+	}
+	world := workload.MustGenerate(spec)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: extract.FromCatalog(world.Catalog),
+		Extract:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+// TestStreamingEquivalence runs the full equivalence suite in every
+// serialization format against three middlewares: materializing,
+// streaming with the default window, and streaming with a 4-record
+// window (each 12-record source then emits 3 batches). All outputs
+// must be byte-identical to the materializing answer.
+func TestStreamingEquivalence(t *testing.T) {
+	ctx := context.Background()
+	base := buildEquivalenceWorld(t, extract.Options{})
+	variants := map[string]*core.Middleware{
+		"stream-default": buildEquivalenceWorld(t, extract.Options{Streaming: true}),
+		"stream-window4": buildEquivalenceWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4}),
+	}
+	formats := []instance.Format{
+		instance.FormatOWL, instance.FormatTurtle, instance.FormatNTriples,
+		instance.FormatXML, instance.FormatJSON, instance.FormatText,
+	}
+	for _, q := range equivalenceQueries {
+		for _, f := range formats {
+			want, err := base.QueryString(ctx, q, f)
+			if err != nil {
+				t.Fatalf("materializing %q %v: %v", q, f, err)
+			}
+			for name, mw := range variants {
+				got, err := mw.QueryString(ctx, q, f)
+				if err != nil {
+					t.Fatalf("%s %q %v: %v", name, q, f, err)
+				}
+				if got != want {
+					t.Errorf("%s %q %v: output diverges from materializing path\nmaterializing:\n%s\nstreaming:\n%s",
+						name, q, f, clip(want), clip(got))
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingErrorListEquivalence compares the structured result —
+// matched/related counts and the error list — between the two paths.
+func TestStreamingErrorListEquivalence(t *testing.T) {
+	ctx := context.Background()
+	base := buildEquivalenceWorld(t, extract.Options{})
+	stream := buildEquivalenceWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4})
+	for _, q := range equivalenceQueries {
+		want, err := base.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("materializing %q: %v", q, err)
+		}
+		got, err := stream.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("streaming %q: %v", q, err)
+		}
+		if len(got.Matched) != len(want.Matched) || len(got.Related) != len(want.Related) {
+			t.Errorf("%q: matched/related = %d/%d, want %d/%d",
+				q, len(got.Matched), len(got.Related), len(want.Matched), len(want.Related))
+		}
+		if gs, ws := fmt.Sprint(got.Errors), fmt.Sprint(want.Errors); gs != ws {
+			t.Errorf("%q: errors = %s, want %s", q, gs, ws)
+		}
+	}
+}
+
+// TestQueryToStreamMatchesQueryTo checks the explicit streaming entry
+// point (what the transport's /query/stream serves) against QueryTo on
+// the same middleware, and that chunk statistics account for every
+// byte.
+func TestQueryToStreamMatchesQueryTo(t *testing.T) {
+	ctx := context.Background()
+	mw := buildEquivalenceWorld(t, extract.Options{StreamBatchRecords: 4})
+	for _, q := range equivalenceQueries {
+		var want, got bytes.Buffer
+		if _, err := mw.QueryTo(ctx, &want, q, instance.FormatJSON); err != nil {
+			t.Fatalf("QueryTo %q: %v", q, err)
+		}
+		_, stats, err := mw.QueryToStream(ctx, &got, q, instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("QueryToStream %q: %v", q, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%q: QueryToStream output diverges from QueryTo", q)
+		}
+		if stats.Bytes != int64(got.Len()) {
+			t.Errorf("%q: stats.Bytes = %d, want %d", q, stats.Bytes, got.Len())
+		}
+		if stats.Chunks < 1 {
+			t.Errorf("%q: stats.Chunks = %d, want >= 1", q, stats.Chunks)
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "...(clipped)"
+	}
+	return s
+}
+
+// TestStreamingCrossBatchKeyMerge sets a class key so instances from
+// different sources (and different batch windows — the 1-record window
+// puts every record in its own batch) merge on equal key values. The
+// generated worlds draw brands from one fixed pool, so cross-source
+// duplicates exist; the merge must produce identical output and
+// genuinely collapse instances.
+func TestStreamingCrossBatchKeyMerge(t *testing.T) {
+	ctx := context.Background()
+	build := func(opts extract.Options) *core.Middleware {
+		t.Helper()
+		mw := buildEquivalenceWorld(t, opts)
+		// The generated instances are watch-classed; key them on brand so
+		// same-brand records across sources and windows collapse.
+		if err := mw.SetClassKey("watch", "thing.product.brand"); err != nil {
+			t.Fatal(err)
+		}
+		return mw
+	}
+	base := build(extract.Options{})
+	stream := build(extract.Options{Streaming: true, StreamBatchRecords: 1})
+
+	res, err := base.Query(ctx, "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 sources × 12 records with a small shared brand pool: if nothing
+	// merged, the key did not take and the test proves nothing.
+	if len(res.Matched) >= 8*12 {
+		t.Fatalf("matched = %d; class key merged nothing", len(res.Matched))
+	}
+	for _, f := range []instance.Format{instance.FormatJSON, instance.FormatText} {
+		want, err := base.QueryString(ctx, "SELECT product", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.QueryString(ctx, "SELECT product", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("format %v: merged streaming output diverges from materializing path", f)
+		}
+	}
+}
+
+// TestStreamingEmptySource registers a source whose document yields
+// zero records: the streaming path must still observe the source (one
+// empty Last batch, counted in s2s_stream_batches_total) and the output
+// must stay byte-identical.
+func TestStreamingEmptySource(t *testing.T) {
+	ctx := context.Background()
+	build := func(opts extract.Options) *core.Middleware {
+		t.Helper()
+		spec := workload.Spec{XMLSources: 1, RecordsPerSource: 5, Seed: 21}
+		world := workload.MustGenerate(spec)
+		world.Catalog.XML.MustAdd("empty.xml", "<catalog></catalog>")
+		mw, err := core.New(core.Config{
+			Ontology: world.Ontology,
+			Backends: extract.FromCatalog(world.Catalog),
+			Extract:  opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := world.Apply(mw); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw.RegisterSource(datasource.Definition{ID: "empty_xml", Kind: datasource.KindXML, Path: "empty.xml"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw.RegisterMapping(mapping.Entry{
+			AttributeID: "thing.product.brand", SourceID: "empty_xml",
+			Rule: mapping.Rule{Code: "/catalog/watch/brand"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return mw
+	}
+	base := build(extract.Options{})
+	stream := build(extract.Options{Streaming: true, StreamBatchRecords: 2})
+
+	want, err := base.QueryString(ctx, "SELECT product", instance.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.QueryString(ctx, "SELECT product", instance.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("empty source: streaming output diverges from materializing path\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if n := stream.Metrics().Counter(obs.MetricStreamBatches, obs.Labels{"source": "empty_xml"}).Value(); n != 1 {
+		t.Errorf("empty source emitted %d batches, want exactly 1 (empty Last batch)", n)
+	}
+	if n := stream.Metrics().Counter(obs.MetricStreamBatches, obs.Labels{"source": "xml_000"}).Value(); n != 3 {
+		t.Errorf("5-record source with window 2 emitted %d batches, want 3", n)
+	}
+}
+
+// TestStreamingQueriesRaceInvalidation is the streaming counterpart of
+// TestConcurrentQueriesWithInvalidation: streaming queries race catalog
+// mutations (which flush the plan, rule, and result caches) under
+// -race. Every query must succeed and the final answer must reflect the
+// last mutation.
+func TestStreamingQueriesRaceInvalidation(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, RecordsPerSource: 4, Seed: 24}
+	world := workload.MustGenerate(spec)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: extract.FromCatalog(world.Catalog),
+		Extract:  extract.Options{Streaming: true, StreamBatchRecords: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := mw.Query(context.Background(), "SELECT product"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		id := "late_" + string(rune('a'+i))
+		world.Catalog.XML.MustAdd(id+".xml", "<catalog><watch><brand>Late"+strings.ToUpper(id)+"</brand></watch></catalog>")
+		if err := mw.RegisterSource(datasource.Definition{ID: id, Kind: datasource.KindXML, Path: id + ".xml"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw.RegisterMapping(mapping.Entry{
+			AttributeID: "thing.product.brand", SourceID: id,
+			Rule: mapping.Rule{Code: "/catalog/watch/brand"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	res, err := mw.Query(context.Background(), "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matched) != 8 {
+		t.Errorf("final matched = %d, want 8 (4 seeded + 4 late)", len(res.Matched))
+	}
+}

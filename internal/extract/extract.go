@@ -229,6 +229,17 @@ type Options struct {
 	// this knob trades only latency, never answers (benchmarks compare
 	// both paths; see docs/PERFORMANCE.md).
 	DisablePushdown bool
+	// Streaming switches the middleware query path to the streaming
+	// pipeline: extraction yields record-scoped fragment batches
+	// (ExtractQueryStream), the instance generator consumes them as they
+	// arrive, and serialization flushes incrementally through a bounded
+	// chunk buffer. Answers are byte-identical to the materializing path;
+	// the knob trades only peak memory. See docs/STREAMING.md.
+	Streaming bool
+	// StreamBatchRecords is the record-window size of a streaming
+	// fragment batch; 0 means DefaultStreamBatchRecords. Smaller batches
+	// lower peak memory and raise per-batch overhead.
+	StreamBatchRecords int
 }
 
 // Defaults for Options.
@@ -476,27 +487,11 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 
 	// Steps 2-3: extraction schema + data source definitions.
 	start := time.Now()
-	_, sspan, sdone := obs.StartStage(ctx, "extraction_schema")
-	plans, missing, err := m.repo.Schema(attributeIDs)
-	sdone()
+	plans, missing, err := m.planSchema(ctx, espan, metrics, attributeIDs, qplan)
 	if err != nil {
-		return nil, fmt.Errorf("extract: obtaining extraction schema: %w", err)
+		return nil, err
 	}
-	sspan.SetAttr("sources", strconv.Itoa(len(plans)))
 	rs.Missing = missing
-
-	// Query planner v2: rewrite the schema against the plan's conditions.
-	if qplan != nil && len(qplan.Conditions) > 0 && !m.opts.DisablePushdown {
-		var pstats planner.Stats
-		plans, pstats = m.plannedRewrite(qplan, attributeIDs, plans)
-		espan.SetAttr("sources_pruned", strconv.Itoa(pstats.SourcesPruned))
-		espan.SetAttr("entries_pruned", strconv.Itoa(pstats.EntriesPruned))
-		espan.SetAttr("pushdown_applied", strconv.Itoa(pstats.PushdownApplied))
-		metrics.Counter(obs.MetricPlannerSourcesPruned, nil).Add(uint64(pstats.SourcesPruned))
-		metrics.Counter(obs.MetricPlannerEntriesPruned, nil).Add(uint64(pstats.EntriesPruned))
-		metrics.Counter(obs.MetricPlannerPushdownApplied, nil).Add(uint64(pstats.PushdownApplied))
-	}
-	espan.SetAttr("sources", strconv.Itoa(len(plans)))
 	rs.Stats.SchemaDuration = time.Since(start)
 
 	// Pre-size the fragment slice to the plan's rule count: the common
@@ -574,6 +569,34 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 		return rs.Degraded[i].SourceID < rs.Degraded[j].SourceID
 	})
 	return rs, nil
+}
+
+// planSchema runs steps 2-3 of the extraction process — extraction
+// schema plus data source definitions — and, for constrained queries
+// with pushdown enabled, the query planner's schema rewrite. Both the
+// materializing and streaming paths go through it.
+func (m *Manager) planSchema(ctx context.Context, espan *obs.Span, metrics *obs.Registry, attributeIDs []string, qplan *s2sql.Plan) ([]mapping.SourcePlan, []string, error) {
+	_, sspan, sdone := obs.StartStage(ctx, "extraction_schema")
+	plans, missing, err := m.repo.Schema(attributeIDs)
+	sdone()
+	if err != nil {
+		return nil, nil, fmt.Errorf("extract: obtaining extraction schema: %w", err)
+	}
+	sspan.SetAttr("sources", strconv.Itoa(len(plans)))
+
+	// Query planner v2: rewrite the schema against the plan's conditions.
+	if qplan != nil && len(qplan.Conditions) > 0 && !m.opts.DisablePushdown {
+		var pstats planner.Stats
+		plans, pstats = m.plannedRewrite(qplan, attributeIDs, plans)
+		espan.SetAttr("sources_pruned", strconv.Itoa(pstats.SourcesPruned))
+		espan.SetAttr("entries_pruned", strconv.Itoa(pstats.EntriesPruned))
+		espan.SetAttr("pushdown_applied", strconv.Itoa(pstats.PushdownApplied))
+		metrics.Counter(obs.MetricPlannerSourcesPruned, nil).Add(uint64(pstats.SourcesPruned))
+		metrics.Counter(obs.MetricPlannerEntriesPruned, nil).Add(uint64(pstats.EntriesPruned))
+		metrics.Counter(obs.MetricPlannerPushdownApplied, nil).Add(uint64(pstats.PushdownApplied))
+	}
+	espan.SetAttr("sources", strconv.Itoa(len(plans)))
+	return plans, missing, nil
 }
 
 // markFailovers flags failures whose attributes were still served by an

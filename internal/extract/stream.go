@@ -1,0 +1,271 @@
+package extract
+
+// stream.go is the streaming variant of the four-step extraction
+// process: instead of materializing one ResultSet, sources yield
+// record-scoped fragment batches through a channel as they complete, so
+// downstream stages (instance assembly, serialization) can start before
+// the slowest source finishes and release fragment windows as they are
+// consumed. The materializing Extract/ExtractQuery path is unchanged;
+// answers are byte-identical between the two (see docs/STREAMING.md for
+// the ordering argument and the knobs).
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/obs"
+	"repro/internal/s2sql"
+)
+
+// DefaultStreamBatchRecords is the record-window size of a streaming
+// fragment batch when Options.StreamBatchRecords is 0.
+const DefaultStreamBatchRecords = 64
+
+// Batch is one record window of one source's extracted fragments.
+type Batch struct {
+	// SourceID is the contributing data source.
+	SourceID string
+	// Seq numbers the source's batches from 0. Per-source diagnostics
+	// that would repeat identically in every window (unmapped-attribute
+	// errors) are emitted by consumers only for Seq 0.
+	Seq int
+	// Records is how many of the source's records this window covers.
+	Records int
+	// Fragments carry the window's values, sorted by attribute ID.
+	// Every fragment of the source appears in every window — the
+	// instance generator's lineage partition depends on the full
+	// attribute sequence — with Values sliced to the window's records
+	// (capacity-capped aliases of the extracted values, not copies); a
+	// fragment whose records are exhausted carries an empty Values.
+	Fragments []Fragment
+	// Last marks the source's final window. Every source that ran emits
+	// at least one batch: a source with no extractable records still
+	// sends a single empty Last batch so consumers observe it complete
+	// (and can surface its Seq-0 diagnostics).
+	Last bool
+}
+
+// StreamTail carries everything that is only known once every source
+// has finished.
+type StreamTail struct {
+	// Errors lists per-source failures, ordered by source then attribute.
+	Errors []SourceError
+	// Degraded lists serve-stale events, ordered by attribute then source.
+	Degraded []Degradation
+	// Missing lists requested attributes that have no mapping.
+	Missing []string
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// Stream is a streaming extraction run in progress.
+type Stream struct {
+	// Batches delivers fragment batches as sources complete. The channel
+	// is unbuffered: a slow consumer exerts backpressure on extraction
+	// instead of letting fragments pile up. Batches of one source arrive
+	// in Seq order; batches of different sources interleave in
+	// completion order (consumers needing determinism key their
+	// accumulation by SourceID and order at the end — the instance
+	// generator does).
+	Batches <-chan Batch
+
+	done chan struct{}
+	tail StreamTail
+}
+
+// Tail returns the run's errors, degradations, missing attributes, and
+// stats. It blocks until the producer finishes, which requires Batches
+// to have been drained (the channel is unbuffered) — call it only after
+// the Batches channel closed.
+func (s *Stream) Tail() *StreamTail {
+	<-s.done
+	return &s.tail
+}
+
+// ExtractQueryStream is ExtractQuery in streaming form: the same
+// schema/planner phases run up front (errors there fail fast), then the
+// per-source fan-out emits record-scoped fragment batches on the
+// returned Stream instead of materializing a ResultSet. The extract
+// span records one "stream_batch" event per emitted batch and the
+// s2s_stream_batches_total counter counts them per source.
+func (m *Manager) ExtractQueryStream(ctx context.Context, qplan *s2sql.Plan) (*Stream, error) {
+	if qplan == nil {
+		return nil, errors.New("extract: nil query plan")
+	}
+	return m.extractStream(ctx, qplan.AttributeIDs(), qplan)
+}
+
+// ExtractStream is Extract in streaming form (no query plan, so no
+// planner rewrite).
+func (m *Manager) ExtractStream(ctx context.Context, attributeIDs []string) (*Stream, error) {
+	return m.extractStream(ctx, attributeIDs, nil)
+}
+
+func (m *Manager) extractStream(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan) (*Stream, error) {
+	ctx, espan, edone := obs.StartStage(ctx, "extract")
+	metrics := obs.MetricsFromContext(ctx)
+
+	// The deadline budget bounds the whole run, exactly as in extract();
+	// it is released when the producer goroutine finishes.
+	cancel := context.CancelFunc(func() {})
+	if m.opts.QueryBudget > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.opts.QueryBudget)
+	}
+
+	start := time.Now()
+	plans, missing, err := m.planSchema(ctx, espan, metrics, attributeIDs, qplan)
+	if err != nil {
+		cancel()
+		edone()
+		return nil, err
+	}
+
+	st := &Stream{done: make(chan struct{})}
+	ch := make(chan Batch)
+	st.Batches = ch
+	st.tail.Missing = missing
+	st.tail.Stats.SchemaDuration = time.Since(start)
+
+	batchRecords := m.opts.StreamBatchRecords
+	if batchRecords <= 0 {
+		batchRecords = DefaultStreamBatchRecords
+	}
+	docs := m.newRunDocs()
+	rm := newRunMetrics(metrics)
+
+	go func() {
+		defer close(st.done)
+		defer edone()
+		defer cancel()
+
+		extractStart := time.Now()
+		var (
+			mu      sync.Mutex
+			wg      sync.WaitGroup
+			sem     = make(chan struct{}, m.opts.Parallelism)
+			covered = make(map[string]bool)
+			values  int
+		)
+		for _, plan := range plans {
+			wg.Add(1)
+			go func(plan mapping.SourcePlan) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					metrics.Counter(obs.MetricSourceExtractTotal,
+						obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
+					mu.Lock()
+					st.tail.Errors = append(st.tail.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+					mu.Unlock()
+					return
+				}
+				sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
+				frags, errs, run := m.extractSource(sctx, plan, docs, rm)
+				mu.Lock()
+				st.tail.Errors = append(st.tail.Errors, errs...)
+				st.tail.Degraded = append(st.tail.Degraded, run.degraded...)
+				st.tail.Stats.Retries += run.retries
+				st.tail.Stats.CacheHits += run.cacheHits
+				st.tail.Stats.StaleServes += len(run.degraded)
+				for _, f := range frags {
+					covered[f.AttributeID] = true
+					values += len(f.Values)
+				}
+				mu.Unlock()
+				m.sendBatches(ctx, ch, espan, metrics, plan.Source.ID, frags, batchRecords)
+			}(plan)
+		}
+		wg.Wait()
+		close(ch)
+
+		st.tail.Stats.ExtractDuration = time.Since(extractStart)
+		st.tail.Stats.SourcesContacted = len(plans)
+		st.tail.Stats.ValuesExtracted = values
+
+		// Failover marking needs only attribute coverage, not the
+		// fragments themselves; give it a coverage-only view.
+		view := &ResultSet{Errors: st.tail.Errors}
+		view.Fragments = make([]Fragment, 0, len(covered))
+		for a := range covered {
+			view.Fragments = append(view.Fragments, Fragment{AttributeID: a})
+		}
+		m.markFailovers(view, plans, metrics, espan)
+		st.tail.Errors = view.Errors
+
+		sort.Slice(st.tail.Errors, func(i, j int) bool {
+			if st.tail.Errors[i].SourceID != st.tail.Errors[j].SourceID {
+				return st.tail.Errors[i].SourceID < st.tail.Errors[j].SourceID
+			}
+			return st.tail.Errors[i].AttributeID < st.tail.Errors[j].AttributeID
+		})
+		sort.Slice(st.tail.Degraded, func(i, j int) bool {
+			if st.tail.Degraded[i].AttributeID != st.tail.Degraded[j].AttributeID {
+				return st.tail.Degraded[i].AttributeID < st.tail.Degraded[j].AttributeID
+			}
+			return st.tail.Degraded[i].SourceID < st.tail.Degraded[j].SourceID
+		})
+	}()
+	return st, nil
+}
+
+// sendBatches windows one source's fragments into record-scoped batches
+// and sends them in Seq order. Within one source the materializing
+// path's global (attribute, source) fragment sort reduces to an
+// attribute sort, so sorting here keeps windowed assembly and the
+// materializing path byte-identical. Values are aliased, never copied.
+// Sends abort when ctx is done (the consumer has given up).
+func (m *Manager) sendBatches(ctx context.Context, ch chan<- Batch, espan *obs.Span, metrics *obs.Registry, sourceID string, frags []Fragment, batchRecords int) {
+	sort.SliceStable(frags, func(i, j int) bool { return frags[i].AttributeID < frags[j].AttributeID })
+	records := 0
+	for _, f := range frags {
+		if len(f.Values) > records {
+			records = len(f.Values)
+		}
+	}
+	batches := 1
+	if records > batchRecords {
+		batches = (records + batchRecords - 1) / batchRecords
+	}
+	counter := metrics.Counter(obs.MetricStreamBatches, obs.Labels{"source": sourceID})
+	for seq := 0; seq < batches; seq++ {
+		lo := seq * batchRecords
+		hi := lo + batchRecords
+		if hi > records {
+			hi = records
+		}
+		b := Batch{SourceID: sourceID, Seq: seq, Records: hi - lo, Last: seq == batches-1}
+		if len(frags) > 0 {
+			b.Fragments = make([]Fragment, len(frags))
+			for i, f := range frags {
+				wlo, whi := lo, hi
+				if wlo > len(f.Values) {
+					wlo = len(f.Values)
+				}
+				if whi > len(f.Values) {
+					whi = len(f.Values)
+				}
+				f.Values = f.Values[wlo:whi:whi]
+				b.Fragments[i] = f
+			}
+		}
+		select {
+		case ch <- b:
+		case <-ctx.Done():
+			return
+		}
+		counter.Inc()
+		espan.AddEvent("stream_batch", map[string]string{
+			"source":    sourceID,
+			"seq":       strconv.Itoa(seq),
+			"records":   strconv.Itoa(b.Records),
+			"fragments": strconv.Itoa(len(b.Fragments)),
+		})
+	}
+}

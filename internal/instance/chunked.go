@@ -1,0 +1,275 @@
+package instance
+
+// chunked.go is the streaming pipeline's serialization tail: a bounded
+// chunk buffer between the serializers and the transport, plus the
+// incremental serialization entry points. The materializing
+// Serialize path stages whole documents; SerializeChunked flushes the
+// document in threshold-sized chunks as it forms, so peak serialization
+// memory stays flat no matter how large the result is (E18 in
+// bench_test.go asserts exactly that). Output bytes are identical
+// between the two paths for every format.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+)
+
+// DefaultChunkSize is the flush threshold of a ChunkedWriter built with
+// size <= 0.
+const DefaultChunkSize = 32 * 1024
+
+// ChunkStats describes one chunked serialization.
+type ChunkStats struct {
+	// Chunks is how many flushes reached the underlying writer.
+	Chunks int
+	// HighWater is the largest number of bytes the chunk buffer held —
+	// the serialization path's peak buffered memory.
+	HighWater int
+	// Bytes is the total written.
+	Bytes int64
+}
+
+// ChunkedWriter buffers writes and flushes the buffer to the underlying
+// writer whenever it passes the threshold — bounded memory regardless
+// of document size, and each flush is one Write the transport can hand
+// to the wire (an http.Flusher-backed writer turns every chunk into a
+// chunked-transfer frame). After a write error every later write is a
+// no-op and Flush returns the first error.
+type ChunkedWriter struct {
+	w         io.Writer
+	buf       bytes.Buffer
+	threshold int
+	stats     ChunkStats
+	err       error
+}
+
+// NewChunkedWriter wraps w with a chunk buffer flushing at the given
+// threshold (DefaultChunkSize when size <= 0).
+func NewChunkedWriter(w io.Writer, size int) *ChunkedWriter {
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	return &ChunkedWriter{w: w, threshold: size}
+}
+
+// Write buffers p, flushing when the buffer passes the threshold.
+func (c *ChunkedWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.buf.Write(p)
+	c.mark()
+	if c.err = c.maybeFlush(); c.err != nil {
+		return 0, c.err
+	}
+	return len(p), nil
+}
+
+// WriteString buffers s, flushing when the buffer passes the threshold.
+func (c *ChunkedWriter) WriteString(s string) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.buf.WriteString(s)
+	c.mark()
+	if c.err = c.maybeFlush(); c.err != nil {
+		return 0, c.err
+	}
+	return len(s), nil
+}
+
+func (c *ChunkedWriter) mark() {
+	if l := c.buf.Len(); l > c.stats.HighWater {
+		c.stats.HighWater = l
+	}
+}
+
+func (c *ChunkedWriter) maybeFlush() error {
+	if c.buf.Len() < c.threshold {
+		return nil
+	}
+	return c.flush()
+}
+
+func (c *ChunkedWriter) flush() error {
+	if c.buf.Len() == 0 {
+		return nil
+	}
+	n, err := c.w.Write(c.buf.Bytes())
+	c.stats.Chunks++
+	c.stats.Bytes += int64(n)
+	c.buf.Reset()
+	return err
+}
+
+// Flush writes any buffered bytes through. Call it once after the last
+// write; it also surfaces the first error any earlier write hit.
+func (c *ChunkedWriter) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.err = c.flush()
+	return c.err
+}
+
+// Stats reports the writer's chunk statistics so far.
+func (c *ChunkedWriter) Stats() ChunkStats { return c.stats }
+
+// SerializeChunkedContext is SerializeChunked under a "serialize" span
+// (annotated with the chunk count) and the context's stage-latency
+// metrics — the streaming counterpart of SerializeContext.
+func (g *Generator) SerializeChunkedContext(ctx context.Context, w io.Writer, res *Result, format Format, chunkSize int) (ChunkStats, error) {
+	_, span, done := obs.StartStage(ctx, "serialize")
+	span.SetAttr("format", format.String())
+	stats, err := g.SerializeChunked(w, res, format, chunkSize)
+	span.SetAttr("chunks", strconv.Itoa(stats.Chunks))
+	done()
+	return stats, err
+}
+
+// SerializeChunked writes the result in the requested format through a
+// bounded chunk buffer: w receives threshold-sized writes as the
+// document forms instead of one whole-document write. Output bytes are
+// identical to Serialize. chunkSize <= 0 means DefaultChunkSize.
+func (g *Generator) SerializeChunked(w io.Writer, res *Result, format Format, chunkSize int) (ChunkStats, error) {
+	cw := NewChunkedWriter(w, chunkSize)
+	var err error
+	switch format {
+	case FormatOWL:
+		var graph *rdf.Graph
+		if graph, err = g.ToGraph(res); err == nil {
+			if err = owl.WriteRDFXML(cw, graph, g.prefixes()); err == nil {
+				err = writeErrorEpilog(cw, res)
+			}
+		}
+	case FormatTurtle:
+		var graph *rdf.Graph
+		if graph, err = g.ToGraph(res); err == nil {
+			err = rdf.WriteTurtle(cw, graph, g.prefixes())
+		}
+	case FormatNTriples:
+		var graph *rdf.Graph
+		if graph, err = g.ToGraph(res); err == nil {
+			err = rdf.WriteNTriples(cw, graph)
+		}
+	case FormatXML:
+		err = g.writeXMLTo(cw, res)
+	case FormatJSON:
+		err = g.writeJSONChunked(cw, res)
+	case FormatText:
+		err = g.writeTextTo(cw, res)
+	default:
+		err = fmt.Errorf("instance: unknown format %d", int(format))
+	}
+	if err != nil {
+		return cw.Stats(), err
+	}
+	err = cw.Flush()
+	return cw.Stats(), err
+}
+
+// writeJSONChunked emits the JSON payload incrementally, one instance
+// per marshal, splicing the pieces into the envelope so the bytes match
+// writeJSON's json.Encoder(SetIndent("", "  ")) output exactly —
+// including HTML escaping, sorted map keys, field order, and the
+// trailing newline.
+func (g *Generator) writeJSONChunked(w stringWriter, res *Result) error {
+	field := func(name string) {
+		w.WriteString(",\n  \"")
+		w.WriteString(name)
+		w.WriteString("\": ")
+	}
+	instances := func(ins []*Instance) error {
+		if len(ins) == 0 {
+			_, err := w.WriteString("[]")
+			return err
+		}
+		w.WriteString("[\n")
+		for i, in := range ins {
+			if i > 0 {
+				w.WriteString(",\n")
+			}
+			w.WriteString("    ")
+			data, err := json.MarshalIndent(jsonInstanceOf(in), "    ", "  ")
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(data); err != nil {
+				return err
+			}
+		}
+		_, err := w.WriteString("\n  ]")
+		return err
+	}
+	stringArray := func(ss []string) error {
+		w.WriteString("[\n")
+		for i, s := range ss {
+			if i > 0 {
+				w.WriteString(",\n")
+			}
+			w.WriteString("    ")
+			data, err := json.Marshal(s)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(data); err != nil {
+				return err
+			}
+		}
+		_, err := w.WriteString("\n  ]")
+		return err
+	}
+
+	w.WriteString("{\n  \"query\": ")
+	q, err := json.Marshal(res.Plan.Query.String())
+	if err != nil {
+		return err
+	}
+	w.Write(q)
+	field("matched")
+	if err := instances(res.Matched); err != nil {
+		return err
+	}
+	if len(res.Related) > 0 {
+		field("related")
+		if err := instances(res.Related); err != nil {
+			return err
+		}
+	}
+	if len(res.Errors) > 0 {
+		ss := make([]string, len(res.Errors))
+		for i, e := range res.Errors {
+			ss[i] = e.Error()
+		}
+		field("errors")
+		if err := stringArray(ss); err != nil {
+			return err
+		}
+	}
+	if len(res.Degraded) > 0 {
+		ss := make([]string, len(res.Degraded))
+		for i, d := range res.Degraded {
+			ss[i] = d.String()
+		}
+		field("degraded")
+		if err := stringArray(ss); err != nil {
+			return err
+		}
+	}
+	if len(res.Missing) > 0 {
+		field("missing")
+		if err := stringArray(res.Missing); err != nil {
+			return err
+		}
+	}
+	_, err = w.WriteString("\n}\n")
+	return err
+}

@@ -156,7 +156,17 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 
 	all, errs := g.assemble(rs)
 	res.Errors = append(res.Errors, errs...)
+	g.finish(res, all)
+	return res, nil
+}
 
+// finish runs everything after assembly — relation linking, the
+// matched/related partition under the plan's conditions, deterministic
+// ordering, and ID numbering. Both the materializing path (Generate)
+// and the streaming path (GenerateStream) funnel through it, which is
+// what keeps their outputs byte-identical.
+func (g *Generator) finish(res *Result, all []*Instance) {
+	plan := res.Plan
 	g.link(all)
 
 	// Partition into matched (queried class, conditions hold) and the rest.
@@ -208,7 +218,6 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 	sortInstances(res.Matched)
 	sortInstances(res.Related)
 	g.number(res)
-	return res, nil
 }
 
 // assemble builds instances from fragments source by source.

@@ -175,7 +175,9 @@ func (g *Generator) SerializeContext(ctx context.Context, w io.Writer, res *Resu
 	return err
 }
 
-// Serialize writes the result in the requested format.
+// Serialize writes the result in the requested format. The whole
+// document is staged in a pooled buffer and handed to w as one write;
+// SerializeChunked is the incremental alternative.
 func (g *Generator) Serialize(w io.Writer, res *Result, format Format) error {
 	switch format {
 	case FormatOWL:
@@ -183,10 +185,16 @@ func (g *Generator) Serialize(w io.Writer, res *Result, format Format) error {
 		if err != nil {
 			return err
 		}
-		if err := owl.WriteRDFXML(w, graph, g.prefixes()); err != nil {
+		b := getBuf()
+		defer putBuf(b)
+		if err := owl.WriteRDFXML(b, graph, g.prefixes()); err != nil {
 			return err
 		}
-		return writeErrorEpilog(w, res)
+		if err := writeErrorEpilog(b, res); err != nil {
+			return err
+		}
+		_, err = w.Write(b.Bytes())
+		return err
 	case FormatTurtle:
 		graph, err := g.ToGraph(res)
 		if err != nil {
@@ -267,54 +275,79 @@ func (g *Generator) prefixes() rdf.PrefixMap {
 	return p
 }
 
+// stringWriter is the incremental serialization target: bytes.Buffer
+// (the pooled staging path) and ChunkedWriter (the streaming path) both
+// satisfy it.
+type stringWriter interface {
+	io.Writer
+	io.StringWriter
+}
+
 // writeXML emits the plain XML view of §2.6: attribute IDs transform
 // directly into an element hierarchy ("transforming the unique identifiers
 // of the ontology attributes in a XML format is done naturally").
 func (g *Generator) writeXML(w io.Writer, res *Result) error {
 	b := getBuf()
 	defer putBuf(b)
-	b.WriteString(xml.Header)
-	b.WriteString("<s2s-result>\n")
-	writeInstanceXML := func(in *Instance) error {
-		fmt.Fprintf(b, "  <instance id=%q class=%q>\n", in.ID, in.Class.Path())
-		ids := make([]string, 0, len(in.Values))
-		for id := range in.Values {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			attr, ok := g.ont.Attribute(id)
-			if !ok {
-				return fmt.Errorf("instance: unknown attribute %q", id)
-			}
-			for _, v := range in.Values[id] {
-				fmt.Fprintf(b, "    <attribute id=%q name=%q>", attr.ID(), attr.Name)
-				if err := xml.EscapeText(b, []byte(strings.TrimSpace(v))); err != nil {
-					return err
-				}
-				b.WriteString("</attribute>\n")
-			}
-		}
-		relNames := make([]string, 0, len(in.Links))
-		for name := range in.Links {
-			relNames = append(relNames, name)
-		}
-		sort.Strings(relNames)
-		for _, name := range relNames {
-			for _, t := range in.Links[name] {
-				fmt.Fprintf(b, "    <relation name=%q target=%q/>\n", name, t.ID)
-			}
-		}
-		b.WriteString("  </instance>\n")
-		return nil
+	if err := g.writeXMLTo(b, res); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeXMLTo is writeXML's incremental core: one write per document
+// part, one per instance.
+func (g *Generator) writeXMLTo(b stringWriter, res *Result) error {
+	if _, err := b.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if _, err := b.WriteString("<s2s-result>\n"); err != nil {
+		return err
 	}
 	for _, in := range res.Instances() {
-		if err := writeInstanceXML(in); err != nil {
+		if err := g.writeInstanceXML(b, in); err != nil {
 			return err
 		}
 	}
-	b.WriteString("</s2s-result>\n")
-	_, err := w.Write(b.Bytes())
+	_, err := b.WriteString("</s2s-result>\n")
+	return err
+}
+
+// writeInstanceXML emits one <instance> element.
+func (g *Generator) writeInstanceXML(b stringWriter, in *Instance) error {
+	fmt.Fprintf(b, "  <instance id=%q class=%q>\n", in.ID, in.Class.Path())
+	ids := make([]string, 0, len(in.Values))
+	for id := range in.Values {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		attr, ok := g.ont.Attribute(id)
+		if !ok {
+			return fmt.Errorf("instance: unknown attribute %q", id)
+		}
+		for _, v := range in.Values[id] {
+			fmt.Fprintf(b, "    <attribute id=%q name=%q>", attr.ID(), attr.Name)
+			if err := xml.EscapeText(b, []byte(strings.TrimSpace(v))); err != nil {
+				return err
+			}
+			if _, err := b.WriteString("</attribute>\n"); err != nil {
+				return err
+			}
+		}
+	}
+	relNames := make([]string, 0, len(in.Links))
+	for name := range in.Links {
+		relNames = append(relNames, name)
+	}
+	sort.Strings(relNames)
+	for _, name := range relNames {
+		for _, t := range in.Links[name] {
+			fmt.Fprintf(b, "    <relation name=%q target=%q/>\n", name, t.ID)
+		}
+	}
+	_, err := b.WriteString("  </instance>\n")
 	return err
 }
 
@@ -325,6 +358,26 @@ type jsonInstance struct {
 	Values  map[string][]string `json:"values"`
 	Links   map[string][]string `json:"links,omitempty"`
 	Sources []string            `json:"sources,omitempty"`
+}
+
+// jsonInstanceOf projects one instance; both the materializing and the
+// chunked JSON writers use it, so their per-instance bytes agree.
+func jsonInstanceOf(in *Instance) jsonInstance {
+	ji := jsonInstance{
+		ID:      in.ID,
+		Class:   in.Class.Path(),
+		Values:  in.Values,
+		Sources: in.Sources,
+	}
+	if len(in.Links) > 0 {
+		ji.Links = map[string][]string{}
+		for name, targets := range in.Links {
+			for _, t := range targets {
+				ji.Links[name] = append(ji.Links[name], t.ID)
+			}
+		}
+	}
+	return ji
 }
 
 func (g *Generator) writeJSON(w io.Writer, res *Result) error {
@@ -339,21 +392,7 @@ func (g *Generator) writeJSON(w io.Writer, res *Result) error {
 	conv := func(ins []*Instance) []jsonInstance {
 		out := make([]jsonInstance, 0, len(ins))
 		for _, in := range ins {
-			ji := jsonInstance{
-				ID:      in.ID,
-				Class:   in.Class.Path(),
-				Values:  in.Values,
-				Sources: in.Sources,
-			}
-			if len(in.Links) > 0 {
-				ji.Links = map[string][]string{}
-				for name, targets := range in.Links {
-					for _, t := range targets {
-						ji.Links[name] = append(ji.Links[name], t.ID)
-					}
-				}
-			}
-			out = append(out, ji)
+			out = append(out, jsonInstanceOf(in))
 		}
 		return out
 	}
@@ -377,6 +416,16 @@ func (g *Generator) writeJSON(w io.Writer, res *Result) error {
 func (g *Generator) writeText(w io.Writer, res *Result) error {
 	b := getBuf()
 	defer putBuf(b)
+	if err := g.writeTextTo(b, res); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeTextTo is writeText's incremental core: header, one instance at a
+// time, then the error/degradation/missing epilog lines.
+func (g *Generator) writeTextTo(b stringWriter, res *Result) error {
 	fmt.Fprintf(b, "query: %s\n", res.Plan.Query.String())
 	fmt.Fprintf(b, "matched: %d, related: %d, errors: %d\n", len(res.Matched), len(res.Related), len(res.Errors))
 	dump := func(in *Instance) {
@@ -414,6 +463,5 @@ func (g *Generator) writeText(w io.Writer, res *Result) error {
 	for _, m := range res.Missing {
 		fmt.Fprintf(b, "? unmapped attribute %s\n", m)
 	}
-	_, err := w.Write(b.Bytes())
-	return err
+	return nil
 }

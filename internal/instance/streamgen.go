@@ -1,0 +1,107 @@
+package instance
+
+// streamgen.go is the instance generator's streaming front end: instead
+// of one materialized extract.ResultSet, it consumes record-scoped
+// fragment batches from an extract.Stream and assembles instances per
+// window as batches arrive, releasing each batch before the next one.
+// Cross-source key merging, relation linking, the global deterministic
+// order, and ID numbering all need every instance, so an ordering
+// barrier sits between windowed assembly and the finish pipeline — the
+// answer stays byte-identical to the materializing path (docs/STREAMING.md
+// walks through why).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/extract"
+	"repro/internal/obs"
+	"repro/internal/s2sql"
+)
+
+// streamSourceAcc accumulates one source's windowed assembly output.
+// Partition groups are identical in every window (each window carries
+// the source's full attribute sequence), so group index gi identifies
+// the same lineage group across windows, and appending window instances
+// under gi reproduces the materializing group-major instance order.
+type streamSourceAcc struct {
+	groups [][]*Instance
+	errs   []extract.SourceError
+}
+
+// GenerateStreamContext is GenerateStream under a "generate" span and
+// the context's stage-latency metrics. Note the streaming generate
+// stage overlaps extraction: its span starts when consumption starts
+// and covers the wait for batches.
+func (g *Generator) GenerateStreamContext(ctx context.Context, plan *s2sql.Plan, st *extract.Stream) (*Result, error) {
+	_, span, done := obs.StartStage(ctx, "generate")
+	res, err := g.GenerateStream(plan, st)
+	if err == nil {
+		span.SetAttr("matched", strconv.Itoa(len(res.Matched)))
+		span.SetAttr("related", strconv.Itoa(len(res.Related)))
+	}
+	done()
+	return res, err
+}
+
+// GenerateStream drains the stream, assembling each fragment batch as
+// it arrives, then finishes the result exactly like Generate: the
+// output is byte-identical to the materializing path for the same
+// query. It must be the stream's only consumer.
+func (g *Generator) GenerateStream(plan *s2sql.Plan, st *extract.Stream) (*Result, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("instance: nil plan")
+	}
+	if st == nil {
+		return nil, fmt.Errorf("instance: nil stream")
+	}
+
+	// Windowed assembly: per-batch partition + per-record instances,
+	// accumulated per (source, lineage group). Unmapped-attribute errors
+	// would repeat identically per window, so only window 0's are kept.
+	accs := map[string]*streamSourceAcc{}
+	var order []string
+	for b := range st.Batches {
+		a := accs[b.SourceID]
+		if a == nil {
+			a = &streamSourceAcc{}
+			accs[b.SourceID] = a
+			order = append(order, b.SourceID)
+		}
+		groups, errs := g.partition(b.SourceID, b.Fragments)
+		if b.Seq == 0 {
+			a.errs = errs
+		}
+		for gi, grp := range groups {
+			if gi >= len(a.groups) {
+				a.groups = append(a.groups, nil)
+			}
+			a.groups[gi] = append(a.groups[gi], grp.instances(b.SourceID)...)
+		}
+	}
+
+	// The batches channel closed, so the producer's tail is complete.
+	tail := st.Tail()
+	res := &Result{Plan: plan}
+	res.Errors = append(res.Errors, tail.Errors...)
+	res.Degraded = append(res.Degraded, tail.Degraded...)
+	res.Missing = append(res.Missing, tail.Missing...)
+
+	// Ordering barrier: concatenate per-source instance lists in sorted
+	// source order, group-major within a source — the exact order the
+	// materializing assemble() produces — then merge, link, and finish.
+	sort.Strings(order)
+	var all []*Instance
+	for _, sourceID := range order {
+		a := accs[sourceID]
+		res.Errors = append(res.Errors, a.errs...)
+		for _, grp := range a.groups {
+			all = append(all, grp...)
+		}
+	}
+	all = g.mergeByKey(all)
+	g.finish(res, all)
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasource"
 	"repro/internal/extract"
+	"repro/internal/instance"
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/transport"
@@ -114,7 +115,8 @@ func TestFederatedQuerySingleSpanTree(t *testing.T) {
 // TestEmittedMetricsMatchDeclaredAndDocumented drives a middleware
 // through a scenario that touches every metric family — successful
 // extraction from all four source kinds, cache hits on a repeated query,
-// retries and a breaker trip on a dead source — and then checks that
+// retries and a breaker trip on a dead source, a streamed query — and
+// then checks that
 // every family the registry actually holds is declared in internal/obs
 // and documented in docs/OBSERVABILITY.md.
 func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
@@ -161,6 +163,10 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	if _, err := mw.Query(ctx, "SELECT product WHERE brand = 'Seiko'"); err != nil {
 		t.Fatal(err)
 	}
+	// A streamed query exercises the streaming pipeline's batch counter.
+	if _, _, err := mw.QueryToStream(ctx, io.Discard, "SELECT product", instance.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
 
 	declared := map[string]bool{}
 	for _, name := range obs.MetricNames() {
@@ -195,9 +201,10 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	if v := mw.Metrics().Counter(obs.MetricBreakerTrips, obs.Labels{"source": "dead"}).Value(); v != 1 {
 		t.Errorf("breaker trips for dead source = %d, want 1", v)
 	}
-	// Both queries after the tripping one are skipped as breaker_open.
-	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 2 {
-		t.Errorf("breaker_open attempts for dead source = %d, want 2", v)
+	// All three queries after the tripping one (repeat, constrained,
+	// streamed) are skipped as breaker_open.
+	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 3 {
+		t.Errorf("breaker_open attempts for dead source = %d, want 3", v)
 	}
 }
 

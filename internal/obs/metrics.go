@@ -44,6 +44,9 @@ const (
 	// MetricPlannerPushdownApplied counts record-scope groups that
 	// received a predicate pushdown (record filter and/or native SQL).
 	MetricPlannerPushdownApplied = "s2s_planner_pushdown_applied_total"
+	// MetricStreamBatches counts fragment batches emitted by the
+	// streaming extraction pipeline, per source.
+	MetricStreamBatches = "s2s_stream_batches_total"
 )
 
 // Outcome label values. Every label value the middleware emits under an
@@ -120,6 +123,7 @@ var descriptors = []Desc{
 	{MetricPlannerSourcesPruned, "counter", "Source plans the query planner pruned before extraction.", nil},
 	{MetricPlannerEntriesPruned, "counter", "Mapping entries the query planner pruned before extraction.", nil},
 	{MetricPlannerPushdownApplied, "counter", "Record-scope groups with predicate pushdown applied.", nil},
+	{MetricStreamBatches, "counter", "Fragment batches emitted by the streaming extraction pipeline, per source.", []string{"source"}},
 }
 
 // Descriptors returns the canonical exported-metric descriptions.

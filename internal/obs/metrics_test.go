@@ -172,7 +172,7 @@ func TestDescriptorsCoverConstants(t *testing.T) {
 		MetricSourceExtractTotal, MetricSourceExtractDuration, MetricSourceRetries,
 		MetricCacheLookups, MetricBreakerTrips, MetricInstances,
 		MetricPlannerSourcesPruned, MetricPlannerEntriesPruned,
-		MetricPlannerPushdownApplied,
+		MetricPlannerPushdownApplied, MetricStreamBatches,
 	}
 	got := MetricNames()
 	if len(got) != len(want) {

@@ -14,10 +14,39 @@ import (
 // reports xml:lang with this namespace.
 const xmlNamespace = "http://www.w3.org/XML/1998/namespace"
 
+// errWriter funnels every write through one error slot: after the first
+// write error, the rest become no-ops and the error surfaces once at the
+// end. It lets the serialization code below stay free of per-write error
+// checks while writing incrementally (header, one subject at a time,
+// footer) instead of staging the whole document — which is what makes
+// the streaming pipeline's chunked OWL output possible.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+func (ew *errWriter) WriteString(s string) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = io.WriteString(ew.w, s)
+}
+
 // WriteRDFXML serializes the graph as RDF/XML, the syntax the paper's
 // instance generator emits. Statements are grouped by subject; when a
 // subject has exactly one rdf:type whose IRI can be abbreviated with the
-// supplied prefixes, the typed-node form is used.
+// supplied prefixes, the typed-node form is used. Output is written
+// incrementally — header, one subject element at a time, footer — so a
+// chunked writer underneath can flush the document as it forms.
 func WriteRDFXML(w io.Writer, g *rdf.Graph, prefixes rdf.PrefixMap) error {
 	if prefixes == nil {
 		prefixes = rdf.DefaultPrefixes()
@@ -26,18 +55,18 @@ func WriteRDFXML(w io.Writer, g *rdf.Graph, prefixes rdf.PrefixMap) error {
 		prefixes["rdf"] = rdf.RDFNS
 	}
 
-	b := &strings.Builder{}
-	b.WriteString(xml.Header)
-	b.WriteString("<rdf:RDF")
+	ew := &errWriter{w: w}
+	ew.WriteString(xml.Header)
+	ew.WriteString("<rdf:RDF")
 	labels := make([]string, 0, len(prefixes))
 	for l := range prefixes {
 		labels = append(labels, l)
 	}
 	sort.Strings(labels)
 	for _, l := range labels {
-		fmt.Fprintf(b, "\n    xmlns:%s=%q", l, prefixes[l])
+		fmt.Fprintf(ew, "\n    xmlns:%s=%q", l, prefixes[l])
 	}
-	b.WriteString(">\n")
+	ew.WriteString(">\n")
 
 	triples := g.All()
 	bySubject := make(map[string][]rdf.Triple)
@@ -52,13 +81,12 @@ func WriteRDFXML(w io.Writer, g *rdf.Graph, prefixes rdf.PrefixMap) error {
 	sort.Strings(order)
 
 	for _, subjKey := range order {
-		if err := writeSubject(b, bySubject[subjKey], prefixes); err != nil {
+		if err := writeSubject(ew, bySubject[subjKey], prefixes); err != nil {
 			return err
 		}
 	}
-	b.WriteString("</rdf:RDF>\n")
-	_, err := io.WriteString(w, b.String())
-	return err
+	ew.WriteString("</rdf:RDF>\n")
+	return ew.err
 }
 
 // RDFXMLString returns the RDF/XML serialization of g.
@@ -96,7 +124,7 @@ func isXMLName(s string) bool {
 	return s != ""
 }
 
-func writeSubject(b *strings.Builder, ts []rdf.Triple, prefixes rdf.PrefixMap) error {
+func writeSubject(b *errWriter, ts []rdf.Triple, prefixes rdf.PrefixMap) error {
 	subj := ts[0].Subject
 
 	// Find a single abbreviable rdf:type to use as the element name.

@@ -23,6 +23,8 @@ import (
 //	GET  /healthz        liveness probe
 //	POST /query          QueryRequest → QueryResponse
 //	GET  /query          ?q=...&format=... → QueryResponse
+//	GET  /query/stream   ?q=...&format=... → raw serialized body, chunked,
+//	                     completion signaled in trailers (see stream.go)
 //	GET  /ontology       the ontology as an OWL (RDF/XML) document
 //	GET  /sources        registered source definitions (JSON)
 //	POST /sources        register a WireSource
@@ -72,6 +74,7 @@ func NewServer(mw *core.Middleware, opts ...ServerOption) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/ontology", s.handleOntology)
 	s.mux.HandleFunc("/sources", s.handleSources)
 	s.mux.HandleFunc("/mappings", s.handleMappings)
@@ -99,19 +102,37 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if s.querySem != nil {
-		select {
-		case s.querySem <- struct{}{}:
-			defer func() { <-s.querySem }()
-		default:
-			s.mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.shedRetryAfter/time.Second)))
-			httpError(w, http.StatusServiceUnavailable,
-				fmt.Errorf("transport: server at concurrent-query capacity, retry later"))
-			return
-		}
+// acquireQuerySlot claims a concurrent-query slot, shedding the request
+// with 503 + Retry-After when the server is at capacity. It reports
+// whether the handler may proceed; a true return must be paired with
+// releaseQuerySlot.
+func (s *Server) acquireQuerySlot(w http.ResponseWriter) bool {
+	if s.querySem == nil {
+		return true
 	}
+	select {
+	case s.querySem <- struct{}{}:
+		return true
+	default:
+		s.mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.shedRetryAfter/time.Second)))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("transport: server at concurrent-query capacity, retry later"))
+		return false
+	}
+}
+
+func (s *Server) releaseQuerySlot() {
+	if s.querySem != nil {
+		<-s.querySem
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.acquireQuerySlot(w) {
+		return
+	}
+	defer s.releaseQuerySlot()
 	var req QueryRequest
 	switch r.Method {
 	case http.MethodPost:

@@ -1,0 +1,215 @@
+package transport
+
+// stream.go is the streaming pipeline's wire surface: the
+// /query/stream endpoint serializes a query answer straight onto the
+// connection in chunked transfer encoding as the chunk buffer fills,
+// and the matching client decodes the body incrementally into the
+// caller's writer. Because the status line and headers are long gone
+// when a mid-stream failure hits, completion is signaled in HTTP
+// trailers: a response whose trailers lack X-S2s-Stream-Complete is a
+// truncated stream, and the client says so instead of handing the
+// caller a silently short body. See docs/STREAMING.md.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// Streaming response headers and trailers of GET /query/stream.
+const (
+	// StreamMatchedHeader carries the matched-instance count; it is sent
+	// before the body (generation completes before serialization starts,
+	// so the counts are known up front).
+	StreamMatchedHeader = "X-S2s-Matched"
+	// StreamRelatedHeader carries the related-instance count.
+	StreamRelatedHeader = "X-S2s-Related"
+	// StreamCompleteTrailer is "true" when the whole body was written.
+	// Its absence from the trailers means the stream was cut mid-body.
+	StreamCompleteTrailer = "X-S2s-Stream-Complete"
+	// StreamErrorsTrailer carries the number of per-source extraction
+	// errors the answer absorbed (the error detail rides inside the body
+	// for formats that carry it, e.g. the JSON errors array).
+	StreamErrorsTrailer = "X-S2s-Stream-Errors"
+	// StreamErrorTrailer carries the message of a mid-stream
+	// serialization failure; when present the body is truncated.
+	StreamErrorTrailer = "X-S2s-Stream-Error"
+)
+
+// StreamResult summarizes one streamed query exchange on the client.
+type StreamResult struct {
+	// Matched and Related are the instance counts from the pre-body
+	// headers.
+	Matched int
+	Related int
+	// SourceErrors is the extraction-error count from the trailers.
+	SourceErrors int
+	// Bytes is how many body bytes were copied to the caller's writer.
+	Bytes int64
+}
+
+// contentTypeFor maps a serialization format to its media type; the
+// /query/stream body is the raw serialized document, not a JSON
+// envelope.
+func contentTypeFor(f instance.Format) string {
+	switch f {
+	case instance.FormatOWL:
+		return "application/rdf+xml"
+	case instance.FormatTurtle:
+		return "text/turtle; charset=utf-8"
+	case instance.FormatNTriples:
+		return "application/n-triples"
+	case instance.FormatXML:
+		return "application/xml"
+	case instance.FormatJSON:
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// flushWriter forwards every write to the response and flushes it,
+// so each chunk-buffer flush becomes one chunked-transfer frame on the
+// wire instead of sitting in the server's response buffer.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// handleQueryStream answers GET /query/stream?q=...&format=...: the
+// streaming pipeline runs the query, the matched/related counts go out
+// as headers, and the serialized document follows as a chunked body
+// with completion signaled in trailers.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	if !s.acquireQuerySlot(w) {
+		return
+	}
+	defer s.releaseQuerySlot()
+
+	query := r.URL.Query().Get("q")
+	if strings.TrimSpace(query) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: empty query"))
+		return
+	}
+	format := instance.FormatOWL
+	if fs := r.URL.Query().Get("format"); fs != "" {
+		f, err := instance.ParseFormat(fs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		format = f
+	}
+
+	ctx := obs.ContextWithMetrics(r.Context(), s.mw.Metrics())
+	if tid := r.Header.Get(TraceIDHeader); tid != "" {
+		ctx = obs.ContextWithRemote(ctx, obs.Remote{TraceID: tid, ParentID: r.Header.Get(SpanIDHeader)})
+	}
+	ctx, root := s.mw.Tracer().StartTrace(ctx, "http_query_stream")
+	w.Header().Set(TraceIDHeader, root.TraceID)
+
+	// Extraction and generation stream internally; a failure here is
+	// still pre-body, so it can use a regular error status.
+	res, err := s.mw.QueryStreamed(ctx, query)
+	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", contentTypeFor(format))
+	w.Header().Set(StreamMatchedHeader, strconv.Itoa(len(res.Matched)))
+	w.Header().Set(StreamRelatedHeader, strconv.Itoa(len(res.Related)))
+	// Announce the trailers before the first body byte; their values are
+	// set after the body, which is the point: they report how it ended.
+	w.Header().Set("Trailer", StreamCompleteTrailer+", "+StreamErrorsTrailer+", "+StreamErrorTrailer)
+
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	_, err = s.mw.Generator().SerializeChunkedContext(ctx, fw, res, format, 0)
+	if err != nil {
+		// Mid-stream failure: part of the body is on the wire. Terminate
+		// the chunked response with the error in a trailer instead of
+		// leaving a silently truncated document.
+		w.Header().Set(StreamErrorTrailer, err.Error())
+		root.SetAttr("outcome", "error")
+		root.End()
+		return
+	}
+	w.Header().Set(StreamCompleteTrailer, "true")
+	w.Header().Set(StreamErrorsTrailer, strconv.Itoa(len(res.Errors)))
+	root.SetAttr("outcome", "ok")
+	root.End()
+}
+
+// QueryStream runs an S2SQL query against the endpoint's streaming
+// route, copying the serialized body to w as it arrives. After the
+// body, the response trailers are checked: a missing completion
+// trailer (server died mid-stream, connection cut) or an explicit
+// error trailer turns into an error, so a truncated document is never
+// mistaken for an answer. The bytes already copied to w stay there —
+// the caller decides whether partial output is salvageable.
+func (c *Client) QueryStream(ctx context.Context, query, format string, w io.Writer) (*StreamResult, error) {
+	v := url.Values{"q": {query}}
+	if format != "" {
+		v.Set("format", format)
+	}
+	path := "/query/stream?" + v.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("transport: building request: %w", err)
+	}
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(TraceIDHeader, span.TraceID)
+		req.Header.Set(SpanIDHeader, span.ID)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: calling GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeResponse(resp, http.MethodGet, "/query/stream", nil)
+	}
+
+	out := &StreamResult{}
+	out.Matched, _ = strconv.Atoi(resp.Header.Get(StreamMatchedHeader))
+	out.Related, _ = strconv.Atoi(resp.Header.Get(StreamRelatedHeader))
+
+	// Copy the body through as it arrives; trailers are populated only
+	// once the body reaches EOF.
+	out.Bytes, err = io.Copy(w, resp.Body)
+	if err != nil {
+		return out, fmt.Errorf("transport: streaming body: %w", err)
+	}
+	if msg := resp.Trailer.Get(StreamErrorTrailer); msg != "" {
+		return out, fmt.Errorf("transport: stream failed mid-body after %d bytes: %s", out.Bytes, msg)
+	}
+	if resp.Trailer.Get(StreamCompleteTrailer) != "true" {
+		return out, fmt.Errorf("transport: stream truncated after %d bytes: no completion trailer", out.Bytes)
+	}
+	out.SourceErrors, _ = strconv.Atoi(resp.Trailer.Get(StreamErrorsTrailer))
+	return out, nil
+}

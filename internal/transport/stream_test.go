@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/faultinject"
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// TestQueryStreamEndToEnd drives GET /query/stream over a real HTTP
+// connection: the streamed body must be byte-identical to the
+// middleware's local serialization, the instance counts must arrive in
+// pre-body headers, and the completion trailer must be present.
+func TestQueryStreamEndToEnd(t *testing.T) {
+	srv, mw, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	for _, format := range []string{"json", "ntriples", "text"} {
+		f, err := instance.ParseFormat(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mw.QueryString(ctx, "SELECT product", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		res, err := client.QueryStream(ctx, "SELECT product", format, &got)
+		if err != nil {
+			t.Fatalf("QueryStream(%s): %v", format, err)
+		}
+		if got.String() != want {
+			t.Errorf("%s: streamed body diverges from local serialization", format)
+		}
+		if res.Bytes != int64(got.Len()) {
+			t.Errorf("%s: res.Bytes = %d, want %d", format, res.Bytes, got.Len())
+		}
+		if res.Matched == 0 {
+			t.Errorf("%s: matched header reported 0 instances", format)
+		}
+	}
+}
+
+// TestQueryStreamBadQuery checks that pre-body failures still travel as
+// ordinary HTTP errors, not trailers.
+func TestQueryStreamBadQuery(t *testing.T) {
+	srv, _, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+	var sink bytes.Buffer
+	_, err := client.QueryStream(context.Background(), "SELECT no_such_class", "json", &sink)
+	if err == nil {
+		t.Fatal("unknown class should fail")
+	}
+	if sink.Len() != 0 {
+		t.Errorf("failed query wrote %d body bytes, want 0", sink.Len())
+	}
+}
+
+// TestQueryStreamTruncationDetected simulates a server dying mid-body:
+// the body ends cleanly at the HTTP layer but the completion trailer
+// never arrives, and the client must report truncation instead of
+// returning the short document as an answer.
+func TestQueryStreamTruncationDetected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", StreamCompleteTrailer+", "+StreamErrorsTrailer+", "+StreamErrorTrailer)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"query": "SELECT product", "matched": [`)
+		// Dies here: no more body, no trailers.
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	_, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err == nil {
+		t.Fatal("truncated stream must surface an error")
+	}
+	if !strings.Contains(err.Error(), "stream truncated") {
+		t.Errorf("error = %v, want a stream-truncated error", err)
+	}
+	if got.Len() == 0 {
+		t.Error("partial body should still have been copied to the writer")
+	}
+}
+
+// TestQueryStreamMidStreamErrorTrailer simulates a serialization
+// failure after part of the body went out: the server terminates the
+// chunked response with the error in a trailer, and the client
+// surfaces that message.
+func TestQueryStreamMidStreamErrorTrailer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", StreamCompleteTrailer+", "+StreamErrorsTrailer+", "+StreamErrorTrailer)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"query": "SELECT product", "matched": [`)
+		w.Header().Set(StreamErrorTrailer, "owl: predicate has no registered prefix")
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	_, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err == nil {
+		t.Fatal("mid-stream error trailer must surface an error")
+	}
+	if !strings.Contains(err.Error(), "stream failed mid-body") ||
+		!strings.Contains(err.Error(), "no registered prefix") {
+		t.Errorf("error = %v, want the mid-body failure with the server's message", err)
+	}
+}
+
+// streamChaosServer builds a middleware whose backends run through a
+// fault injector, served over HTTP.
+func streamChaosServer(t *testing.T, spec workload.Spec, plan faultinject.Plan, opts extract.Options) *httptest.Server {
+	t.Helper()
+	world := workload.MustGenerate(spec)
+	inj := faultinject.New(1337, plan)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: inj.WrapBackends(extract.FromCatalog(world.Catalog)),
+		Extract:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mw))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// chaosTarget resolves a generated source ID to its injector target.
+func chaosTarget(t *testing.T, spec workload.Spec, sourceID string) string {
+	t.Helper()
+	probe := workload.MustGenerate(spec)
+	for _, def := range probe.Definitions {
+		if def.ID == sourceID {
+			return faultinject.Key(def)
+		}
+	}
+	t.Fatalf("no definition for source %s", sourceID)
+	return ""
+}
+
+// TestQueryStreamChaosFailThenRecover injects a fail-twice-then-recover
+// fault under a retry budget that absorbs it: the stream must complete
+// with zero source errors — mid-extraction transients never truncate
+// the response.
+func TestQueryStreamChaosFailThenRecover(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, WebSources: 1, RecordsPerSource: 8, Seed: 71}
+	target := chaosTarget(t, spec, "web_000")
+	srv := streamChaosServer(t, spec,
+		faultinject.Plan{target: {FailFirst: 2}},
+		extract.Options{Retries: 3, RetryBackoff: -1})
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err != nil {
+		t.Fatalf("retries should have absorbed the transient fault: %v", err)
+	}
+	if res.SourceErrors != 0 {
+		t.Errorf("SourceErrors = %d, want 0 after recovery", res.SourceErrors)
+	}
+	if res.Matched == 0 {
+		t.Error("recovered stream matched no instances")
+	}
+}
+
+// TestQueryStreamChaosSourceErrorInTrailer kills one source outright:
+// the stream still completes (the healthy replica answers) and the
+// extraction failure is reported as data — an error count in the
+// trailer, detail in the body — never as a truncated response.
+func TestQueryStreamChaosSourceErrorInTrailer(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, WebSources: 1, RecordsPerSource: 8, Seed: 71}
+	target := chaosTarget(t, spec, "web_000")
+	srv := streamChaosServer(t, spec,
+		faultinject.Plan{target: {Permanent: true}},
+		extract.Options{Retries: 2, RetryBackoff: -1})
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err != nil {
+		t.Fatalf("a dead replica must not fail the stream: %v", err)
+	}
+	if res.SourceErrors == 0 {
+		t.Error("killed source's errors missing from the trailer count")
+	}
+	if !strings.Contains(got.String(), `"errors"`) {
+		t.Error("JSON body should carry the error detail")
+	}
+	if res.Matched == 0 {
+		t.Error("healthy source matched no instances")
+	}
+}

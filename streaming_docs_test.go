@@ -1,0 +1,139 @@
+package repro
+
+// streaming_docs_test.go holds the two repo-level guarantees of the
+// streaming pipeline: the bounded-memory claim E18 measures (peak
+// buffered bytes stay flat while source rows grow 10x), and the
+// doc-drift checks that keep docs/STREAMING.md in lockstep with the
+// knobs, wire protocol, and observability names the code exports —
+// the same regime docs/OBSERVABILITY.md lives under.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+const streamingDocPath = "docs/STREAMING.md"
+
+func buildStreamingMW(t *testing.T, records int) *core.Middleware {
+	t.Helper()
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, TextSources: 1,
+		RecordsPerSource: records, Seed: 18,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+// TestStreamingBoundedMemory is the acceptance check behind E18: when
+// source rows grow 10x, the streaming path's peak buffered output
+// (ChunkStats.HighWater — the most bytes ever held before a flush)
+// must stay flat, within 1.5x. Total bytes must still grow with the
+// rows, proving the flat high-water mark is buffering discipline and
+// not a smaller answer.
+func TestStreamingBoundedMemory(t *testing.T) {
+	ctx := context.Background()
+	run := func(records int) instance.ChunkStats {
+		mw := buildStreamingMW(t, records)
+		_, stats, err := mw.QueryToStream(ctx, io.Discard, "SELECT product", instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("records=%d: %v", records, err)
+		}
+		return stats
+	}
+	base := run(100)
+	big := run(1000)
+
+	if big.Bytes < base.Bytes*5 {
+		t.Fatalf("10x rows produced %d bytes vs %d at 1x; output did not grow, flatness proves nothing",
+			big.Bytes, base.Bytes)
+	}
+	if limit := base.HighWater * 3 / 2; big.HighWater > limit {
+		t.Errorf("high-water mark grew with input: %d bytes at 10x rows, %d at 1x (limit 1.5x = %d)",
+			big.HighWater, base.HighWater, limit)
+	}
+	if base.HighWater == 0 || big.Chunks <= base.Chunks {
+		t.Errorf("chunk stats implausible: base high-water %d, chunks %d -> %d",
+			base.HighWater, base.Chunks, big.Chunks)
+	}
+}
+
+// TestStreamingDocCoversKnobs keeps docs/STREAMING.md in lockstep with
+// the configuration surface: both extract.Options knobs by name, the
+// default batch window, and the chunk flush threshold.
+func TestStreamingDocCoversKnobs(t *testing.T) {
+	doc := readStreamingDoc(t)
+	for _, want := range []string{
+		"`extract.Options.Streaming`",
+		"`extract.Options.StreamBatchRecords`",
+		fmt.Sprintf("%d records", extract.DefaultStreamBatchRecords),
+		fmt.Sprintf("%d KiB", instance.DefaultChunkSize/1024),
+		"-stream",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("%s does not mention %s", streamingDocPath, want)
+		}
+	}
+}
+
+// TestStreamingDocCoversWireProtocol pins the documented HTTP surface
+// to the exported header and trailer names: a rename in the transport
+// without a doc update fails here, and so does documenting a header
+// the server no longer sends.
+func TestStreamingDocCoversWireProtocol(t *testing.T) {
+	doc := readStreamingDoc(t)
+	for _, want := range []string{
+		"/query/stream",
+		transport.StreamMatchedHeader,
+		transport.StreamRelatedHeader,
+		transport.StreamCompleteTrailer,
+		transport.StreamErrorsTrailer,
+		transport.StreamErrorTrailer,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("%s does not mention %s", streamingDocPath, want)
+		}
+	}
+}
+
+// TestStreamingDocCoversStagesAndSignals checks the documented pipeline
+// stages and observability hooks: the four stages of the stream, the
+// per-source batch counter, and the per-batch span event.
+func TestStreamingDocCoversStagesAndSignals(t *testing.T) {
+	doc := readStreamingDoc(t)
+	for _, want := range []string{
+		"extract", "assemble", "serialize", "flush",
+		obs.MetricStreamBatches,
+		"`stream_batch`",
+		"backpressure",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("%s does not mention %s", streamingDocPath, want)
+		}
+	}
+}
+
+func readStreamingDoc(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile(streamingDocPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", streamingDocPath, err)
+	}
+	return string(raw)
+}
