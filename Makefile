@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos bench bench-compare bench-pushdown bench-stream bin clean
+.PHONY: check vet fmt lint build test chaos chaos-cluster bench bench-compare bench-pushdown bench-stream bench-hedge bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -38,10 +38,17 @@ lint:
 
 # chaos runs the seeded fault-injection scenarios (deterministic; see
 # docs/ROBUSTNESS.md) on their own, for quick iteration on recovery code.
+# The name matches the 3-node cluster suite too (TestChaosCluster*).
 chaos:
 	$(GO) test -race -run Chaos ./internal/integration
 
-# bench runs the root benchmark families (bench_test.go, E1–E18) with
+# chaos-cluster runs only the 3-node cluster fault suite (slow node,
+# node death, mid-query kill, lost partition, catalog race; see
+# docs/CLUSTER.md) under the race detector.
+chaos-cluster:
+	$(GO) test -race -run ChaosCluster ./internal/integration
+
+# bench runs the root benchmark families (bench_test.go, E1–E19) with
 # allocation stats and persists a machine-readable baseline for the perf
 # trajectory. The text output still streams to the terminal via stderr.
 bench:
@@ -80,6 +87,17 @@ bench-stream:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/s2s-benchjson > BENCH_stream.json
 	@echo "wrote BENCH_stream.json"
+
+# bench-hedge records only the hedged-dispatch family (E19 hedged/
+# unhedged pair against a 3-node cluster with one slow node) into
+# BENCH_hedge.json — the measurement docs/CLUSTER.md cites for the
+# tail-latency win. Compare a fresh run against it with
+#   go run ./cmd/s2s-benchjson -compare BENCH_hedge.json <current.json>
+bench-hedge:
+	$(GO) test -run '^$$' -bench BenchmarkE19 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_hedge.json
+	@echo "wrote BENCH_hedge.json"
 
 # bin builds the two executables into ./bin.
 bin:

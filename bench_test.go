@@ -10,15 +10,18 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasource"
 	"repro/internal/extract"
+	"repro/internal/faultinject"
 	"repro/internal/instance"
 	"repro/internal/mapping"
 	"repro/internal/reason"
@@ -543,4 +546,99 @@ func BenchmarkE10Transport(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkE19HedgedDispatch — fault-tolerant cluster: one query
+// scatter-gathered across a 3-node in-process cluster whose member n2
+// answers 40ms slow on every backend. The hedged/unhedged pair
+// measures what hedging buys: unhedged, every query that lands a
+// partition on n2 waits out the slow node; hedged, the coordinator
+// re-issues those sub-queries to the replica owner after a short
+// deadline and takes the first answer. BENCH_hedge.json records the
+// pair (`make bench-hedge`); docs/CLUSTER.md cites it.
+func BenchmarkE19HedgedDispatch(b *testing.B) {
+	const slowBy = 40 * time.Millisecond
+	spec := workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 20, Seed: 19,
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"hedged", false},
+		{"unhedged", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			world := workload.MustGenerate(spec)
+			newMW := func(apply bool, slow bool) *core.Middleware {
+				backends := extract.FromCatalog(world.Catalog)
+				if slow {
+					plan := faultinject.Plan{}
+					for _, def := range world.Definitions {
+						plan[faultinject.Key(def)] = faultinject.Fault{AddLatency: slowBy}
+					}
+					backends = faultinject.New(19, plan).WrapBackends(backends)
+				}
+				mw, err := core.New(core.Config{Ontology: world.Ontology, Backends: backends})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if apply {
+					if err := world.Apply(mw); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return mw
+			}
+
+			coord, err := cluster.NewNode(transport.NewServer(newMW(true, false)), cluster.Options{
+				ID: "n1", DisableHedging: mode.disable, HedgeDelay: 5 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			coordSrv := httptest.NewServer(coord)
+			defer coordSrv.Close()
+			coord.SetAddr(coordSrv.URL)
+			for _, id := range []string{"n2", "n3"} {
+				node, err := cluster.NewNode(transport.NewServer(newMW(false, id == "n2")), cluster.Options{
+					ID: id, CoordinatorURL: coordSrv.URL,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := httptest.NewServer(node)
+				defer srv.Close()
+				node.SetAddr(srv.URL)
+				if err := node.Join(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			query := func() error {
+				resp, err := http.Get(coordSrv.URL + "/cluster/query?q=SELECT+product&format=json")
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					return err
+				}
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("status %d", resp.StatusCode)
+				}
+				return nil
+			}
+			if err := query(); err != nil { // warm compiled rules and caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := query(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1] [-pprof]
-//	           [-max-queries 0] [-budget 0] [-stream]
+//	           [-max-queries 0] [-budget 0] [-stream] [-cluster node-id] [-join http://coordinator]
 //
 // -max-queries caps concurrent /query work; excess requests are shed
 // with 503 + Retry-After (docs/ROBUSTNESS.md). -budget bounds each
@@ -14,6 +14,13 @@
 // middleware's /query path through the streaming pipeline
 // (docs/STREAMING.md); the chunked /query/stream route streams
 // regardless of the flag.
+//
+// -cluster names this process as a cluster node and layers the
+// /cluster/* routes on top of the regular surface (docs/CLUSTER.md).
+// Without -join the node is the coordinator and serves partitioned
+// scatter-gather queries on /cluster/query; with -join it starts empty,
+// joins the coordinator at the given base URL, replicates its catalog,
+// and serves restricted extraction sub-requests.
 //
 // The server exposes /query, /query/stream, /ontology, /sources,
 // /mappings, /stats, /metrics, /trace/last, /health/sources, and
@@ -24,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/extract"
@@ -54,19 +63,25 @@ func main() {
 		maxQueries = flag.Int("max-queries", 0, "concurrent /query cap; beyond it requests are shed with 503 + Retry-After (0 disables)")
 		budget     = flag.Duration("budget", 0, "per-query deadline budget across all sources (0 disables)")
 		stream     = flag.Bool("stream", false, "run /query through the streaming pipeline (see docs/STREAMING.md)")
+		clusterID  = flag.String("cluster", "", "cluster node ID; enables the /cluster/* routes (see docs/CLUSTER.md)")
+		join       = flag.String("join", "", "coordinator base URL to join as a member (requires -cluster); empty makes this node the coordinator")
+		advertise  = flag.String("advertise", "", "base URL other cluster nodes reach this node at; defaults to http://localhost<addr>")
 	)
 	flag.Parse()
 
 	if err := run(*addr, workload.Spec{
 		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
 		RecordsPerSource: *records, Seed: *seed,
-	}, *dumpConfig, *pprofOn, *maxQueries, *budget, *stream); err != nil {
+	}, *dumpConfig, *pprofOn, *maxQueries, *budget, *stream, *clusterID, *join, *advertise); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration, stream bool) error {
+func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration, stream bool, clusterID, join, advertise string) error {
+	if join != "" && clusterID == "" {
+		return fmt.Errorf("-join requires -cluster <node-id>")
+	}
 	world, err := workload.Generate(spec)
 	if err != nil {
 		return err
@@ -76,8 +91,13 @@ func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQu
 	if err != nil {
 		return err
 	}
-	if err := world.Apply(mw); err != nil {
-		return err
+	// A joining member starts with an empty catalog — its sources and
+	// mappings replicate from the coordinator — but shares the world's
+	// backends so it can serve any source it is assigned.
+	if join == "" {
+		if err := world.Apply(mw); err != nil {
+			return err
+		}
 	}
 	if dumpConfig != "" {
 		cfg, err := config.FromMiddleware(mw)
@@ -89,7 +109,29 @@ func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQu
 		}
 		log.Printf("s2s-server: wrote configuration to %s", dumpConfig)
 	}
-	handler := http.Handler(transport.NewServer(mw, transport.WithMaxConcurrentQueries(maxQueries)))
+	srv := transport.NewServer(mw, transport.WithMaxConcurrentQueries(maxQueries))
+	handler := http.Handler(srv)
+	if clusterID != "" {
+		if advertise == "" {
+			advertise = "http://localhost" + displayAddr(addr)
+		}
+		node, err := cluster.NewNode(srv, cluster.Options{
+			ID: clusterID, Addr: advertise, CoordinatorURL: join,
+		})
+		if err != nil {
+			return err
+		}
+		if err := node.Start(context.Background()); err != nil {
+			return err
+		}
+		defer node.Stop()
+		handler = node
+		if join == "" {
+			log.Printf("s2s-server: cluster coordinator %q serving /cluster/query", clusterID)
+		} else {
+			log.Printf("s2s-server: cluster member %q joined %s", clusterID, join)
+		}
+	}
 	if pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)

@@ -22,8 +22,11 @@ var Determinism = register(&Analyzer{
 })
 
 // determinismScope lists the path segments that place a package inside
-// the deterministic zone.
-var determinismScope = []string{"faultinject", "integration", "planner"}
+// the deterministic zone. The cluster is in scope because its failure
+// detector, hedge timers, and latency measurements must run off the
+// Options.Now/After seams — a raw clock call there would make the
+// 3-node chaos suite irreproducible.
+var determinismScope = []string{"faultinject", "integration", "planner", "cluster"}
 
 // inDeterminismScope reports whether the unit's import path has a
 // segment naming a deterministic-zone package.
@@ -74,8 +77,10 @@ func checkDeterministicCall(p *Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if fn.Name() == "Now" {
-			p.Reportf(call.Pos(), "time.Now in the deterministic zone; use the injected clock")
+		// time.After joins time.Now because the cluster's hedge and
+		// heartbeat timers must fire from the injected After seam.
+		if fn.Name() == "Now" || fn.Name() == "After" {
+			p.Reportf(call.Pos(), "time."+fn.Name()+" in the deterministic zone; use the injected clock")
 		}
 	case "math/rand", "math/rand/v2":
 		// Constructing a seeded generator is the sanctioned pattern.

@@ -1,0 +1,53 @@
+// Corpus for the determinism analyzer: a "cluster" path segment places
+// the package in the deterministic zone, so clock reads must flow
+// through injected Now/After seams and randomness through a seeded
+// generator.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type options struct {
+	Now   func() time.Time
+	After func(d time.Duration) <-chan time.Time
+}
+
+func (o options) withDefaults() options {
+	if o.Now == nil {
+		o.Now = time.Now // function value, not a call: the sanctioned default
+	}
+	if o.After == nil {
+		o.After = time.After // likewise
+	}
+	return o
+}
+
+func heartbeatDeadline(o options) time.Time {
+	return time.Now().Add(time.Second) // want "injected clock"
+}
+
+func hedgeTimer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "injected clock"
+}
+
+func seamClock(o options) time.Time {
+	return o.Now() // reading through the seam: no finding
+}
+
+func membersOutput(m map[string]string) {
+	for id, status := range m {
+		fmt.Println(id, status) // want "map-range"
+	}
+}
+
+func sortedMembers(m map[string]string) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m { // collecting is order-insensitive: no finding
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,84 @@
+package cluster
+
+// ring.go is the consistent-hash partitioner: every member contributes
+// VirtualNodes points on a 64-bit ring, and a source belongs to the
+// first ReplicationFactor distinct members clockwise from the source's
+// own hash. Adding or removing one member moves only the sources whose
+// arcs that member's points covered — the property that keeps ownership
+// stable while the fleet changes.
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a member's position on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ring partitions string keys across member nodes.
+type ring struct {
+	points []ringPoint
+}
+
+// hash64 is the ring's hash function: FNV-1a (stdlib) through a
+// 64-bit avalanche finalizer. Raw FNV-1a of "node#0".."node#63" style
+// strings differs mostly in the low bits, which leaves each node's
+// points clustered in one narrow arc of the ring; the finalizer mixes
+// those differences into the high bits so the points interleave.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// buildRing places vnodes points per node. Node order does not matter:
+// point positions depend only on the node name, so every coordinator
+// builds the identical ring from the same member set.
+func buildRing(nodes []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, node := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owners returns the first n distinct nodes clockwise from key's hash:
+// the primary owner first, then the replicas in ring order. Fewer nodes
+// than n returns them all.
+func (r *ring) owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hash64(key)
+	})
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

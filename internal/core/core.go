@@ -285,6 +285,55 @@ func (m *Middleware) generateStreaming(ctx context.Context, plan *s2sql.Plan) (*
 	return res, nil
 }
 
+// Plan parses and plans a query through the plan cache without running
+// it. The cluster coordinator uses it to learn the query's attribute
+// set — and from it the owning nodes — before any extraction happens;
+// the later QueryWithExtractor call replans through the same cache, so
+// the work is paid once.
+func (m *Middleware) Plan(ctx context.Context, query string) (*s2sql.Plan, error) {
+	ctx = obs.ContextWithMetrics(ctx, m.metrics)
+	return m.planQuery(ctx, query)
+}
+
+// ExtractPlanSources runs the extraction stage for an already-planned
+// query restricted to the given source IDs (see
+// extract.Manager.ExtractQuerySources). Cluster nodes call it to
+// extract exactly the sources they own; the coordinator merges the
+// per-node result sets and finishes the pipeline via
+// QueryWithExtractor.
+func (m *Middleware) ExtractPlanSources(ctx context.Context, plan *s2sql.Plan, sources []string) (*extract.ResultSet, error) {
+	ctx = obs.ContextWithMetrics(ctx, m.metrics)
+	return m.manager.ExtractQuerySources(ctx, plan, sources)
+}
+
+// QueryWithExtractor answers one S2SQL query like Query, but with the
+// extraction stage supplied by the caller: extractFn receives the
+// planned query and must return the complete result set (canonically
+// sorted, failovers marked). The cluster coordinator injects its
+// scatter-gather merge here, so planning, instance generation,
+// tracing, and metrics are exactly the single-node pipeline — which is
+// what keeps clustered answers byte-identical.
+func (m *Middleware) QueryWithExtractor(ctx context.Context, query string, extractFn func(context.Context, *s2sql.Plan) (*extract.ResultSet, error)) (*instance.Result, error) {
+	ctx, finish := m.beginQuery(ctx, query)
+	res, err := func() (*instance.Result, error) {
+		plan, err := m.planQuery(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := extractFn(ctx, plan)
+		if err != nil {
+			return nil, err
+		}
+		m.stats.extractNS.Add(int64(rs.Stats.SchemaDuration + rs.Stats.ExtractDuration))
+		genStart := time.Now()
+		res, err := m.gen.GenerateContext(ctx, plan, rs)
+		m.stats.generateNS.Add(int64(time.Since(genStart)))
+		return res, err
+	}()
+	finish(res, err)
+	return res, err
+}
+
 // Query answers one S2SQL query: parse and plan (query handler), extract
 // (extractor manager), generate (instance generator). The full pipeline
 // is traced; the completed span tree is retained by Tracer.

@@ -454,7 +454,7 @@ func cacheKey(def datasource.Definition, entry mapping.Entry) string {
 // "source:<id>" child per contacted source and per-source counters and
 // latency histograms.
 func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSet, error) {
-	return m.extract(ctx, attributeIDs, nil)
+	return m.extract(ctx, attributeIDs, nil, nil)
 }
 
 // ExtractQuery is Extract with the full query plan in hand: before the
@@ -468,10 +468,34 @@ func (m *Manager) ExtractQuery(ctx context.Context, qplan *s2sql.Plan) (*ResultS
 	if qplan == nil {
 		return nil, errors.New("extract: nil query plan")
 	}
-	return m.extract(ctx, qplan.AttributeIDs(), qplan)
+	return m.extract(ctx, qplan.AttributeIDs(), qplan, nil)
 }
 
-func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan) (*ResultSet, error) {
+// ExtractQuerySources is ExtractQuery restricted to the given source
+// IDs: the full schema (planner rewrite included) is computed as usual,
+// then only the plans of the listed sources are executed. The cluster's
+// scatter-gather path uses it so each node extracts exactly the sources
+// it owns; because the restriction is applied after the planner rewrite,
+// the union of the per-node fragment sets is identical to one
+// unrestricted run. Failover marking is skipped — a restricted run
+// cannot see fragments other nodes produced — so the coordinator must
+// re-mark the merged result set with MarkFailovers.
+func (m *Manager) ExtractQuerySources(ctx context.Context, qplan *s2sql.Plan, sourceIDs []string) (*ResultSet, error) {
+	if qplan == nil {
+		return nil, errors.New("extract: nil query plan")
+	}
+	restrict := make(map[string]bool, len(sourceIDs))
+	for _, id := range sourceIDs {
+		restrict[id] = true
+	}
+	return m.extract(ctx, qplan.AttributeIDs(), qplan, restrict)
+}
+
+// extract runs the four-step process. A non-nil restrict set limits
+// execution to the named sources (after schema planning and the planner
+// rewrite) and suppresses failover marking, which needs the global
+// fragment view.
+func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan, restrict map[string]bool) (*ResultSet, error) {
 	ctx, espan, edone := obs.StartStage(ctx, "extract")
 	defer edone()
 	metrics := obs.MetricsFromContext(ctx)
@@ -493,6 +517,17 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 	}
 	rs.Missing = missing
 	rs.Stats.SchemaDuration = time.Since(start)
+
+	if restrict != nil {
+		kept := plans[:0:0]
+		for _, p := range plans {
+			if restrict[p.Source.ID] {
+				kept = append(kept, p)
+			}
+		}
+		plans = kept
+		espan.SetAttr("sources_restricted", strconv.Itoa(len(plans)))
+	}
 
 	// Pre-size the fragment slice to the plan's rule count: the common
 	// all-sources-healthy run appends exactly one fragment per entry.
@@ -549,7 +584,21 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 	for _, f := range rs.Fragments {
 		rs.Stats.ValuesExtracted += len(f.Values)
 	}
-	m.markFailovers(rs, plans, metrics, espan)
+	if restrict == nil {
+		m.markFailovers(rs, plans, metrics, espan)
+	} else if len(rs.Degraded) > 0 {
+		espan.SetAttr("degraded", strconv.Itoa(len(rs.Degraded)))
+	}
+	rs.SortCanonical()
+	return rs, nil
+}
+
+// SortCanonical puts the result set in the pipeline's deterministic
+// order: fragments and degradations by (attribute, source), errors by
+// (source, attribute). Extraction applies it before returning; the
+// cluster coordinator re-applies it after merging per-node result sets
+// so merged answers stay byte-identical to single-node ones.
+func (rs *ResultSet) SortCanonical() {
 	sort.Slice(rs.Fragments, func(i, j int) bool {
 		if rs.Fragments[i].AttributeID != rs.Fragments[j].AttributeID {
 			return rs.Fragments[i].AttributeID < rs.Fragments[j].AttributeID
@@ -568,7 +617,6 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 		}
 		return rs.Degraded[i].SourceID < rs.Degraded[j].SourceID
 	})
-	return rs, nil
 }
 
 // planSchema runs steps 2-3 of the extraction process — extraction
@@ -599,16 +647,28 @@ func (m *Manager) planSchema(ctx context.Context, espan *obs.Span, metrics *obs.
 	return plans, missing, nil
 }
 
-// markFailovers flags failures whose attributes were still served by an
-// alternate source: the mapping repository holds more than one source per
-// attribute, so a partner outage costs redundancy, not answers. Flagged
-// failures count under the "failover" outcome.
+// markFailovers runs MarkFailovers and annotates the extract span with
+// the degradation and failover counts.
 func (m *Manager) markFailovers(rs *ResultSet, plans []mapping.SourcePlan, metrics *obs.Registry, espan *obs.Span) {
 	if len(rs.Degraded) > 0 {
 		espan.SetAttr("degraded", strconv.Itoa(len(rs.Degraded)))
 	}
+	if failovers := MarkFailovers(rs, plans, metrics); failovers > 0 {
+		espan.SetAttr("failover", strconv.Itoa(failovers))
+	}
+}
+
+// MarkFailovers flags failures whose attributes were still served by an
+// alternate source: the mapping repository holds more than one source per
+// attribute, so a partner outage costs redundancy, not answers. Flagged
+// failures count under the "failover" outcome. It needs the global
+// fragment view, so the cluster coordinator calls it once over the
+// merged result set (with the coordinator's full schema plans) rather
+// than per node; it reports how many errors it flagged. metrics may be
+// nil.
+func MarkFailovers(rs *ResultSet, plans []mapping.SourcePlan, metrics *obs.Registry) int {
 	if len(rs.Errors) == 0 {
-		return
+		return 0
 	}
 	covered := make(map[string]bool, len(rs.Fragments))
 	for _, f := range rs.Fragments {
@@ -623,6 +683,9 @@ func (m *Manager) markFailovers(rs *ResultSet, plans []mapping.SourcePlan, metri
 	failovers := 0
 	for i := range rs.Errors {
 		e := &rs.Errors[i]
+		if e.Failover {
+			continue
+		}
 		// Whole-source failures (breaker skips, timeouts before any rule
 		// ran) carry no attribute ID; they fail over when every attribute
 		// the source was planned to serve is covered elsewhere.
@@ -648,9 +711,7 @@ func (m *Manager) markFailovers(rs *ResultSet, plans []mapping.SourcePlan, metri
 		metrics.Counter(obs.MetricSourceExtractTotal,
 			obs.Labels{"source": e.SourceID, "outcome": obs.OutcomeFailover}).Inc()
 	}
-	if failovers > 0 {
-		espan.SetAttr("failover", strconv.Itoa(failovers))
-	}
+	return failovers
 }
 
 // sourceRun summarizes one source's extraction pass.

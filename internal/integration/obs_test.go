@@ -1,18 +1,23 @@
 package integration
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasource"
 	"repro/internal/extract"
+	"repro/internal/faultinject"
 	"repro/internal/instance"
 	"repro/internal/mapping"
 	"repro/internal/obs"
@@ -115,9 +120,10 @@ func TestFederatedQuerySingleSpanTree(t *testing.T) {
 // TestEmittedMetricsMatchDeclaredAndDocumented drives a middleware
 // through a scenario that touches every metric family — successful
 // extraction from all four source kinds, cache hits on a repeated query,
-// retries and a breaker trip on a dead source, a streamed query — and
-// then checks that
-// every family the registry actually holds is declared in internal/obs
+// retries and a breaker trip on a dead source, a streamed query, and a
+// 3-node cluster serving a hedged scatter-gather query with a
+// version-gated catalog sync — and then checks that
+// every family some registry actually holds is declared in internal/obs
 // and documented in docs/OBSERVABILITY.md.
 func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	world := workload.MustGenerate(workload.Spec{
@@ -168,6 +174,49 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The cluster families need a real fleet: stand up the 3-node rig
+	// with one slow member so a hedge fires, then land a registration on
+	// the coordinator so a member's next beat forces a catalog sync.
+	spec := workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 6, Seed: 82,
+	}
+	slowWorld := workload.MustGenerate(spec)
+	slow := faultinject.Plan{}
+	for _, def := range slowWorld.Definitions {
+		slow[faultinject.Key(def)] = faultinject.Fault{AddLatency: 300 * time.Millisecond}
+	}
+	rig := startClusterRig(t, spec,
+		cluster.Options{HedgeDelay: 20 * time.Millisecond},
+		map[string]faultinject.Plan{"n2": slow})
+	cr, err := rig.queryCluster("SELECT product", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Cluster.Hedged == 0 {
+		t.Fatalf("cluster scenario fired no hedges: %+v", cr.Cluster)
+	}
+	lateBody, err := json.Marshal(transport.FromDefinition(datasource.Definition{
+		ID: "obs_late", Kind: datasource.KindXML, Path: "obs_late.xml",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(rig.servers["n1"].URL+"/sources", "application/json", bytes.NewReader(lateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("registering the late source: status %d", resp.StatusCode)
+	}
+	if err := rig.nodes["n2"].HeartbeatOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := rig.mws["n2"].Metrics().Counter(obs.MetricClusterCatalogSyncs, nil).Value(); v == 0 {
+		t.Error("member heartbeat against a newer catalog version forced no sync")
+	}
+
 	declared := map[string]bool{}
 	for _, name := range obs.MetricNames() {
 		declared[name] = true
@@ -178,8 +227,16 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	}
 	doc := string(docBytes)
 
-	emitted := mw.Metrics().Names()
-	for _, name := range emitted {
+	emitted := map[string]bool{}
+	for _, name := range mw.Metrics().Names() {
+		emitted[name] = true
+	}
+	for _, id := range []string{"n1", "n2", "n3"} {
+		for _, name := range rig.mws[id].Metrics().Names() {
+			emitted[name] = true
+		}
+	}
+	for name := range emitted {
 		if !declared[name] {
 			t.Errorf("registry emits undeclared metric %s", name)
 		}
@@ -191,7 +248,12 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	// family stops being emitted, either the code or the declaration (and
 	// this scenario) has drifted.
 	if len(emitted) != len(declared) {
-		t.Errorf("emitted %d of %d declared families: %v", len(emitted), len(declared), emitted)
+		var names []string
+		for name := range emitted {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		t.Errorf("emitted %d of %d declared families: %v", len(emitted), len(declared), names)
 	}
 
 	hits := mw.Metrics().Counter(obs.MetricCacheLookups, obs.Labels{"outcome": "hit"}).Value()

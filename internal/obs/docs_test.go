@@ -72,6 +72,8 @@ func TestDocCoversEveryOutcomeValue(t *testing.T) {
 		{MetricQueryTotal, QueryOutcomes},
 		{MetricSourceExtractTotal, SourceOutcomes},
 		{MetricCacheLookups, CacheOutcomes},
+		{MetricClusterSubqueries, ClusterSubqueryOutcomes},
+		{MetricClusterHedges, ClusterHedgeOutcomes},
 	}
 	for _, f := range families {
 		for _, outcome := range f.outcomes {

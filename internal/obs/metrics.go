@@ -47,6 +47,21 @@ const (
 	// MetricStreamBatches counts fragment batches emitted by the
 	// streaming extraction pipeline, per source.
 	MetricStreamBatches = "s2s_stream_batches_total"
+	// MetricClusterSubqueries counts scatter-gather sub-requests
+	// dispatched to cluster nodes, labeled by node and outcome.
+	MetricClusterSubqueries = "s2s_cluster_subqueries_total"
+	// MetricClusterSubqueryDuration is the per-node sub-request latency
+	// histogram the hedging deadline derives from.
+	MetricClusterSubqueryDuration = "s2s_cluster_subquery_duration_seconds"
+	// MetricClusterHedges counts hedged duplicate dispatches, labeled by
+	// outcome (won|lost).
+	MetricClusterHedges = "s2s_cluster_hedges_total"
+	// MetricClusterCatalogSyncs counts catalog snapshots a node pulled
+	// from the coordinator and applied.
+	MetricClusterCatalogSyncs = "s2s_cluster_catalog_syncs_total"
+	// MetricClusterHeartbeats counts heartbeats the membership
+	// coordinator accepted, per node.
+	MetricClusterHeartbeats = "s2s_cluster_heartbeats_total"
 )
 
 // Outcome label values. Every label value the middleware emits under an
@@ -80,6 +95,11 @@ const (
 	OutcomeCacheHit   = "hit"
 	OutcomeCacheMiss  = "miss"
 	OutcomeCacheStale = "stale"
+	// OutcomeHedgeWon / OutcomeHedgeLost label hedged dispatches: the
+	// duplicate sent to the replica either delivered the answer first
+	// (won) or the primary beat it after all (lost).
+	OutcomeHedgeWon  = "won"
+	OutcomeHedgeLost = "lost"
 )
 
 // SourceOutcomes lists every outcome value MetricSourceExtractTotal is
@@ -96,6 +116,18 @@ var QueryOutcomes = []string{OutcomeOK, OutcomeError, OutcomeShed}
 // CacheOutcomes lists every outcome value MetricCacheLookups is emitted
 // with.
 var CacheOutcomes = []string{OutcomeCacheHit, OutcomeCacheMiss, OutcomeCacheStale}
+
+// ClusterSubqueryOutcomes lists every outcome value
+// MetricClusterSubqueries is emitted with: a sub-request answered (ok),
+// failed (error), was abandoned because its context was canceled after
+// the other owner won (canceled), or was re-dispatched to the replica
+// owner after the first owner failed (failover, emitted in addition to
+// the failure outcome).
+var ClusterSubqueryOutcomes = []string{OutcomeOK, OutcomeError, OutcomeCanceled, OutcomeFailover}
+
+// ClusterHedgeOutcomes lists every outcome value MetricClusterHedges is
+// emitted with.
+var ClusterHedgeOutcomes = []string{OutcomeHedgeWon, OutcomeHedgeLost}
 
 // Desc describes one exported metric family.
 type Desc struct {
@@ -124,6 +156,11 @@ var descriptors = []Desc{
 	{MetricPlannerEntriesPruned, "counter", "Mapping entries the query planner pruned before extraction.", nil},
 	{MetricPlannerPushdownApplied, "counter", "Record-scope groups with predicate pushdown applied.", nil},
 	{MetricStreamBatches, "counter", "Fragment batches emitted by the streaming extraction pipeline, per source.", []string{"source"}},
+	{MetricClusterSubqueries, "counter", "Scatter-gather sub-requests dispatched to cluster nodes, labeled by node and outcome (ok|error|canceled|failover).", []string{"node", "outcome"}},
+	{MetricClusterSubqueryDuration, "histogram", "Per-node scatter-gather sub-request latency in seconds (the hedging deadline derives from its quantiles).", []string{"node"}},
+	{MetricClusterHedges, "counter", "Hedged duplicate dispatches to replica owners, labeled by outcome (won|lost).", []string{"outcome"}},
+	{MetricClusterCatalogSyncs, "counter", "Catalog snapshots pulled from the coordinator and applied.", nil},
+	{MetricClusterHeartbeats, "counter", "Heartbeats the membership coordinator accepted, per node.", []string{"node"}},
 }
 
 // Descriptors returns the canonical exported-metric descriptions.
@@ -260,6 +297,50 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the histogram buckets, interpolating linearly
+// within the bucket that crosses the target rank. Observations in the
+// +Inf overflow bucket clamp to the largest finite bound. Returns 0
+// when the histogram is empty. The estimate's error is bounded by the
+// bucket width (~11% with DefaultBuckets); that is plenty for uses like
+// the cluster's hedging deadline, which needs "roughly p90", not an
+// exact order statistic.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := float64(target-cum) / float64(n)
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Buckets returns the bucket upper bounds and the per-bucket

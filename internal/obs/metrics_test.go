@@ -58,6 +58,49 @@ func TestHistogramSum(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.9); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	h := newHistogram(DefaultBuckets(), nil)
+	if got := h.Quantile(0.9); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 90 fast observations and 10 slow ones: the p50 estimate must stay
+	// near the fast mode and the p99 must land at the slow mode. Bucket
+	// interpolation bounds the estimate by the enclosing bucket, so
+	// assert bucket-level, not exact, positions.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 0.002 {
+		t.Errorf("p50 = %v, want within the 1ms bucket", got)
+	}
+	if got := h.Quantile(0.99); got < 0.4 || got > 0.6 {
+		t.Errorf("p99 = %v, want within the 500ms bucket", got)
+	}
+	// q clamps: q>1 behaves as the max, q<=0 as zero.
+	if got := h.Quantile(2); got < 0.4 {
+		t.Errorf("q>1 quantile = %v, want max-bucket estimate", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 quantile = %v, want 0", got)
+	}
+
+	// Overflow-only observations clamp to the largest finite bound.
+	over := newHistogram(DefaultBuckets(), nil)
+	over.Observe(100)
+	bounds := DefaultBuckets()
+	if got := over.Quantile(0.9); got != bounds[len(bounds)-1] {
+		t.Errorf("overflow quantile = %v, want %v", got, bounds[len(bounds)-1])
+	}
+}
+
 func TestConcurrentIncrements(t *testing.T) {
 	r := NewRegistry()
 	const workers, perWorker = 16, 1000
@@ -173,6 +216,8 @@ func TestDescriptorsCoverConstants(t *testing.T) {
 		MetricCacheLookups, MetricBreakerTrips, MetricInstances,
 		MetricPlannerSourcesPruned, MetricPlannerEntriesPruned,
 		MetricPlannerPushdownApplied, MetricStreamBatches,
+		MetricClusterSubqueries, MetricClusterSubqueryDuration,
+		MetricClusterHedges, MetricClusterCatalogSyncs, MetricClusterHeartbeats,
 	}
 	got := MetricNames()
 	if len(got) != len(want) {

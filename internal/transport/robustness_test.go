@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -135,6 +136,149 @@ func TestServerShedsAboveConcurrencyCap(t *testing.T) {
 	got := mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Value()
 	if got != 1 {
 		t.Errorf("shed counter = %v, want 1", got)
+	}
+}
+
+// TestShedRetryAfterJitterSpreadsRetries holds a capped server's only
+// query slot and sheds a burst of requests: the advertised Retry-After
+// values must spread across [base, base+jitter] rather than
+// resynchronizing every victim onto the same retry instant, and the
+// client's retry delay must follow each advertised value.
+func TestShedRetryAfterJitterSpreadsRetries(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, RecordsPerSource: 5, Seed: 22,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, extract.Options{
+		SimulatedLatency: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewServer(mw, WithMaxConcurrentQueries(1))
+	// Deterministic jitter seam: the shed burst draws 0,1,2,0,1,2,...
+	var draws atomic.Int32
+	ts.shedRandMu.Lock()
+	ts.shedRandIntn = func(n int) int { return int(draws.Add(1)-1) % n }
+	ts.shedRandMu.Unlock()
+	srv := httptest.NewServer(ts)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/query?q=SELECT+product&format=json")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow query occupy the slot
+
+	base := int(ts.shedRetryAfter / time.Second)
+	seen := map[int]int{}
+	client := NewClient(srv.URL, nil)
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(srv.URL + "/query?q=SELECT+product&format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			resp.Body.Close()
+			t.Fatalf("status = %d, want 503 (shed)", resp.StatusCode)
+		}
+		secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After = %q: %v", resp.Header.Get("Retry-After"), err)
+		}
+		if secs < base || secs > base+ts.shedJitterSecs {
+			t.Errorf("Retry-After = %d, want in [%d, %d]", secs, base, base+ts.shedJitterSecs)
+		}
+		seen[secs]++
+		// The client schedules its retry off the advertised value, so
+		// jittered headers directly spread the retries out.
+		if got := client.retryDelay(resp, 0); got != time.Duration(secs)*time.Second {
+			t.Errorf("client retry delay = %v, want %ds (the advertised Retry-After)", got, secs)
+		}
+		resp.Body.Close()
+	}
+	if len(seen) < 2 {
+		t.Errorf("shed burst advertised a single Retry-After value %v; jitter must spread retries", seen)
+	}
+	wg.Wait()
+}
+
+// TestHealthReportsDegradedState drives /healthz through its states:
+// "ok" with the breaker and shed gauges at rest, then "degraded" once
+// a source's circuit breaker opens.
+func TestHealthReportsDegradedState(t *testing.T) {
+	world := workload.MustGenerate(workload.Spec{
+		WebSources: 1, RecordsPerSource: 5, Seed: 23,
+	})
+	backends := extract.FromCatalog(world.Catalog)
+	var dead atomic.Bool
+	inner := backends.Pages
+	backends.Pages = fetcherFunc(func(url string) (string, error) {
+		if dead.Load() {
+			return "", fmt.Errorf("partner offline")
+		}
+		return inner.Fetch(url)
+	})
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: backends,
+		Extract: extract.Options{
+			Retries: 0,
+			Breaker: extract.BreakerOptions{Threshold: 1, Cooldown: time.Minute},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mw, WithMaxConcurrentQueries(4)))
+	defer srv.Close()
+
+	getHealth := func() HealthStatus {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d", resp.StatusCode)
+		}
+		var h HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := getHealth()
+	if h.Status != "ok" || h.BreakersOpen != 0 {
+		t.Fatalf("initial health = %+v, want ok with no open breakers", h)
+	}
+	if h.ShedCapacity != 4 || h.ShedInFlight != 0 {
+		t.Errorf("shed gauges = %d/%d, want 0/4", h.ShedInFlight, h.ShedCapacity)
+	}
+
+	// Kill the partner and run a query to trip its breaker.
+	dead.Store(true)
+	resp, err := http.Get(srv.URL + "/query?q=SELECT+product&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	h = getHealth()
+	if h.Status != "degraded" || h.BreakersOpen == 0 {
+		t.Fatalf("post-trip health = %+v, want degraded with an open breaker", h)
 	}
 }
 

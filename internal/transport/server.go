@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +52,15 @@ type Server struct {
 	// fast beats one that answers every caller too late).
 	querySem       chan struct{}
 	shedRetryAfter time.Duration
+	// shedJitterSecs widens the advertised Retry-After by a random 0..N
+	// extra seconds. A shed burst hits many clients in the same instant;
+	// a fixed Retry-After would resynchronize them into a retry stampede
+	// exactly that many seconds later, so each shed response draws its
+	// own delay. shedRandIntn is the jitter seam (tests inject a
+	// deterministic sequence); guarded by shedRandMu.
+	shedJitterSecs int
+	shedRandMu     sync.Mutex
+	shedRandIntn   func(n int) int
 }
 
 // ServerOption configures a Server.
@@ -66,9 +77,16 @@ func WithMaxConcurrentQueries(n int) ServerOption {
 	}
 }
 
+// DefaultShedJitterSeconds is the default width of the random extension
+// added to a shed response's Retry-After (0..N extra whole seconds).
+const DefaultShedJitterSeconds = 2
+
 // NewServer wraps a middleware in an HTTP handler.
 func NewServer(mw *core.Middleware, opts ...ServerOption) *Server {
-	s := &Server{mw: mw, mux: http.NewServeMux(), shedRetryAfter: time.Second}
+	s := &Server{mw: mw, mux: http.NewServeMux(), shedRetryAfter: time.Second,
+		shedJitterSecs: DefaultShedJitterSeconds}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	s.shedRandIntn = rng.Intn
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -91,9 +109,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Middleware returns the middleware this server fronts (the cluster
+// layer wraps a Server and drives the same middleware).
+func (s *Server) Middleware() *core.Middleware { return s.mw }
+
+// HealthStatus is the /healthz body: enough state for a cluster failure
+// detector (or an external monitor) to tell "up" from "healthy". Status
+// is "ok" when the server is fully serviceable and "degraded" when it
+// is alive but impaired — source breakers open, or the concurrent-query
+// semaphore at capacity (new queries would shed).
+type HealthStatus struct {
+	Status       string `json:"status"`
+	Sources      int    `json:"sources"`
+	BreakersOpen int    `json:"breakersOpen"`
+	// ShedCapacity is the concurrent-query cap (0 = unlimited) and
+	// ShedInFlight the slots currently held.
+	ShedCapacity int `json:"shedCapacity"`
+	ShedInFlight int `json:"shedInFlight"`
+}
+
+// Health snapshots the server's health. Safe to call concurrently.
+func (s *Server) Health() HealthStatus {
+	h := HealthStatus{Status: "ok"}
+	for _, sh := range s.mw.SourceHealth() {
+		h.Sources++
+		if sh.Open {
+			h.BreakersOpen++
+		}
+	}
+	if s.querySem != nil {
+		h.ShedCapacity = cap(s.querySem)
+		h.ShedInFlight = len(s.querySem)
+	}
+	if h.BreakersOpen > 0 || (h.ShedCapacity > 0 && h.ShedInFlight >= h.ShedCapacity) {
+		h.Status = "degraded"
+	}
+	return h
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	_ = json.NewEncoder(w).Encode(s.Health())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -115,11 +171,25 @@ func (s *Server) acquireQuerySlot(w http.ResponseWriter) bool {
 		return true
 	default:
 		s.mw.Metrics().Counter(obs.MetricQueryTotal, obs.Labels{"outcome": obs.OutcomeShed}).Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.shedRetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.shedRetryAfterSecs()))
 		httpError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("transport: server at concurrent-query capacity, retry later"))
 		return false
 	}
+}
+
+// shedRetryAfterSecs draws the Retry-After value for one shed response:
+// the base delay plus 0..shedJitterSecs extra whole seconds, so
+// concurrent shed victims retry at spread-out times instead of in one
+// synchronized wave.
+func (s *Server) shedRetryAfterSecs() int {
+	secs := int(s.shedRetryAfter / time.Second)
+	if s.shedJitterSecs > 0 {
+		s.shedRandMu.Lock()
+		secs += s.shedRandIntn(s.shedJitterSecs + 1)
+		s.shedRandMu.Unlock()
+	}
+	return secs
 }
 
 func (s *Server) releaseQuerySlot() {

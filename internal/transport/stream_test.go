@@ -93,6 +93,46 @@ func TestQueryStreamTruncationDetected(t *testing.T) {
 	}
 }
 
+// TestQueryStreamConnectionReset kills the server connection after the
+// pre-body headers but before the first body chunk — a hard reset, not
+// a trailer-signalled truncation. The client's body copy fails
+// mid-read, and that must surface as a streaming error, never as an
+// empty successful stream.
+func TestQueryStreamConnectionReset(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", StreamCompleteTrailer+", "+StreamErrorsTrailer+", "+StreamErrorTrailer)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(StreamMatchedHeader, "5")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush() // status + headers reach the client
+		// Die before the first chunk: hijack the connection and slam it
+		// shut, so the client sees a reset instead of clean trailers.
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err == nil {
+		t.Fatal("connection reset before the first chunk must surface an error")
+	}
+	if !strings.Contains(err.Error(), "streaming body") {
+		t.Errorf("error = %v, want a streaming-body copy error", err)
+	}
+	if res == nil || res.Matched != 5 {
+		t.Errorf("result = %+v, want the pre-body headers decoded (matched=5)", res)
+	}
+	if got.Len() != 0 {
+		t.Errorf("writer got %d bytes, want 0 (server died before the first chunk)", got.Len())
+	}
+}
+
 // TestQueryStreamMidStreamErrorTrailer simulates a serialization
 // failure after part of the body went out: the server terminates the
 // chunked response with the error in a trailer, and the client
