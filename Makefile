@@ -31,8 +31,9 @@ test:
 	$(GO) test -race ./...
 
 # lint runs the repo-specific analyzer suite (stdlibonly, errwrap,
-# spanend, ctxfield, determinism, lockbalance, pkgdoc — see
-# docs/STATIC_ANALYSIS.md) over every package; non-zero exit on findings.
+# spanend, ctxfield, determinism, lockbalance, pkgdoc, wgbalance,
+# goroleak, errcheck, leakytimer — see docs/STATIC_ANALYSIS.md) over
+# every package; non-zero exit on findings.
 lint:
 	$(GO) run ./cmd/s2s-lint
 
@@ -54,8 +55,8 @@ chaos-cluster:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/s2s-benchjson > BENCH_lint_baseline.json
-	@echo "wrote BENCH_lint_baseline.json"
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
 
 # bench-compare re-runs the benchmark families and diffs them against
 # the committed baseline, failing on any >20% ns/op or allocs/op
@@ -64,7 +65,7 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/s2s-benchjson > /tmp/s2s-bench-current.json
-	$(GO) run ./cmd/s2s-benchjson -compare BENCH_lint_baseline.json /tmp/s2s-bench-current.json
+	$(GO) run ./cmd/s2s-benchjson -compare BENCH_baseline.json /tmp/s2s-bench-current.json
 
 # bench-pushdown records only the query-planner family (E17
 # pushdown/nopushdown pair) into BENCH_pushdown.json — the measurement

@@ -1,6 +1,6 @@
 // Command s2s-benchjson converts `go test -bench` text output (read
 // from stdin) into machine-readable JSON on stdout, so `make bench` can
-// persist a perf baseline (BENCH_lint_baseline.json) that future PRs
+// persist a perf baseline (BENCH_baseline.json) that future PRs
 // diff against. Only the standard benchmark line format is parsed;
 // everything else (PASS, ok, log lines) is ignored.
 //

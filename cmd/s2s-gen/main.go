@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -57,8 +58,7 @@ func run(dir string, spec workload.Spec) error {
 		return err
 	}
 	if err := world.Ontology.WriteOWL(ontFile); err != nil {
-		ontFile.Close()
-		return err
+		return errors.Join(err, ontFile.Close())
 	}
 	if err := ontFile.Close(); err != nil {
 		return err
@@ -124,8 +124,7 @@ func writeJSON(path string, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

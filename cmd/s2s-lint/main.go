@@ -2,24 +2,31 @@
 // (internal/analysis) over every package in the module — invariants go
 // vet cannot see: the stdlib-only import rule, %w error wrapping on the
 // retry-classification path, span finish obligations, context plumbing,
-// fault-injection determinism, and lock/unlock balance.
+// fault-injection determinism, lock/unlock and WaitGroup balance,
+// goroutine join seams, dropped errors, and per-iteration timer leaks.
 //
 // Usage:
 //
 //	s2s-lint                    # run every analyzer over the module
 //	s2s-lint -analyzers a,b     # run a subset
 //	s2s-lint -list              # print the registered analyzers
+//	s2s-lint -json              # one JSON object per finding line
+//	s2s-lint -ignores           # audit //lint:ignore directives
 //	s2s-lint -debug             # additionally print loader type diagnostics
 //
 // Findings print as file:line: analyzer: message; the exit status is 1
-// when any finding is reported. A finding is suppressed by a
-// `//lint:ignore <analyzer> <reason>` comment on its line or the line
-// above (see docs/STATIC_ANALYSIS.md).
+// when any active (unsuppressed) finding is reported. A finding is
+// suppressed by a `//lint:ignore <analyzer> <reason>` comment on its
+// line or the line above (see docs/STATIC_ANALYSIS.md). With -json,
+// suppressed findings are emitted too, marked "suppressed": true, so
+// downstream tooling can audit what the directives hide.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,28 +35,53 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list registered analyzers and exit")
-	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	debug := flag.Bool("debug", false, "print loader type-check diagnostics")
-	dir := flag.String("C", ".", "module root to lint")
-	flag.Parse()
+	os.Exit(lintMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// lintMain is the testable entry point: it parses args, runs the suite,
+// and returns the process exit code (0 clean, 1 findings, 2 usage or
+// loader error).
+func lintMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("s2s-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	debug := fs.Bool("debug", false, "print loader type-check diagnostics")
+	dir := fs.String("C", ".", "module root to lint")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding line (includes suppressed findings)")
+	ignores := fs.Bool("ignores", false, "audit //lint:ignore directives and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	if err := run(*dir, *names, *debug); err != nil {
-		fmt.Fprintln(os.Stderr, "s2s-lint:", err)
-		os.Exit(2)
+	code, err := run(*dir, *names, *debug, *jsonOut, *ignores, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "s2s-lint:", err)
+		return 2
 	}
+	return code
 }
 
-func run(dir, names string, debug bool) error {
+// jsonFinding is the -json wire shape: one object per line, stable
+// field names, module-relative file paths.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(dir, names string, debug, jsonOut, ignores bool, stdout, stderr io.Writer) (int, error) {
 	root, err := findModuleRoot(dir)
 	if err != nil {
-		return err
+		return 2, err
 	}
 	analyzers := analysis.All()
 	if names != "" {
@@ -57,7 +89,7 @@ func run(dir, names string, debug bool) error {
 		for _, name := range strings.Split(names, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				return fmt.Errorf("unknown analyzer %q (try -list)", name)
+				return 2, fmt.Errorf("unknown analyzer %q (try -list)", name)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -65,32 +97,74 @@ func run(dir, names string, debug bool) error {
 
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		return err
+		return 2, err
 	}
 	units, err := loader.Load()
 	if err != nil {
-		return err
+		return 2, err
 	}
 	if debug {
 		for _, e := range loader.TypeErrors {
-			fmt.Fprintln(os.Stderr, "s2s-lint: typecheck:", e)
+			fmt.Fprintln(stderr, "s2s-lint: typecheck:", e)
 		}
 	}
 
-	findings := analysis.Run(units, analyzers)
-	for _, f := range findings {
-		// Print module-relative paths: stable across checkouts and what
-		// editors expect.
-		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
+	relativize := func(name string) string {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
-		fmt.Println(f)
+		return name
 	}
-	if n := len(findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "s2s-lint: %d finding(s)\n", n)
-		os.Exit(1)
+
+	if ignores {
+		// Audit mode: list every //lint:ignore directive with its reason,
+		// and fail if one names an analyzer that is not registered — a
+		// misspelled directive suppresses nothing and rots silently.
+		bad := 0
+		for _, d := range analysis.Directives(units) {
+			d.Pos.Filename = relativize(d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
+			if analysis.ByName(d.Analyzer) == nil {
+				fmt.Fprintf(stderr, "s2s-lint: %s:%d: directive names unregistered analyzer %q\n",
+					d.Pos.Filename, d.Pos.Line, d.Analyzer)
+				bad++
+			}
+		}
+		if bad > 0 {
+			return 1, nil
+		}
+		return 0, nil
 	}
-	return nil
+
+	findings := analysis.Run(units, analyzers)
+	active := analysis.Active(findings)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			jf := jsonFinding{
+				File:       relativize(f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			}
+			if err := enc.Encode(jf); err != nil {
+				return 2, err
+			}
+		}
+	} else {
+		for _, f := range active {
+			// Print module-relative paths: stable across checkouts and what
+			// editors expect.
+			f.Pos.Filename = relativize(f.Pos.Filename)
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if n := len(active); n > 0 {
+		fmt.Fprintf(stderr, "s2s-lint: %d finding(s)\n", n)
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // findModuleRoot walks up from dir to the directory holding go.mod.

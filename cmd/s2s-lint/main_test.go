@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeTempModule lays out a throwaway module with one known-bad
+// package: a bare dropped error (active errcheck finding) and a
+// reasoned //lint:ignore discard (suppressed finding). With
+// badDirective it adds a directive naming an unregistered analyzer for
+// the -ignores audit to flag.
+func writeTempModule(t *testing.T, badDirective bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmplint\n\ngo 1.24\n")
+	write("b/b.go", `// Package b exercises errcheck in the CLI tests.
+package b
+
+import "errors"
+
+func f() error { return errors.New("x") }
+
+func g() {
+	f()
+	//lint:ignore errcheck cli test exercises the reasoned-discard form
+	_ = f()
+}
+`)
+	if badDirective {
+		write("c/c.go", `// Package c carries a directive the audit must flag.
+package c
+
+//lint:ignore nosuchanalyzer misspelled directives suppress nothing
+var x = 1
+`)
+	}
+	return dir
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = lintMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListShowsEveryAnalyzer(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+	// The concurrency pack specifically must be registered.
+	for _, name := range []string{"goroleak", "wgbalance", "errcheck", "leakytimer"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	code, _, errb := runLint(t, "-analyzers", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "unknown analyzer") {
+		t.Errorf("stderr = %q, want mention of the unknown analyzer", errb)
+	}
+}
+
+func TestFindingsExitNonZero(t *testing.T) {
+	dir := writeTempModule(t, false)
+	// -C from a subdirectory: the driver must walk up to go.mod.
+	code, out, errb := runLint(t, "-C", filepath.Join(dir, "b"), "-analyzers", "errcheck")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(out, "errcheck: ") || !strings.Contains(out, "drops its error result") {
+		t.Errorf("stdout = %q, want the bare-drop finding", out)
+	}
+	if strings.Contains(out, "explicitly discarded") {
+		t.Errorf("stdout = %q, suppressed finding must not print in text mode", out)
+	}
+	if !strings.Contains(out, filepath.Join("b", "b.go")+":") {
+		t.Errorf("stdout = %q, want module-relative path", out)
+	}
+}
+
+func TestAnalyzerSubsetRestricts(t *testing.T) {
+	dir := writeTempModule(t, false)
+	// spanend has nothing to say about this module; the errcheck finding
+	// must not leak through a restricted run.
+	code, out, errb := runLint(t, "-C", dir, "-analyzers", "spanend")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout: %s, stderr: %s)", code, out, errb)
+	}
+	if out != "" {
+		t.Errorf("stdout = %q, want empty", out)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := writeTempModule(t, false)
+	code, out, errb := runLint(t, "-C", dir, "-analyzers", "errcheck", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2 (suppressed finding included):\n%s", len(lines), out)
+	}
+	var got []jsonFinding
+	for _, line := range lines {
+		var jf jsonFinding
+		if err := json.Unmarshal([]byte(line), &jf); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		// Round-trip: re-encoding the decoded object reproduces the line.
+		re, err := json.Marshal(jf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re) != line {
+			t.Errorf("round trip drifted:\n in: %s\nout: %s", line, re)
+		}
+		got = append(got, jf)
+	}
+	for _, jf := range got {
+		if jf.Analyzer != "errcheck" {
+			t.Errorf("analyzer = %q, want errcheck", jf.Analyzer)
+		}
+		if jf.File != filepath.Join("b", "b.go") {
+			t.Errorf("file = %q, want module-relative b/b.go", jf.File)
+		}
+		if jf.Line == 0 || jf.Message == "" {
+			t.Errorf("incomplete finding: %+v", jf)
+		}
+	}
+	if !got[0].Suppressed && !got[1].Suppressed {
+		t.Error("suppressed finding missing from -json output")
+	}
+	if got[0].Suppressed && got[1].Suppressed {
+		t.Error("active finding missing from -json output")
+	}
+}
+
+func TestIgnoresAudit(t *testing.T) {
+	dir := writeTempModule(t, false)
+	code, out, errb := runLint(t, "-C", dir, "-ignores")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb)
+	}
+	want := filepath.Join("b", "b.go") + ":10: errcheck: cli test exercises the reasoned-discard form"
+	if !strings.Contains(out, want) {
+		t.Errorf("-ignores output = %q, want line %q", out, want)
+	}
+}
+
+func TestIgnoresAuditFlagsUnregisteredAnalyzer(t *testing.T) {
+	dir := writeTempModule(t, true)
+	code, out, errb := runLint(t, "-C", dir, "-ignores")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(out, "nosuchanalyzer: misspelled directives suppress nothing") {
+		t.Errorf("-ignores output = %q, want the bad directive listed", out)
+	}
+	if !strings.Contains(errb, "unregistered analyzer") {
+		t.Errorf("stderr = %q, want unregistered-analyzer diagnostic", errb)
+	}
+}

@@ -48,6 +48,7 @@ func run() error {
 		return err
 	}
 	srv := &http.Server{Handler: transport.NewServer(mw)}
+	//lint:ignore errcheck Serve always returns ErrServerClosed once the example shuts the server down
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	endpoint := "http://" + ln.Addr().String()

@@ -40,10 +40,13 @@ func serveShop(path, html string) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html")
+		//lint:ignore errcheck a fixture-page write failure means the catalog client hung up
 		_, _ = w.Write([]byte(html))
 	})
 	srv := &http.Server{Handler: mux}
+	//lint:ignore errcheck Serve always returns ErrServerClosed once the example shuts the server down
 	go func() { _ = srv.Serve(ln) }()
+	//lint:ignore errcheck best-effort teardown of an example fixture server
 	return "http://" + ln.Addr().String() + path, func() { _ = srv.Close() }, nil
 }
 

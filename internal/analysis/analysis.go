@@ -49,11 +49,15 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Finding is one reported invariant violation.
+// Finding is one reported invariant violation. A finding covered by a
+// //lint:ignore directive is still recorded — with Suppressed set — so
+// the driver's -json mode and the -ignores audit can account for it;
+// only unsuppressed findings fail the lint gate.
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 // String renders the canonical file:line: analyzer: message form.
@@ -78,17 +82,16 @@ type Pass struct {
 	findings *[]Finding
 }
 
-// Reportf records a finding at pos unless a //lint:ignore comment for
-// this analyzer covers the line.
+// Reportf records a finding at pos; a //lint:ignore comment for this
+// analyzer on the line (or the line above) marks it suppressed instead
+// of discarding it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.unit.suppressed(p.Analyzer.Name, position) {
-		return
-	}
 	*p.findings = append(*p.findings, Finding{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.unit.suppressed(p.Analyzer.Name, position),
 	})
 }
 
@@ -116,8 +119,24 @@ var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\w+)\s+(\S.*)$`)
 // suppressions maps file name → line → set of suppressed analyzer names.
 type suppressions map[string]map[int]map[string]bool
 
-// collectSuppressions scans a file's comments for //lint:ignore markers.
-func collectSuppressions(fset *token.FileSet, file *ast.File, into suppressions) {
+// Directive is one //lint:ignore comment found in a unit, kept for the
+// driver's -ignores audit: every deliberate exception in the tree is
+// enumerable with its written reason.
+type Directive struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// String renders the canonical file:line: analyzer: reason form.
+func (d Directive) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Reason)
+}
+
+// collectSuppressions scans a file's comments for //lint:ignore markers,
+// indexing them for suppression lookup and recording each as a
+// Directive.
+func (u *Unit) collectSuppressions(fset *token.FileSet, file *ast.File) {
 	for _, group := range file.Comments {
 		for _, c := range group.List {
 			m := ignoreRe.FindStringSubmatch(c.Text)
@@ -125,19 +144,36 @@ func collectSuppressions(fset *token.FileSet, file *ast.File, into suppressions)
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			byLine := into[pos.Filename]
+			byLine := u.suppress[pos.Filename]
 			if byLine == nil {
 				byLine = map[int]map[string]bool{}
-				into[pos.Filename] = byLine
+				u.suppress[pos.Filename] = byLine
 			}
-			for _, name := range strings.Fields(m[1]) {
-				if byLine[pos.Line] == nil {
-					byLine[pos.Line] = map[string]bool{}
-				}
-				byLine[pos.Line][name] = true
+			name := strings.TrimSpace(m[1])
+			if byLine[pos.Line] == nil {
+				byLine[pos.Line] = map[string]bool{}
 			}
+			byLine[pos.Line][name] = true
+			u.directives = append(u.directives, Directive{Pos: pos, Analyzer: name, Reason: m[2]})
 		}
 	}
+}
+
+// Directives returns every //lint:ignore directive across the units,
+// sorted by file and line.
+func Directives(units []*Unit) []Directive {
+	var out []Directive
+	for _, u := range units {
+		out = append(out, u.directives...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // suppressed reports whether a finding by analyzer at position is covered
@@ -176,8 +212,21 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies the analyzers to every unit and returns the findings
-// sorted by file, line, and analyzer.
+// Active filters findings down to the unsuppressed ones — the set that
+// fails the lint gate.
+func Active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to every unit and returns the findings —
+// suppressed ones included, marked — sorted by file, line, and
+// analyzer.
 func Run(units []*Unit, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, u := range units {

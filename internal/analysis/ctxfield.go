@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 // Ctxfield enforces the context-plumbing convention the observability
@@ -61,14 +60,5 @@ func checkCtxPosition(p *Pass, ft *ast.FuncType) {
 // isContextType reports whether the expression's static type is exactly
 // context.Context.
 func isContextType(p *Pass, e ast.Expr) bool {
-	t := p.TypeOf(e)
-	if t == nil {
-		return false
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+	return isContextValueType(p.TypeOf(e))
 }

@@ -1,0 +1,467 @@
+// The dataflow core shared by the balance/ownership analyzers (spanend,
+// lockbalance, wgbalance, goroleak). A fact is one obligation — a span
+// to finish, a lock to release, a WaitGroup counter to decrement — with
+// three behaviours: an acquire site that creates it, a release
+// predicate that discharges it, and (for owned resources) a transfer
+// test that moves the obligation into another function's custody. The
+// engine is a small abstract interpreter over the AST of one function
+// body: it verifies that no path reaches a return (or the end of the
+// function) while the obligation is still held, crediting either a
+// registered `defer` of the release or a dominating direct release
+// call.
+//
+// Two entry points serve two shapes of question. checkBalanced answers
+// the intra-function one: "after this acquire statement, is the fact
+// discharged on every path out of this body?". dischargesOnAllPaths
+// answers the per-function summary: "does this body, held from entry,
+// discharge on every path?" — which is how an analyzer reasons about a
+// spawned goroutine's body or a named function it resolves through the
+// unit's declaration index (Unit.funcDeclOf).
+//
+// The interpreter is deliberately conservative where Go's control flow
+// gets interesting: a release inside a loop body is not credited (the
+// loop may run zero times), branches merge to "still held" unless every
+// fall-through branch released, and a release inside a `go` statement
+// never counts — it is not ordered with the spawning function's
+// returns.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fact configures one obligation for the engine.
+type fact struct {
+	// acquire is the statement creating the obligation; checking starts
+	// at the statement after it. A nil acquire means the obligation is
+	// held from function entry (per-function summary mode).
+	acquire ast.Stmt
+	// isRelease reports whether a call expression discharges the fact.
+	isRelease func(*ast.CallExpr) bool
+	// isTerminal reports whether a call never returns (panic, os.Exit,
+	// testing.T.Fatal…); paths ending there are not leaks.
+	isTerminal func(*ast.CallExpr) bool
+}
+
+// holdState tracks the fact along one path.
+type holdState int
+
+const (
+	notYet   holdState = iota // acquire site not reached on this path
+	held                      // acquired, no defer, not yet released
+	released                  // released directly or guaranteed by defer
+)
+
+// merge combines the states of two paths that join: a path that may
+// still hold the fact dominates.
+func merge(a, b holdState) holdState {
+	if a == held || b == held {
+		return held
+	}
+	if a == released || b == released {
+		return released
+	}
+	return notYet
+}
+
+// checkBalanced runs the interpreter over a function body and returns
+// the position of the first exit that still holds the fact, or
+// token.NoPos when every path discharges. body is the *ast.BlockStmt of
+// the function owning the acquire.
+func checkBalanced(body *ast.BlockStmt, f fact) token.Pos {
+	w := &balanceWalker{f: f}
+	start := notYet
+	if f.acquire == nil {
+		start = held
+	}
+	end := w.stmts(body.List, start)
+	if end == held && w.leakPos == token.NoPos {
+		// Fell off the end of a void function while holding.
+		w.leakPos = body.Rbrace
+	}
+	return w.leakPos
+}
+
+// dischargesOnAllPaths is the per-function summary query: the fact is
+// held from the body's entry, and every path out must discharge it.
+func dischargesOnAllPaths(body *ast.BlockStmt, isRelease, isTerminal func(*ast.CallExpr) bool) bool {
+	return checkBalanced(body, fact{isRelease: isRelease, isTerminal: isTerminal}) == token.NoPos
+}
+
+type balanceWalker struct {
+	f       fact
+	leakPos token.Pos
+}
+
+func (w *balanceWalker) leakAt(pos token.Pos) {
+	if w.leakPos == token.NoPos {
+		w.leakPos = pos
+	}
+}
+
+// stmts interprets a statement list, returning the fall-through state.
+// Paths that return inside the list are checked and do not contribute to
+// the fall-through state.
+func (w *balanceWalker) stmts(list []ast.Stmt, st holdState) holdState {
+	for _, s := range list {
+		var exited bool
+		st, exited = w.stmt(s, st)
+		if exited {
+			// Everything after an unconditional return/terminal call is
+			// dead for this path.
+			return notYet
+		}
+	}
+	return st
+}
+
+// stmt interprets one statement. It returns the fall-through state and
+// whether the statement unconditionally exits the path.
+func (w *balanceWalker) stmt(s ast.Stmt, st holdState) (holdState, bool) {
+	if s == w.f.acquire {
+		return held, false
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if st == held && w.f.isRelease(call) {
+				return released, false
+			}
+			if w.isTerminal(call) {
+				return st, true
+			}
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		if st == held && w.deferReleases(s.Call) {
+			return released, false
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		if st == held {
+			w.leakAt(s.Pos())
+		}
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st), false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		thenSt := w.stmts(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt, _ = w.stmt(s.Else, st)
+		}
+		return merge(thenSt, elseSt), false
+
+	case *ast.ForStmt:
+		return w.loop(s.Body, s.Init, st), false
+
+	case *ast.RangeStmt:
+		return w.loop(s.Body, nil, st), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.cases(s, st), false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.GoStmt:
+		// A release performed by a spawned goroutine is not ordered with
+		// this function's returns; never credit it.
+		return st, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as ending the current list without
+		// exiting the function; the conservative merge at the enclosing
+		// construct keeps "held" sticky.
+		return st, true
+
+	default:
+		return st, false
+	}
+}
+
+// loop interprets a loop: leaks inside the body are reported, but state
+// changes are not credited outward — the body may run zero times, and a
+// release on iteration N does not cover the acquire before the loop on
+// iteration N+1's view.
+func (w *balanceWalker) loop(body *ast.BlockStmt, init ast.Stmt, st holdState) holdState {
+	if init != nil {
+		st, _ = w.stmt(init, st)
+	}
+	w.stmts(body.List, st)
+	return st
+}
+
+// cases interprets switch/type-switch/select: every clause is checked
+// from the incoming state; the fall-through state is the merge of all
+// clause ends, plus the incoming state unless a default clause makes the
+// construct exhaustive.
+func (w *balanceWalker) cases(s ast.Stmt, st holdState) holdState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := notYet
+	seen := false
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			list = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		end := w.stmts(list, st)
+		if seen {
+			out = merge(out, end)
+		} else {
+			out, seen = end, true
+		}
+	}
+	if !seen {
+		return st
+	}
+	if !hasDefault {
+		out = merge(out, st)
+	}
+	return out
+}
+
+// deferReleases reports whether a deferred call guarantees the release:
+// either the release call itself, or a deferred closure whose body
+// contains a release (the `defer func() { mu.Unlock() }()` idiom).
+func (w *balanceWalker) deferReleases(call *ast.CallExpr) bool {
+	if w.f.isRelease(call) {
+		return true
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && w.f.isRelease(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *balanceWalker) isTerminal(call *ast.CallExpr) bool {
+	if w.f.isTerminal != nil && w.f.isTerminal(call) {
+		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return false
+}
+
+// transfersCustody is the engine's ownership-transfer test: it reports
+// whether the identifier owning a fact leaves the function's custody —
+// used as a call argument, returned, assigned onward, captured by a
+// non-deferred closure, address-taken, or handed to a goroutine. def is
+// the fact's defining statement (scanned only on its right-hand side).
+// Method calls on the owner (span.SetAttr, span.End, wg.Done…) are not
+// transfers, but a closure that captures the owner — even only to
+// release it — takes over the obligation, unless that closure is
+// directly deferred (which checkBalanced credits as a deferred release
+// instead).
+func transfersCustody(body *ast.BlockStmt, def ast.Stmt, owner *ast.Ident) bool {
+	deferred := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+	escaped := false
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !deferred[n] && mentionsIdent(n.Body, owner) {
+				escaped = true
+			}
+			return false
+		case *ast.AssignStmt:
+			if n == def {
+				// The defining assignment itself; still scan the RHS for
+				// uses of a shadowed outer variable — close enough.
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if usesIdent(rhs, owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesIdent(arg, owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesIdent(res, owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.UnaryExpr:
+			if usesIdent(n.X, owner) {
+				escaped = true
+			}
+			return !escaped
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if usesIdent(elt, owner) {
+					escaped = true
+				}
+			}
+			return !escaped
+		case *ast.GoStmt:
+			// The owner crossing into a goroutine is an ownership handoff.
+			if usesIdent(n.Call, owner) {
+				escaped = true
+			}
+			return !escaped
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return escaped
+}
+
+// mentionsIdent reports whether the node mentions the identifier by
+// name anywhere at all, receiver positions included.
+func mentionsIdent(n ast.Node, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if other, ok := m.(*ast.Ident); ok && other.Name == id.Name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesIdent reports whether the expression mentions the identifier by
+// name anywhere except as the receiver of a method call.
+func usesIdent(e ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == id.Name {
+				// owner.Method(...) — receiver position, not a transfer;
+				// but still scan the selector's... nothing else to scan.
+				return false
+			}
+		}
+		if other, ok := n.(*ast.Ident); ok && other.Name == id.Name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies yields every function-like body in a file — declarations
+// and literals — without descending into nested literals from the outer
+// body's perspective. fn receives the body and runs its own analysis.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// topLevelStmts walks the statements of a body, invoking fn for every
+// statement reachable without entering a nested function literal. This
+// is how analyzers find acquire sites that belong to this body rather
+// than to a closure.
+func topLevelStmts(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case ast.Stmt:
+			fn(n.(ast.Stmt))
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+	}
+}
+
+// FuncDeclOf resolves a function object to its declaration within this
+// unit, or nil. The index is built lazily once per unit and shared by
+// every analyzer that summarizes callees (wgbalance, goroleak): the
+// engine's per-function summaries only reach as far as the unit — a
+// callee in another package is an ownership transfer, not a summary.
+func (p *Pass) FuncDeclOf(obj *types.Func) *ast.FuncDecl {
+	if obj == nil || p.Info == nil {
+		return nil
+	}
+	if p.unit.declIndex == nil {
+		p.unit.declIndex = map[types.Object]*ast.FuncDecl{}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if def := p.Info.Defs[fd.Name]; def != nil {
+					p.unit.declIndex[def] = fd
+				}
+			}
+		}
+	}
+	return p.unit.declIndex[obj]
+}

@@ -31,15 +31,7 @@ var determinismScope = []string{"faultinject", "integration", "planner", "cluste
 // inDeterminismScope reports whether the unit's import path has a
 // segment naming a deterministic-zone package.
 func inDeterminismScope(pkgPath string) bool {
-	for _, seg := range strings.Split(pkgPath, "/") {
-		seg = strings.TrimSuffix(seg, "_test")
-		for _, want := range determinismScope {
-			if seg == want {
-				return true
-			}
-		}
-	}
-	return false
+	return pathHasSegment(pkgPath, determinismScope)
 }
 
 func runDeterminism(p *Pass) {

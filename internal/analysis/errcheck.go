@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errcheck closes the quietest failure mode in a distributed pipeline:
+// an error produced and never looked at. A call whose (last) result is
+// an error, used as a bare statement, drops it on the floor — the retry
+// classifier never sees it, the breaker never counts it, the trace
+// never records it. Discarding explicitly with `_ =` is allowed only
+// with a written justification (`//lint:ignore errcheck <reason>`) in
+// non-test code; test files are exempt entirely. Writers whose error
+// contract is "never fails" (strings.Builder, bytes.Buffer) or "sticky,
+// surfaced at Flush" (bufio.Writer), and the fmt print family, are
+// exempt — flagging those would train everyone to suppress wholesale.
+var Errcheck = register(&Analyzer{
+	Name:      "errcheck",
+	Doc:       "an error-returning call must not be used as a bare statement; explicit discards need a reason",
+	NeedTypes: true,
+	Run:       runErrcheck,
+})
+
+func runErrcheck(p *Pass) {
+	for _, file := range p.Files {
+		if isTestFile(p, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || !callReturnsError(p, call) || errcheckExempt(p, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "%s drops its error result; handle it or discard it explicitly with a reasoned //lint:ignore", calleeName(call))
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN || !allBlank(n.Lhs) || len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !callReturnsError(p, call) || errcheckExempt(p, call) {
+					return true
+				}
+				p.Reportf(n.Pos(), "error from %s explicitly discarded; keep only with //lint:ignore errcheck <reason>", calleeName(call))
+			}
+			return true
+		})
+	}
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier — the discard-everything form.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// callReturnsError reports whether the call's only or last result is
+// the error type.
+func callReturnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		return types.Identical(tuple.At(tuple.Len()-1).Type(), errType)
+	}
+	return types.Identical(t, errType)
+}
+
+// errcheckExempt recognizes the documented best-effort writers: the
+// fmt print family, and Write* methods on strings.Builder, bytes.Buffer
+// (never fail) and the sticky-error writers bufio.Writer and the
+// module's instance.ChunkedWriter (first error latched, reported by
+// Flush — which is not exempt).
+func errcheckExempt(p *Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(fun.Sel)
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !strings.HasPrefix(fn.Name(), "Write") {
+		return false
+	}
+	named, ok := deref(sig.Recv().Type()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer",
+		"repro/internal/instance.ChunkedWriter":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the called expression for the finding message.
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every //lint:ignore directive in the real tree must name a registered
+// analyzer and carry a written reason. A directive aimed at a renamed or
+// removed analyzer suppresses nothing — it just rots — so this test
+// keeps the suppression inventory honest. (Corpus packages under
+// testdata/ are exempt: the module walk skips them, and some exist
+// precisely to exercise the suppression syntax.)
+func TestTreeSuppressionsNameRegisteredAnalyzers(t *testing.T) {
+	loader := corpusLoader(t)
+	units, err := loader.Load()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	ds := Directives(units)
+	if len(ds) == 0 {
+		t.Fatal("no //lint:ignore directives found in the tree; the collector is broken")
+	}
+	for _, d := range ds {
+		if ByName(d.Analyzer) == nil {
+			t.Errorf("%s: directive names unregistered analyzer %q", d, d.Analyzer)
+		}
+		if strings.TrimSpace(d.Reason) == "" {
+			t.Errorf("%s: directive has no reason", d)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leakytimer catches the classic select-loop leak: time.After inside a
+// for (or range) loop allocates a fresh timer every iteration, and
+// each one stays live in the runtime's timer heap until it fires —
+// minutes of garbage per connection on a heartbeat or retry loop. A
+// one-shot time.After outside a loop is fine. Loops must use
+// time.NewTimer with Reset, or the injected After seam the
+// deterministic zone already mandates (cluster.Options.After,
+// faultinject's sleep hook).
+var Leakytimer = register(&Analyzer{
+	Name:      "leakytimer",
+	Doc:       "time.After inside a loop leaks one timer per iteration; use NewTimer/Reset or the injected seam",
+	NeedTypes: true,
+	Run:       runLeakytimer,
+})
+
+func runLeakytimer(p *Pass) {
+	for _, file := range p.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkTimerBody(p, body)
+		})
+	}
+}
+
+// checkTimerBody flags time.After calls lexically inside a loop of this
+// body. Nested function literals are their own bodies (funcBodies
+// visits them separately): a literal defined inside a loop runs on its
+// own schedule, so the loop context does not carry in.
+func checkTimerBody(p *Pass, body *ast.BlockStmt) {
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTimeAfter(p, call) {
+			return true
+		}
+		for _, l := range loops {
+			if call.Pos() >= l.lo && call.Pos() <= l.hi {
+				p.Reportf(call.Pos(), "time.After inside a loop leaks a timer per iteration until it fires; use time.NewTimer with Reset or the injected After seam")
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isTimeAfter matches the package-level time.After function (methods
+// named After — e.g. an injected clock seam — are the sanctioned
+// replacement and do not match).
+func isTimeAfter(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "After" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -46,7 +46,11 @@ type Unit struct {
 	Pkg  *types.Package
 	Info *types.Info
 
-	suppress suppressions
+	suppress   suppressions
+	directives []Directive
+	// declIndex lazily maps function objects to their declarations for
+	// the dataflow core's per-function summaries (Pass.FuncDeclOf).
+	declIndex map[types.Object]*ast.FuncDecl
 }
 
 // Loader loads and type-checks the packages of one module.
@@ -374,7 +378,7 @@ func (l *Loader) newUnit(path, dir string, files []*ast.File, pkg *types.Package
 		suppress: suppressions{},
 	}
 	for _, f := range files {
-		collectSuppressions(l.Fset, f, u.suppress)
+		u.collectSuppressions(l.Fset, f)
 	}
 	return u
 }

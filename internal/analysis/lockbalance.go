@@ -59,7 +59,7 @@ func checkLockBody(p *Pass, body *ast.BlockStmt) {
 		if site.method == "RLock" {
 			unlock = "RUnlock"
 		}
-		rc := releaseCheck{
+		f := fact{
 			acquire: site.stmt,
 			isRelease: func(c *ast.CallExpr) bool {
 				recv, method, ok := syncLockCall(p, c)
@@ -67,7 +67,7 @@ func checkLockBody(p *Pass, body *ast.BlockStmt) {
 			},
 			isTerminal: isNoReturnCall,
 		}
-		if leak := checkReleased(body, rc); leak != token.NoPos {
+		if leak := checkBalanced(body, f); leak != token.NoPos {
 			pos := p.Fset.Position(leak)
 			p.Reportf(site.call.Pos(),
 				"%s.%s() is not released on every path (path escaping at line %d without %s.%s())",

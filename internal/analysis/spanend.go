@@ -60,14 +60,14 @@ func checkSpanBody(p *Pass, body *ast.BlockStmt) {
 			p.Reportf(st.call.Pos(), "%s result discarded; the span can never be finished", st.kind)
 			continue
 		}
-		if spanEscapes(body, st) {
+		if transfersCustody(body, st.stmt, st.owner) {
 			continue
 		}
-		rc := releaseCheck{
+		f := fact{
 			acquire:   st.stmt,
 			isRelease: func(c *ast.CallExpr) bool { return finishesSpan(c, st.owner) },
 		}
-		if leak := checkReleased(body, rc); leak != token.NoPos {
+		if leak := checkBalanced(body, f); leak != token.NoPos {
 			pos := p.Fset.Position(leak)
 			p.Reportf(st.call.Pos(),
 				"span from %s is not finished on all return paths (path escaping at line %d); defer %s",
@@ -156,116 +156,6 @@ func finishesSpan(call *ast.CallExpr, owner *ast.Ident) bool {
 	return false
 }
 
-// spanEscapes reports whether the owning identifier leaves the
-// function's custody: used as a call argument, returned, assigned
-// elsewhere, captured by a non-deferred closure, or address-taken.
-// Method calls on the span (SetAttr, End, Walk…) are not escapes, but a
-// closure that captures the span — even only to call End on it — takes
-// over the finish obligation, unless that closure is directly deferred
-// (which the path checker credits as a deferred release instead).
-func spanEscapes(body *ast.BlockStmt, st spanStart) bool {
-	deferred := map[*ast.FuncLit]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		if d, ok := n.(*ast.DeferStmt); ok {
-			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
-				deferred[lit] = true
-			}
-		}
-		return true
-	})
-	escaped := false
-	var inspect func(n ast.Node) bool
-	inspect = func(n ast.Node) bool {
-		if escaped {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			if !deferred[n] && mentionsIdent(n.Body, st.owner) {
-				escaped = true
-			}
-			return false
-		case *ast.AssignStmt:
-			if n == st.stmt {
-				// The defining assignment itself; still scan the RHS for
-				// uses of a shadowed outer variable — close enough.
-				return true
-			}
-			for _, rhs := range n.Rhs {
-				if usesIdent(rhs, st.owner) {
-					escaped = true
-				}
-			}
-			return !escaped
-		case *ast.CallExpr:
-			for _, arg := range n.Args {
-				if usesIdent(arg, st.owner) {
-					escaped = true
-				}
-			}
-			return !escaped
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if usesIdent(res, st.owner) {
-					escaped = true
-				}
-			}
-			return !escaped
-		case *ast.UnaryExpr:
-			if usesIdent(n.X, st.owner) {
-				escaped = true
-			}
-			return !escaped
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				if usesIdent(elt, st.owner) {
-					escaped = true
-				}
-			}
-			return !escaped
-		case *ast.GoStmt:
-			// The span crossing into a goroutine is an ownership handoff.
-			if usesIdent(n.Call, st.owner) {
-				escaped = true
-			}
-			return !escaped
-		}
-		return true
-	}
-	ast.Inspect(body, inspect)
-	return escaped
-}
-
-// mentionsIdent reports whether the node mentions the identifier by
-// name anywhere at all, receiver positions included.
-func mentionsIdent(n ast.Node, id *ast.Ident) bool {
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		if other, ok := m.(*ast.Ident); ok && other.Name == id.Name {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// usesIdent reports whether the expression mentions the identifier by
-// name anywhere except as the receiver of a method call.
-func usesIdent(e ast.Expr, id *ast.Ident) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok {
-			if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == id.Name {
-				// owner.Method(...) — receiver position, not an escape;
-				// but still scan the selector's... nothing else to scan.
-				return false
-			}
-		}
-		if other, ok := n.(*ast.Ident); ok && other.Name == id.Name {
-			found = true
-			return false
-		}
-		return !found
-	})
-	return found
-}
+// Ownership transfer (the span escaping into another function's
+// custody) is detected by the dataflow core's transfersCustody; spanend
+// only contributes what counts as starting and finishing a span.

@@ -1,0 +1,50 @@
+// Corpus for the errcheck analyzer.
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func doErr() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+func bareDrops() {
+	doErr()      // want "drops its error result"
+	twoResults() // want "drops its error result"
+	pure()       // no finding: no error result
+}
+
+func explicitDiscards() {
+	_ = doErr() // want "explicitly discarded"
+	//lint:ignore errcheck corpus exercises the reasoned-discard form
+	_ = doErr()         // no active finding: suppressed with a reason
+	_, _ = twoResults() // want "explicitly discarded"
+	n, _ := twoResults()
+	_ = n // no finding: not a call
+}
+
+func handled() error {
+	if err := doErr(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func exemptWriters(w *bufio.Writer) {
+	var b strings.Builder
+	var buf bytes.Buffer
+	b.WriteString("x")             // no finding: strings.Builder never fails
+	buf.WriteByte('y')             // no finding: bytes.Buffer never fails
+	w.WriteString("z")             // no finding: sticky error, surfaced at Flush
+	fmt.Println("hello")           // no finding: fmt print family
+	fmt.Fprintf(os.Stderr, "oops") // no finding: fmt print family
+	w.Flush()                      // want "drops its error result"
+}

@@ -1,0 +1,9 @@
+package errcheck
+
+// Test files are exempt from errcheck: a dropped error in a test fails
+// the assertion that follows it, not production traffic.
+
+func dropsAreFineInTests() {
+	doErr() // no finding: _test.go file
+	_ = doErr()
+}

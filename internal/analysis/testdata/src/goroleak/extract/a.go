@@ -1,0 +1,75 @@
+// Corpus for the goroleak analyzer: this package is in scope (its
+// import path carries an "extract" segment, placing it on the query
+// path).
+package extract
+
+import (
+	"context"
+	"sync"
+)
+
+func leakWork() {}
+
+func fireAndForgetNamed() {
+	go leakWork() // want "fire-and-forget"
+}
+
+func fireAndForgetLit() {
+	go func() { // want "fire-and-forget"
+		leakWork()
+	}()
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // no finding: WaitGroup join
+		defer wg.Done()
+		leakWork()
+	}()
+	wg.Wait()
+}
+
+func joinedByChannel() <-chan int {
+	ch := make(chan int, 1)
+	go func() { // no finding: result channel
+		ch <- 42
+	}()
+	return ch
+}
+
+func observesStop(stop chan struct{}) {
+	go func() { // no finding: observes the stop channel
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				leakWork()
+			}
+		}
+	}()
+}
+
+func observesContext(ctx context.Context) {
+	go func() { // no finding: observes ctx.Done
+		<-ctx.Done()
+	}()
+	go loop(ctx) // no finding: the callee takes the context
+}
+
+func loop(ctx context.Context) { <-ctx.Done() }
+
+func drains(ch chan int) {
+	go func() { // no finding: bounded by the channel closing
+		for range ch {
+		}
+	}()
+}
+
+func closerJoin(done chan struct{}) {
+	go func() { // no finding: closes the done channel
+		defer close(done)
+		leakWork()
+	}()
+}

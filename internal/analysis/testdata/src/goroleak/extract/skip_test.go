@@ -1,0 +1,7 @@
+package extract
+
+// Test files are exempt: a test's goroutines die with the process.
+
+func spawnsFreelyInTests() {
+	go leakWork() // no finding: _test.go file
+}

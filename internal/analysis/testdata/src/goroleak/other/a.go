@@ -1,0 +1,10 @@
+// Out-of-scope corpus for the goroleak analyzer: no query/cluster-path
+// segment in the import path, so even a fire-and-forget goroutine stays
+// unreported here.
+package other
+
+func background() {}
+
+func fireAndForgetOutOfScope() {
+	go background() // no finding: package is outside the goroleak scope
+}

@@ -1,0 +1,70 @@
+// Corpus for the leakytimer analyzer.
+package leakytimer
+
+import "time"
+
+func tick() {}
+
+func selectLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want "leaks a timer per iteration"
+			tick()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func rangeLoop(items []int) {
+	for range items {
+		<-time.After(time.Millisecond) // want "leaks a timer per iteration"
+	}
+}
+
+func oneShot(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // no finding: one timer, outside any loop
+		return 0
+	}
+}
+
+func timerLoop(stop chan struct{}) {
+	t := time.NewTimer(time.Second) // no finding: single timer, Reset per iteration
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			tick()
+			t.Reset(time.Second)
+		case <-stop:
+			return
+		}
+	}
+}
+
+type clock struct{}
+
+func (clock) After(d time.Duration) <-chan time.Time { return nil }
+
+func injectedSeam(c clock, stop chan struct{}) {
+	for {
+		select {
+		case <-c.After(time.Second): // no finding: the injected seam, not time.After
+			tick()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func litInsideLoop(fns []func()) {
+	for range fns {
+		f := func() {
+			<-time.After(time.Millisecond) // no finding: the literal runs on its own schedule
+		}
+		f()
+	}
+}

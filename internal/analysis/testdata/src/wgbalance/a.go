@@ -1,0 +1,108 @@
+// Corpus for the wgbalance analyzer.
+package wgbalance
+
+import "sync"
+
+func work() {}
+
+func addBeforeSpawn(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1) // no finding: Add precedes the spawn, Done deferred
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "races with"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneMissedOnErrorPath(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not reached on every path"
+		if !ok {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func doneOnAllPathsDirect(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // no finding: both branches decrement
+		if !ok {
+			wg.Done()
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func missingDoneEntirely(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "no matching"
+	go func() {
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup, ok bool) {
+	if !ok {
+		return
+	}
+	wg.Done()
+}
+
+func spawnNamedPartialDone(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg, ok) // want "not reached on every path of spawned worker"
+	wg.Wait()
+}
+
+func workerClean(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func spawnNamedClean() {
+	var wg sync.WaitGroup
+	wg.Add(1) // no finding: the spawned function defers Done
+	go workerClean(&wg)
+	wg.Wait()
+}
+
+func helperOwnsIt(wg *sync.WaitGroup) {
+	work()
+	wg.Done()
+}
+
+func escapesToHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1) // no finding: the WaitGroup's address escapes to a helper
+	helperOwnsIt(&wg)
+	wg.Wait()
+}
+
+type pool struct{ wg sync.WaitGroup }
+
+func (p *pool) fieldReceiversSkipped() {
+	p.wg.Add(1) // no finding: field receivers may balance across methods
+	p.wg.Wait()
+}

@@ -141,7 +141,14 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func clusterError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// writeJSON encodes v onto the response. Handlers funnel their replies
+// through here so the deliberate discard below is the only one.
+func writeJSON(w http.ResponseWriter, v any) {
+	//lint:ignore errcheck a response-encode failure means the peer hung up; the dead connection is the only place to report it
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // handleRegisterSource registers a source on the coordinator and
@@ -223,7 +230,7 @@ func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		resp.Catalog = &cs
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }
 
 // handleCatalog serves GET /cluster/catalog on the coordinator.
@@ -234,7 +241,7 @@ func (n *Node) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	cs := n.cat.snapshot()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(cs)
+	writeJSON(w, cs)
 }
 
 // handleMembers serves GET /cluster/members: the coordinator's live
@@ -251,7 +258,7 @@ func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
 		members = []Member{{ID: n.opts.ID, Addr: n.Addr(), Status: StatusAlive, CatalogVersion: n.appliedCatalogVersion()}}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(members)
+	writeJSON(w, members)
 }
 
 // Members snapshots the coordinator's membership view, sorted by node
@@ -427,7 +434,8 @@ func (n *Node) Start(ctx context.Context) error {
 				return
 			case <-n.opts.After(n.opts.HeartbeatInterval):
 				hctx, cancel := context.WithTimeout(context.Background(), n.opts.RequestTimeout)
-				_ = n.HeartbeatOnce(hctx) // a missed beat is the failure detector's business
+				//lint:ignore errcheck a missed beat is the failure detector's business; the suspicion state is the error channel
+				_ = n.HeartbeatOnce(hctx)
 				cancel()
 			}
 		}
@@ -490,7 +498,7 @@ func (n *Node) handleClusterExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(toWire(rs))
+	writeJSON(w, toWire(rs))
 }
 
 // handleClusterQuery serves /cluster/query on the coordinator: the
@@ -566,5 +574,5 @@ func (n *Node) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = append(resp.Degraded, d.String())
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }

@@ -31,6 +31,7 @@ type ring struct {
 // those differences into the high bits so the points interleave.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
+	//lint:ignore errcheck hash.Hash documents Write as never failing
 	h.Write([]byte(s))
 	x := h.Sum64()
 	x ^= x >> 33

@@ -7,6 +7,7 @@ package config
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -123,8 +124,7 @@ func SaveFile(path string, cfg *Config) error {
 		return fmt.Errorf("config: creating %s: %w", path, err)
 	}
 	if err := cfg.Write(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

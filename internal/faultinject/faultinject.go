@@ -166,6 +166,7 @@ func (in *Injector) Calls(target string) int {
 
 func hashTarget(target string) int64 {
 	h := fnv.New64a()
+	//lint:ignore errcheck hash.Hash documents Write as never failing
 	io.WriteString(h, target)
 	return int64(h.Sum64())
 }
@@ -378,7 +379,9 @@ func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	if corrupt {
 		body, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		if cerr := resp.Body.Close(); rerr == nil {
+			rerr = cerr
+		}
 		if rerr != nil {
 			return nil, rerr
 		}

@@ -181,7 +181,7 @@ func (g *Generator) SerializeChunked(w io.Writer, res *Result, format Format, ch
 // writeJSON's json.Encoder(SetIndent("", "  ")) output exactly —
 // including HTML escaping, sorted map keys, field order, and the
 // trailing newline.
-func (g *Generator) writeJSONChunked(w stringWriter, res *Result) error {
+func (g *Generator) writeJSONChunked(w *ChunkedWriter, res *Result) error {
 	field := func(name string) {
 		w.WriteString(",\n  \"")
 		w.WriteString(name)

@@ -92,6 +92,7 @@ func WriteRDFXML(w io.Writer, g *rdf.Graph, prefixes rdf.PrefixMap) error {
 // RDFXMLString returns the RDF/XML serialization of g.
 func RDFXMLString(g *rdf.Graph, prefixes rdf.PrefixMap) string {
 	var b strings.Builder
+	//lint:ignore errcheck strings.Builder never fails, so WriteRDFXML cannot either
 	_ = WriteRDFXML(&b, g, prefixes)
 	return b.String()
 }

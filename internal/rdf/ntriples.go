@@ -22,7 +22,8 @@ func WriteNTriples(w io.Writer, g *Graph) error {
 // NTriplesString returns the canonical N-Triples serialization of g.
 func NTriplesString(g *Graph) string {
 	var b strings.Builder
-	_ = WriteNTriples(&b, g) // strings.Builder never errors
+	//lint:ignore errcheck strings.Builder never fails, so WriteNTriples cannot either
+	_ = WriteNTriples(&b, g)
 	return b.String()
 }
 

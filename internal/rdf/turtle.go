@@ -147,6 +147,7 @@ func WriteTurtle(w io.Writer, g *Graph, prefixes PrefixMap) error {
 // TurtleString returns the Turtle serialization of g.
 func TurtleString(g *Graph, prefixes PrefixMap) string {
 	var b strings.Builder
+	//lint:ignore errcheck strings.Builder never fails, so WriteTurtle cannot either
 	_ = WriteTurtle(&b, g, prefixes)
 	return b.String()
 }

@@ -144,7 +144,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		if retriableStatus(resp.StatusCode) && attempt < attempts-1 {
 			delay := c.retryDelay(resp, attempt)
+			//lint:ignore errcheck best-effort drain so the connection can be reused; the status is the error being handled
 			io.Copy(io.Discard, resp.Body)
+			//lint:ignore errcheck close of a drained body before retry; the status is the error being handled
 			resp.Body.Close()
 			lastErr = fmt.Errorf("transport: %s %s: status %s", method, path, resp.Status)
 			if sleepCtx(ctx, delay) {
@@ -153,6 +155,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return lastErr
 		}
 		err = decodeResponse(resp, method, path, out)
+		//lint:ignore errcheck decodeResponse already consumed the body; its error takes precedence
 		resp.Body.Close()
 		return err
 	}

@@ -149,13 +149,20 @@ func (s *Server) Health() HealthStatus {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.Health())
+	writeJSON(w, s.Health())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// writeJSON encodes v onto the response. Handlers funnel their replies
+// through here so the deliberate discard below is the only one.
+func writeJSON(w http.ResponseWriter, v any) {
+	//lint:ignore errcheck a response-encode failure means the client hung up; the dead connection is the only place to report it
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // acquireQuerySlot claims a concurrent-query slot, shedding the request
@@ -277,7 +284,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = append(resp.Degraded, d.String())
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }
 
 // handleMetrics exposes the middleware's metrics registry in the
@@ -288,6 +295,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//lint:ignore errcheck a scrape-write failure means the scraper hung up; nothing to do but serve the next scrape
 	_ = s.mw.Metrics().WritePrometheus(w)
 }
 
@@ -312,7 +320,7 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 		traces = []*obs.Span{}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(traces)
+	writeJSON(w, traces)
 }
 
 func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
@@ -335,7 +343,7 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 			out[i] = FromDefinition(d)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(out)
+		writeJSON(w, out)
 	case http.MethodPost:
 		var ws WireSource
 		if err := json.NewDecoder(r.Body).Decode(&ws); err != nil {
@@ -366,7 +374,7 @@ func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
 			out[i] = FromEntry(e)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(out)
+		writeJSON(w, out)
 	case http.MethodPost:
 		var wm WireMapping
 		if err := json.NewDecoder(r.Body).Decode(&wm); err != nil {
@@ -442,7 +450,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		resp.Bindings = append(resp.Bindings, row)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }
 
 // handleSourceHealth reports per-source circuit breaker state, so a B2B
@@ -467,7 +475,7 @@ func (s *Server) handleSourceHealth(w http.ResponseWriter, r *http.Request) {
 		out = append(out, entry)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	writeJSON(w, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -477,7 +485,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	stats := s.mw.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	writeJSON(w, map[string]any{
 		"queries":        stats.Queries,
 		"instances":      stats.Instances,
 		"sourceErrors":   stats.SourceErrors,
