@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos chaos-cluster bench bench-compare bench-pushdown bench-stream bench-hedge bin clean
+.PHONY: check vet fmt lint build test chaos chaos-cluster bench bench-compare bench-pushdown bench-stream bench-hedge bench-semijoin bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -99,6 +99,17 @@ bench-hedge:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/s2s-benchjson > BENCH_hedge.json
 	@echo "wrote BENCH_hedge.json"
+
+# bench-semijoin records only the planner-v3 family (E20 semijoin/
+# nosemijoin pair over a directory-plus-details world) into
+# BENCH_semijoin.json — the measurement docs/PERFORMANCE.md cites for
+# semi-join narrowing. Compare a fresh run against it with
+#   go run ./cmd/s2s-benchjson -compare BENCH_semijoin.json <current.json>
+bench-semijoin:
+	$(GO) test -run '^$$' -bench BenchmarkE20 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_semijoin.json
+	@echo "wrote BENCH_semijoin.json"
 
 # bin builds the two executables into ./bin.
 bin:

@@ -642,3 +642,54 @@ func BenchmarkE19HedgedDispatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE20SemiJoin — planner v3: a constrained keyed query where
+// only a small directory source maps the constrained attribute and a
+// few large detail sources can contribute only by class-key merge.
+// With semi-joins on, the details run in wave two narrowed to the
+// directory's key values (a typed IN predicate on their SQL rules);
+// off, every detail row is extracted, assembled, and then filtered at
+// the instance layer. BENCH_semijoin.json records the pair
+// (`make bench-semijoin`); docs/PERFORMANCE.md cites it.
+func BenchmarkE20SemiJoin(b *testing.B) {
+	spec := workload.SemiJoinSpec{
+		DirectoryRecords: 40, DetailSources: 3, DetailRecords: 800, Seed: 20,
+	}
+	const q = "SELECT product WHERE water_resistance >= 100"
+	modes := []struct {
+		name string
+		opts extract.Options
+	}{
+		{"semijoin", extract.Options{}},
+		{"nosemijoin", extract.Options{DisableSemiJoin: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			world := workload.MustGenerateSemiJoin(spec)
+			mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := world.Apply(mw); err != nil {
+				b.Fatal(err)
+			}
+			if err := mw.SetClassKey("watch", "thing.product.model"); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := mw.Query(ctx, q); err != nil { // warm compiled rules
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mw.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatalf("errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+// Corpus for the determinism analyzer: the statistics registry's import
+// path has a "stats" segment, which places it in the deterministic zone
+// — cost-based source ordering must be a pure function of the observed
+// samples, so the registry may not read wall clocks, draw unseeded
+// randomness, or emit output in map-iteration order.
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+type registry struct {
+	latency map[string]float64
+}
+
+func (r *registry) observeNow() time.Duration {
+	start := time.Now() // want "injected clock"
+	return time.Since(start)
+}
+
+func jitteredDecay() float64 {
+	return rand.Float64() // want "seeded *rand.Rand"
+}
+
+func (r *registry) dumpUnsorted(sb *strings.Builder) {
+	for id := range r.latency {
+		sb.WriteString(id) // want "map-range"
+	}
+}
+
+func (r *registry) dumpSorted(sb *strings.Builder) {
+	ids := make([]string, 0, len(r.latency))
+	for id := range r.latency { // collecting is order-insensitive: no finding
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sb.WriteString(id)
+	}
+}
+
+// Callers measuring latency with their own clock and passing the value
+// in is the sanctioned pattern; arithmetic on durations is fine.
+func fold(v float64, d time.Duration) float64 {
+	return v + 0.125*(d.Seconds()-v)
+}

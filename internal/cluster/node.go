@@ -308,7 +308,10 @@ func (n *Node) setAppliedVersion(v uint64) {
 	}
 }
 
-// postJSON POSTs body and decodes the JSON response into out.
+// postJSON POSTs body and decodes the JSON response into out. The
+// caller's trace identity rides along in the request headers, so a
+// member serving the sub-request joins the coordinator's trace instead
+// of starting its own.
 func (n *Node) postJSON(ctx context.Context, url string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -319,6 +322,10 @@ func (n *Node) postJSON(ctx context.Context, url string, body, out any) error {
 		return fmt.Errorf("cluster: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(transport.TraceIDHeader, span.TraceID)
+		req.Header.Set(transport.SpanIDHeader, span.ID)
+	}
 	resp, err := n.opts.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: calling %s: %w", url, err)
@@ -482,21 +489,38 @@ func (n *Node) handleClusterExtract(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusBadRequest, fmt.Errorf("cluster: extract request needs a query and sources"))
 		return
 	}
-	ctx := r.Context()
+	// Join the coordinator's trace when the sub-request carries one, so a
+	// scatter-gather query reads as one federated tree: the member's
+	// cluster_extract root (and the per-source spans under it) share the
+	// coordinator's trace ID.
+	ctx := obs.ContextWithMetrics(r.Context(), n.mw.Metrics())
+	if tid := r.Header.Get(transport.TraceIDHeader); tid != "" {
+		ctx = obs.ContextWithRemote(ctx, obs.Remote{TraceID: tid, ParentID: r.Header.Get(transport.SpanIDHeader)})
+	}
+	ctx, root := n.mw.Tracer().StartTrace(ctx, "cluster_extract")
+	w.Header().Set(transport.TraceIDHeader, root.TraceID)
 	if err := n.ensureCatalog(ctx, req.CatalogVersion); err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
 		clusterError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	plan, err := n.mw.Plan(ctx, req.Query)
 	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
 		clusterError(w, http.StatusBadRequest, err)
 		return
 	}
 	rs, err := n.mw.ExtractPlanSources(ctx, plan, req.Sources)
 	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
 		clusterError(w, http.StatusInternalServerError, err)
 		return
 	}
+	root.SetAttr("outcome", "ok")
+	root.End()
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, toWire(rs))
 }

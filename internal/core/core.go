@@ -306,6 +306,15 @@ func (m *Middleware) ExtractPlanSources(ctx context.Context, plan *s2sql.Plan, s
 	return m.manager.ExtractQuerySources(ctx, plan, sources)
 }
 
+// OrderExtractSources returns sourceIDs in the extractor's current cost
+// order for the plan: cheapest-most-selective first, cold sources in
+// their given order. Restricted extraction (ExtractPlanSources)
+// preserves the caller's order, so a cluster coordinator calls this to
+// embed its ordering hint in each node's scatter list.
+func (m *Middleware) OrderExtractSources(plan *s2sql.Plan, sourceIDs []string) []string {
+	return m.manager.OrderSources(plan, sourceIDs)
+}
+
 // QueryWithExtractor answers one S2SQL query like Query, but with the
 // extraction stage supplied by the caller: extractFn receives the
 // planned query and must return the complete result set (canonically

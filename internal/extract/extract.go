@@ -37,6 +37,7 @@ import (
 	"repro/internal/reldb"
 	"repro/internal/s2sql"
 	"repro/internal/singleflight"
+	"repro/internal/stats"
 	"repro/internal/textsrc"
 	"repro/internal/webl"
 )
@@ -240,15 +241,30 @@ type Options struct {
 	// fragment batch; 0 means DefaultStreamBatchRecords. Smaller batches
 	// lower peak memory and raise per-batch overhead.
 	StreamBatchRecords int
+	// DisableSemiJoin turns off cross-source semi-join narrowing
+	// (planner v3). By default, source plans the planner marked
+	// narrowable are deferred to a second extraction wave and restricted
+	// to the class-key values the first wave actually produced, so a
+	// selective query reads far fewer rows from large keyed sources. The
+	// instance layer re-applies every condition regardless, so the knob
+	// trades only latency, never answers. Cost-based source ordering is
+	// unaffected.
+	DisableSemiJoin bool
+	// SemiJoinMaxValues caps the number of distinct key values pushed
+	// into a narrowed rule; past it the plan runs unnarrowed (a huge IN
+	// list would cost more than it saves). 0 means
+	// DefaultSemiJoinMaxValues.
+	SemiJoinMaxValues int
 }
 
 // Defaults for Options.
 const (
-	DefaultParallelism     = 8
-	DefaultRuleParallelism = 4
-	DefaultTimeout         = 10 * time.Second
-	DefaultRetryBackoff    = 20 * time.Millisecond
-	DefaultRetryBackoffCap = 2 * time.Second
+	DefaultParallelism       = 8
+	DefaultRuleParallelism   = 4
+	DefaultTimeout           = 10 * time.Second
+	DefaultRetryBackoff      = 20 * time.Millisecond
+	DefaultRetryBackoffCap   = 2 * time.Second
+	DefaultSemiJoinMaxValues = 64
 )
 
 // Manager coordinates extraction across the registered data sources.
@@ -287,6 +303,13 @@ type Manager struct {
 	rewriteMu sync.RWMutex
 	rewrites  map[string]rewriteEntry
 
+	// srcStats is the per-source statistics registry feeding cost-based
+	// source ordering (planner v3): cardinality, per-query-shape
+	// selectivity, and latency, decayed exponentially. It survives
+	// InvalidateCache — observed source behavior stays valid when
+	// mappings change — and is reset only explicitly.
+	srcStats *stats.Registry
+
 	// sleep and randFloat are the backoff hooks; tests inject a recording
 	// sleep and a deterministic rand to assert jittered delays exactly.
 	// sleep returns false when ctx expired before the delay elapsed.
@@ -313,7 +336,7 @@ func NewManager(repo *mapping.Repository, backends Backends, opts Options) *Mana
 	if opts.RetryBackoffCap <= 0 {
 		opts.RetryBackoffCap = DefaultRetryBackoffCap
 	}
-	m := &Manager{repo: repo, backends: backends, opts: opts, breaker: newBreaker(opts.Breaker)}
+	m := &Manager{repo: repo, backends: backends, opts: opts, breaker: newBreaker(opts.Breaker), srcStats: stats.New()}
 	if opts.CacheTTL > 0 {
 		m.cache = newShardedCache(opts.CacheTTL)
 	}
@@ -473,29 +496,30 @@ func (m *Manager) ExtractQuery(ctx context.Context, qplan *s2sql.Plan) (*ResultS
 
 // ExtractQuerySources is ExtractQuery restricted to the given source
 // IDs: the full schema (planner rewrite included) is computed as usual,
-// then only the plans of the listed sources are executed. The cluster's
-// scatter-gather path uses it so each node extracts exactly the sources
-// it owns; because the restriction is applied after the planner rewrite,
-// the union of the per-node fragment sets is identical to one
-// unrestricted run. Failover marking is skipped — a restricted run
-// cannot see fragments other nodes produced — so the coordinator must
-// re-mark the merged result set with MarkFailovers.
+// then only the plans of the listed sources are executed, in the order
+// given (so a coordinator's cost-ordering hint survives partitioned
+// dispatch). The cluster's scatter-gather path uses it so each node
+// extracts exactly the sources it owns; because the restriction is
+// applied after the planner rewrite, the union of the per-node fragment
+// sets is identical to one unrestricted run. Failover marking is
+// skipped — a restricted run cannot see fragments other nodes produced
+// — so the coordinator must re-mark the merged result set with
+// MarkFailovers.
 func (m *Manager) ExtractQuerySources(ctx context.Context, qplan *s2sql.Plan, sourceIDs []string) (*ResultSet, error) {
 	if qplan == nil {
 		return nil, errors.New("extract: nil query plan")
 	}
-	restrict := make(map[string]bool, len(sourceIDs))
-	for _, id := range sourceIDs {
-		restrict[id] = true
+	if sourceIDs == nil {
+		sourceIDs = []string{}
 	}
-	return m.extract(ctx, qplan.AttributeIDs(), qplan, restrict)
+	return m.extract(ctx, qplan.AttributeIDs(), qplan, sourceIDs)
 }
 
-// extract runs the four-step process. A non-nil restrict set limits
-// execution to the named sources (after schema planning and the planner
-// rewrite) and suppresses failover marking, which needs the global
-// fragment view.
-func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan, restrict map[string]bool) (*ResultSet, error) {
+// extract runs the four-step process. A non-nil restrict list limits
+// execution to the named sources in the given order (after schema
+// planning and the planner rewrite) and suppresses failover marking,
+// which needs the global fragment view.
+func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan, restrict []string) (*ResultSet, error) {
 	ctx, espan, edone := obs.StartStage(ctx, "extract")
 	defer edone()
 	metrics := obs.MetricsFromContext(ctx)
@@ -518,11 +542,30 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 	rs.Missing = missing
 	rs.Stats.SchemaDuration = time.Since(start)
 
-	if restrict != nil {
+	// Cost-based ordering (planner v3): the sources of an unrestricted
+	// run execute cheapest-most-selective first per the stats registry.
+	// Restricted runs instead preserve the caller's order — the cluster
+	// coordinator already ordered each node's scatter list.
+	shape := ""
+	if qplan != nil {
+		shape = querySig(qplan)
+	}
+	if restrict == nil {
+		plans = m.orderPlans(plans, shape)
+	} else {
+		byID := make(map[string]int, len(plans))
+		for i := range plans {
+			byID[plans[i].Source.ID] = i
+		}
 		kept := plans[:0:0]
-		for _, p := range plans {
-			if restrict[p.Source.ID] {
-				kept = append(kept, p)
+		seen := make(map[string]bool, len(restrict))
+		for _, id := range restrict {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if i, ok := byID[id]; ok {
+				kept = append(kept, plans[i])
 			}
 		}
 		plans = kept
@@ -543,41 +586,62 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 	docs := m.newRunDocs()
 	rm := newRunMetrics(metrics)
 
+	// Semi-join split (planner v3): narrowable plans defer to a second
+	// wave restricted to the key values the first wave produced.
+	wave1, wave2, keyAttrs := m.splitWaves(plans, restrict != nil, metrics)
+
 	// Step 4: delegate a specific extractor per source, concurrently.
 	extractStart := time.Now()
 	var (
 		mu  sync.Mutex
-		wg  sync.WaitGroup
 		sem = make(chan struct{}, m.opts.Parallelism)
 	)
-	for _, plan := range plans {
-		wg.Add(1)
-		go func(plan mapping.SourcePlan) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				metrics.Counter(obs.MetricSourceExtractTotal,
-					obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
+	runWave := func(wavePlans []mapping.SourcePlan) {
+		var wg sync.WaitGroup
+		for _, plan := range wavePlans {
+			wg.Add(1)
+			go func(plan mapping.SourcePlan) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					metrics.Counter(obs.MetricSourceExtractTotal,
+						obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
+					mu.Lock()
+					rs.Errors = append(rs.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+					mu.Unlock()
+					return
+				}
+				sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
+				srcStart := time.Now()
+				frags, errs, run := m.extractSource(sctx, plan, docs, rm)
+				m.observeSource(plan, errs, run, time.Since(srcStart), shape)
 				mu.Lock()
-				rs.Errors = append(rs.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+				rs.Fragments = append(rs.Fragments, frags...)
+				rs.Errors = append(rs.Errors, errs...)
+				rs.Degraded = append(rs.Degraded, run.degraded...)
+				rs.Stats.Retries += run.retries
+				rs.Stats.CacheHits += run.cacheHits
+				rs.Stats.StaleServes += len(run.degraded)
 				mu.Unlock()
-				return
-			}
-			sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
-			frags, errs, run := m.extractSource(sctx, plan, docs, rm)
-			mu.Lock()
-			rs.Fragments = append(rs.Fragments, frags...)
-			rs.Errors = append(rs.Errors, errs...)
-			rs.Degraded = append(rs.Degraded, run.degraded...)
-			rs.Stats.Retries += run.retries
-			rs.Stats.CacheHits += run.cacheHits
-			rs.Stats.StaleServes += len(run.degraded)
-			mu.Unlock()
-		}(plan)
+			}(plan)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	runWave(wave1)
+	if len(wave2) > 0 {
+		// The barrier above makes the seed complete: every key value any
+		// non-narrowed source produced is in rs.Fragments by now.
+		seed := make(map[string]map[string]bool, len(keyAttrs))
+		addSeed(seed, keyAttrs, rs.Fragments)
+		narrowed := make([]mapping.SourcePlan, len(wave2))
+		for i := range wave2 {
+			narrowed[i] = m.narrowPlan(wave2[i], seed, metrics)
+		}
+		espan.SetAttr("semijoin_wave2", strconv.Itoa(len(narrowed)))
+		runWave(narrowed)
+	}
 
 	rs.Stats.ExtractDuration = time.Since(extractStart)
 	rs.Stats.SourcesContacted = len(plans)
@@ -720,6 +784,11 @@ type sourceRun struct {
 	cacheHits int
 	degraded  []Degradation
 	exhausted bool // at least one rule failed after its full retry budget
+	// rawValues / keptValues count extracted values before and after the
+	// planner's record filters; their ratio is the observed selectivity
+	// fed to the stats registry.
+	rawValues  int
+	keptValues int
 }
 
 // runMetrics holds the cache-lookup counter handles for one extraction
@@ -787,7 +856,7 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, do
 	defer scratch.release()
 	results := scratch.resultsFor(len(plan.Entries))
 	pending := scratch.pending[:0]
-	if m.cache != nil {
+	if m.cache != nil && !plan.Ephemeral {
 		for i := range plan.Entries {
 			if cached, ok := m.cache.get(m.cacheKeyFor(plan.Source, &plan.Entries[i])); ok {
 				rm.cacheHit.Inc()
@@ -825,13 +894,13 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, do
 					defer rwg.Done()
 					rsem <- struct{}{}
 					defer func() { <-rsem }()
-					results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm)
+					results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm, plan.Ephemeral)
 				}(i)
 			}
 			rwg.Wait()
 		} else {
 			for _, i := range pending {
-				results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm)
+				results[i] = m.runRuleWithRetry(ctx, plan.Source, plan.Entries[i], docs, rm, plan.Ephemeral)
 			}
 		}
 	}
@@ -890,8 +959,14 @@ func (m *Manager) extractSource(ctx context.Context, plan mapping.SourcePlan, do
 			fragAt[i] = len(frags) - 1
 		}
 	}
+	for _, f := range frags {
+		run.rawValues += len(f.Values)
+	}
 	for _, f := range plan.Filters {
 		applyRecordFilter(frags, fragAt, f)
+	}
+	for _, f := range frags {
+		run.keptValues += len(f.Values)
 	}
 	switch {
 	case anyFailed && run.exhausted:
@@ -961,9 +1036,13 @@ type ruleResult struct {
 // otherwise by live execution behind a per-key singleflight, so N
 // concurrent identical extractions (the same rule racing across
 // concurrent queries) cost one backend round trip — waiters share the
-// leader's result.
-func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry, docs *runDocs, rm runMetrics) ruleResult {
-	if m.cache == nil {
+// leader's result. Ephemeral plans (per-run semi-join narrowings)
+// bypass cache and singleflight entirely: their rule codes embed
+// run-specific key values, so caching them would only grow the cache
+// with entries no later run can hit — and a narrowed result must never
+// be served for the unnarrowed rule or vice versa.
+func (m *Manager) runRuleWithRetry(ctx context.Context, def datasource.Definition, entry mapping.Entry, docs *runDocs, rm runMetrics, ephemeral bool) ruleResult {
+	if m.cache == nil || ephemeral {
 		return m.runRuleLive(ctx, def, entry, docs, rm, "")
 	}
 	key := cacheKey(def, entry)
@@ -1000,7 +1079,7 @@ func (m *Manager) runRuleLive(ctx context.Context, def datasource.Definition, en
 		var err error
 		values, err = m.runRule(ctx, def, entry, docs)
 		if err == nil {
-			if m.cache != nil {
+			if m.cache != nil && key != "" {
 				m.cache.put(key, values)
 			}
 			res.values = values
@@ -1025,7 +1104,7 @@ func (m *Manager) runRuleLive(ctx context.Context, def datasource.Definition, en
 		}
 	}
 	// Graceful degradation: an expired cache entry beats a failure.
-	if m.cache != nil && !m.opts.DisableServeStale {
+	if m.cache != nil && key != "" && !m.opts.DisableServeStale {
 		if stale, age, ok := m.cache.getStale(key); ok {
 			rm.cacheStale.Inc()
 			return ruleResult{

@@ -119,6 +119,31 @@ func applyRecordFilter(frags []Fragment, fragAt []int, f mapping.RecordFilter) {
 			kept++
 		}
 	}
+	if f.KeyIn != nil {
+		// Semi-join narrowing (planner v3, see semijoin.go): a record whose
+		// key value no first-wave source produced merges with nothing, and
+		// its standalone instance provably fails the residual filter. A
+		// position with no key value (failed key rule, short fragment) never
+		// merges either. Exact string match, mirroring the merge key; this
+		// check cannot error, so no error-keeping applies.
+		kfi := -1
+		if f.KeyEntry >= 0 && f.KeyEntry < len(fragAt) {
+			kfi = fragAt[f.KeyEntry]
+		}
+		for r := 0; r < records; r++ {
+			if !keep[r] {
+				continue
+			}
+			v := ""
+			if kfi >= 0 && r < len(frags[kfi].Values) {
+				v = frags[kfi].Values[r]
+			}
+			if v == "" || !f.KeyIn[v] {
+				keep[r] = false
+				kept--
+			}
+		}
+	}
 	if kept == records {
 		return
 	}

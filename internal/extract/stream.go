@@ -138,6 +138,17 @@ func (m *Manager) extractStream(ctx context.Context, attributeIDs []string, qpla
 	docs := m.newRunDocs()
 	rm := newRunMetrics(metrics)
 
+	// Cost-based ordering and the semi-join wave split (planner v3)
+	// apply to the streaming path identically; see semijoin.go. Batches
+	// of wave-two sources simply arrive after wave one completes, which
+	// the consumer's by-source accumulation already tolerates.
+	shape := ""
+	if qplan != nil {
+		shape = querySig(qplan)
+	}
+	plans = m.orderPlans(plans, shape)
+	wave1, wave2, keyAttrs := m.splitWaves(plans, false, metrics)
+
 	go func() {
 		defer close(st.done)
 		defer edone()
@@ -146,43 +157,60 @@ func (m *Manager) extractStream(ctx context.Context, attributeIDs []string, qpla
 		extractStart := time.Now()
 		var (
 			mu      sync.Mutex
-			wg      sync.WaitGroup
 			sem     = make(chan struct{}, m.opts.Parallelism)
 			covered = make(map[string]bool)
 			values  int
+			seed    = make(map[string]map[string]bool, len(keyAttrs))
 		)
-		for _, plan := range plans {
-			wg.Add(1)
-			go func(plan mapping.SourcePlan) {
-				defer wg.Done()
-				select {
-				case sem <- struct{}{}:
-					defer func() { <-sem }()
-				case <-ctx.Done():
-					metrics.Counter(obs.MetricSourceExtractTotal,
-						obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
+		runWave := func(wavePlans []mapping.SourcePlan, collectSeed bool) {
+			var wg sync.WaitGroup
+			for _, plan := range wavePlans {
+				wg.Add(1)
+				go func(plan mapping.SourcePlan) {
+					defer wg.Done()
+					select {
+					case sem <- struct{}{}:
+						defer func() { <-sem }()
+					case <-ctx.Done():
+						metrics.Counter(obs.MetricSourceExtractTotal,
+							obs.Labels{"source": plan.Source.ID, "outcome": "canceled"}).Inc()
+						mu.Lock()
+						st.tail.Errors = append(st.tail.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+						mu.Unlock()
+						return
+					}
+					sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
+					srcStart := time.Now()
+					frags, errs, run := m.extractSource(sctx, plan, docs, rm)
+					m.observeSource(plan, errs, run, time.Since(srcStart), shape)
 					mu.Lock()
-					st.tail.Errors = append(st.tail.Errors, SourceError{SourceID: plan.Source.ID, Err: ctx.Err()})
+					st.tail.Errors = append(st.tail.Errors, errs...)
+					st.tail.Degraded = append(st.tail.Degraded, run.degraded...)
+					st.tail.Stats.Retries += run.retries
+					st.tail.Stats.CacheHits += run.cacheHits
+					st.tail.Stats.StaleServes += len(run.degraded)
+					for _, f := range frags {
+						covered[f.AttributeID] = true
+						values += len(f.Values)
+					}
+					if collectSeed {
+						addSeed(seed, keyAttrs, frags)
+					}
 					mu.Unlock()
-					return
-				}
-				sctx := obs.ContextWithSpan(ctx, espan.StartChild("source:"+plan.Source.ID))
-				frags, errs, run := m.extractSource(sctx, plan, docs, rm)
-				mu.Lock()
-				st.tail.Errors = append(st.tail.Errors, errs...)
-				st.tail.Degraded = append(st.tail.Degraded, run.degraded...)
-				st.tail.Stats.Retries += run.retries
-				st.tail.Stats.CacheHits += run.cacheHits
-				st.tail.Stats.StaleServes += len(run.degraded)
-				for _, f := range frags {
-					covered[f.AttributeID] = true
-					values += len(f.Values)
-				}
-				mu.Unlock()
-				m.sendBatches(ctx, ch, espan, metrics, plan.Source.ID, frags, batchRecords)
-			}(plan)
+					m.sendBatches(ctx, ch, espan, metrics, plan.Source.ID, frags, batchRecords)
+				}(plan)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
+		runWave(wave1, len(wave2) > 0)
+		if len(wave2) > 0 {
+			narrowed := make([]mapping.SourcePlan, len(wave2))
+			for i := range wave2 {
+				narrowed[i] = m.narrowPlan(wave2[i], seed, metrics)
+			}
+			espan.SetAttr("semijoin_wave2", strconv.Itoa(len(narrowed)))
+			runWave(narrowed, false)
+		}
 		close(ch)
 
 		st.tail.Stats.ExtractDuration = time.Since(extractStart)

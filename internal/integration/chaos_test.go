@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/faultinject"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -209,6 +210,94 @@ func TestChaosCountersMatchInjectedPlan(t *testing.T) {
 	if matched2 != matched || retries2 != retries || ok2 != ok || exhausted2 != exhausted || calls2 != calls {
 		t.Errorf("chaos run not reproducible from seed: (%d,%v,%v,%v,%d) vs (%d,%v,%v,%v,%d)",
 			matched, retries, ok, exhausted, calls, matched2, retries2, ok2, exhausted2, calls2)
+	}
+}
+
+// chaosSemiJoinWorld wires a semi-join world (small keyed directory,
+// large narrowable detail sources) through a seeded injector, with the
+// watch class keyed on model so narrowing can fire.
+func chaosSemiJoinWorld(t *testing.T, spec workload.SemiJoinSpec, plan faultinject.Plan, opts extract.Options) *core.Middleware {
+	t.Helper()
+	world := workload.MustGenerateSemiJoin(spec)
+	inj := faultinject.New(chaosSeed, plan)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: inj.WrapBackends(extract.FromCatalog(world.Catalog)),
+		Extract:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.SetClassKey("watch", "thing.product.model"); err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+// TestChaosSemiJoinFallbackMatchesPlain kills semi-join participants —
+// first the directory that feeds the seed, then a narrowed detail
+// source — and asserts the invariant that makes narrowing safe to ship:
+// under every fault plan, the narrowed pipeline's answer is
+// byte-identical to the unnarrowed pipeline's, errors included. A dead
+// seed source must degrade the optimization, never the answer.
+func TestChaosSemiJoinFallbackMatchesPlain(t *testing.T) {
+	spec := workload.SemiJoinSpec{DirectoryRecords: 4, DetailSources: 2, DetailRecords: 25, Seed: 75}
+	const query = "SELECT product WHERE water_resistance >= 100"
+
+	cases := []struct {
+		name string
+		plan faultinject.Plan
+	}{
+		{"healthy", nil},
+		// The directory is the only wave-one source: killing it empties
+		// the seed and its errors must surface identically in both runs.
+		{"dead seed source", faultinject.Plan{"directory": {Permanent: true}}},
+		// A dead narrowed source fails in wave two; the plain run fails
+		// the same rules in its single wave.
+		{"dead narrowed source", faultinject.Plan{"detail-000": {Permanent: true}}},
+		// Transient failures exercise the retry path on narrowed
+		// (ephemeral) rules.
+		{"flapping narrowed source", faultinject.Plan{"detail-001": {FailFirst: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Sequential extraction keeps the injector's per-call counters
+			// (embedded in its error strings) identical across both runs;
+			// concurrency would assign them by goroutine scheduling.
+			opts := extract.Options{Retries: 2, RetryBackoff: -1, Parallelism: 1, RuleParallelism: 1}
+			narrowedMW := chaosSemiJoinWorld(t, spec, tc.plan, opts)
+			plainOpts := opts
+			plainOpts.DisableSemiJoin = true
+			plainMW := chaosSemiJoinWorld(t, spec, tc.plan, plainOpts)
+
+			ctx := context.Background()
+			narrowed, nerr := narrowedMW.QueryString(ctx, query, instance.FormatJSON)
+			plain, perr := plainMW.QueryString(ctx, query, instance.FormatJSON)
+			if (nerr == nil) != (perr == nil) || (nerr != nil && nerr.Error() != perr.Error()) {
+				t.Fatalf("error divergence: narrowed=%v plain=%v", nerr, perr)
+			}
+			if narrowed != plain {
+				t.Errorf("narrowed output diverges from plain under %q:\nnarrowed: %s\nplain:    %s", tc.name, narrowed, plain)
+			}
+
+			nres, err := narrowedMW.Query(ctx, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := plainMW.Query(ctx, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(nres.Errors) != len(pres.Errors) {
+				t.Fatalf("error counts diverge: narrowed=%v plain=%v", nres.Errors, pres.Errors)
+			}
+			if len(nres.Matched) != len(pres.Matched) {
+				t.Errorf("matched diverge: narrowed=%d plain=%d", len(nres.Matched), len(pres.Matched))
+			}
+		})
 	}
 }
 

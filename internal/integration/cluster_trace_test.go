@@ -1,0 +1,71 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestClusterExtractFederatedTrace checks that scatter-gather
+// sub-requests federate tracing: a member serving /cluster/extract
+// joins the coordinator's trace (via the trace headers the coordinator
+// forwards on the sub-request) instead of starting its own, so the
+// whole scattered query shares one trace ID and each member root hangs
+// off a span of the coordinator's tree.
+func TestClusterExtractFederatedTrace(t *testing.T) {
+	rig := startClusterRig(t, workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 5, Seed: 91,
+	}, cluster.Options{}, nil)
+
+	if _, err := rig.queryCluster("SELECT product", "json"); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := rig.mws["n1"].Tracer().Last(1)
+	if len(coord) == 0 {
+		t.Fatal("coordinator recorded no trace")
+	}
+	root := coord[0]
+	if root.Name != "http_query" {
+		t.Fatalf("coordinator root span = %q, want http_query", root.Name)
+	}
+	coordSpans := map[string]bool{}
+	root.Walk(func(s *obs.Span) { coordSpans[s.ID] = true })
+
+	federated := 0
+	for _, id := range []string{"n2", "n3"} {
+		for _, tr := range rig.mws[id].Tracer().Last(16) {
+			if tr.Name != "cluster_extract" {
+				continue
+			}
+			if tr.TraceID != root.TraceID {
+				t.Errorf("member %s cluster_extract trace id = %q, coordinator trace id = %q — not one trace",
+					id, tr.TraceID, root.TraceID)
+				continue
+			}
+			if !coordSpans[tr.ParentID] {
+				t.Errorf("member %s cluster_extract parent %q is not a span of the coordinator's tree",
+					id, tr.ParentID)
+			}
+			sources := 0
+			tr.Walk(func(s *obs.Span) {
+				if s.TraceID != root.TraceID {
+					t.Errorf("member %s span %q has trace id %q, want %q", id, s.Name, s.TraceID, root.TraceID)
+				}
+				if len(s.Name) > 7 && s.Name[:7] == "source:" {
+					sources++
+				}
+			})
+			if sources == 0 {
+				t.Errorf("member %s cluster_extract trace has no per-source spans", id)
+			}
+			federated++
+		}
+	}
+	if federated == 0 {
+		t.Fatal("no member recorded a cluster_extract sub-request trace")
+	}
+}

@@ -173,6 +173,23 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	if _, _, err := mw.QueryToStream(ctx, io.Discard, "SELECT product", instance.FormatJSON); err != nil {
 		t.Fatal(err)
 	}
+	// A class key makes records mergeable across sources, which blocks
+	// predicate pushdown; the planner instead narrows sources missing the
+	// constrained attribute with a cross-source semi-join, whose runtime
+	// decisions land in the semijoin counter (planner v3).
+	if err := mw.SetClassKey("watch", "thing.product.model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Query(ctx, "SELECT product WHERE water_resistance >= 100"); err != nil {
+		t.Fatal(err)
+	}
+	var semijoins uint64
+	for _, outcome := range obs.SemiJoinOutcomes {
+		semijoins += mw.Metrics().Counter(obs.MetricPlannerSemiJoin, obs.Labels{"outcome": outcome}).Value()
+	}
+	if semijoins == 0 {
+		t.Error("keyed constrained query made no semi-join decisions")
+	}
 
 	// The cluster families need a real fleet: stand up the 3-node rig
 	// with one slow member so a hedge fires, then land a registration on
@@ -263,10 +280,10 @@ func TestEmittedMetricsMatchDeclaredAndDocumented(t *testing.T) {
 	if v := mw.Metrics().Counter(obs.MetricBreakerTrips, obs.Labels{"source": "dead"}).Value(); v != 1 {
 		t.Errorf("breaker trips for dead source = %d, want 1", v)
 	}
-	// All three queries after the tripping one (repeat, constrained,
-	// streamed) are skipped as breaker_open.
-	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 3 {
-		t.Errorf("breaker_open attempts for dead source = %d, want 3", v)
+	// All four queries after the tripping one (repeat, constrained,
+	// streamed, keyed) are skipped as breaker_open.
+	if v := mw.Metrics().Counter(obs.MetricSourceExtractTotal, obs.Labels{"source": "dead", "outcome": "breaker_open"}).Value(); v != 4 {
+		t.Errorf("breaker_open attempts for dead source = %d, want 4", v)
 	}
 }
 

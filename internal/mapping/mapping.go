@@ -448,7 +448,58 @@ type SourcePlan struct {
 	// schemas never carry them; they appear only on the rewritten copies
 	// the extractor manager caches per query shape.
 	Filters []RecordFilter
+	// SemiJoins lists the cross-source semi-join narrowing opportunities
+	// the query planner found for this plan (planner v3): record-scope
+	// groups whose records can reach the answer only by class-key merge
+	// with instances from other sources. The extractor runs such plans in
+	// a second wave, narrowed by the key values the first wave observed.
+	// Like Filters, they appear only on planner-rewritten copies.
+	SemiJoins []SemiJoin
+	// Ephemeral marks a per-run plan copy whose entries carry run-specific
+	// rewritten rules (semi-join-narrowed SQL). Ephemeral plans bypass the
+	// extractor's rule-result cache and its address-keyed memo: their
+	// entry addresses are fresh every run and their results depend on the
+	// run's seed values, so caching them could serve a narrowed result for
+	// the unnarrowed rule (or leak memo entries).
+	Ephemeral bool
 }
+
+// SemiJoin describes one semi-join-narrowable record-scope group: the
+// group misses an attribute the query constrains (so its own instances
+// can never satisfy the WHERE clause), and the only route its records
+// have into the answer is a class-key merge that donates values to
+// instances keyed by KeyAttribute. Records whose key value no other
+// source produced can therefore be dropped — or never fetched — without
+// changing the answer; the instance layer re-applies every condition
+// regardless (sound, not load-bearing).
+type SemiJoin struct {
+	// Entries indexes the group's members in the owning SourcePlan.Entries.
+	Entries []int
+	// KeyAttribute is the declared class-key attribute the group's
+	// instances merge on.
+	KeyAttribute string
+	// KeyEntry is the group member (an index into SourcePlan.Entries)
+	// whose rule extracts KeyAttribute.
+	KeyEntry int
+	// SQL reports that every member rule is a plain single-scan SELECT
+	// over one shared row set, so the narrowing can be pushed natively as
+	// a `KeyColumn IN (...)` predicate; otherwise the extractor filters
+	// fetched records positionally by key membership instead.
+	SQL bool
+	// KeyColumn is the key member's projected column (SQL groups only).
+	KeyColumn string
+	// EligibleConds indexes the query plan's conditions the group
+	// provably cannot satisfy (no member maps the attribute, and every
+	// earlier condition is error-free). Narrowing multiple groups in one
+	// run is sound only when they share such a condition — otherwise two
+	// narrowed groups could merge with each other into an instance that
+	// satisfies the query — so the extractor intersects these.
+	EligibleConds []int
+}
+
+// Narrowable reports whether sp carries at least one semi-join
+// opportunity (the extractor's wave split keys on it).
+func (sp SourcePlan) Narrowable() bool { return len(sp.SemiJoins) > 0 }
 
 // RecordFilter asks the extractor to drop, before fragments enter the
 // result set, the record positions of one record-scope group that
@@ -461,6 +512,18 @@ type SourcePlan struct {
 type RecordFilter struct {
 	Entries    []int
 	Conditions []s2sql.PlannedCondition
+	// KeyIn, when non-nil, additionally drops every record position whose
+	// KeyEntry value is absent from the set — the runtime half of a
+	// semi-join narrowing for groups whose rules cannot be rewritten
+	// natively. Key membership is an exact string match on the extracted
+	// value (the same comparison the instance layer's class-key merge
+	// performs), so it never errors; positions are dropped all-or-nothing
+	// across the group like condition filtering. A position with no key
+	// value — the KeyEntry rule failed or its fragment is short — is
+	// dropped too: such records merge nowhere, and their standalone
+	// instances still miss the group's unsatisfied condition.
+	KeyEntry int
+	KeyIn    map[string]bool
 }
 
 // Schema assembles the extraction schema (paper §2.4.1 "Obtain Extraction

@@ -74,6 +74,7 @@ func TestDocCoversEveryOutcomeValue(t *testing.T) {
 		{MetricCacheLookups, CacheOutcomes},
 		{MetricClusterSubqueries, ClusterSubqueryOutcomes},
 		{MetricClusterHedges, ClusterHedgeOutcomes},
+		{MetricPlannerSemiJoin, SemiJoinOutcomes},
 	}
 	for _, f := range families {
 		for _, outcome := range f.outcomes {

@@ -44,6 +44,9 @@ const (
 	// MetricPlannerPushdownApplied counts record-scope groups that
 	// received a predicate pushdown (record filter and/or native SQL).
 	MetricPlannerPushdownApplied = "s2s_planner_pushdown_applied_total"
+	// MetricPlannerSemiJoin counts semi-join narrowing decisions at
+	// runtime, labeled by outcome.
+	MetricPlannerSemiJoin = "s2s_planner_semijoin_total"
 	// MetricStreamBatches counts fragment batches emitted by the
 	// streaming extraction pipeline, per source.
 	MetricStreamBatches = "s2s_stream_batches_total"
@@ -100,6 +103,18 @@ const (
 	// (won) or the primary beat it after all (lost).
 	OutcomeHedgeWon  = "won"
 	OutcomeHedgeLost = "lost"
+	// Semi-join narrowing outcomes (MetricPlannerSemiJoin): a group was
+	// narrowed natively in SQL or via a key record filter; skipped all
+	// its records because the first wave produced no key values; ran
+	// unnarrowed because the seed exceeded the value cap; ran in the
+	// first wave because its plan carried non-narrowable groups too; or
+	// because the narrowed groups share no common unsatisfied condition.
+	OutcomeSemiJoinSQL      = "applied_sql"
+	OutcomeSemiJoinFilter   = "applied_filter"
+	OutcomeSemiJoinEmpty    = "seed_empty"
+	OutcomeSemiJoinCapped   = "capped"
+	OutcomeSemiJoinMixed    = "mixed"
+	OutcomeSemiJoinNoCommon = "no_common_condition"
 )
 
 // SourceOutcomes lists every outcome value MetricSourceExtractTotal is
@@ -129,6 +144,13 @@ var ClusterSubqueryOutcomes = []string{OutcomeOK, OutcomeError, OutcomeCanceled,
 // emitted with.
 var ClusterHedgeOutcomes = []string{OutcomeHedgeWon, OutcomeHedgeLost}
 
+// SemiJoinOutcomes lists every outcome value MetricPlannerSemiJoin is
+// emitted with.
+var SemiJoinOutcomes = []string{
+	OutcomeSemiJoinSQL, OutcomeSemiJoinFilter, OutcomeSemiJoinEmpty,
+	OutcomeSemiJoinCapped, OutcomeSemiJoinMixed, OutcomeSemiJoinNoCommon,
+}
+
 // Desc describes one exported metric family.
 type Desc struct {
 	// Name is the Prometheus family name.
@@ -155,6 +177,7 @@ var descriptors = []Desc{
 	{MetricPlannerSourcesPruned, "counter", "Source plans the query planner pruned before extraction.", nil},
 	{MetricPlannerEntriesPruned, "counter", "Mapping entries the query planner pruned before extraction.", nil},
 	{MetricPlannerPushdownApplied, "counter", "Record-scope groups with predicate pushdown applied.", nil},
+	{MetricPlannerSemiJoin, "counter", "Semi-join narrowing decisions at runtime, labeled by outcome (applied_sql|applied_filter|seed_empty|capped|mixed|no_common_condition).", []string{"outcome"}},
 	{MetricStreamBatches, "counter", "Fragment batches emitted by the streaming extraction pipeline, per source.", []string{"source"}},
 	{MetricClusterSubqueries, "counter", "Scatter-gather sub-requests dispatched to cluster nodes, labeled by node and outcome (ok|error|canceled|failover).", []string{"node", "outcome"}},
 	{MetricClusterSubqueryDuration, "histogram", "Per-node scatter-gather sub-request latency in seconds (the hedging deadline derives from its quantiles).", []string{"node"}},

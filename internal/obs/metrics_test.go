@@ -215,7 +215,7 @@ func TestDescriptorsCoverConstants(t *testing.T) {
 		MetricSourceExtractTotal, MetricSourceExtractDuration, MetricSourceRetries,
 		MetricCacheLookups, MetricBreakerTrips, MetricInstances,
 		MetricPlannerSourcesPruned, MetricPlannerEntriesPruned,
-		MetricPlannerPushdownApplied, MetricStreamBatches,
+		MetricPlannerPushdownApplied, MetricPlannerSemiJoin, MetricStreamBatches,
 		MetricClusterSubqueries, MetricClusterSubqueryDuration,
 		MetricClusterHedges, MetricClusterCatalogSyncs, MetricClusterHeartbeats,
 	}

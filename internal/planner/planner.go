@@ -32,7 +32,9 @@ package planner
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/datasource"
@@ -55,6 +57,10 @@ type Stats struct {
 	// PushdownApplied counts record-scope groups that received a pushdown
 	// (a record filter, with or without native SQL predicates).
 	PushdownApplied int
+	// SemiJoinsPlanned counts groups annotated as semi-join narrowable:
+	// blocked from pushdown only by a class key, and safe to restrict to
+	// the key values seen by the first extraction wave at runtime.
+	SemiJoinsPlanned int
 }
 
 // Action classifies one per-group planning decision.
@@ -71,6 +77,11 @@ const (
 	ActionFilterSQL Action = "filter+sql"
 	// ActionDecline left the group untouched; Detail names the gate.
 	ActionDecline Action = "decline"
+	// ActionSemiJoin annotated the group as narrowable: pushdown is
+	// blocked only by a class key, so at runtime the extractor may
+	// restrict the group to the key values produced by the first wave
+	// (mapping.SemiJoin). The annotation changes nothing by itself.
+	ActionSemiJoin Action = "semijoin"
 )
 
 // Decision records why one record-scope group was or was not pushed
@@ -131,7 +142,7 @@ func Rewrite(ont *ontology.Ontology, classKeys map[string]string, plan *s2sql.Pl
 
 	out := make([]mapping.SourcePlan, 0, len(plans))
 	for _, sp := range plans {
-		rw := rewriteSource(ont, plan, sp, relTargets, keyClasses, unresolvedKey, &res)
+		rw := rewriteSource(ont, plan, sp, relTargets, keyClasses, classKeys, unresolvedKey, &res)
 		if len(rw.Entries) > 0 {
 			out = append(out, rw)
 		} else {
@@ -153,7 +164,7 @@ type group struct {
 
 // rewriteSource plans one source. The returned plan has zero entries
 // when every entry was pruned.
-func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePlan, relTargets, keyClasses []*ontology.Class, unresolvedKey bool, res *Result) mapping.SourcePlan {
+func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePlan, relTargets, keyClasses []*ontology.Class, classKeys map[string]string, unresolvedKey bool, res *Result) mapping.SourcePlan {
 	classes := make([]*ontology.Class, len(sp.Entries))
 	for i, e := range sp.Entries {
 		attr, ok := ont.Attribute(e.AttributeID)
@@ -200,6 +211,7 @@ func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePl
 	pruned := make([]bool, len(sp.Entries))
 	anyPrune := false
 	var filters []mapping.RecordFilter
+	var semiJoins []mapping.SemiJoin
 	entries := sp.Entries // copied on first mutation
 	copied := false
 
@@ -214,14 +226,6 @@ func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePl
 			})
 		}
 
-		// Shared gates: pushing or pruning a group is sound only when its
-		// records can neither appear in the answer by another route nor
-		// change how other records assemble.
-		if reason := shareGates(plan, grp, classes, relTargets, keyClasses, unresolvedKey); reason != "" {
-			decide(ActionDecline, reason)
-			continue
-		}
-
 		// Match conditions to group entries by attribute ID.
 		matchIdx := make([][]int, len(plan.Conditions))
 		for j, c := range plan.Conditions {
@@ -231,6 +235,31 @@ func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePl
 					matchIdx[j] = append(matchIdx[j], i)
 				}
 			}
+		}
+
+		// Shared gates: pushing or pruning a group is sound only when its
+		// records can neither appear in the answer by another route nor
+		// change how other records assemble.
+		if reason := shareGates(plan, grp, classes, relTargets, keyClasses, unresolvedKey); reason != "" {
+			// A group blocked ONLY by the class-key gate may still be
+			// narrowable: its records matter solely through key-based
+			// merging, so restricting it to the key values the other
+			// sources actually produced cannot change the answer. The
+			// annotation is advisory; the extractor decides at runtime.
+			if strings.HasPrefix(reason, "class key declared on") &&
+				shareGates(plan, grp, classes, relTargets, nil, false) == "" {
+				if sj, why := semiJoinFor(plan, sp, grp, classKeys, matchIdx); sj != nil {
+					semiJoins = append(semiJoins, *sj)
+					res.Stats.SemiJoinsPlanned++
+					decide(ActionSemiJoin, fmt.Sprintf("%s; narrowable via %s", reason, sj.KeyAttribute))
+					continue
+				} else if why != "" {
+					decide(ActionDecline, reason+"; no semi-join: "+why)
+					continue
+				}
+			}
+			decide(ActionDecline, reason)
+			continue
 		}
 
 		// Prune: a condition with no entry in this group means every
@@ -310,17 +339,18 @@ func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePl
 	}
 
 	if !anyPrune {
-		if len(filters) == 0 && !copied {
+		if len(filters) == 0 && len(semiJoins) == 0 && !copied {
 			return sp
 		}
-		return mapping.SourcePlan{Source: sp.Source, Entries: entries, Filters: filters}
+		return mapping.SourcePlan{Source: sp.Source, Entries: entries, Filters: filters, SemiJoins: semiJoins}
 	}
 
 	// Rebuild the entry list without the pruned groups, remapping filter
-	// indexes. Removing a whole lineage group preserves the remaining
-	// entries' partition assignments: the share gates guarantee no other
-	// entry's class is comparable with a pruned group's classes, so no
-	// surviving fragment could have joined (or absorbed) the pruned group.
+	// and semi-join indexes. Removing a whole lineage group preserves the
+	// remaining entries' partition assignments: the share gates guarantee
+	// no other entry's class is comparable with a pruned group's classes,
+	// so no surviving fragment could have joined (or absorbed) the pruned
+	// group.
 	remap := make([]int, len(sp.Entries))
 	kept := make([]mapping.Entry, 0, len(sp.Entries))
 	for i := range entries {
@@ -336,7 +366,97 @@ func rewriteSource(ont *ontology.Ontology, plan *s2sql.Plan, sp mapping.SourcePl
 			filters[fi].Entries[k] = remap[i]
 		}
 	}
-	return mapping.SourcePlan{Source: sp.Source, Entries: kept, Filters: filters}
+	for si := range semiJoins {
+		for k, i := range semiJoins[si].Entries {
+			semiJoins[si].Entries[k] = remap[i]
+		}
+		semiJoins[si].KeyEntry = remap[semiJoins[si].KeyEntry]
+	}
+	return mapping.SourcePlan{Source: sp.Source, Entries: kept, Filters: filters, SemiJoins: semiJoins}
+}
+
+// semiJoinFor checks whether a class-key-blocked group is safe to narrow
+// at runtime. The soundness argument: such a group's records can only
+// influence the answer through key-based merging (the non-key gates all
+// passed), and a merged instance assembled purely from narrowed groups
+// still lacks every attribute in EligibleConds, so the residual
+// instance-layer filter rejects it without evaluating an error-capable
+// condition first. Records whose key value was produced by no other
+// source are therefore invisible to the answer, and dropping them is a
+// pure optimization. The returned reason is "" only alongside a non-nil
+// semi-join.
+func semiJoinFor(plan *s2sql.Plan, sp mapping.SourcePlan, grp *group, classKeys map[string]string, matchIdx [][]int) (*mapping.SemiJoin, string) {
+	// Eligible conditions: unmapped in this group, with an error-free
+	// prefix — mirroring the prune gate. The extractor intersects these
+	// across all narrowed groups so that narrowed×narrowed merges also
+	// provably fail one common condition.
+	var eligible []int
+	errFree := true
+	for j := range plan.Conditions {
+		if len(matchIdx[j]) == 0 && errFree {
+			eligible = append(eligible, j)
+		}
+		if s2sql.ConditionCanError(plan.Conditions[j]) {
+			errFree = false
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, "every constrained attribute is mapped"
+	}
+
+	// The merge key is looked up by the instance's own class name; a key
+	// declared on a comparable-but-different class blocks the gate yet
+	// never merges this group's instances, so narrowing by it would be
+	// meaningless (and the conservative answer is to do nothing).
+	keyAttr := classKeys[strings.ToLower(grp.class.Name)]
+	if keyAttr == "" {
+		return nil, "key is declared on a comparable class, not the group's own"
+	}
+	keyIdx := -1
+	for _, i := range grp.idx {
+		if strings.EqualFold(sp.Entries[i].AttributeID, keyAttr) {
+			if keyIdx >= 0 {
+				return nil, "key attribute mapped more than once"
+			}
+			keyIdx = i
+		}
+	}
+	if keyIdx < 0 {
+		return nil, "group does not map the key attribute"
+	}
+
+	// Narrowing reuses the positional record contract (SQL IN or a
+	// key-value record filter), so the same multi-record and shared-scope
+	// gates as pushdown apply.
+	for _, i := range grp.idx {
+		if sp.Entries[i].Scenario != mapping.MultiRecord {
+			return nil, "single-record entry in group"
+		}
+	}
+	sels, reason := scopeGate(sp, grp)
+	if reason != "" {
+		return nil, reason
+	}
+
+	sj := &mapping.SemiJoin{
+		Entries:       append([]int(nil), grp.idx...),
+		KeyAttribute:  keyAttr,
+		KeyEntry:      keyIdx,
+		EligibleConds: eligible,
+	}
+	// Database groups can narrow natively with a typed IN predicate, but
+	// only when the key column holds the values the merge compares: a
+	// transform makes the fragment value diverge from the column value,
+	// in which case the extractor falls back to the record filter.
+	if sels != nil && sp.Entries[keyIdx].Rule.Transform == "" {
+		for k, i := range grp.idx {
+			if i == keyIdx {
+				sj.SQL = true
+				sj.KeyColumn = sels[k].Columns[0].Col.String()
+			}
+		}
+	}
+	return sj, ""
 }
 
 // shareGates checks the gates common to pruning and filtering; it
@@ -528,4 +648,77 @@ func andExpr(left, right sqllang.Expr) sqllang.Expr {
 		return left
 	}
 	return &sqllang.BinaryExpr{Op: sqllang.OpAnd, Left: left, Right: right}
+}
+
+// narrowNumRe admits exactly the numeric spellings that round-trip
+// losslessly through the SQL lexer and the engine's literal parser:
+// plain non-negative decimals. Exponent forms, signs, and anything else
+// float-parseable but not re-renderable abort the narrowing instead.
+var narrowNumRe = regexp.MustCompile(`^[0-9]+(\.[0-9]+)?$`)
+
+// NarrowSQL rewrites a planned SQL rule to scan only rows whose key
+// column takes one of the given values, by appending `key IN (...)` to
+// the WHERE clause. Each value is emitted as a string literal plus — when
+// the value also spells a number or a boolean — the matching typed
+// literal, so the IN predicate is a superset of the instance layer's
+// string-keyed merge regardless of the column's type (the engine
+// swallows cross-type comparison errors inside IN as non-matches, and
+// compares TEXT case-sensitively, exactly like the merge). It returns
+// ok=false, leaving the caller to run the rule unnarrowed, when the rule
+// does not parse, when there is no usable value, or when any value
+// cannot be rendered safely.
+func NarrowSQL(code, keyColumn string, values []string) (string, bool) {
+	stmt, err := sqllang.Parse(code)
+	if err != nil {
+		return "", false
+	}
+	sel, ok := stmt.(*sqllang.Select)
+	if !ok {
+		return "", false
+	}
+	lits := make([]sqllang.LiteralExpr, 0, len(values))
+	for _, v := range values {
+		vl, ok := keyLiterals(v)
+		if !ok {
+			return "", false
+		}
+		lits = append(lits, vl...)
+	}
+	if len(lits) == 0 {
+		return "", false
+	}
+	col := sqllang.ColumnRef{Column: keyColumn}
+	if i := strings.IndexByte(keyColumn, '.'); i >= 0 {
+		col = sqllang.ColumnRef{Table: keyColumn[:i], Column: keyColumn[i+1:]}
+	}
+	narrowed := *sel // shallow copy; only Where is replaced
+	narrowed.Where = andExpr(sel.Where, &sqllang.InExpr{Operand: col, Values: lits})
+	return narrowed.String(), true
+}
+
+// keyLiterals renders one key value as IN-list literals. The empty
+// string never participates in a merge, so it contributes nothing; a
+// value the lexer could not round-trip (control characters, numeric
+// spellings outside narrowNumRe) rejects the whole narrowing.
+func keyLiterals(v string) ([]sqllang.LiteralExpr, bool) {
+	if v == "" {
+		return nil, true
+	}
+	if strings.ContainsFunc(v, func(r rune) bool { return r < 0x20 }) {
+		return nil, false
+	}
+	lits := []sqllang.LiteralExpr{{Kind: sqllang.LitString, Text: v}}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		if !narrowNumRe.MatchString(v) {
+			return nil, false
+		}
+		lits = append(lits, sqllang.LiteralExpr{Kind: sqllang.LitNumber, Text: v})
+	}
+	switch v {
+	case "true":
+		lits = append(lits, sqllang.LiteralExpr{Kind: sqllang.LitBool, Text: "TRUE"})
+	case "false":
+		lits = append(lits, sqllang.LiteralExpr{Kind: sqllang.LitBool, Text: "FALSE"})
+	}
+	return lits, true
 }

@@ -192,10 +192,11 @@ func (db *DB) delete(stmt *sqllang.Delete) (int, error) {
 	}
 	kept := t.rows[:0]
 	deleted := 0
+	e := &env{tables: []*table{t}, rows: [][]Value{nil}}
 	for _, row := range t.rows {
 		keep := true
 		if stmt.Where != nil {
-			e := &env{tables: []*table{t}, rows: [][]Value{row}}
+			e.rows[0] = row
 			match, err := evalBool(stmt.Where, e)
 			if err != nil {
 				return 0, err
@@ -241,9 +242,10 @@ func (db *DB) update(stmt *sqllang.Update) (int, error) {
 		ops = append(ops, setOp{col: col, val: v})
 	}
 	updated := 0
+	e := &env{tables: []*table{t}, rows: [][]Value{nil}}
 	for i, row := range t.rows {
 		if stmt.Where != nil {
-			e := &env{tables: []*table{t}, rows: [][]Value{row}}
+			e.rows[0] = row
 			match, err := evalBool(stmt.Where, e)
 			if err != nil {
 				return updated, err

@@ -11,10 +11,61 @@ import (
 )
 
 // env is the row environment a WHERE expression evaluates against: one
-// current row per table in FROM/JOIN order.
+// current row per table in FROM/JOIN order. Callers evaluating the same
+// expression over many rows reuse one env and reassign rows, so the
+// per-expression memos amortize across the scan.
 type env struct {
 	tables []*table
 	rows   [][]Value
+	inSets map[*sqllang.InExpr]*inSet
+}
+
+// inSet is the lookup form of an IN list. String literals live in a
+// hash set — a text value can only ever equal a string literal, and
+// only exactly — while the remaining literals (numbers, booleans) keep
+// the linear compare scan, preserving cross-numeric-type coercion.
+// Large IN predicates (the planner's semi-join narrowing emits them)
+// thus cost O(1) per row instead of O(literals).
+type inSet struct {
+	text   map[string]bool
+	others []Value
+}
+
+func buildInSet(x *sqllang.InExpr) *inSet {
+	s := &inSet{text: make(map[string]bool, len(x.Values))}
+	for _, lit := range x.Values {
+		if lit.Kind == sqllang.LitString {
+			s.text[lit.Text] = true
+		} else {
+			s.others = append(s.others, literalValue(lit))
+		}
+	}
+	return s
+}
+
+func (s *inSet) contains(v Value) bool {
+	if t, ok := v.TextValue(); ok {
+		return s.text[t]
+	}
+	for _, o := range s.others {
+		if c, err := compare(v, o); err == nil && c == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// inSet returns the memoized lookup form of x, building it on first use.
+func (e *env) inSet(x *sqllang.InExpr) *inSet {
+	if s := e.inSets[x]; s != nil {
+		return s
+	}
+	s := buildInSet(x)
+	if e.inSets == nil {
+		e.inSets = map[*sqllang.InExpr]*inSet{}
+	}
+	e.inSets[x] = s
+	return s
 }
 
 // lookup resolves a column reference against the environment. Unqualified
@@ -96,13 +147,7 @@ func evalBool(expr sqllang.Expr, e *env) (bool, error) {
 		if v.Null {
 			return false, nil
 		}
-		for _, lit := range x.Values {
-			c, err := compare(v, literalValue(lit))
-			if err == nil && c == 0 {
-				return true, nil
-			}
-		}
-		return false, nil
+		return e.inSet(x).contains(v), nil
 	default:
 		return false, fmt.Errorf("reldb: expression %s is not a condition", expr)
 	}
@@ -234,9 +279,10 @@ func (db *DB) executeSelect(sel *sqllang.Select) (*Result, error) {
 
 	// Filter.
 	var filtered [][][]Value
+	e := &env{tables: tables}
 	for _, tuple := range tuples {
 		if sel.Where != nil {
-			e := &env{tables: tables, rows: tuple}
+			e.rows = tuple
 			ok, err := evalBool(sel.Where, e)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func almost(t *testing.T, got, want, eps float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, eps)
+	}
+}
+
+func TestColdStartDefaults(t *testing.T) {
+	r := New()
+	e := r.Estimate("never-seen", "shape")
+	if e.Cardinality != DefaultCardinality {
+		t.Fatalf("cold cardinality = %v, want %v", e.Cardinality, DefaultCardinality)
+	}
+	if e.Selectivity != DefaultSelectivity {
+		t.Fatalf("cold selectivity = %v, want %v", e.Selectivity, DefaultSelectivity)
+	}
+	if e.Latency != DefaultLatency {
+		t.Fatalf("cold latency = %v, want %v", e.Latency, DefaultLatency)
+	}
+	if e.Samples != 0 {
+		t.Fatalf("cold samples = %d, want 0", e.Samples)
+	}
+	if q := r.LatencyQuantile("never-seen", 0.9); q != DefaultLatency {
+		t.Fatalf("cold quantile = %v, want %v", q, DefaultLatency)
+	}
+}
+
+// TestDecayMath checks the EWMA recurrence exactly: after observing x
+// repeatedly, every estimate converges geometrically toward x with
+// factor (1-Alpha) per step, starting from the cold default.
+func TestDecayMath(t *testing.T) {
+	r := New()
+	const card, kept = 10, 5
+	lat := 2 * time.Millisecond
+
+	wantCard := DefaultCardinality
+	wantSel := DefaultSelectivity
+	wantLat := DefaultLatency.Seconds()
+	for i := 0; i < 20; i++ {
+		r.Observe("db", "q1", Sample{Values: card, Kept: kept, Latency: lat})
+		wantCard = wantCard + Alpha*(card-wantCard)
+		wantSel = wantSel + Alpha*(0.5-wantSel)
+		wantLat = wantLat + Alpha*(lat.Seconds()-wantLat)
+	}
+	e := r.Estimate("db", "q1")
+	almost(t, e.Cardinality, wantCard, 1e-9, "cardinality")
+	almost(t, e.Selectivity, wantSel, 1e-9, "selectivity")
+	almost(t, e.Latency.Seconds(), wantLat, 1e-9, "latency")
+	if e.Samples != 20 {
+		t.Fatalf("samples = %d, want 20", e.Samples)
+	}
+
+	// Drift tracking: a source that changes behavior converges to the
+	// new regime; the old history decays away instead of anchoring the
+	// mean forever.
+	for i := 0; i < 60; i++ {
+		r.Observe("db", "q1", Sample{Values: 1000, Kept: 1000, Latency: lat})
+	}
+	e = r.Estimate("db", "q1")
+	if e.Cardinality < 990 {
+		t.Fatalf("after drift, cardinality = %v, want ≈1000", e.Cardinality)
+	}
+	if e.Selectivity < 0.99 {
+		t.Fatalf("after drift, selectivity = %v, want ≈1", e.Selectivity)
+	}
+}
+
+func TestSelectivityPerShape(t *testing.T) {
+	r := New()
+	for i := 0; i < 40; i++ {
+		r.Observe("db", "selective", Sample{Values: 100, Kept: 1, Latency: time.Millisecond})
+		r.Observe("db", "broad", Sample{Values: 100, Kept: 100, Latency: time.Millisecond})
+	}
+	if sel := r.Estimate("db", "selective").Selectivity; sel > 0.05 {
+		t.Fatalf("selective shape selectivity = %v, want ≈0.01", sel)
+	}
+	if sel := r.Estimate("db", "broad").Selectivity; sel < 0.95 {
+		t.Fatalf("broad shape selectivity = %v, want ≈1", sel)
+	}
+	// An unknown shape on a known source: real cardinality, default
+	// selectivity.
+	e := r.Estimate("db", "unseen-shape")
+	if e.Selectivity != DefaultSelectivity {
+		t.Fatalf("unseen shape selectivity = %v, want default", e.Selectivity)
+	}
+	if math.Abs(e.Cardinality-100) > 5 {
+		t.Fatalf("unseen shape cardinality = %v, want ≈100", e.Cardinality)
+	}
+}
+
+func TestInvalidSamplesIgnored(t *testing.T) {
+	r := New()
+	r.Observe("db", "q", Sample{Values: -1, Kept: 0})
+	r.Observe("db", "q", Sample{Values: 5, Kept: 9}) // kept > values
+	if r.Len() != 0 {
+		t.Fatalf("invalid samples created state: len = %d", r.Len())
+	}
+}
+
+func TestLatencyQuantile(t *testing.T) {
+	r := New()
+	for i := 0; i < 50; i++ {
+		r.Observe("src", "", Sample{Values: 1, Kept: 1, Latency: 100 * time.Microsecond})
+	}
+	// Bucketed upper bound: 100µs lands in [64µs,128µs), quantile
+	// reports 128µs.
+	if q := r.LatencyQuantile("src", 0.5); q != 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want 128µs", q)
+	}
+	// One slow outlier must not move the p50, but dominates p99 after
+	// it recurs (the sketch decays, so recent slowness surfaces).
+	for i := 0; i < 50; i++ {
+		r.Observe("src", "", Sample{Values: 1, Kept: 1, Latency: 80 * time.Millisecond})
+	}
+	if q := r.LatencyQuantile("src", 0.9); q < 50*time.Millisecond {
+		t.Fatalf("p90 after slow regime = %v, want ≥ 50ms", q)
+	}
+}
+
+// TestOrderDeterministic pins the ordering contract: cold registries
+// preserve the incoming order; observed costs order
+// cheapest-most-selective first; equal inputs yield equal outputs.
+func TestOrderDeterministic(t *testing.T) {
+	r := New()
+	ids := []string{"a", "b", "c", "d"}
+	cold := r.Order(ids, "q")
+	if fmt.Sprint(cold) != fmt.Sprint(ids) {
+		t.Fatalf("cold order = %v, want catalog order %v", cold, ids)
+	}
+
+	// b: cheap and selective. d: cheap, unselective. a: slow and
+	// unselective. c: cold (scores the neutral default cost).
+	for i := 0; i < 30; i++ {
+		r.Observe("b", "q", Sample{Values: 100, Kept: 1, Latency: time.Millisecond})
+		r.Observe("d", "q", Sample{Values: 100, Kept: 100, Latency: time.Millisecond})
+		r.Observe("a", "q", Sample{Values: 100, Kept: 100, Latency: 500 * time.Millisecond})
+	}
+	got := r.Order(ids, "q")
+	want := []string{"b", "d", "c", "a"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	// Input slice is never mutated.
+	if fmt.Sprint(ids) != fmt.Sprint([]string{"a", "b", "c", "d"}) {
+		t.Fatalf("Order mutated its input: %v", ids)
+	}
+	again := r.Order(ids, "q")
+	if fmt.Sprint(again) != fmt.Sprint(got) {
+		t.Fatalf("order not deterministic: %v then %v", got, again)
+	}
+}
+
+// TestConcurrentObserve exercises the registry under the race detector:
+// concurrent observers, estimators, orderers, and a reset.
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("src-%d", g%4)
+			for i := 0; i < 200; i++ {
+				r.Observe(id, "q", Sample{Values: 10, Kept: 5, Latency: time.Millisecond})
+				_ = r.Estimate(id, "q")
+				_ = r.Order([]string{"src-0", "src-1", "src-2", "src-3"}, "q")
+				_ = r.LatencyQuantile(id, 0.9)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Reset()
+	}()
+	wg.Wait()
+	// No assertion on values (a reset raced the observers); the test's
+	// job is the race detector plus basic liveness.
+	if r.Len() > 4 {
+		t.Fatalf("len = %d, want ≤ 4", r.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Observe("db", "q", Sample{Values: 10, Kept: 10, Latency: time.Millisecond})
+	if r.Len() != 1 || r.Samples("db") != 1 {
+		t.Fatalf("pre-reset state: len=%d samples=%d", r.Len(), r.Samples("db"))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Samples("db") != 0 {
+		t.Fatalf("post-reset state: len=%d samples=%d", r.Len(), r.Samples("db"))
+	}
+	if e := r.Estimate("db", "q"); e.Cardinality != DefaultCardinality {
+		t.Fatalf("post-reset estimate not cold: %+v", e)
+	}
+}

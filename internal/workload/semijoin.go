@@ -1,0 +1,147 @@
+package workload
+
+// semijoin.go generates the cross-source semi-join scenario (planner
+// v3): a small "directory" database source that knows which watches
+// exist and how water-resistant they are, plus a few large "detail"
+// database sources holding pricing rows for a much wider model range.
+// The detail sources do not map water_resistance, so a query
+// constraining it can reach their rows only through a class-key merge
+// with the directory — which is exactly the shape semi-join narrowing
+// accelerates: only detail rows whose model the directory produced can
+// matter, and those are a small fraction of each detail table.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/ontology"
+	"repro/internal/reldb"
+)
+
+// SemiJoinSpec describes a semi-join world.
+type SemiJoinSpec struct {
+	// DirectoryRecords is the row count of the directory source.
+	DirectoryRecords int
+	// DetailSources counts the large detail sources.
+	DetailSources int
+	// DetailRecords is the row count of each detail source. Every
+	// directory model appears in every detail source; the rest of the
+	// rows carry models the directory has never heard of.
+	DetailRecords int
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+// GenerateSemiJoin builds a semi-join world. Callers must declare the
+// class key that makes the scenario mergeable — typically
+// SetClassKey("watch", "thing.product.model") — before querying;
+// without it the detail sources are simply pruned for constrained
+// queries (they map no constrained attribute), which would hide the
+// effect being measured.
+func GenerateSemiJoin(spec SemiJoinSpec) (*World, error) {
+	if spec.DirectoryRecords <= 0 {
+		spec.DirectoryRecords = 1
+	}
+	if spec.DetailRecords < spec.DirectoryRecords {
+		spec.DetailRecords = spec.DirectoryRecords
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	w := &World{
+		Ontology:      ontology.Paper(),
+		Catalog:       datasource.NewCatalog(),
+		ProviderNames: map[string]string{},
+		RawDocuments:  map[string]string{},
+	}
+
+	// The directory: the full watch schema, water_resistance included.
+	// Models are drawn from a namespace the generator controls, so detail
+	// sources can deterministically re-use or avoid them.
+	dirModels := make([]string, spec.DirectoryRecords)
+	{
+		id, dsn := "dir", "directory"
+		db := reldb.New()
+		db.MustExec("CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, model TEXT, watch_case TEXT, price REAL, water_m INTEGER)")
+		for i := 0; i < spec.DirectoryRecords; i++ {
+			r := Record{
+				Brand:           brands[rng.Intn(len(brands))],
+				Model:           fmt.Sprintf("Dir %d", 100+i),
+				Case:            cases[rng.Intn(len(cases))],
+				Price:           float64(rng.Intn(49000)+1000) / 100,
+				WaterResistance: (rng.Intn(20) + 1) * 10,
+				SourceID:        id,
+			}
+			dirModels[i] = r.Model
+			w.Records = append(w.Records, r)
+			if _, err := db.Exec(fmt.Sprintf(
+				"INSERT INTO watches (id, brand, model, watch_case, price, water_m) VALUES (%d, '%s', '%s', '%s', %.2f, %d)",
+				i, r.Brand, r.Model, r.Case, r.Price, r.WaterResistance)); err != nil {
+				return nil, err
+			}
+		}
+		w.Catalog.AddDB(dsn, db)
+		w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindDatabase, DSN: dsn})
+		add := func(attr, query string) {
+			w.Entries = append(w.Entries, mapping.Entry{
+				AttributeID: attr, SourceID: id,
+				Rule: mapping.Rule{Language: mapping.LangSQL, Code: query},
+			})
+		}
+		add("thing.product.brand", "SELECT brand FROM watches ORDER BY id")
+		add("thing.product.model", "SELECT model FROM watches ORDER BY id")
+		add("thing.product.watch.case", "SELECT watch_case FROM watches ORDER BY id")
+		add("thing.product.price", "SELECT price FROM watches ORDER BY id")
+		add("thing.product.watch.water_resistance", "SELECT water_m FROM watches ORDER BY id")
+	}
+
+	// The detail sources: model/brand/case/price only. Directory models
+	// all reappear (those rows can merge and must survive narrowing); the
+	// bulk of each table is filler models only this detail source knows.
+	for n := 0; n < spec.DetailSources; n++ {
+		id, dsn := fmt.Sprintf("detail_%03d", n), fmt.Sprintf("detail-%03d", n)
+		db := reldb.New()
+		db.MustExec("CREATE TABLE stock (id INTEGER PRIMARY KEY, brand TEXT, model TEXT, watch_case TEXT, price REAL)")
+		for i := 0; i < spec.DetailRecords; i++ {
+			model := fmt.Sprintf("Det %d-%d", n, 1000+i)
+			if i < spec.DirectoryRecords {
+				model = dirModels[i]
+			}
+			r := Record{
+				Brand:    brands[rng.Intn(len(brands))],
+				Model:    model,
+				Case:     cases[rng.Intn(len(cases))],
+				Price:    float64(rng.Intn(49000)+1000) / 100,
+				SourceID: id,
+			}
+			w.Records = append(w.Records, r)
+			if _, err := db.Exec(fmt.Sprintf(
+				"INSERT INTO stock (id, brand, model, watch_case, price) VALUES (%d, '%s', '%s', '%s', %.2f)",
+				i, r.Brand, r.Model, r.Case, r.Price)); err != nil {
+				return nil, err
+			}
+		}
+		w.Catalog.AddDB(dsn, db)
+		w.Definitions = append(w.Definitions, datasource.Definition{ID: id, Kind: datasource.KindDatabase, DSN: dsn})
+		add := func(attr, query string) {
+			w.Entries = append(w.Entries, mapping.Entry{
+				AttributeID: attr, SourceID: id,
+				Rule: mapping.Rule{Language: mapping.LangSQL, Code: query},
+			})
+		}
+		add("thing.product.brand", "SELECT brand FROM stock ORDER BY id")
+		add("thing.product.model", "SELECT model FROM stock ORDER BY id")
+		add("thing.product.watch.case", "SELECT watch_case FROM stock ORDER BY id")
+		add("thing.product.price", "SELECT price FROM stock ORDER BY id")
+	}
+	return w, nil
+}
+
+// MustGenerateSemiJoin is GenerateSemiJoin but panics on error.
+func MustGenerateSemiJoin(spec SemiJoinSpec) *World {
+	w, err := GenerateSemiJoin(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
