@@ -4,7 +4,7 @@ GO ?= go
 # e.g. `make bench BENCHTIME=1s`.
 BENCHTIME ?= 100ms
 
-.PHONY: check vet fmt lint build test chaos chaos-cluster bench bench-compare bench-pushdown bench-stream bench-hedge bench-semijoin bin clean
+.PHONY: check vet fmt lint build test chaos chaos-cluster bench bench-compare bench-pushdown bench-stream bench-hedge bench-semijoin bench-firstinstance bench-batch bin clean
 
 # check is the full gate: go vet, formatting, the repo's own static
 # analysis suite, build, the test suite under the race detector, and the
@@ -49,7 +49,7 @@ chaos:
 chaos-cluster:
 	$(GO) test -race -run ChaosCluster ./internal/integration
 
-# bench runs the root benchmark families (bench_test.go, E1–E19) with
+# bench runs the root benchmark families (bench_test.go, E1–E22) with
 # allocation stats and persists a machine-readable baseline for the perf
 # trajectory. The text output still streams to the terminal via stderr.
 bench:
@@ -110,6 +110,30 @@ bench-semijoin:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/s2s-benchjson > BENCH_semijoin.json
 	@echo "wrote BENCH_semijoin.json"
+
+# bench-firstinstance records only the barrier-free streaming family
+# (E21 eager/barrier pair, one slow source on a merge-free query) into
+# BENCH_firstinstance.json — the time-to-first-instance measurement
+# docs/STREAMING.md and docs/PERFORMANCE.md cite. The custom
+# first_instance_ns metric is gated by s2s-benchjson -compare alongside
+# ns/op. Compare a fresh run against it with
+#   go run ./cmd/s2s-benchjson -compare BENCH_firstinstance.json <current.json>
+bench-firstinstance:
+	$(GO) test -run '^$$' -bench BenchmarkE21 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_firstinstance.json
+	@echo "wrote BENCH_firstinstance.json"
+
+# bench-batch records only the multi-query batch family (E22 batch8/
+# sequential8 pair against remote web sources) into BENCH_batch.json —
+# the per-query amortization measurement docs/PERFORMANCE.md cites for
+# POST /query/batch. Compare a fresh run against it with
+#   go run ./cmd/s2s-benchjson -compare BENCH_batch.json <current.json>
+bench-batch:
+	$(GO) test -run '^$$' -bench BenchmarkE22 -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/s2s-benchjson > BENCH_batch.json
+	@echo "wrote BENCH_batch.json"
 
 # bin builds the two executables into ./bin.
 bin:

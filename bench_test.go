@@ -693,3 +693,173 @@ func BenchmarkE20SemiJoin(b *testing.B) {
 		})
 	}
 }
+
+// firstWriteTimer records when the first non-empty write lands,
+// relative to start, and discards the bytes.
+type firstWriteTimer struct {
+	start time.Time
+	first time.Duration
+	set   bool
+}
+
+func (f *firstWriteTimer) Write(p []byte) (int, error) {
+	if !f.set && len(p) > 0 {
+		f.first = time.Since(f.start)
+		f.set = true
+	}
+	return len(p), nil
+}
+
+// BenchmarkE21FirstInstance — barrier-free streaming: a merge-free
+// four-source query where one source (xml_000, canonically last)
+// answers 20ms slow. The eager path emits the three fast sources'
+// instances as their extraction windows close, so the first instance
+// reaches the writer in fast-source time; the barrier path serializes
+// nothing until the slow source finishes, so its first byte waits out
+// the full 20ms. Total query time is the same either way — the custom
+// first_instance_ns metric is the measurement, recorded in
+// BENCH_firstinstance.json (`make bench-firstinstance`) and gated by
+// `make bench-compare`; docs/PERFORMANCE.md cites it.
+func BenchmarkE21FirstInstance(b *testing.B) {
+	const slowBy = 20 * time.Millisecond
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 24, Seed: 21,
+		FlatOntology: true,
+	}
+	const q = "SELECT product"
+	modes := []struct {
+		name string
+		opts extract.Options
+	}{
+		{"eager", extract.Options{}},
+		{"barrier", extract.Options{DisableEagerStream: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			world := workload.MustGenerate(spec)
+			backends := extract.FromCatalog(world.Catalog)
+			plan := faultinject.Plan{}
+			for _, def := range world.Definitions {
+				if def.ID == "xml_000" {
+					plan[faultinject.Key(def)] = faultinject.Fault{AddLatency: slowBy}
+				}
+			}
+			backends = faultinject.New(21, plan).WrapBackends(backends)
+			mw, err := core.New(core.Config{
+				Ontology: world.Ontology, Backends: backends, Extract: mode.opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := world.Apply(mw); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, mergeFree, err := mw.PlanMergeFree(ctx, q); err != nil || !mergeFree {
+				b.Fatalf("query must prove merge-free (err=%v)", err)
+			}
+			if _, _, err := mw.QueryToStream(ctx, io.Discard, q, instance.FormatJSON); err != nil {
+				b.Fatal(err) // warm compiled rules
+			}
+			var firstTotal time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fw := &firstWriteTimer{start: time.Now()}
+				res, _, err := mw.QueryToStream(ctx, fw, q, instance.FormatJSON)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Matched) == 0 || !fw.set {
+					b.Fatal("no instances reached the writer")
+				}
+				firstTotal += fw.first
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(firstTotal.Nanoseconds())/float64(b.N), "first_instance_ns")
+		})
+	}
+}
+
+// BenchmarkE22Batch — the multi-query batch path: eight distinct
+// single-brand queries against a world whose two web sources answer
+// with a 5ms fetch latency (remote partner catalogues — the paper's
+// B2B setting). Eight sequential Query calls each stand up their own
+// run document layer, so every query re-fetches and re-parses both
+// pages; one QueryBatch shares a single document layer and extraction
+// scatter across the batch, fetching each page once (the rule-result
+// cache is off — CacheTTL 0, the default — so nothing else amortizes
+// the repeats). One benchmark op answers all eight queries in both
+// modes, so ns/op is directly comparable ns-per-batch;
+// BENCH_batch.json records the pair (`make bench-batch`) and
+// docs/PERFORMANCE.md cites it.
+func BenchmarkE22Batch(b *testing.B) {
+	const fetchLatency = 5 * time.Millisecond
+	spec := workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 2, TextSources: 1,
+		RecordsPerSource: 60, Seed: 22,
+	}
+	brands := []string{"Seiko", "Casio", "Citizen", "Orient", "Pulsar", "Timex", "Swatch", "Fossil"}
+	queries := make([]string, len(brands))
+	for i, brand := range brands {
+		queries[i] = "SELECT product WHERE brand='" + brand + "'"
+	}
+	newMW := func(b *testing.B) *core.Middleware {
+		world := workload.MustGenerate(spec)
+		plan := faultinject.Plan{}
+		for _, def := range world.Definitions {
+			if def.Kind == datasource.KindWeb {
+				plan[faultinject.Key(def)] = faultinject.Fault{AddLatency: fetchLatency}
+			}
+		}
+		backends := faultinject.New(22, plan).WrapBackends(extract.FromCatalog(world.Catalog))
+		mw, err := core.New(core.Config{Ontology: world.Ontology, Backends: backends})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := world.Apply(mw); err != nil {
+			b.Fatal(err)
+		}
+		return mw
+	}
+	b.Run("batch8", func(b *testing.B) {
+		mw := newMW(b)
+		ctx := context.Background()
+		run := func() {
+			results, errs := mw.QueryBatch(ctx, queries)
+			for i := range queries {
+				if errs[i] != nil {
+					b.Fatal(errs[i])
+				}
+				if len(results[i].Matched) == 0 {
+					b.Fatalf("query %d matched nothing", i)
+				}
+			}
+		}
+		run() // warm compiled rules
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+	b.Run("sequential8", func(b *testing.B) {
+		mw := newMW(b)
+		ctx := context.Background()
+		run := func() {
+			for i, q := range queries {
+				res, err := mw.Query(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Matched) == 0 {
+					b.Fatalf("query %d matched nothing", i)
+				}
+			}
+		}
+		run() // warm compiled rules
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+}

@@ -10,8 +10,9 @@
 //
 // With -compare, the command instead diffs two previously recorded
 // baselines benchmark by benchmark and exits non-zero when any shared
-// benchmark's ns/op — or allocs/op, where both runs recorded it — regressed
-// by more than -threshold percent (20 by default), so `make bench-compare`
+// benchmark's ns/op — or allocs/op, or a custom "_ns" metric such as
+// first_instance_ns, where both runs recorded it — regressed by more
+// than -threshold percent (20 by default), so `make bench-compare`
 // can gate perf changes:
 //
 //	s2s-benchjson -compare old.json new.json
@@ -40,6 +41,10 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// Extra holds custom b.ReportMetric units the line carried beyond
+	// the standard four — "first_instance_ns" from BenchmarkE21, for
+	// example — keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the persisted document.
@@ -163,6 +168,19 @@ func compareBaselines(old, cur Baseline, threshold float64, w io.Writer) []strin
 			}
 			fmt.Fprintf(w, "%-52s %14d %14d  (allocs/op)%s\n", "", or.AllocsPerOp, nr.AllocsPerOp, allocMark)
 		}
+		for _, unit := range sharedNsExtras(or.Extra, nr.Extra) {
+			ov, nv := or.Extra[unit], nr.Extra[unit]
+			extraDelta := (nv - ov) / ov * 100
+			extraMark := ""
+			if extraDelta > threshold {
+				extraMark = "  REGRESSED"
+				if mark == "" {
+					mark = extraMark
+					regressed = append(regressed, nr.Name)
+				}
+			}
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f  (%s)%s\n", "", ov, nv, unit, extraMark)
+		}
 	}
 	var gone []string
 	for _, or := range old.Results {
@@ -175,6 +193,25 @@ func compareBaselines(old, cur Baseline, threshold float64, w io.Writer) []strin
 		fmt.Fprintf(w, "%-52s %14s %14s %9s\n", name, "-", "-", "removed")
 	}
 	return regressed
+}
+
+// sharedNsExtras returns the custom nanosecond metrics recorded with a
+// positive value by both runs, sorted — first_instance_ns and kin. Only
+// "_ns"-suffixed units gate: they are time measurements, so lower is
+// better and a percentage regression is meaningful; dimensionless
+// extras are carried in the JSON but not compared.
+func sharedNsExtras(old, cur map[string]float64) []string {
+	var units []string
+	for unit, ov := range old {
+		if !strings.HasSuffix(unit, "_ns") || ov <= 0 {
+			continue
+		}
+		if _, ok := cur[unit]; ok {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 // parseLine parses one benchmark result line; ok is false for
@@ -203,6 +240,15 @@ func parseLine(line string) (Result, bool) {
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "MB/s":
 			r.MBPerS, _ = strconv.ParseFloat(val, 64)
+		default:
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	if r.NsPerOp == 0 && r.Iterations == 0 {

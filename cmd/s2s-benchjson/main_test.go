@@ -61,6 +61,37 @@ func TestCompareBaselinesAllocGate(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesExtraNsGate(t *testing.T) {
+	old := Baseline{Results: []Result{
+		{Name: "BenchmarkE21", NsPerOp: 1000, Extra: map[string]float64{"first_instance_ns": 100000, "windows": 4}},
+		{Name: "BenchmarkOnlyOld", NsPerOp: 1000, Extra: map[string]float64{"first_instance_ns": 100000}},
+	}}
+	cur := Baseline{Results: []Result{
+		{Name: "BenchmarkE21", NsPerOp: 1000, Extra: map[string]float64{"first_instance_ns": 150000, "windows": 400}},
+		{Name: "BenchmarkOnlyOld", NsPerOp: 1000}, // metric dropped: nothing to compare
+	}}
+	var out strings.Builder
+	regressed := compareBaselines(old, cur, 20, &out)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkE21" {
+		t.Fatalf("regressed = %v, want [BenchmarkE21]", regressed)
+	}
+	if !strings.Contains(out.String(), "first_instance_ns") {
+		t.Errorf("compare output missing the extra metric row:\n%s", out.String())
+	}
+	// "windows" blew up 100x but is not a _ns unit: it must not gate.
+	if strings.Count(out.String(), "REGRESSED") != 1 {
+		t.Errorf("non-_ns extra gated:\n%s", out.String())
+	}
+
+	// Faster time-to-first-instance is an improvement.
+	better := Baseline{Results: []Result{
+		{Name: "BenchmarkE21", NsPerOp: 1000, Extra: map[string]float64{"first_instance_ns": 10000}},
+	}}
+	if got := compareBaselines(old, better, 20, &out); len(got) != 0 {
+		t.Errorf("first-instance speedup flagged as regression: %v", got)
+	}
+}
+
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkE1EndToEnd-8   \t     123\t   9876543 ns/op\t  123456 B/op\t    1234 allocs/op")
 	if !ok {
@@ -76,6 +107,14 @@ func TestParseLine(t *testing.T) {
 	sub, ok := parseLine("BenchmarkE2OntologyScale/classes=64-4  50  31415.9 ns/op")
 	if !ok || sub.Name != "BenchmarkE2OntologyScale/classes=64" || sub.NsPerOp != 31415.9 {
 		t.Errorf("subbenchmark parsed wrong: %+v ok=%v", sub, ok)
+	}
+
+	extra, ok := parseLine("BenchmarkE21FirstInstance-8  10  5000000 ns/op  250000 first_instance_ns  4.0 windows")
+	if !ok || extra.NsPerOp != 5000000 {
+		t.Fatalf("custom-metric line parsed wrong: %+v ok=%v", extra, ok)
+	}
+	if extra.Extra["first_instance_ns"] != 250000 || extra.Extra["windows"] != 4.0 {
+		t.Errorf("custom metrics not captured: %+v", extra.Extra)
 	}
 
 	for _, junk := range []string{"PASS", "ok  \trepro\t12.3s", "goos: linux", "", "some log line"} {

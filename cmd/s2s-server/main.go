@@ -6,7 +6,8 @@
 // Usage:
 //
 //	s2s-server [-addr :8080] [-db 2] [-xml 2] [-web 2] [-text 2] [-records 100] [-seed 1] [-pprof]
-//	           [-max-queries 0] [-budget 0] [-stream] [-cluster node-id] [-join http://coordinator]
+//	           [-max-queries 0] [-budget 0] [-stream] [-stats-file path]
+//	           [-cluster node-id] [-join http://coordinator]
 //
 // -max-queries caps concurrent /query work; excess requests are shed
 // with 503 + Retry-After (docs/ROBUSTNESS.md). -budget bounds each
@@ -14,6 +15,12 @@
 // middleware's /query path through the streaming pipeline
 // (docs/STREAMING.md); the chunked /query/stream route streams
 // regardless of the flag.
+//
+// -stats-file persists the extractor's per-source cost statistics
+// (internal/stats) across restarts: the file is loaded on start when it
+// exists and rewritten on graceful shutdown (SIGINT/SIGTERM), so the
+// planner's cost-based source ordering starts warm instead of cold
+// (docs/PERFORMANCE.md).
 //
 // -cluster names this process as a cluster node and layers the
 // /cluster/* routes on top of the regular surface (docs/CLUSTER.md).
@@ -32,13 +39,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux; exposed only with -pprof
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -63,6 +73,7 @@ func main() {
 		maxQueries = flag.Int("max-queries", 0, "concurrent /query cap; beyond it requests are shed with 503 + Retry-After (0 disables)")
 		budget     = flag.Duration("budget", 0, "per-query deadline budget across all sources (0 disables)")
 		stream     = flag.Bool("stream", false, "run /query through the streaming pipeline (see docs/STREAMING.md)")
+		statsFile  = flag.String("stats-file", "", "persist per-source cost statistics here across restarts (loaded on start, saved on graceful shutdown)")
 		clusterID  = flag.String("cluster", "", "cluster node ID; enables the /cluster/* routes (see docs/CLUSTER.md)")
 		join       = flag.String("join", "", "coordinator base URL to join as a member (requires -cluster); empty makes this node the coordinator")
 		advertise  = flag.String("advertise", "", "base URL other cluster nodes reach this node at; defaults to http://localhost<addr>")
@@ -72,13 +83,13 @@ func main() {
 	if err := run(*addr, workload.Spec{
 		DBSources: *db, XMLSources: *xml, WebSources: *web, TextSources: *text,
 		RecordsPerSource: *records, Seed: *seed,
-	}, *dumpConfig, *pprofOn, *maxQueries, *budget, *stream, *clusterID, *join, *advertise); err != nil {
+	}, *dumpConfig, *pprofOn, *maxQueries, *budget, *stream, *statsFile, *clusterID, *join, *advertise); err != nil {
 		fmt.Fprintln(os.Stderr, "s2s-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration, stream bool, clusterID, join, advertise string) error {
+func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQueries int, budget time.Duration, stream bool, statsFile, clusterID, join, advertise string) error {
 	if join != "" && clusterID == "" {
 		return fmt.Errorf("-join requires -cluster <node-id>")
 	}
@@ -96,6 +107,11 @@ func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQu
 	// backends so it can serve any source it is assigned.
 	if join == "" {
 		if err := world.Apply(mw); err != nil {
+			return err
+		}
+	}
+	if statsFile != "" {
+		if err := loadStats(mw, statsFile); err != nil {
 			return err
 		}
 	}
@@ -145,7 +161,87 @@ func run(addr string, spec workload.Spec, dumpConfig string, pprofOn bool, maxQu
 		"http://localhost"+displayAddr(addr)+"/query?q=SELECT+product+WHERE+brand%3D%27Seiko%27&format=json")
 	log.Printf("s2s-server: ops  curl http://localhost%s/metrics  |  curl http://localhost%s/trace/last",
 		displayAddr(addr), displayAddr(addr))
-	return http.ListenAndServe(addr, handler)
+	return serve(addr, handler, func() error {
+		if statsFile == "" {
+			return nil
+		}
+		return saveStats(mw, statsFile)
+	})
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests and runs onShutdown (the stats snapshot) before returning.
+func serve(addr string, handler http.Handler, onShutdown func() error) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("s2s-server: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("s2s-server: shutdown: %v", err)
+	}
+	return onShutdown()
+}
+
+// loadStats restores the cost-statistics registry from path. A missing
+// file is a cold start, not an error; a corrupt one refuses to start
+// rather than silently running cold.
+func loadStats(mw *core.Middleware, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("s2s-server: no stats file at %s, starting cold", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mw.SourceStats().Load(f); err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	log.Printf("s2s-server: loaded cost statistics for %d sources from %s",
+		mw.SourceStats().Len(), path)
+	return nil
+}
+
+// saveStats snapshots the cost-statistics registry to path, writing to
+// a temporary sibling first so a crash mid-write never corrupts the
+// previous snapshot.
+func saveStats(mw *core.Middleware, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := mw.SourceStats().Save(f); err != nil {
+		//lint:ignore errcheck the Save error is what matters; the file is removed next anyway
+		f.Close()
+		//lint:ignore errcheck best-effort cleanup of the partial temp file; the Save error is what matters
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		//lint:ignore errcheck best-effort cleanup of the partial temp file; the Close error is what matters
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	log.Printf("s2s-server: saved cost statistics for %d sources to %s",
+		mw.SourceStats().Len(), path)
+	return nil
 }
 
 // displayAddr normalizes a listen address for log-friendly URLs.

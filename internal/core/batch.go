@@ -1,0 +1,99 @@
+package core
+
+// batch.go is the multi-query batch pipeline behind POST /query/batch:
+// N S2SQL queries answered as one pass that shares the per-run document
+// layer, the extraction parallelism bound, and one deadline budget
+// across the batch (extract.Manager.ExtractQueryBatch), while every
+// query keeps its own plan-cache entry, trace root, metrics, and
+// canonically sorted result — so each per-query answer is byte-identical
+// to what the single-query path would return, and only the duplicated
+// document work and sequential wall-clock are saved.
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/s2sql"
+)
+
+// QueryBatch answers N S2SQL queries as one batch. The returned results
+// and errors are both aligned with queries; a failing query occupies
+// its error slot without affecting its siblings, exactly as N separate
+// Query calls would behave. All queries share one extraction scatter;
+// each nonetheless runs its own planning (through the shared plan
+// cache), instance generation, and per-query trace and metrics, nested
+// under one "batch" trace root.
+func (m *Middleware) QueryBatch(ctx context.Context, queries []string) ([]*instance.Result, []error) {
+	return m.queryBatch(ctx, queries, nil)
+}
+
+// QueryBatchTo is QueryBatch with each successful result serialized
+// through sink(i, res) as soon as it is generated — the transport hands
+// a sink that frames the bytes onto the batch response. A sink error
+// becomes that query's error.
+func (m *Middleware) QueryBatchTo(ctx context.Context, queries []string, sink func(int, *instance.Result) error) ([]*instance.Result, []error) {
+	return m.queryBatch(ctx, queries, sink)
+}
+
+func (m *Middleware) queryBatch(ctx context.Context, queries []string, sink func(int, *instance.Result) error) ([]*instance.Result, []error) {
+	n := len(queries)
+	results := make([]*instance.Result, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs
+	}
+
+	// One "batch" root: the per-query roots beginQuery opens join it, so
+	// the trace shows the whole batch side by side; the shared extraction
+	// scatter's per-query extract stages attach to the batch root (the
+	// scatter belongs to the batch, not to any one query).
+	ctx = obs.ContextWithMetrics(ctx, m.metrics)
+	ctx, root := m.tracer.StartTrace(ctx, "batch")
+	root.SetAttr("queries", strconv.Itoa(n))
+	defer root.End()
+
+	qctxs := make([]context.Context, n)
+	finishes := make([]func(*instance.Result, error), n)
+	plans := make([]*s2sql.Plan, n)
+	mergeFree := make([]bool, n)
+	for i, q := range queries {
+		qctxs[i], finishes[i] = m.beginQuery(ctx, q)
+		plans[i], mergeFree[i], errs[i] = m.planQuery(qctxs[i], q)
+	}
+
+	// One extraction scatter for the whole batch. Slots whose planning
+	// failed hold nil plans; the scatter reports them as errors we
+	// already have, and they are skipped below.
+	sets, xerrs := m.manager.ExtractQueryBatch(ctx, plans)
+
+	for i := range queries {
+		if errs[i] != nil {
+			finishes[i](nil, errs[i])
+			continue
+		}
+		if xerrs[i] != nil {
+			errs[i] = xerrs[i]
+			finishes[i](nil, errs[i])
+			continue
+		}
+		rs := sets[i]
+		m.stats.extractNS.Add(int64(rs.Stats.SchemaDuration + rs.Stats.ExtractDuration))
+		genStart := time.Now()
+		res, err := m.gen.GenerateContextOpts(qctxs[i], plans[i], rs, instance.GenOptions{MergeFree: mergeFree[i]})
+		m.stats.generateNS.Add(int64(time.Since(genStart)))
+		if err == nil && sink != nil {
+			err = sink(i, res)
+		}
+		if err != nil {
+			errs[i] = err
+			finishes[i](res, err)
+			continue
+		}
+		results[i] = res
+		finishes[i](res, nil)
+	}
+	return results, errs
+}

@@ -21,7 +21,9 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/ontology"
+	"repro/internal/planner"
 	"repro/internal/s2sql"
+	"repro/internal/stats"
 )
 
 // Config configures a Middleware.
@@ -55,6 +57,10 @@ type Middleware struct {
 	// assembly, chunked serialization) instead of materializing. Answers
 	// are byte-identical either way; see docs/STREAMING.md.
 	streaming bool
+	// eagerDisabled mirrors Config.Extract.DisableEagerStream: when set,
+	// QueryToStream keeps the ordering barrier even for queries the
+	// planner proved merge-free. Bytes are identical either way.
+	eagerDisabled bool
 
 	tracer  *obs.Tracer
 	metrics *obs.Registry
@@ -99,15 +105,16 @@ func New(cfg Config) (*Middleware, error) {
 	sources := datasource.NewRegistry()
 	repo := mapping.NewRepository(cfg.Ontology, sources)
 	return &Middleware{
-		ont:       cfg.Ontology,
-		sources:   sources,
-		repo:      repo,
-		manager:   extract.NewManager(repo, cfg.Backends, cfg.Extract),
-		gen:       instance.NewGenerator(cfg.Ontology, repo),
-		plans:     newPlanCache(cfg.PlanCacheSize),
-		streaming: cfg.Extract.Streaming,
-		tracer:    obs.NewTracer(cfg.TraceCapacity),
-		metrics:   obs.NewRegistry(),
+		ont:           cfg.Ontology,
+		sources:       sources,
+		repo:          repo,
+		manager:       extract.NewManager(repo, cfg.Backends, cfg.Extract),
+		gen:           instance.NewGenerator(cfg.Ontology, repo),
+		plans:         newPlanCache(cfg.PlanCacheSize),
+		streaming:     cfg.Extract.Streaming,
+		eagerDisabled: cfg.Extract.DisableEagerStream,
+		tracer:        obs.NewTracer(cfg.TraceCapacity),
+		metrics:       obs.NewRegistry(),
 	}, nil
 }
 
@@ -205,28 +212,46 @@ func (m *Middleware) beginQuery(ctx context.Context, query string) (context.Cont
 	}
 }
 
-// planQuery runs the traced parse-and-plan stage through the plan cache.
-func (m *Middleware) planQuery(ctx context.Context, query string) (*s2sql.Plan, error) {
+// planQuery runs the traced parse-and-plan stage through the plan
+// cache. Alongside the compiled plan it returns the planner's
+// merge-free verdict, computed once per cache miss and cached with the
+// plan (the cache flushes on every catalog mutation, so the verdict
+// never outlives the state it was proved against).
+func (m *Middleware) planQuery(ctx context.Context, query string) (*s2sql.Plan, bool, error) {
 	planStart := time.Now()
 	_, pspan, pdone := obs.StartStage(ctx, "parse_plan")
-	plan := m.plans.get(query)
-	if plan != nil {
+	entry, ok := m.plans.get(query)
+	if ok {
 		pspan.SetAttr("plan_cache", "hit")
 	} else {
 		pspan.SetAttr("plan_cache", "miss")
-		var err error
-		plan, err = s2sql.ParseAndPlan(query, m.ont)
+		plan, err := s2sql.ParseAndPlan(query, m.ont)
 		if err != nil {
 			pdone()
 			m.stats.planNS.Add(int64(time.Since(planStart)))
-			return nil, err
+			return nil, false, err
 		}
-		m.plans.put(query, plan)
+		entry = cachedPlan{plan: plan, mergeFree: m.proveMergeFree(plan)}
+		m.plans.put(query, entry)
 	}
 	pdone()
 	m.stats.planNS.Add(int64(time.Since(planStart)))
-	pspan.SetAttr("attributes", strconv.Itoa(len(plan.AttributeIDs())))
-	return plan, nil
+	pspan.SetAttr("attributes", strconv.Itoa(len(entry.plan.AttributeIDs())))
+	pspan.SetAttr("merge_free", strconv.FormatBool(entry.mergeFree))
+	return entry.plan, entry.mergeFree, nil
+}
+
+// proveMergeFree runs the planner's merge-free proof over the plan's
+// unrewritten extraction schema and counts the outcome
+// (s2s_planner_mergefree_total). A schema error declines conservatively;
+// extraction will surface the error itself.
+func (m *Middleware) proveMergeFree(plan *s2sql.Plan) bool {
+	verdict := planner.MergeFreeVerdict{Outcome: planner.MergeFreeUnmappedAttr, Detail: "schema unavailable"}
+	if plans, _, err := m.repo.Schema(plan.AttributeIDs()); err == nil {
+		verdict = planner.ProveMergeFree(m.ont, m.repo.ClassKeys(), plans)
+	}
+	m.metrics.Counter(obs.MetricPlannerMergeFree, obs.Labels{"outcome": verdict.Outcome}).Inc()
+	return verdict.OK
 }
 
 // answer runs the traced pipeline body: parse and plan (query handler),
@@ -234,12 +259,12 @@ func (m *Middleware) planQuery(ctx context.Context, query string) (*s2sql.Plan, 
 // Streaming option set the extract and generate stages run as a
 // producer/consumer pair over fragment batches instead.
 func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result, error) {
-	plan, err := m.planQuery(ctx, query)
+	plan, mergeFree, err := m.planQuery(ctx, query)
 	if err != nil {
 		return nil, err
 	}
 	if m.streaming {
-		return m.generateStreaming(ctx, plan)
+		return m.generateStreaming(ctx, plan, mergeFree)
 	}
 
 	// ExtractQuery hands the full plan to the extractor so the query
@@ -252,7 +277,7 @@ func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result
 	m.stats.extractNS.Add(int64(rs.Stats.SchemaDuration + rs.Stats.ExtractDuration))
 
 	genStart := time.Now()
-	res, err := m.gen.GenerateContext(ctx, plan, rs)
+	res, err := m.gen.GenerateContextOpts(ctx, plan, rs, instance.GenOptions{MergeFree: mergeFree})
 	m.stats.generateNS.Add(int64(time.Since(genStart)))
 	if err != nil {
 		return nil, err
@@ -264,13 +289,13 @@ func (m *Middleware) answer(ctx context.Context, query string) (*instance.Result
 // planned query. Extraction overlaps generation, so the generate time
 // recorded here includes waiting on batches; the extract time comes
 // from the stream's tail stats.
-func (m *Middleware) generateStreaming(ctx context.Context, plan *s2sql.Plan) (*instance.Result, error) {
+func (m *Middleware) generateStreaming(ctx context.Context, plan *s2sql.Plan, mergeFree bool) (*instance.Result, error) {
 	st, err := m.manager.ExtractQueryStream(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
 	genStart := time.Now()
-	res, err := m.gen.GenerateStreamContext(ctx, plan, st)
+	res, err := m.gen.GenerateStreamContextOpts(ctx, plan, st, instance.GenOptions{MergeFree: mergeFree})
 	m.stats.generateNS.Add(int64(time.Since(genStart)))
 	if err != nil {
 		// Drain so the producer can finish and release its budget.
@@ -291,8 +316,28 @@ func (m *Middleware) generateStreaming(ctx context.Context, plan *s2sql.Plan) (*
 // the later QueryWithExtractor call replans through the same cache, so
 // the work is paid once.
 func (m *Middleware) Plan(ctx context.Context, query string) (*s2sql.Plan, error) {
+	plan, _, err := m.PlanMergeFree(ctx, query)
+	return plan, err
+}
+
+// PlanMergeFree is Plan exposing the planner's merge-free verdict for
+// the query (cached with the plan). The transport's stream endpoint
+// uses it to decide, before the response headers go out, whether the
+// body will be emitted barrier-free.
+func (m *Middleware) PlanMergeFree(ctx context.Context, query string) (*s2sql.Plan, bool, error) {
 	ctx = obs.ContextWithMetrics(ctx, m.metrics)
 	return m.planQuery(ctx, query)
+}
+
+// EagerStream reports whether QueryToStream will emit barrier-free for
+// a query with the given merge-free verdict in the given format: the
+// proof must hold, the format's serialization must be
+// instance-incremental (instance.EagerFormat), and the
+// DisableEagerStream rollback knob must be off. The transport calls it
+// with PlanMergeFree's verdict to choose the stream-mode header before
+// the response commits.
+func (m *Middleware) EagerStream(mergeFree bool, format instance.Format) bool {
+	return mergeFree && !m.eagerDisabled && instance.EagerFormat(format)
 }
 
 // ExtractPlanSources runs the extraction stage for an already-planned
@@ -325,7 +370,7 @@ func (m *Middleware) OrderExtractSources(plan *s2sql.Plan, sourceIDs []string) [
 func (m *Middleware) QueryWithExtractor(ctx context.Context, query string, extractFn func(context.Context, *s2sql.Plan) (*extract.ResultSet, error)) (*instance.Result, error) {
 	ctx, finish := m.beginQuery(ctx, query)
 	res, err := func() (*instance.Result, error) {
-		plan, err := m.planQuery(ctx, query)
+		plan, mergeFree, err := m.planQuery(ctx, query)
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +380,7 @@ func (m *Middleware) QueryWithExtractor(ctx context.Context, query string, extra
 		}
 		m.stats.extractNS.Add(int64(rs.Stats.SchemaDuration + rs.Stats.ExtractDuration))
 		genStart := time.Now()
-		res, err := m.gen.GenerateContext(ctx, plan, rs)
+		res, err := m.gen.GenerateContextOpts(ctx, plan, rs, instance.GenOptions{MergeFree: mergeFree})
 		m.stats.generateNS.Add(int64(time.Since(genStart)))
 		return res, err
 	}()
@@ -379,7 +424,12 @@ func (m *Middleware) QueryTo(ctx context.Context, w io.Writer, query string, for
 // regardless of the Streaming option and serializes the result to w in
 // bounded chunks — the transport's /query/stream endpoint hands it an
 // http.Flusher-backed writer so every chunk reaches the wire as a
-// chunked-transfer frame. The result and chunk statistics are returned
+// chunked-transfer frame. When the planner proved the query merge-free
+// and the format supports it (and DisableEagerStream is off), the body
+// is emitted barrier-free: instances stream out as extraction windows
+// close, so the first instance reaches w while slower sources are still
+// extracting; otherwise the ordering barrier runs. The bytes are
+// identical either way. The result and chunk statistics are returned
 // alongside any error; a serialization error may surface after part of
 // the body was already written, which is why the transport signals
 // completion in trailers.
@@ -387,11 +437,24 @@ func (m *Middleware) QueryToStream(ctx context.Context, w io.Writer, query strin
 	ctx, finish := m.beginQuery(ctx, query)
 	var stats instance.ChunkStats
 	res, err := func() (*instance.Result, error) {
-		plan, err := m.planQuery(ctx, query)
+		plan, mergeFree, err := m.planQuery(ctx, query)
 		if err != nil {
 			return nil, err
 		}
-		res, err := m.generateStreaming(ctx, plan)
+		if mergeFree && !m.eagerDisabled && instance.EagerFormat(format) {
+			st, err := m.manager.ExtractQueryStream(ctx, plan)
+			if err != nil {
+				return nil, err
+			}
+			var res *instance.Result
+			res, stats, err = m.gen.GenerateStreamEagerContext(ctx, plan, st, w, format, 0)
+			if err == nil {
+				tail := st.Tail()
+				m.stats.extractNS.Add(int64(tail.Stats.SchemaDuration + tail.Stats.ExtractDuration))
+			}
+			return res, err
+		}
+		res, err := m.generateStreaming(ctx, plan, mergeFree)
 		if err != nil {
 			return nil, err
 		}
@@ -413,11 +476,11 @@ func (m *Middleware) QueryToStream(ctx context.Context, w io.Writer, query strin
 func (m *Middleware) QueryStreamed(ctx context.Context, query string) (*instance.Result, error) {
 	ctx, finish := m.beginQuery(ctx, query)
 	res, err := func() (*instance.Result, error) {
-		plan, err := m.planQuery(ctx, query)
+		plan, mergeFree, err := m.planQuery(ctx, query)
 		if err != nil {
 			return nil, err
 		}
-		return m.generateStreaming(ctx, plan)
+		return m.generateStreaming(ctx, plan, mergeFree)
 	}()
 	finish(res, err)
 	if err != nil {
@@ -446,6 +509,13 @@ func (m *Middleware) Generator() *instance.Generator { return m.gen }
 // breaker is disabled in the extract options).
 func (m *Middleware) SourceHealth() []extract.SourceHealth {
 	return m.manager.Health()
+}
+
+// SourceStats exposes the extractor's per-source statistics registry —
+// the cost model behind source ordering. s2s-server persists it across
+// restarts via stats.Registry.Save/Load (-stats-file).
+func (m *Middleware) SourceStats() *stats.Registry {
+	return m.manager.SourceStats()
 }
 
 // Stats returns a snapshot of cumulative statistics. Safe to call

@@ -1,0 +1,199 @@
+package core_test
+
+// eager_test.go pins the barrier-free streaming contract: on a world
+// whose queries the planner proves merge-free (the flat paper ontology —
+// no relations, no class keys), the eager emission path, the barrier
+// streaming path, and the materializing path produce byte-identical
+// output for every query and format; and the multi-query batch pipeline
+// answers exactly like N sequential single queries.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func buildFlatWorld(t *testing.T, opts extract.Options) *core.Middleware {
+	t.Helper()
+	spec := workload.Spec{
+		DBSources: 2, XMLSources: 2, WebSources: 2, TextSources: 2,
+		RecordsPerSource: 12,
+		Seed:             21,
+		FlatOntology:     true,
+	}
+	world := workload.MustGenerate(spec)
+	mw, err := core.New(core.Config{
+		Ontology: world.Ontology,
+		Backends: extract.FromCatalog(world.Catalog),
+		Extract:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+// TestFlatWorldProvesMergeFree guards the fixture itself: every
+// equivalence query must prove merge-free on the flat world, otherwise
+// the eager tests below would silently exercise the barrier fallback.
+func TestFlatWorldProvesMergeFree(t *testing.T) {
+	ctx := context.Background()
+	mw := buildFlatWorld(t, extract.Options{})
+	for _, q := range equivalenceQueries {
+		_, mergeFree, err := mw.PlanMergeFree(ctx, q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if !mergeFree {
+			t.Errorf("%q: not proved merge-free on the flat world", q)
+		}
+	}
+	if n := mw.Metrics().Counter(obs.MetricPlannerMergeFree, obs.Labels{"outcome": obs.OutcomeMergeFreeProved}).Value(); n == 0 {
+		t.Error("s2s_planner_mergefree_total{outcome=proved} = 0, want > 0")
+	}
+}
+
+// TestEagerStreamingEquivalence is the barrier-free byte-equivalence
+// suite: for every query and every format, QueryToStream with eager
+// emission enabled (merge-free proof holds, 4-record windows force
+// multi-window interleaving) matches both the barrier streaming path
+// (DisableEagerStream) and the materializing path byte for byte.
+func TestEagerStreamingEquivalence(t *testing.T) {
+	ctx := context.Background()
+	base := buildFlatWorld(t, extract.Options{})
+	eager := buildFlatWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4})
+	barrier := buildFlatWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4, DisableEagerStream: true})
+	formats := []instance.Format{
+		instance.FormatOWL, instance.FormatTurtle, instance.FormatNTriples,
+		instance.FormatXML, instance.FormatJSON, instance.FormatText,
+	}
+	for _, q := range equivalenceQueries {
+		for _, f := range formats {
+			want, err := base.QueryString(ctx, q, f)
+			if err != nil {
+				t.Fatalf("materializing %q %v: %v", q, f, err)
+			}
+			var eagerOut, barrierOut bytes.Buffer
+			if _, _, err := eager.QueryToStream(ctx, &eagerOut, q, f); err != nil {
+				t.Fatalf("eager %q %v: %v", q, f, err)
+			}
+			if _, _, err := barrier.QueryToStream(ctx, &barrierOut, q, f); err != nil {
+				t.Fatalf("barrier %q %v: %v", q, f, err)
+			}
+			if eagerOut.String() != want {
+				t.Errorf("eager %q %v: output diverges from materializing path\nwant:\n%s\ngot:\n%s",
+					q, f, clip(want), clip(eagerOut.String()))
+			}
+			if barrierOut.String() != want {
+				t.Errorf("barrier %q %v: output diverges from materializing path\nwant:\n%s\ngot:\n%s",
+					q, f, clip(want), clip(barrierOut.String()))
+			}
+		}
+	}
+}
+
+// TestEagerResultMatchesBarrier compares the structured result — counts
+// and error lists — returned alongside the eager bytes.
+func TestEagerResultMatchesBarrier(t *testing.T) {
+	ctx := context.Background()
+	eager := buildFlatWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4})
+	barrier := buildFlatWorld(t, extract.Options{Streaming: true, StreamBatchRecords: 4, DisableEagerStream: true})
+	for _, q := range equivalenceQueries {
+		var eb, bb bytes.Buffer
+		got, gotStats, err := eager.QueryToStream(ctx, &eb, q, instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("eager %q: %v", q, err)
+		}
+		want, _, err := barrier.QueryToStream(ctx, &bb, q, instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("barrier %q: %v", q, err)
+		}
+		if len(got.Matched) != len(want.Matched) || len(got.Errors) != len(want.Errors) {
+			t.Errorf("%q: matched/errors = %d/%d, want %d/%d",
+				q, len(got.Matched), len(got.Errors), len(want.Matched), len(want.Errors))
+		}
+		if gotStats.Bytes != int64(eb.Len()) {
+			t.Errorf("%q: eager stats.Bytes = %d, want %d", q, gotStats.Bytes, eb.Len())
+		}
+	}
+}
+
+// TestQueryBatchMatchesSequential runs the equivalence suite as one
+// batch and as N sequential queries on identically built worlds; every
+// per-query result must serialize byte-identically, and a bad query in
+// the batch must fail alone.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	seq := buildEquivalenceWorld(t, extract.Options{})
+	batch := buildEquivalenceWorld(t, extract.Options{})
+
+	results, errs := batch.QueryBatch(ctx, equivalenceQueries)
+	for i, q := range equivalenceQueries {
+		if errs[i] != nil {
+			t.Fatalf("batch %q: %v", q, errs[i])
+		}
+		want, err := seq.QueryString(ctx, q, instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("sequential %q: %v", q, err)
+		}
+		got, err := batch.Generator().SerializeString(results[i], instance.FormatJSON)
+		if err != nil {
+			t.Fatalf("serializing batch result %q: %v", q, err)
+		}
+		if got != want {
+			t.Errorf("%q: batch result diverges from sequential\nwant:\n%s\ngot:\n%s", q, clip(want), clip(got))
+		}
+	}
+
+	queries := []string{"SELECT product", "SELECT nonsense FROM", "SELECT provider"}
+	results, errs = batch.QueryBatch(ctx, queries)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good queries failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Error("malformed query in batch did not fail")
+	}
+	if results[0] == nil || results[2] == nil || results[1] != nil {
+		t.Errorf("result slots = [%v %v %v], want [set nil set]",
+			results[0] != nil, results[1] != nil, results[2] != nil)
+	}
+}
+
+// TestQueryBatchToSinksEveryResult checks the serializing variant: the
+// sink sees each successful result exactly once, in query order, and a
+// sink error becomes that query's error.
+func TestQueryBatchToSinksEveryResult(t *testing.T) {
+	ctx := context.Background()
+	mw := buildEquivalenceWorld(t, extract.Options{})
+	queries := []string{"SELECT product", "SELECT provider", "SELECT watch"}
+	var seen []int
+	_, errs := mw.QueryBatchTo(ctx, queries, func(i int, res *instance.Result) error {
+		seen = append(seen, i)
+		if res == nil {
+			t.Errorf("sink %d: nil result", i)
+		}
+		if i == 1 {
+			return context.Canceled
+		}
+		return nil
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Errorf("sink order = %v, want [0 1 2]", seen)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("unexpected errors: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "canceled") {
+		t.Errorf("sink error not propagated: %v", errs[1])
+	}
+}

@@ -55,6 +55,7 @@ func TestPerformanceDocKnobsExist(t *testing.T) {
 		"`extract.Options.RuleParallelism`",
 		"`extract.Options.SimulatedLatency`",
 		"`extract.Options.DisablePushdown`",
+		"`extract.Options.DisableEagerStream`",
 	} {
 		if !strings.Contains(doc, knob) {
 			t.Errorf("tuning knob %s missing from %s", knob, perfDocPath)
@@ -86,6 +87,9 @@ func TestPerformanceDocCoversBenchesAndTests(t *testing.T) {
 		"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery",
 		"BenchmarkE17SelectiveQuery", "BENCH_query_opt.json",
 		"BENCH_pushdown.json", "bench-compare", "InvalidateCache",
+		"BenchmarkE21FirstInstance", "BENCH_firstinstance.json",
+		"first_instance_ns", "BenchmarkE22Batch", "BENCH_batch.json",
+		"-stats-file",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("%s missing from %s", want, perfDocPath)
@@ -95,7 +99,10 @@ func TestPerformanceDocCoversBenchesAndTests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, fn := range []string{"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery", "BenchmarkE17SelectiveQuery"} {
+	for _, fn := range []string{
+		"BenchmarkE15RepeatedQuery", "BenchmarkE16ConcurrentQuery",
+		"BenchmarkE17SelectiveQuery", "BenchmarkE21FirstInstance", "BenchmarkE22Batch",
+	} {
 		if !strings.Contains(string(bench), "func "+fn) {
 			t.Errorf("doc describes %s, which bench_test.go does not define", fn)
 		}

@@ -22,11 +22,25 @@ const DefaultPlanCacheSize = 512
 // rather than tracking recency, which is free on the hot path and
 // pathological only for workloads with more distinct hot query strings
 // than the bound — those can raise Config.PlanCacheSize.
+//
+// Each entry also carries the planner's merge-free verdict for the
+// plan. The verdict depends on the same state as the plan itself
+// (ontology, class keys, mapping schema), and the cache is flushed on
+// every catalog mutation, so a cached verdict can never outlive the
+// state it was proved against — which is what keeps every execution
+// path of one catalog state agreeing on the canonical instance order.
 type planCache struct {
 	cap int
 
 	mu sync.RWMutex
-	m  map[string]*s2sql.Plan
+	m  map[string]cachedPlan
+}
+
+// cachedPlan is one plan-cache entry: the compiled plan and its
+// merge-free verdict.
+type cachedPlan struct {
+	plan      *s2sql.Plan
+	mergeFree bool
 }
 
 // newPlanCache returns a cache bounded to size entries (0 means
@@ -39,27 +53,28 @@ func newPlanCache(size int) *planCache {
 	if size == 0 {
 		size = DefaultPlanCacheSize
 	}
-	return &planCache{cap: size, m: make(map[string]*s2sql.Plan)}
+	return &planCache{cap: size, m: make(map[string]cachedPlan)}
 }
 
-func (c *planCache) get(query string) *s2sql.Plan {
+func (c *planCache) get(query string) (cachedPlan, bool) {
 	if c == nil {
-		return nil
+		return cachedPlan{}, false
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.m[query]
+	e, ok := c.m[query]
+	return e, ok
 }
 
-func (c *planCache) put(query string, p *s2sql.Plan) {
+func (c *planCache) put(query string, e cachedPlan) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	if len(c.m) >= c.cap {
-		c.m = make(map[string]*s2sql.Plan, c.cap)
+		c.m = make(map[string]cachedPlan, c.cap)
 	}
-	c.m[query] = p
+	c.m[query] = e
 	c.mu.Unlock()
 }
 
@@ -68,7 +83,7 @@ func (c *planCache) invalidate() {
 		return
 	}
 	c.mu.Lock()
-	c.m = make(map[string]*s2sql.Plan)
+	c.m = make(map[string]cachedPlan)
 	c.mu.Unlock()
 }
 

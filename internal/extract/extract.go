@@ -241,6 +241,14 @@ type Options struct {
 	// fragment batch; 0 means DefaultStreamBatchRecords. Smaller batches
 	// lower peak memory and raise per-batch overhead.
 	StreamBatchRecords int
+	// DisableEagerStream turns off barrier-free emission on the
+	// streaming path: even when the planner proves a query merge-free,
+	// the middleware keeps the ordering barrier. Off by default (eager
+	// emission is used whenever proved and the format supports it);
+	// bytes are identical either way — the knob exists for A/B
+	// measurement (BenchmarkE21FirstInstance) and incident rollback,
+	// like DisablePushdown and DisableSemiJoin.
+	DisableEagerStream bool
 	// DisableSemiJoin turns off cross-source semi-join narrowing
 	// (planner v3). By default, source plans the planner marked
 	// narrowable are deferred to a second extraction wave and restricted
@@ -477,7 +485,7 @@ func cacheKey(def datasource.Definition, entry mapping.Entry) string {
 // "source:<id>" child per contacted source and per-source counters and
 // latency histograms.
 func (m *Manager) Extract(ctx context.Context, attributeIDs []string) (*ResultSet, error) {
-	return m.extract(ctx, attributeIDs, nil, nil)
+	return m.extract(ctx, attributeIDs, nil, nil, nil)
 }
 
 // ExtractQuery is Extract with the full query plan in hand: before the
@@ -491,7 +499,7 @@ func (m *Manager) ExtractQuery(ctx context.Context, qplan *s2sql.Plan) (*ResultS
 	if qplan == nil {
 		return nil, errors.New("extract: nil query plan")
 	}
-	return m.extract(ctx, qplan.AttributeIDs(), qplan, nil)
+	return m.extract(ctx, qplan.AttributeIDs(), qplan, nil, nil)
 }
 
 // ExtractQuerySources is ExtractQuery restricted to the given source
@@ -512,22 +520,28 @@ func (m *Manager) ExtractQuerySources(ctx context.Context, qplan *s2sql.Plan, so
 	if sourceIDs == nil {
 		sourceIDs = []string{}
 	}
-	return m.extract(ctx, qplan.AttributeIDs(), qplan, sourceIDs)
+	return m.extract(ctx, qplan.AttributeIDs(), qplan, sourceIDs, nil)
 }
 
 // extract runs the four-step process. A non-nil restrict list limits
 // execution to the named sources in the given order (after schema
 // planning and the planner rewrite) and suppresses failover marking,
-// which needs the global fragment view.
-func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan, restrict []string) (*ResultSet, error) {
+// which needs the global fragment view. A non-nil shared run replaces
+// the per-run document layer, parallelism semaphore, and deadline
+// budget with ones a batch of concurrent runs holds in common (see
+// ExtractQueryBatch); everything else — schema, planner rewrite, wave
+// split, canonical sort — stays per run, so a shared-run result set is
+// identical to a standalone one.
+func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2sql.Plan, restrict []string, shared *sharedRun) (*ResultSet, error) {
 	ctx, espan, edone := obs.StartStage(ctx, "extract")
 	defer edone()
 	metrics := obs.MetricsFromContext(ctx)
 	rs := &ResultSet{}
 
 	// The deadline budget bounds the whole run; per-source timeouts nest
-	// under it, so one slow source cannot consume the query's time.
-	if m.opts.QueryBudget > 0 {
+	// under it, so one slow source cannot consume the query's time. A
+	// shared run's budget is applied once by the batch entry point.
+	if m.opts.QueryBudget > 0 && shared == nil {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, m.opts.QueryBudget)
 		defer cancel()
@@ -582,8 +596,12 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 
 	// Per-run shared state: the document layer (each source document is
 	// fetched/parsed once per run, shared across rules) and memoized
-	// cache-lookup counters (resolved once, not per rule).
+	// cache-lookup counters (resolved once, not per rule). A batch run
+	// widens the document layer's scope to the whole batch.
 	docs := m.newRunDocs()
+	if shared != nil {
+		docs = shared.docs
+	}
 	rm := newRunMetrics(metrics)
 
 	// Semi-join split (planner v3): narrowable plans defer to a second
@@ -596,6 +614,9 @@ func (m *Manager) extract(ctx context.Context, attributeIDs []string, qplan *s2s
 		mu  sync.Mutex
 		sem = make(chan struct{}, m.opts.Parallelism)
 	)
+	if shared != nil {
+		sem = shared.sem
+	}
 	runWave := func(wavePlans []mapping.SourcePlan) {
 		var wg sync.WaitGroup
 		for _, plan := range wavePlans {

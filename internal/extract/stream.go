@@ -74,6 +74,13 @@ type Stream struct {
 	// generator does).
 	Batches <-chan Batch
 
+	// Sources lists the IDs of every planned source in sorted order —
+	// the canonical emission order. The barrier-free consumer
+	// (instance.GenerateStreamEager) emits the lowest unemitted source's
+	// windows directly and buffers later sources against this list; the
+	// barrier consumer ignores it.
+	Sources []string
+
 	done chan struct{}
 	tail StreamTail
 }
@@ -130,6 +137,11 @@ func (m *Manager) extractStream(ctx context.Context, attributeIDs []string, qpla
 	st.Batches = ch
 	st.tail.Missing = missing
 	st.tail.Stats.SchemaDuration = time.Since(start)
+	st.Sources = make([]string, len(plans))
+	for i := range plans {
+		st.Sources[i] = plans[i].Source.ID
+	}
+	sort.Strings(st.Sources)
 
 	batchRecords := m.opts.StreamBatchRecords
 	if batchRecords <= 0 {

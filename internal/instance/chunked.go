@@ -180,67 +180,112 @@ func (g *Generator) SerializeChunked(w io.Writer, res *Result, format Format, ch
 // per marshal, splicing the pieces into the envelope so the bytes match
 // writeJSON's json.Encoder(SetIndent("", "  ")) output exactly —
 // including HTML escaping, sorted map keys, field order, and the
-// trailing newline.
+// trailing newline. The head/instance/tail pieces are shared with the
+// barrier-free eager path (eager.go), which interleaves them with
+// extraction instead of writing them in one pass.
 func (g *Generator) writeJSONChunked(w *ChunkedWriter, res *Result) error {
-	field := func(name string) {
-		w.WriteString(",\n  \"")
-		w.WriteString(name)
-		w.WriteString("\": ")
+	if err := writeJSONHead(w, res); err != nil {
+		return err
 	}
-	instances := func(ins []*Instance) error {
-		if len(ins) == 0 {
-			_, err := w.WriteString("[]")
+	for i, in := range res.Matched {
+		if err := writeJSONInstance(w, in, i == 0); err != nil {
 			return err
 		}
-		w.WriteString("[\n")
-		for i, in := range ins {
-			if i > 0 {
-				w.WriteString(",\n")
-			}
-			w.WriteString("    ")
-			data, err := json.MarshalIndent(jsonInstanceOf(in), "    ", "  ")
-			if err != nil {
-				return err
-			}
-			if _, err := w.Write(data); err != nil {
-				return err
-			}
-		}
-		_, err := w.WriteString("\n  ]")
-		return err
 	}
-	stringArray := func(ss []string) error {
-		w.WriteString("[\n")
-		for i, s := range ss {
-			if i > 0 {
-				w.WriteString(",\n")
-			}
-			w.WriteString("    ")
-			data, err := json.Marshal(s)
-			if err != nil {
-				return err
-			}
-			if _, err := w.Write(data); err != nil {
-				return err
-			}
-		}
-		_, err := w.WriteString("\n  ]")
-		return err
-	}
+	return writeJSONTail(w, res, len(res.Matched))
+}
 
+// writeJSONField writes the envelope's ",\n  \"name\": " separator.
+func writeJSONField(w *ChunkedWriter, name string) {
+	w.WriteString(",\n  \"")
+	w.WriteString(name)
+	w.WriteString("\": ")
+}
+
+// writeJSONInstances writes one full instance array ("[]" when empty).
+func writeJSONInstances(w *ChunkedWriter, ins []*Instance) error {
+	for i, in := range ins {
+		if err := writeJSONInstance(w, in, i == 0); err != nil {
+			return err
+		}
+	}
+	return closeJSONInstances(w, len(ins))
+}
+
+// writeJSONInstance writes one element of an instance array. The
+// array's opening bracket rides on the first element (closeJSONInstances
+// writes "[]" if no element was ever written), so an eager emitter needs
+// no lookahead.
+func writeJSONInstance(w *ChunkedWriter, in *Instance, first bool) error {
+	if first {
+		w.WriteString("[\n")
+	} else {
+		w.WriteString(",\n")
+	}
+	w.WriteString("    ")
+	data, err := json.MarshalIndent(jsonInstanceOf(in), "    ", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// closeJSONInstances terminates an instance array of n written elements.
+func closeJSONInstances(w *ChunkedWriter, n int) error {
+	if n == 0 {
+		_, err := w.WriteString("[]")
+		return err
+	}
+	_, err := w.WriteString("\n  ]")
+	return err
+}
+
+// writeJSONStrings writes a string array in encoder-identical form.
+func writeJSONStrings(w *ChunkedWriter, ss []string) error {
+	w.WriteString("[\n")
+	for i, s := range ss {
+		if i > 0 {
+			w.WriteString(",\n")
+		}
+		w.WriteString("    ")
+		data, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("\n  ]")
+	return err
+}
+
+// writeJSONHead opens the envelope through the "matched" field
+// separator; only the query string is needed, so an eager emitter can
+// write it before extraction delivers anything.
+func writeJSONHead(w *ChunkedWriter, res *Result) error {
 	w.WriteString("{\n  \"query\": ")
 	q, err := json.Marshal(res.Plan.Query.String())
 	if err != nil {
 		return err
 	}
 	w.Write(q)
-	field("matched")
-	if err := instances(res.Matched); err != nil {
+	writeJSONField(w, "matched")
+	return nil
+}
+
+// writeJSONTail closes the matched array (matched elements already
+// written) and emits every remaining envelope field; it needs the
+// complete result, so the eager path writes it after the stream's tail
+// arrives.
+func writeJSONTail(w *ChunkedWriter, res *Result, matched int) error {
+	if err := closeJSONInstances(w, matched); err != nil {
 		return err
 	}
 	if len(res.Related) > 0 {
-		field("related")
-		if err := instances(res.Related); err != nil {
+		writeJSONField(w, "related")
+		if err := writeJSONInstances(w, res.Related); err != nil {
 			return err
 		}
 	}
@@ -249,8 +294,8 @@ func (g *Generator) writeJSONChunked(w *ChunkedWriter, res *Result) error {
 		for i, e := range res.Errors {
 			ss[i] = e.Error()
 		}
-		field("errors")
-		if err := stringArray(ss); err != nil {
+		writeJSONField(w, "errors")
+		if err := writeJSONStrings(w, ss); err != nil {
 			return err
 		}
 	}
@@ -259,17 +304,17 @@ func (g *Generator) writeJSONChunked(w *ChunkedWriter, res *Result) error {
 		for i, d := range res.Degraded {
 			ss[i] = d.String()
 		}
-		field("degraded")
-		if err := stringArray(ss); err != nil {
+		writeJSONField(w, "degraded")
+		if err := writeJSONStrings(w, ss); err != nil {
 			return err
 		}
 	}
 	if len(res.Missing) > 0 {
-		field("missing")
-		if err := stringArray(res.Missing); err != nil {
+		writeJSONField(w, "missing")
+		if err := writeJSONStrings(w, res.Missing); err != nil {
 			return err
 		}
 	}
-	_, err = w.WriteString("\n}\n")
+	_, err := w.WriteString("\n}\n")
 	return err
 }

@@ -109,6 +109,21 @@ func (r *Result) Instances() []*Instance {
 	return append(out, r.Related...)
 }
 
+// GenOptions tunes one generation run.
+type GenOptions struct {
+	// MergeFree declares that the planner proved the query merge-free
+	// (planner.ProveMergeFree): no class-key merging, no relation
+	// linking, and a single lineage group per source. The generator then
+	// keeps its deterministic assembly order — sources in sorted ID
+	// order, records in extraction order — as the canonical order
+	// instead of running the fingerprint sort, which is what lets the
+	// streaming path emit instances before extraction finishes
+	// (GenerateStreamEager). Every path answering the same catalog state
+	// must agree on this flag, or their outputs diverge; the middleware
+	// caches the verdict next to the query plan for exactly that reason.
+	MergeFree bool
+}
+
 // Generator assembles extraction results into ontology instances.
 type Generator struct {
 	ont  *ontology.Ontology
@@ -131,8 +146,13 @@ func NewGenerator(ont *ontology.Ontology, repo *mapping.Repository) *Generator {
 // context's metrics registry (see internal/obs). It is the entry point
 // the middleware's query path uses.
 func (g *Generator) GenerateContext(ctx context.Context, plan *s2sql.Plan, rs *extract.ResultSet) (*Result, error) {
+	return g.GenerateContextOpts(ctx, plan, rs, GenOptions{})
+}
+
+// GenerateContextOpts is GenerateContext with generation options.
+func (g *Generator) GenerateContextOpts(ctx context.Context, plan *s2sql.Plan, rs *extract.ResultSet, opts GenOptions) (*Result, error) {
 	_, span, done := obs.StartStage(ctx, "generate")
-	res, err := g.Generate(plan, rs)
+	res, err := g.GenerateOpts(plan, rs, opts)
 	if err == nil {
 		span.SetAttr("matched", strconv.Itoa(len(res.Matched)))
 		span.SetAttr("related", strconv.Itoa(len(res.Related)))
@@ -144,6 +164,11 @@ func (g *Generator) GenerateContext(ctx context.Context, plan *s2sql.Plan, rs *e
 // Generate compiles raw fragments into instances and applies the plan's
 // conditions.
 func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, error) {
+	return g.GenerateOpts(plan, rs, GenOptions{})
+}
+
+// GenerateOpts is Generate with generation options.
+func (g *Generator) GenerateOpts(plan *s2sql.Plan, rs *extract.ResultSet, opts GenOptions) (*Result, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("instance: nil plan")
 	}
@@ -156,7 +181,7 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 
 	all, errs := g.assemble(rs)
 	res.Errors = append(res.Errors, errs...)
-	g.finish(res, all)
+	g.finish(res, all, opts)
 	return res, nil
 }
 
@@ -164,8 +189,12 @@ func (g *Generator) Generate(plan *s2sql.Plan, rs *extract.ResultSet) (*Result, 
 // matched/related partition under the plan's conditions, deterministic
 // ordering, and ID numbering. Both the materializing path (Generate)
 // and the streaming path (GenerateStream) funnel through it, which is
-// what keeps their outputs byte-identical.
-func (g *Generator) finish(res *Result, all []*Instance) {
+// what keeps their outputs byte-identical. Under a merge-free proof
+// (GenOptions.MergeFree) the fingerprint sort is skipped: assembly
+// order — which every path reproduces — is already canonical, and the
+// eager streaming path (GenerateStreamEager) numbers and emits in that
+// same order.
+func (g *Generator) finish(res *Result, all []*Instance, opts GenOptions) {
 	plan := res.Plan
 	g.link(all)
 
@@ -215,8 +244,10 @@ func (g *Generator) finish(res *Result, all []*Instance) {
 		}
 	}
 
-	sortInstances(res.Matched)
-	sortInstances(res.Related)
+	if !opts.MergeFree {
+		sortInstances(res.Matched)
+		sortInstances(res.Related)
+	}
 	g.number(res)
 }
 

@@ -1,0 +1,99 @@
+package instance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMuxRoundTrip frames three queries the way the batch endpoint does
+// — bodies in chunk-sized writes, per-query trailers, one failed query
+// with a trailer but no body — and demultiplexes them back.
+func TestMuxRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	mux := NewMuxWriter(&wire)
+	if err := mux.Header(3); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mux.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	w0 := mux.Stream(0)
+	for _, chunk := range []string{`{"query": "SELECT product",`, "\n", `"matched": []}`} {
+		if _, err := w0.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mux.Trailer(0, map[string]string{"matched": "0", "errors": "0"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query 1 failed before serialization: trailer only, message with
+	// every character class the line framing must survive.
+	if err := mux.Trailer(1, map[string]string{"error": "parse error: near \"=c 9 9\"\nline 2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mux.Begin(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mux.Stream(2).Write([]byte("<s2s-result>\n</s2s-result>\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Trailer(2, map[string]string{"matched": "4"}); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := DemuxBatch(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	if got := string(results[0].Body); got != `{"query": "SELECT product",`+"\n"+`"matched": []}` {
+		t.Errorf("query 0 body = %q", got)
+	}
+	if !results[0].Began || results[0].Trailer["matched"] != "0" || results[0].Trailer["errors"] != "0" {
+		t.Errorf("query 0 = %+v", results[0])
+	}
+	if results[1].Began || len(results[1].Body) != 0 {
+		t.Errorf("failed query has a body: %+v", results[1])
+	}
+	if got := results[1].Trailer["error"]; got != "parse error: near \"=c 9 9\"\nline 2" {
+		t.Errorf("query 1 error round-trip = %q", got)
+	}
+	if string(results[2].Body) != "<s2s-result>\n</s2s-result>\n" || results[2].Trailer["matched"] != "4" {
+		t.Errorf("query 2 = %+v", results[2])
+	}
+}
+
+func TestMuxZeroLengthWriteEmitsNoFrame(t *testing.T) {
+	var wire bytes.Buffer
+	mux := NewMuxWriter(&wire)
+	if _, err := mux.Stream(0).Write(nil); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Len() != 0 {
+		t.Errorf("zero-length write framed %q", wire.String())
+	}
+}
+
+func TestDemuxMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown frame":   "=x 0\n",
+		"bad index":       "=b zero\n",
+		"bad chunk size":  "=c 0 nope\n",
+		"short chunk":     "=c 0 10\nabc",
+		"negative index":  "=b -1\n",
+		"bare line":       "hello\n",
+		"trailer no k=v":  "=t 0 junk\n",
+		"trailer bad esc": "=t 0 error=%zz\n",
+	}
+	for name, wire := range cases {
+		if _, err := DemuxBatch(strings.NewReader(wire)); err == nil {
+			t.Errorf("%s: demux accepted %q", name, wire)
+		}
+	}
+}

@@ -36,8 +36,14 @@ type streamSourceAcc struct {
 // stage overlaps extraction: its span starts when consumption starts
 // and covers the wait for batches.
 func (g *Generator) GenerateStreamContext(ctx context.Context, plan *s2sql.Plan, st *extract.Stream) (*Result, error) {
+	return g.GenerateStreamContextOpts(ctx, plan, st, GenOptions{})
+}
+
+// GenerateStreamContextOpts is GenerateStreamContext with generation
+// options.
+func (g *Generator) GenerateStreamContextOpts(ctx context.Context, plan *s2sql.Plan, st *extract.Stream, opts GenOptions) (*Result, error) {
 	_, span, done := obs.StartStage(ctx, "generate")
-	res, err := g.GenerateStream(plan, st)
+	res, err := g.GenerateStreamOpts(plan, st, opts)
 	if err == nil {
 		span.SetAttr("matched", strconv.Itoa(len(res.Matched)))
 		span.SetAttr("related", strconv.Itoa(len(res.Related)))
@@ -51,6 +57,15 @@ func (g *Generator) GenerateStreamContext(ctx context.Context, plan *s2sql.Plan,
 // output is byte-identical to the materializing path for the same
 // query. It must be the stream's only consumer.
 func (g *Generator) GenerateStream(plan *s2sql.Plan, st *extract.Stream) (*Result, error) {
+	return g.GenerateStreamOpts(plan, st, GenOptions{})
+}
+
+// GenerateStreamOpts is GenerateStream with generation options. This is
+// still the barrier path: even under a merge-free proof it materializes
+// the full instance list before returning — GenerateStreamEager is the
+// barrier-free alternative — but the proof flag must match the one the
+// other paths use so the skipped fingerprint sort agrees everywhere.
+func (g *Generator) GenerateStreamOpts(plan *s2sql.Plan, st *extract.Stream, opts GenOptions) (*Result, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("instance: nil plan")
 	}
@@ -102,6 +117,6 @@ func (g *Generator) GenerateStream(plan *s2sql.Plan, st *extract.Stream) (*Resul
 		}
 	}
 	all = g.mergeByKey(all)
-	g.finish(res, all)
+	g.finish(res, all, opts)
 	return res, nil
 }

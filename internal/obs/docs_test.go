@@ -74,6 +74,7 @@ func TestDocCoversEveryOutcomeValue(t *testing.T) {
 		{MetricCacheLookups, CacheOutcomes},
 		{MetricClusterSubqueries, ClusterSubqueryOutcomes},
 		{MetricClusterHedges, ClusterHedgeOutcomes},
+		{MetricPlannerMergeFree, MergeFreeOutcomes},
 		{MetricPlannerSemiJoin, SemiJoinOutcomes},
 	}
 	for _, f := range families {

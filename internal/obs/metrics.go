@@ -44,6 +44,9 @@ const (
 	// MetricPlannerPushdownApplied counts record-scope groups that
 	// received a predicate pushdown (record filter and/or native SQL).
 	MetricPlannerPushdownApplied = "s2s_planner_pushdown_applied_total"
+	// MetricPlannerMergeFree counts merge-free proof decisions at plan
+	// time, labeled by outcome (the planner's MergeFree* constants).
+	MetricPlannerMergeFree = "s2s_planner_mergefree_total"
 	// MetricPlannerSemiJoin counts semi-join narrowing decisions at
 	// runtime, labeled by outcome.
 	MetricPlannerSemiJoin = "s2s_planner_semijoin_total"
@@ -115,6 +118,16 @@ const (
 	OutcomeSemiJoinCapped   = "capped"
 	OutcomeSemiJoinMixed    = "mixed"
 	OutcomeSemiJoinNoCommon = "no_common_condition"
+	// Merge-free proof outcomes (MetricPlannerMergeFree): the barrier
+	// can be skipped, or the first failed proof condition. The values
+	// mirror the planner's MergeFree* constants (internal/planner
+	// declares them; importing it here would invert the layering — a
+	// planner test keeps the two lists in lockstep).
+	OutcomeMergeFreeProved       = "proved"
+	OutcomeMergeFreeUnmappedAttr = "unmapped_attribute"
+	OutcomeMergeFreeRelations    = "relations"
+	OutcomeMergeFreeClassKey     = "class_key"
+	OutcomeMergeFreeMultiGroup   = "multi_group"
 )
 
 // SourceOutcomes lists every outcome value MetricSourceExtractTotal is
@@ -151,6 +164,14 @@ var SemiJoinOutcomes = []string{
 	OutcomeSemiJoinCapped, OutcomeSemiJoinMixed, OutcomeSemiJoinNoCommon,
 }
 
+// MergeFreeOutcomes lists every outcome value MetricPlannerMergeFree is
+// emitted with.
+var MergeFreeOutcomes = []string{
+	OutcomeMergeFreeProved, OutcomeMergeFreeUnmappedAttr,
+	OutcomeMergeFreeRelations, OutcomeMergeFreeClassKey,
+	OutcomeMergeFreeMultiGroup,
+}
+
 // Desc describes one exported metric family.
 type Desc struct {
 	// Name is the Prometheus family name.
@@ -177,6 +198,7 @@ var descriptors = []Desc{
 	{MetricPlannerSourcesPruned, "counter", "Source plans the query planner pruned before extraction.", nil},
 	{MetricPlannerEntriesPruned, "counter", "Mapping entries the query planner pruned before extraction.", nil},
 	{MetricPlannerPushdownApplied, "counter", "Record-scope groups with predicate pushdown applied.", nil},
+	{MetricPlannerMergeFree, "counter", "Merge-free proof decisions at plan time, labeled by outcome (proved|unmapped_attribute|relations|class_key|multi_group).", []string{"outcome"}},
 	{MetricPlannerSemiJoin, "counter", "Semi-join narrowing decisions at runtime, labeled by outcome (applied_sql|applied_filter|seed_empty|capped|mixed|no_common_condition).", []string{"outcome"}},
 	{MetricStreamBatches, "counter", "Fragment batches emitted by the streaming extraction pipeline, per source.", []string{"source"}},
 	{MetricClusterSubqueries, "counter", "Scatter-gather sub-requests dispatched to cluster nodes, labeled by node and outcome (ok|error|canceled|failover).", []string{"node", "outcome"}},

@@ -215,7 +215,8 @@ func TestDescriptorsCoverConstants(t *testing.T) {
 		MetricSourceExtractTotal, MetricSourceExtractDuration, MetricSourceRetries,
 		MetricCacheLookups, MetricBreakerTrips, MetricInstances,
 		MetricPlannerSourcesPruned, MetricPlannerEntriesPruned,
-		MetricPlannerPushdownApplied, MetricPlannerSemiJoin, MetricStreamBatches,
+		MetricPlannerPushdownApplied, MetricPlannerMergeFree,
+		MetricPlannerSemiJoin, MetricStreamBatches,
 		MetricClusterSubqueries, MetricClusterSubqueryDuration,
 		MetricClusterHedges, MetricClusterCatalogSyncs, MetricClusterHeartbeats,
 	}

@@ -33,6 +33,31 @@ func Paper() *Ontology {
 	return o
 }
 
+// PaperFlat builds the same class and attribute catalog as Paper but
+// declares no relations. Its queries carry no linkable classes, so —
+// absent class keys — the planner can prove them merge-free
+// (docs/STREAMING.md, "Barrier-free emission"); the streaming fixtures
+// and first-instance benchmarks use it as the canonical flat world.
+func PaperFlat() *Ontology {
+	o := MustNew(PaperBase, "watch-catalog", "thing")
+	mustClass(o, "product", "thing")
+	mustClass(o, "watch", "product")
+	mustClass(o, "provider", "thing")
+
+	mustAttr(o, "product", "brand", rdf.XSDString)
+	mustAttr(o, "product", "model", rdf.XSDString)
+	mustAttr(o, "product", "price", rdf.XSDDecimal)
+
+	mustAttr(o, "watch", "case", rdf.XSDString)
+	mustAttr(o, "watch", "movement", rdf.XSDString)
+	mustAttr(o, "watch", "water_resistance", rdf.XSDInteger)
+
+	mustAttr(o, "provider", "name", rdf.XSDString)
+	mustAttr(o, "provider", "country", rdf.XSDString)
+	mustAttr(o, "provider", "rating", rdf.XSDDecimal)
+	return o
+}
+
 func mustClass(o *Ontology, name, parent string) *Class {
 	c, err := o.AddClass(name, parent)
 	if err != nil {

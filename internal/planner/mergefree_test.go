@@ -1,0 +1,171 @@
+package planner_test
+
+import (
+	"testing"
+
+	"repro/internal/datasource"
+	"repro/internal/mapping"
+	"repro/internal/obs"
+	"repro/internal/ontology"
+	"repro/internal/planner"
+)
+
+// TestMergeFreeOutcomesMatchObs keeps the planner's verdict constants in
+// lockstep with obs.MergeFreeOutcomes (the drift-tested label list for
+// s2s_planner_mergefree_total); obs cannot import the planner, so the
+// values are mirrored there.
+func TestMergeFreeOutcomesMatchObs(t *testing.T) {
+	want := []string{
+		planner.MergeFreeProved, planner.MergeFreeUnmappedAttr,
+		planner.MergeFreeRelations, planner.MergeFreeClassKey,
+		planner.MergeFreeMultiGroup,
+	}
+	if len(obs.MergeFreeOutcomes) != len(want) {
+		t.Fatalf("obs.MergeFreeOutcomes has %d values, planner declares %d", len(obs.MergeFreeOutcomes), len(want))
+	}
+	for i, v := range want {
+		if obs.MergeFreeOutcomes[i] != v {
+			t.Errorf("obs.MergeFreeOutcomes[%d] = %q, want %q", i, obs.MergeFreeOutcomes[i], v)
+		}
+	}
+}
+
+// span builds a one-source schema plan over the given attribute IDs.
+func span(sourceID string, attrs ...string) mapping.SourcePlan {
+	sp := mapping.SourcePlan{Source: datasource.Definition{ID: sourceID}}
+	for _, a := range attrs {
+		sp.Entries = append(sp.Entries, mapping.Entry{AttributeID: a, SourceID: sourceID})
+	}
+	return sp
+}
+
+// TestProveMergeFree walks one schema shape per proof outcome: the flat
+// fixture proves, and each condition (unmapped attribute, relations on
+// either endpoint, class keys, multi-group sources) declines with its
+// own labeled outcome.
+func TestProveMergeFree(t *testing.T) {
+	flat := ontology.PaperFlat()
+	paper := ontology.Paper()
+	noKeys := map[string]string{}
+
+	cases := []struct {
+		name    string
+		ont     *ontology.Ontology
+		keys    map[string]string
+		plans   []mapping.SourcePlan
+		outcome string
+	}{
+		{
+			name: "flat single-chain proves",
+			ont:  flat, keys: noKeys,
+			plans: []mapping.SourcePlan{
+				span("db_000", "thing.product.brand", "thing.product.watch.case"),
+				span("xml_000", "thing.product.brand", "thing.product.model"),
+			},
+			outcome: planner.MergeFreeProved,
+		},
+		{
+			name: "no ontology",
+			ont:  nil, keys: noKeys,
+			plans:   []mapping.SourcePlan{span("db_000", "thing.product.brand")},
+			outcome: planner.MergeFreeUnmappedAttr,
+		},
+		{
+			name: "unmapped attribute",
+			ont:  flat, keys: noKeys,
+			plans:   []mapping.SourcePlan{span("db_000", "thing.gadget.mass")},
+			outcome: planner.MergeFreeUnmappedAttr,
+		},
+		{
+			name: "relation on entry class chain",
+			ont:  paper, keys: noKeys,
+			// watch inherits product's hasProvider relation.
+			plans:   []mapping.SourcePlan{span("db_000", "thing.product.watch.case")},
+			outcome: planner.MergeFreeRelations,
+		},
+		{
+			name: "entry class is a relation target",
+			ont:  paper, keys: noKeys,
+			// provider declares nothing, but product points at it.
+			plans:   []mapping.SourcePlan{span("db_000", "thing.provider.name")},
+			outcome: planner.MergeFreeRelations,
+		},
+		{
+			name: "class key comparable with entry class",
+			ont:  flat,
+			keys: map[string]string{"product": "thing.product.model"},
+			plans: []mapping.SourcePlan{
+				span("db_000", "thing.product.watch.case"),
+			},
+			outcome: planner.MergeFreeClassKey,
+		},
+		{
+			name: "class key on unrelated class still declines its chain",
+			ont:  flat,
+			keys: map[string]string{"provider": "thing.provider.name"},
+			plans: []mapping.SourcePlan{
+				span("db_000", "thing.provider.country"),
+			},
+			outcome: planner.MergeFreeClassKey,
+		},
+		{
+			name: "class key elsewhere does not block a disjoint chain",
+			ont:  flat,
+			keys: map[string]string{"provider": "thing.provider.name"},
+			plans: []mapping.SourcePlan{
+				span("db_000", "thing.product.brand", "thing.product.price"),
+			},
+			outcome: planner.MergeFreeProved,
+		},
+		{
+			name: "source spanning two lineage chains",
+			ont:  flat, keys: noKeys,
+			plans: []mapping.SourcePlan{
+				span("db_000", "thing.product.brand", "thing.provider.name"),
+			},
+			outcome: planner.MergeFreeMultiGroup,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := planner.ProveMergeFree(tc.ont, tc.keys, tc.plans)
+			if v.Outcome != tc.outcome {
+				t.Fatalf("outcome = %s (%s), want %s", v.Outcome, v.Detail, tc.outcome)
+			}
+			if v.OK != (tc.outcome == planner.MergeFreeProved) {
+				t.Fatalf("OK = %v inconsistent with outcome %s", v.OK, v.Outcome)
+			}
+			if !v.OK && v.Detail == "" {
+				t.Fatalf("declined verdict %s carries no detail", v.Outcome)
+			}
+		})
+	}
+}
+
+// TestProveMergeFreeSubsetStable asserts the chain-subset property the
+// barrier-free path relies on: once a schema proves merge-free, every
+// entry subset the planner's projection pruning could produce proves
+// too — the verdict computed on the unrewritten schema stays valid for
+// the rewritten one.
+func TestProveMergeFreeSubsetStable(t *testing.T) {
+	flat := ontology.PaperFlat()
+	full := span("xml_000",
+		"thing.product.brand", "thing.product.model",
+		"thing.product.watch.case", "thing.product.watch.movement")
+	if v := planner.ProveMergeFree(flat, nil, []mapping.SourcePlan{full}); !v.OK {
+		t.Fatalf("full schema: %s (%s)", v.Outcome, v.Detail)
+	}
+	n := len(full.Entries)
+	for mask := 0; mask < 1<<n; mask++ {
+		sub := mapping.SourcePlan{Source: full.Source}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub.Entries = append(sub.Entries, full.Entries[i])
+			}
+		}
+		if v := planner.ProveMergeFree(flat, nil, []mapping.SourcePlan{sub}); !v.OK {
+			t.Fatalf("subset %b declined: %s (%s)", mask, v.Outcome, v.Detail)
+		}
+	}
+}

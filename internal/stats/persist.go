@@ -1,0 +1,98 @@
+package stats
+
+// persist.go snapshots the registry to JSON and restores it, so the
+// cost model survives a server restart (docs/PERFORMANCE.md, "Stats
+// persistence"). The snapshot is a plain serialization of the EWMA
+// state — no clocks, no recomputation — so a save/load round trip is
+// exact: the restored registry produces the same estimates, quantiles,
+// and source orders as the one that was saved.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// snapshotVersion stamps the snapshot layout; Load refuses snapshots
+// written by an incompatible future layout instead of misreading them.
+const snapshotVersion = 1
+
+// snapshot is the on-disk form of a Registry.
+type snapshot struct {
+	Version int                       `json:"version"`
+	Sources map[string]sourceSnapshot `json:"sources"`
+}
+
+// sourceSnapshot mirrors sourceStats field for field. Latency rides in
+// seconds (the internal unit) and the sketch as the raw bucket masses.
+type sourceSnapshot struct {
+	Cardinality float64            `json:"cardinality"`
+	Latency     float64            `json:"latency_s"`
+	Selectivity map[string]float64 `json:"selectivity"`
+	Samples     uint64             `json:"samples"`
+	Sketch      []float64          `json:"sketch"`
+	SketchTotal float64            `json:"sketch_total"`
+}
+
+// Save writes the registry's full state to w as JSON. The encoding is
+// deterministic (map keys sort), so identical registries produce
+// identical bytes.
+func (r *Registry) Save(w io.Writer) error {
+	r.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, Sources: make(map[string]sourceSnapshot, len(r.sources))}
+	for id, st := range r.sources {
+		sel := make(map[string]float64, len(st.selectivity))
+		for shape, v := range st.selectivity {
+			sel[shape] = v
+		}
+		snap.Sources[id] = sourceSnapshot{
+			Cardinality: st.cardinality,
+			Latency:     st.latency,
+			Selectivity: sel,
+			Samples:     st.samples,
+			Sketch:      append([]float64(nil), st.sketch[:]...),
+			SketchTotal: st.sketchTotal,
+		}
+	}
+	r.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("stats: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the registry's state with the snapshot read from r. A
+// partial or corrupt snapshot leaves the registry untouched. A sketch
+// longer than the current bucket count is truncated and a shorter one
+// zero-padded, so snapshots survive a resolution change.
+func (r *Registry) Load(rd io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+		return fmt.Errorf("stats: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("stats: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	sources := make(map[string]*sourceStats, len(snap.Sources))
+	for id, ss := range snap.Sources {
+		st := &sourceStats{
+			cardinality: ss.Cardinality,
+			latency:     ss.Latency,
+			selectivity: make(map[string]float64, len(ss.Selectivity)),
+			samples:     ss.Samples,
+			sketchTotal: ss.SketchTotal,
+		}
+		for shape, v := range ss.Selectivity {
+			st.selectivity[shape] = v
+		}
+		copy(st.sketch[:], ss.Sketch)
+		sources[id] = st
+	}
+	r.mu.Lock()
+	r.sources = sources
+	r.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populate feeds a deterministic observation mix into r.
+func populate(r *Registry) {
+	for i := 0; i < 20; i++ {
+		r.Observe("db_000", "product|brand", Sample{
+			Values: 100 + i, Kept: 10 + i, Latency: time.Duration(i+1) * time.Millisecond,
+		})
+		r.Observe("web_000", "", Sample{
+			Values: 5, Kept: 5, Latency: 80 * time.Millisecond,
+		})
+	}
+	r.Observe("xml_000", "provider", Sample{Values: 0, Kept: 0, Latency: time.Microsecond})
+}
+
+// TestSaveLoadRoundTrip pins the persistence contract: a restored
+// registry is observationally identical to the saved one — same
+// estimates, same quantiles, same sample counts, same source order —
+// and a second save produces the same bytes.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := New()
+	populate(orig)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", restored.Len(), orig.Len())
+	}
+	for _, id := range []string{"db_000", "web_000", "xml_000", "never_seen"} {
+		for _, shape := range []string{"product|brand", "provider", "", "other"} {
+			if got, want := restored.Estimate(id, shape), orig.Estimate(id, shape); got != want {
+				t.Errorf("Estimate(%q, %q) = %+v, want %+v", id, shape, got, want)
+			}
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if got, want := restored.LatencyQuantile(id, q), orig.LatencyQuantile(id, q); got != want {
+				t.Errorf("LatencyQuantile(%q, %v) = %v, want %v", id, q, got, want)
+			}
+		}
+		if got, want := restored.Samples(id), orig.Samples(id); got != want {
+			t.Errorf("Samples(%q) = %d, want %d", id, got, want)
+		}
+	}
+	ids := []string{"web_000", "db_000", "xml_000"}
+	if got, want := restored.Order(ids, "product|brand"), orig.Order(ids, "product|brand"); !equal(got, want) {
+		t.Errorf("Order = %v, want %v", got, want)
+	}
+
+	var again bytes.Buffer
+	if err := restored.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Error("second save diverges from first: snapshot is not deterministic")
+	}
+}
+
+// TestLoadRejectsBadSnapshots covers the refusal paths: junk bytes and
+// a wrong version must error and leave the registry untouched.
+func TestLoadRejectsBadSnapshots(t *testing.T) {
+	r := New()
+	populate(r)
+	before := r.Estimate("db_000", "product|brand")
+
+	if err := r.Load(strings.NewReader("not json")); err == nil {
+		t.Error("junk snapshot loaded without error")
+	}
+	if err := r.Load(strings.NewReader(`{"version": 99, "sources": {}}`)); err == nil {
+		t.Error("future snapshot version loaded without error")
+	}
+	if got := r.Estimate("db_000", "product|brand"); got != before {
+		t.Errorf("failed load mutated the registry: %+v != %+v", got, before)
+	}
+}
+
+// TestLoadReplacesState pins replace-not-merge semantics: sources in
+// the registry but absent from the snapshot are dropped by Load.
+func TestLoadReplacesState(t *testing.T) {
+	saved := New()
+	saved.Observe("db_000", "", Sample{Values: 10, Kept: 10, Latency: time.Millisecond})
+	var buf bytes.Buffer
+	if err := saved.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New()
+	r.Observe("stale_000", "", Sample{Values: 1, Kept: 1, Latency: time.Second})
+	if err := r.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples("stale_000") != 0 {
+		t.Error("Load merged instead of replacing: stale source survived")
+	}
+	if r.Samples("db_000") != 1 {
+		t.Errorf("Samples(db_000) = %d, want 1", r.Samples("db_000"))
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

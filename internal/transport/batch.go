@@ -1,0 +1,210 @@
+package transport
+
+// batch.go is the multi-query surface: POST /query/batch answers N
+// S2SQL queries in one exchange, sharing one per-run document layer,
+// one plan-cache pass, and one extraction scatter on the server
+// (core.Middleware.QueryBatchTo), and streams the N serialized results
+// back as one chunked response multiplexed in the instance.MuxWriter
+// line framing — per-query bodies in chunk frames, per-query counts and
+// errors in trailer frames, whole-response completion in an HTTP
+// trailer. Each query's body bytes are identical to what the
+// single-query endpoints produce.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// BatchContentType is the media type of the multiplexed batch response
+// body.
+const BatchContentType = "application/vnd.s2s-batch"
+
+// MaxBatchQueries bounds one batch request; a larger batch is refused
+// rather than letting a single exchange monopolize the server.
+const MaxBatchQueries = 64
+
+// BatchRequest is the POST /query/batch body.
+type BatchRequest struct {
+	// Queries are the S2SQL queries, answered in order.
+	Queries []string `json:"queries"`
+	// Format names the serialization format for every result (one of
+	// instance.ParseFormat's names; empty means OWL, as elsewhere).
+	Format string `json:"format,omitempty"`
+}
+
+// Per-query trailer-frame keys of the batch wire format.
+const (
+	batchKeyMatched = "matched"
+	batchKeyRelated = "related"
+	batchKeyErrors  = "errors"
+	batchKeyError   = "error"
+)
+
+// handleQueryBatch answers POST /query/batch. The response is always
+// 200 once the batch is accepted: per-query failures ride in their
+// trailer frames (a batch is N independent queries — one malformed
+// query must not poison its siblings' results).
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("transport: %s not allowed", r.Method))
+		return
+	}
+	if !s.acquireQuerySlot(w) {
+		return
+	}
+	defer s.releaseQuerySlot()
+
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: empty batch"))
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("transport: batch of %d queries exceeds the limit of %d", len(req.Queries), MaxBatchQueries))
+		return
+	}
+	format := instance.FormatOWL
+	if req.Format != "" {
+		f, err := instance.ParseFormat(req.Format)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		format = f
+	}
+
+	ctx := obs.ContextWithMetrics(r.Context(), s.mw.Metrics())
+	if tid := r.Header.Get(TraceIDHeader); tid != "" {
+		ctx = obs.ContextWithRemote(ctx, obs.Remote{TraceID: tid, ParentID: r.Header.Get(SpanIDHeader)})
+	}
+	ctx, root := s.mw.Tracer().StartTrace(ctx, "http_query_batch")
+	root.SetAttr("queries", strconv.Itoa(len(req.Queries)))
+	w.Header().Set(TraceIDHeader, root.TraceID)
+	w.Header().Set("Content-Type", BatchContentType)
+	w.Header().Set("Trailer", StreamCompleteTrailer)
+
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	mux := instance.NewMuxWriter(fw)
+	if err := mux.Header(len(req.Queries)); err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
+		return
+	}
+
+	_, errs := s.mw.QueryBatchTo(ctx, req.Queries, func(i int, res *instance.Result) error {
+		if err := mux.Begin(i); err != nil {
+			return err
+		}
+		if _, err := s.mw.Generator().SerializeChunkedContext(ctx, mux.Stream(i), res, format, 0); err != nil {
+			return err
+		}
+		return mux.Trailer(i, map[string]string{
+			batchKeyMatched: strconv.Itoa(len(res.Matched)),
+			batchKeyRelated: strconv.Itoa(len(res.Related)),
+			batchKeyErrors:  strconv.Itoa(len(res.Errors)),
+		})
+	})
+
+	outcome := "ok"
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		outcome = "partial"
+		if terr := mux.Trailer(i, map[string]string{batchKeyError: err.Error()}); terr != nil {
+			// The connection itself failed: nothing more can be framed,
+			// and the missing completion trailer tells the client.
+			root.SetAttr("outcome", "error")
+			root.End()
+			return
+		}
+	}
+	w.Header().Set(StreamCompleteTrailer, "true")
+	root.SetAttr("outcome", outcome)
+	root.End()
+}
+
+// BatchResult is one query's slice of a batch response on the client.
+type BatchResult struct {
+	// Body is the query's serialized result document; empty when the
+	// query failed before serialization.
+	Body []byte
+	// Matched, Related, and SourceErrors are the query's result counts.
+	Matched      int
+	Related      int
+	SourceErrors int
+	// Err is the query's server-side failure, nil on success.
+	Err error
+}
+
+// QueryBatch submits N queries as one POST /query/batch exchange and
+// demultiplexes the response into per-query results, aligned with
+// queries. The returned error covers the exchange itself (transport
+// failure, refused batch, truncated response); per-query failures are
+// in each BatchResult.Err.
+func (c *Client) QueryBatch(ctx context.Context, queries []string, format string) ([]BatchResult, error) {
+	data, err := json.Marshal(BatchRequest{Queries: queries, Format: format})
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query/batch", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("transport: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(TraceIDHeader, span.TraceID)
+		req.Header.Set(SpanIDHeader, span.ID)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: calling POST /query/batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeResponse(resp, http.MethodPost, "/query/batch", nil)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, BatchContentType) {
+		return nil, fmt.Errorf("transport: unexpected batch content type %q", ct)
+	}
+
+	parts, err := instance.DemuxBatch(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: demultiplexing batch response: %w", err)
+	}
+	if resp.Trailer.Get(StreamCompleteTrailer) != "true" {
+		return nil, fmt.Errorf("transport: batch response truncated: no completion trailer")
+	}
+	if len(parts) != len(queries) {
+		return nil, fmt.Errorf("transport: batch response frames %d queries, want %d", len(parts), len(queries))
+	}
+	out := make([]BatchResult, len(parts))
+	for i, p := range parts {
+		out[i] = BatchResult{Body: p.Body}
+		if msg, ok := p.Trailer[batchKeyError]; ok {
+			out[i].Err = errors.New(msg)
+			continue
+		}
+		out[i].Matched, _ = strconv.Atoi(p.Trailer[batchKeyMatched])
+		out[i].Related, _ = strconv.Atoi(p.Trailer[batchKeyRelated])
+		out[i].SourceErrors, _ = strconv.Atoi(p.Trailer[batchKeyErrors])
+	}
+	return out, nil
+}

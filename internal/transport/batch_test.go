@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// flatTestServer serves a world built on the relation-free paper
+// ontology, so its queries prove merge-free and /query/stream answers
+// them barrier-free.
+func flatTestServer(t *testing.T, opts extract.Options) (*httptest.Server, *core.Middleware) {
+	t.Helper()
+	world := workload.MustGenerate(workload.Spec{
+		DBSources: 1, XMLSources: 1, WebSources: 1, TextSources: 1,
+		RecordsPerSource: 10, Seed: 21,
+		FlatOntology: true,
+	})
+	mw, err := core.NewWithCatalog(world.Ontology, world.Catalog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Apply(mw); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mw))
+	t.Cleanup(srv.Close)
+	return srv, mw
+}
+
+// TestQueryBatchEndToEnd drives POST /query/batch over a real
+// connection: every per-query body must be byte-identical to the
+// single-query serialization of the same middleware, with the counts in
+// the per-query trailer frames.
+func TestQueryBatchEndToEnd(t *testing.T) {
+	srv, mw, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	queries := []string{
+		"SELECT product",
+		"SELECT product WHERE brand='Seiko'",
+		"SELECT provider",
+	}
+	for _, format := range []string{"json", "xml", "ntriples"} {
+		results, err := client.QueryBatch(ctx, queries, format)
+		if err != nil {
+			t.Fatalf("QueryBatch(%s): %v", format, err)
+		}
+		if len(results) != len(queries) {
+			t.Fatalf("%s: results = %d, want %d", format, len(results), len(queries))
+		}
+		f, err := instance.ParseFormat(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			if results[i].Err != nil {
+				t.Fatalf("%s %q: %v", format, q, results[i].Err)
+			}
+			want, err := mw.QueryString(ctx, q, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(results[i].Body) != want {
+				t.Errorf("%s %q: batch body diverges from single-query serialization", format, q)
+			}
+			res, err := mw.Query(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i].Matched != len(res.Matched) || results[i].Related != len(res.Related) {
+				t.Errorf("%s %q: counts = %d/%d, want %d/%d",
+					format, q, results[i].Matched, results[i].Related, len(res.Matched), len(res.Related))
+			}
+		}
+	}
+}
+
+// TestQueryBatchPartialFailure puts a malformed query between two good
+// ones: the bad query must fail alone, with its parse error in its
+// trailer frame and no body, while its siblings answer normally.
+func TestQueryBatchPartialFailure(t *testing.T) {
+	srv, _, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+
+	queries := []string{"SELECT product", "SELEC nonsense", "SELECT provider"}
+	results, err := client.QueryBatch(context.Background(), queries, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("good queries failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[0].Matched == 0 || len(results[0].Body) == 0 {
+		t.Error("first query returned no instances")
+	}
+	if results[1].Err == nil {
+		t.Fatal("malformed query did not fail")
+	}
+	if len(results[1].Body) != 0 {
+		t.Errorf("failed query has %d body bytes, want 0", len(results[1].Body))
+	}
+}
+
+// TestQueryBatchRejectsBadRequests covers the whole-exchange failures:
+// empty batch, oversized batch, wrong method, bad format.
+func TestQueryBatchRejectsBadRequests(t *testing.T) {
+	srv, _, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	if _, err := client.QueryBatch(ctx, nil, "json"); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Errorf("empty batch: err = %v", err)
+	}
+	big := make([]string, MaxBatchQueries+1)
+	for i := range big {
+		big[i] = "SELECT product"
+	}
+	if _, err := client.QueryBatch(ctx, big, "json"); err == nil || !strings.Contains(err.Error(), "exceeds the limit") {
+		t.Errorf("oversized batch: err = %v", err)
+	}
+	if _, err := client.QueryBatch(ctx, []string{"SELECT product"}, "no-such-format"); err == nil {
+		t.Error("bad format accepted")
+	}
+	resp, err := http.Get(srv.URL + "/query/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query/batch = %d, want 405", resp.StatusCode)
+	}
+}

@@ -26,7 +26,10 @@ import (
 //	POST /query          QueryRequest → QueryResponse
 //	GET  /query          ?q=...&format=... → QueryResponse
 //	GET  /query/stream   ?q=...&format=... → raw serialized body, chunked,
-//	                     completion signaled in trailers (see stream.go)
+//	                     completion signaled in trailers (see stream.go);
+//	                     merge-free queries stream barrier-free (X-S2s-Stream-Mode)
+//	POST /query/batch    BatchRequest → N results multiplexed over one
+//	                     chunked body (see batch.go)
 //	GET  /ontology       the ontology as an OWL (RDF/XML) document
 //	GET  /sources        registered source definitions (JSON)
 //	POST /sources        register a WireSource
@@ -93,6 +96,7 @@ func NewServer(mw *core.Middleware, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/ontology", s.handleOntology)
 	s.mux.HandleFunc("/sources", s.handleSources)
 	s.mux.HandleFunc("/mappings", s.handleMappings)

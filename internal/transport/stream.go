@@ -41,18 +41,34 @@ const (
 	// StreamErrorTrailer carries the message of a mid-stream
 	// serialization failure; when present the body is truncated.
 	StreamErrorTrailer = "X-S2s-Stream-Error"
+	// StreamModeHeader reports which emission path produced the body:
+	// StreamModeEager when the planner proved the query merge-free and
+	// the body streamed barrier-free (instance counts then arrive as
+	// trailers, since the body starts before generation finishes), or
+	// StreamModeBarrier otherwise (counts in the pre-body headers, as
+	// before). The bytes are identical either way.
+	StreamModeHeader = "X-S2s-Stream-Mode"
+)
+
+// StreamModeHeader values.
+const (
+	StreamModeEager   = "eager"
+	StreamModeBarrier = "barrier"
 )
 
 // StreamResult summarizes one streamed query exchange on the client.
 type StreamResult struct {
-	// Matched and Related are the instance counts from the pre-body
-	// headers.
+	// Matched and Related are the instance counts — from the pre-body
+	// headers in barrier mode, from the trailers in eager mode.
 	Matched int
 	Related int
 	// SourceErrors is the extraction-error count from the trailers.
 	SourceErrors int
 	// Bytes is how many body bytes were copied to the caller's writer.
 	Bytes int64
+	// Mode is the server's StreamModeHeader value ("barrier" when the
+	// server predates the header).
+	Mode string
 }
 
 // contentTypeFor maps a serialization format to its media type; the
@@ -88,6 +104,20 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 	if fw.f != nil {
 		fw.f.Flush()
 	}
+	return n, err
+}
+
+// countingWriter tracks whether any body byte reached the response, so
+// an error raised before the first write can still use a regular error
+// status (the response is uncommitted until then).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
 	return n, err
 }
 
@@ -127,8 +157,24 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	ctx, root := s.mw.Tracer().StartTrace(ctx, "http_query_stream")
 	w.Header().Set(TraceIDHeader, root.TraceID)
 
-	// Extraction and generation stream internally; a failure here is
-	// still pre-body, so it can use a regular error status.
+	// Plan first (through the plan cache — the query run below replans
+	// for free) to learn the merge-free verdict: it decides, before the
+	// response commits, whether the body can stream barrier-free.
+	_, mergeFree, err := s.mw.PlanMergeFree(ctx, query)
+	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.mw.EagerStream(mergeFree, format) {
+		s.streamEager(ctx, root, w, query, format)
+		return
+	}
+
+	// Barrier mode: extraction and generation stream internally but
+	// complete before serialization starts, so the instance counts go
+	// out as headers and a failure here is still pre-body.
 	res, err := s.mw.QueryStreamed(ctx, query)
 	if err != nil {
 		root.SetAttr("outcome", "error")
@@ -138,6 +184,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", contentTypeFor(format))
+	w.Header().Set(StreamModeHeader, StreamModeBarrier)
 	w.Header().Set(StreamMatchedHeader, strconv.Itoa(len(res.Matched)))
 	w.Header().Set(StreamRelatedHeader, strconv.Itoa(len(res.Related)))
 	// Announce the trailers before the first body byte; their values are
@@ -147,6 +194,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	fw := &flushWriter{w: w}
 	if f, ok := w.(http.Flusher); ok {
 		fw.f = f
+		// Commit the header block and the chunked framing before
+		// serialization. A zero-instance result can serialize to zero
+		// bytes (NTriples has no envelope); an uncommitted zero-byte
+		// response would go out with Content-Length: 0, and net/http
+		// silently drops announced trailers from such a response — the
+		// client would then read a completed stream as truncated.
+		fw.f.Flush()
 	}
 	_, err = s.mw.Generator().SerializeChunkedContext(ctx, fw, res, format, 0)
 	if err != nil {
@@ -160,6 +214,51 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(StreamCompleteTrailer, "true")
 	w.Header().Set(StreamErrorsTrailer, strconv.Itoa(len(res.Errors)))
+	root.SetAttr("outcome", "ok")
+	root.End()
+}
+
+// streamEager serves /query/stream barrier-free: the body starts as the
+// first extraction window closes, so the instance counts are not known
+// until the body ends — they ride in the trailers alongside the
+// completion signal. QueryToStream re-checks the verdict internally and
+// falls back to the barrier if the catalog mutated since the header
+// decision; the bytes are identical either way, and the counts are
+// written from the returned result regardless.
+func (s *Server) streamEager(ctx context.Context, root *obs.Span, w http.ResponseWriter, query string, format instance.Format) {
+	w.Header().Set("Content-Type", contentTypeFor(format))
+	w.Header().Set(StreamModeHeader, StreamModeEager)
+	w.Header().Set("Trailer", strings.Join([]string{
+		StreamCompleteTrailer, StreamErrorsTrailer, StreamErrorTrailer,
+		StreamMatchedHeader, StreamRelatedHeader,
+	}, ", "))
+
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	cw := &countingWriter{w: fw}
+	res, _, err := s.mw.QueryToStream(ctx, cw, query, format)
+	if err != nil {
+		root.SetAttr("outcome", "error")
+		root.End()
+		if cw.n == 0 {
+			// Pre-body failure (extraction refused): the response is
+			// still uncommitted, so undo the streaming headers and fail
+			// with a regular status.
+			w.Header().Del("Trailer")
+			w.Header().Del(StreamModeHeader)
+			w.Header().Del("Content-Type")
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set(StreamErrorTrailer, err.Error())
+		return
+	}
+	w.Header().Set(StreamCompleteTrailer, "true")
+	w.Header().Set(StreamErrorsTrailer, strconv.Itoa(len(res.Errors)))
+	w.Header().Set(StreamMatchedHeader, strconv.Itoa(len(res.Matched)))
+	w.Header().Set(StreamRelatedHeader, strconv.Itoa(len(res.Related)))
 	root.SetAttr("outcome", "ok")
 	root.End()
 }
@@ -194,7 +293,10 @@ func (c *Client) QueryStream(ctx context.Context, query, format string, w io.Wri
 		return nil, decodeResponse(resp, http.MethodGet, "/query/stream", nil)
 	}
 
-	out := &StreamResult{}
+	out := &StreamResult{Mode: resp.Header.Get(StreamModeHeader)}
+	if out.Mode == "" {
+		out.Mode = StreamModeBarrier
+	}
 	out.Matched, _ = strconv.Atoi(resp.Header.Get(StreamMatchedHeader))
 	out.Related, _ = strconv.Atoi(resp.Header.Get(StreamRelatedHeader))
 
@@ -211,5 +313,11 @@ func (c *Client) QueryStream(ctx context.Context, query, format string, w io.Wri
 		return out, fmt.Errorf("transport: stream truncated after %d bytes: no completion trailer", out.Bytes)
 	}
 	out.SourceErrors, _ = strconv.Atoi(resp.Trailer.Get(StreamErrorsTrailer))
+	if out.Mode == StreamModeEager {
+		// Barrier-free bodies start before generation finishes, so the
+		// counts arrive with the trailers.
+		out.Matched, _ = strconv.Atoi(resp.Trailer.Get(StreamMatchedHeader))
+		out.Related, _ = strconv.Atoi(resp.Trailer.Get(StreamRelatedHeader))
+	}
 	return out, nil
 }

@@ -51,6 +51,115 @@ func TestQueryStreamEndToEnd(t *testing.T) {
 	}
 }
 
+// TestQueryStreamEagerMode serves a flat-ontology world whose queries
+// prove merge-free: JSON and XML stream barrier-free (mode header
+// "eager", counts in trailers) while the counts-first and whole-graph
+// formats keep the barrier — and every body stays byte-identical to the
+// local serialization.
+func TestQueryStreamEagerMode(t *testing.T) {
+	srv, mw := flatTestServer(t, extract.Options{Streaming: true, StreamBatchRecords: 4})
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	wantRes, err := mw.Query(ctx, "SELECT product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ format, wantMode string }{
+		{"json", StreamModeEager},
+		{"xml", StreamModeEager},
+		{"text", StreamModeBarrier},
+		{"owl", StreamModeBarrier},
+		{"ntriples", StreamModeBarrier},
+	} {
+		f, err := instance.ParseFormat(tc.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mw.QueryString(ctx, "SELECT product", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		res, err := client.QueryStream(ctx, "SELECT product", tc.format, &got)
+		if err != nil {
+			t.Fatalf("QueryStream(%s): %v", tc.format, err)
+		}
+		if res.Mode != tc.wantMode {
+			t.Errorf("%s: mode = %q, want %q", tc.format, res.Mode, tc.wantMode)
+		}
+		if got.String() != want {
+			t.Errorf("%s: streamed body diverges from local serialization", tc.format)
+		}
+		if res.Matched != len(wantRes.Matched) {
+			t.Errorf("%s: matched = %d, want %d", tc.format, res.Matched, len(wantRes.Matched))
+		}
+	}
+}
+
+// TestQueryStreamEagerDisabled pins the rollback knob: with
+// DisableEagerStream set, a merge-free JSON stream falls back to the
+// barrier (and says so in the mode header).
+func TestQueryStreamEagerDisabled(t *testing.T) {
+	srv, _ := flatTestServer(t, extract.Options{Streaming: true, DisableEagerStream: true})
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != StreamModeBarrier {
+		t.Errorf("mode = %q, want %q with eager disabled", res.Mode, StreamModeBarrier)
+	}
+}
+
+// TestQueryStreamRelationQueryStaysBarrier: on the full paper ontology
+// (relations present) the proof declines, so even JSON keeps the
+// barrier.
+func TestQueryStreamRelationQueryStaysBarrier(t *testing.T) {
+	srv, _, _ := testServer(t)
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product", "json", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != StreamModeBarrier {
+		t.Errorf("mode = %q, want %q for a relation-bearing ontology", res.Mode, StreamModeBarrier)
+	}
+}
+
+// TestQueryStreamEmptyBodyTrailers is the zero-instance regression: an
+// NTriples result with no instances serializes to zero body bytes, and
+// an uncommitted zero-byte response would be sent with Content-Length: 0
+// — net/http then drops the announced trailers and the client misreads
+// a complete stream as truncated. The server commits the chunked
+// framing before serializing, so the completion and error-count
+// trailers survive an empty body.
+func TestQueryStreamEmptyBodyTrailers(t *testing.T) {
+	spec := workload.Spec{XMLSources: 1, WebSources: 1, RecordsPerSource: 8, Seed: 71}
+	target := chaosTarget(t, spec, "web_000")
+	srv := streamChaosServer(t, spec,
+		faultinject.Plan{target: {Permanent: true}},
+		extract.Options{Retries: 2, RetryBackoff: -1})
+
+	client := NewClient(srv.URL, nil)
+	var got bytes.Buffer
+	res, err := client.QueryStream(context.Background(), "SELECT product WHERE brand = 'NoSuchBrand'", "ntriples", &got)
+	if err != nil {
+		t.Fatalf("zero-instance stream must still complete: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("body = %d bytes, want 0 (no instances, no NTriples envelope)", got.Len())
+	}
+	if res.Matched != 0 {
+		t.Errorf("matched = %d, want 0", res.Matched)
+	}
+	if res.SourceErrors == 0 {
+		t.Error("killed source's errors missing from the trailer count despite the empty body")
+	}
+}
+
 // TestQueryStreamBadQuery checks that pre-body failures still travel as
 // ordinary HTTP errors, not trailers.
 func TestQueryStreamBadQuery(t *testing.T) {

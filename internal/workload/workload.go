@@ -32,6 +32,12 @@ type Spec struct {
 	RecordsPerSource int
 	// Seed drives deterministic generation.
 	Seed int64
+	// FlatOntology builds the world on ontology.PaperFlat() — the paper
+	// ontology without its relations — so product-chain queries satisfy
+	// the planner's merge-free proof (no relations to link, nothing to
+	// merge). The streaming fixtures and the first-instance benchmark
+	// use it; everything else about generation is identical.
+	FlatOntology bool
 }
 
 // Record is one generated product record — the ground truth a test can
@@ -78,8 +84,12 @@ func Generate(spec Spec) (*World, error) {
 		spec.RecordsPerSource = 1
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
+	ont := ontology.Paper()
+	if spec.FlatOntology {
+		ont = ontology.PaperFlat()
+	}
 	w := &World{
-		Ontology:      ontology.Paper(),
+		Ontology:      ont,
 		Catalog:       datasource.NewCatalog(),
 		ProviderNames: map[string]string{},
 		RawDocuments:  map[string]string{},

@@ -129,6 +129,41 @@ func TestStreamingDocCoversStagesAndSignals(t *testing.T) {
 	}
 }
 
+// TestStreamingDocCoversBarrierFree pins the barrier-free section: the
+// mode header and its values, the eager knob, the proof counter, and
+// the batch endpoint's wire names must all be documented — and the
+// documented fallback matrix must match instance.EagerFormat.
+func TestStreamingDocCoversBarrierFree(t *testing.T) {
+	doc := readStreamingDoc(t)
+	for _, want := range []string{
+		transport.StreamModeHeader,
+		transport.StreamModeEager,
+		transport.StreamModeBarrier,
+		"`extract.Options.DisableEagerStream`",
+		obs.MetricPlannerMergeFree,
+		"/query/batch",
+		transport.BatchContentType,
+		"BenchmarkE21FirstInstance",
+		"first_instance_ns",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("%s does not mention %s", streamingDocPath, want)
+		}
+	}
+	for _, row := range []string{
+		"| JSON | eager | barrier |",
+		"| XML | eager | barrier |",
+	} {
+		if !strings.Contains(doc, row) {
+			t.Errorf("%s fallback matrix missing row %q", streamingDocPath, row)
+		}
+	}
+	if instance.EagerFormat(instance.FormatOWL) || instance.EagerFormat(instance.FormatText) ||
+		!instance.EagerFormat(instance.FormatJSON) || !instance.EagerFormat(instance.FormatXML) {
+		t.Error("instance.EagerFormat diverged from the documented fallback matrix")
+	}
+}
+
 func readStreamingDoc(t *testing.T) string {
 	t.Helper()
 	raw, err := os.ReadFile(streamingDocPath)
